@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) supporting the paper's two-phase
+// design claim: per-query runtime work — SQL parse, bind, index function —
+// is microseconds, while the expensive metadata analysis happens once at
+// compile time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "advirt.h"
+#include "dataset/ipars.h"
+#include "dataset/titan.h"
+
+using namespace adv;
+
+namespace {
+
+dataset::IparsConfig micro_cfg() {
+  dataset::IparsConfig cfg;
+  cfg.nodes = 4;
+  cfg.rels = 4;
+  cfg.timesteps = 500;
+  cfg.grid_per_node = 100;
+  cfg.pad_vars = 12;
+  return cfg;
+}
+
+const std::string& descriptor_text() {
+  static std::string text =
+      dataset::ipars_descriptor_text(micro_cfg(), dataset::IparsLayout::kL0);
+  return text;
+}
+
+std::shared_ptr<codegen::DataServicePlan> shared_plan() {
+  static auto plan = std::make_shared<codegen::DataServicePlan>(
+      meta::parse_descriptor(descriptor_text()), "IparsData", "/data");
+  return plan;
+}
+
+const char* kQuery =
+    "SELECT * FROM IparsData WHERE REL IN (0, 2) AND TIME >= 100 AND TIME "
+    "<= 150 AND SOIL > 0.7";
+
+void BM_DescriptorParse(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(meta::parse_descriptor(descriptor_text()));
+}
+BENCHMARK(BM_DescriptorParse);
+
+void BM_MetadataCompile(benchmark::State& state) {
+  meta::Descriptor d = meta::parse_descriptor(descriptor_text());
+  for (auto _ : state) {
+    afc::DatasetModel model(d, "IparsData", "/data");
+    benchmark::DoNotOptimize(model.files().size());
+  }
+}
+BENCHMARK(BM_MetadataCompile);
+
+void BM_SqlParse(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(sql::parse_select(kQuery));
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_QueryBind(benchmark::State& state) {
+  auto plan = shared_plan();
+  for (auto _ : state) benchmark::DoNotOptimize(plan->bind(kQuery));
+}
+BENCHMARK(BM_QueryBind);
+
+void BM_IndexFunction(benchmark::State& state) {
+  auto plan = shared_plan();
+  expr::BoundQuery q = plan->bind(kQuery);
+  for (auto _ : state) {
+    afc::PlanResult pr = plan->index_fn(q);
+    benchmark::DoNotOptimize(pr.afcs.size());
+  }
+}
+BENCHMARK(BM_IndexFunction);
+
+void BM_EmitCpp(benchmark::State& state) {
+  auto plan = shared_plan();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(codegen::emit_cpp(plan->model()).size());
+}
+BENCHMARK(BM_EmitCpp);
+
+void BM_PredicateEval(benchmark::State& state) {
+  auto plan = shared_plan();
+  expr::BoundQuery q = plan->bind(kQuery);
+  std::vector<double> row(q.needed_attrs().size(), 0.5);
+  row[0] = 2;    // REL slot
+  row[1] = 120;  // TIME slot
+  for (auto _ : state) benchmark::DoNotOptimize(q.matches(row.data()));
+}
+BENCHMARK(BM_PredicateEval);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  std::vector<index::RTree::Entry> entries;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    double x = static_cast<double>(i % 64) * 10;
+    double y = static_cast<double>(i / 64) * 10;
+    entries.push_back({index::Box({x, y}, {x + 9, y + 9}), i});
+  }
+  index::RTree tree = index::RTree::build(entries, 2);
+  index::Box q({100, 100}, {160, 160});
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.query(q, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RTreeQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench binary runs with no arguments at a small default scale so the
+// whole suite finishes in minutes on a laptop; set ADV_SCALE (a small
+// integer, default 1) to grow the datasets toward paper scale, and
+// ADV_REPEATS to change the timing repetitions.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace adv::bench {
+
+inline int scale() {
+  return static_cast<int>(env_int("ADV_SCALE", 1));
+}
+
+inline int repeats() {
+  return static_cast<int>(env_int("ADV_REPEATS", 3));
+}
+
+// Runs fn `repeats()` times and returns the best (minimum) wall seconds —
+// the standard way to suppress scheduler noise for deterministic work.
+inline double time_best(const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeats(); ++i) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.elapsed_seconds());
+  }
+  return best;
+}
+
+// Minimal fixed-width table printer for paper-style result tables.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      w[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(w[c]), cells[c].c_str());
+      std::printf("\n");
+    };
+    line(headers_);
+    std::string dash;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      dash += std::string(w[c], '-') + "  ";
+    std::printf("%s\n", dash.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string ms(double seconds) { return format("%.1f", seconds * 1e3); }
+inline std::string secs(double seconds) { return format("%.3f", seconds); }
+
+}  // namespace adv::bench

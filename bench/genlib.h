@@ -1,0 +1,57 @@
+// Helper for benches that exercise the compiled codegen backend:
+// emit_cpp -> g++ -O2 -shared -> dlopen, returning the generated entry
+// points.  This is the deployment form the paper describes (generated code
+// compiled into the STORM services).
+#pragma once
+
+#include <dlfcn.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "codegen/emit.h"
+#include "common/io.h"
+
+namespace adv::bench {
+
+using ScanFn = long long (*)(const char*, const double*, const double*,
+                             void (*)(void*, const double*), void*);
+using GroupScanFn = long long (*)(int, const char*, const double*,
+                                  const double*,
+                                  void (*)(void*, const double*), void*);
+
+struct GenLib {
+  void* handle = nullptr;
+  ScanFn scan = nullptr;
+  GroupScanFn scan_group = nullptr;
+  int (*num_groups)() = nullptr;
+  int (*group_node)(int) = nullptr;
+
+  bool ok() const { return scan != nullptr; }
+};
+
+inline GenLib compile_generated(const afc::DatasetModel& model,
+                                const std::string& dir,
+                                const std::string& tag,
+                                const afc::ChunkBoundsSource* bounds =
+                                    nullptr) {
+  GenLib lib;
+  std::string src = codegen::emit_cpp(model, bounds);
+  std::string cpp = dir + "/gen_" + tag + ".cpp";
+  std::string so = dir + "/libgen_" + tag + ".so";
+  write_text_file(cpp, src);
+  std::string cmd = "g++ -std=c++17 -O2 -shared -fPIC -o " + so + " " + cpp;
+  if (std::system(cmd.c_str()) != 0) return lib;
+  lib.handle = ::dlopen(so.c_str(), RTLD_NOW);
+  if (!lib.handle) return lib;
+  lib.scan = reinterpret_cast<ScanFn>(::dlsym(lib.handle, "advgen_scan"));
+  lib.scan_group =
+      reinterpret_cast<GroupScanFn>(::dlsym(lib.handle, "advgen_scan_group"));
+  lib.num_groups =
+      reinterpret_cast<int (*)()>(::dlsym(lib.handle, "advgen_num_groups"));
+  lib.group_node =
+      reinterpret_cast<int (*)(int)>(::dlsym(lib.handle, "advgen_group_node"));
+  return lib;
+}
+
+}  // namespace adv::bench

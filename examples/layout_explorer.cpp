@@ -1,0 +1,64 @@
+// Layout explorer: the paper's central promise is that "handling a new
+// dataset layout or virtual view only involves writing a new meta-data
+// descriptor".  This example writes the same logical IPARS data in all
+// seven physical layouts (L0 and I-VI of Figure 9), runs one query against
+// each through the same engine, and shows that only the descriptor — never
+// any code — changed.
+#include <cstdio>
+
+#include "advirt.h"
+#include "common/stopwatch.h"
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+
+int main() {
+  adv::dataset::IparsConfig cfg;
+  cfg.nodes = 2;
+  cfg.rels = 2;
+  cfg.timesteps = 50;
+  cfg.grid_per_node = 200;
+  cfg.pad_vars = 12;  // the full 17-variable schema
+  adv::TempDir tmp("layouts");
+
+  const char* sql =
+      "SELECT * FROM IparsData WHERE TIME > 10 AND TIME < 30 AND SOIL > "
+      "0.7";
+  std::printf("query: %s\n\n", sql);
+  std::printf("%-8s %-8s %-10s %-8s %-10s %-10s %-8s\n", "layout", "files",
+              "bytes", "groups", "AFCs", "rows", "ms");
+
+  adv::expr::Table reference;
+  bool first = true;
+  for (auto layout : adv::dataset::all_ipars_layouts()) {
+    std::string sub = tmp.subdir(adv::dataset::to_string(layout));
+    auto gen = adv::dataset::generate_ipars(cfg, layout, sub);
+    adv::codegen::DataServicePlan plan =
+        adv::codegen::DataServicePlan::from_text(gen.descriptor_text,
+                                                 gen.dataset_name, gen.root);
+    adv::expr::BoundQuery q = plan.bind(sql);
+    adv::afc::PlanResult pr = plan.index_fn(q);
+    adv::Stopwatch sw;
+    adv::expr::Table t = plan.execute(q);
+    double ms = sw.elapsed_ms();
+
+    bool agrees = true;
+    if (first) {
+      reference = t;
+      first = false;
+    } else {
+      agrees = t.same_rows(reference);
+    }
+    std::printf("%-8s %-8llu %-10llu %-8llu %-10zu %-10zu %-8.1f%s\n",
+                adv::dataset::to_string(layout),
+                static_cast<unsigned long long>(gen.files_written),
+                static_cast<unsigned long long>(gen.bytes_written),
+                static_cast<unsigned long long>(pr.stats.groups_formed),
+                pr.afcs.size(), t.num_rows(), ms,
+                agrees ? "" : "   <-- MISMATCH!");
+  }
+
+  std::printf("\nEvery layout produced the same %zu rows through the same "
+              "engine;\nonly the meta-data descriptor differed.\n",
+              reference.num_rows());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: give a directory of raw binary files a virtual relational
+// table view in ~60 lines.
+//
+// We create a tiny "weather" dataset by hand — one binary file per station,
+// each holding (TEMP, RAIN) float32 pairs for 365 days — then describe that
+// layout in the meta-data description language and run SQL against it.
+// No data is copied or loaded anywhere: the generated index and extraction
+// functions read the original files.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "advirt.h"
+#include "common/io.h"
+#include "common/tempdir.h"
+
+int main() {
+  adv::TempDir tmp("quickstart");
+  std::string dir = tmp.subdir("n0/weather");
+
+  // 1. Write raw binary files the way an instrument or simulation would:
+  //    S<id> holds 365 (temp, rain) float pairs for station <id>.
+  const int kStations = 4, kDays = 365;
+  for (int s = 0; s < kStations; ++s) {
+    adv::BufferedWriter w(dir + "/S" + std::to_string(s));
+    for (int d = 1; d <= kDays; ++d) {
+      float temp = 10.0f + 15.0f * static_cast<float>(s) *
+                               (d % 30) / 30.0f;  // synthetic
+      float rain = (d % 7 == 0) ? 12.5f : 0.25f * static_cast<float>(d % 5);
+      w.write_pod(temp);
+      w.write_pod(rain);
+    }
+    w.close();
+  }
+
+  // 2. Describe the schema, storage, and layout.  STATION and DAY are never
+  //    stored in the files — they are implicit in the file names and the
+  //    loop structure.
+  const char* descriptor = R"(
+[WEATHER]
+STATION = int
+DAY = int
+TEMP = float
+RAIN = float
+
+[WeatherData]
+DatasetDescription = WEATHER
+DIR[0] = n0/weather
+
+DATASET "WeatherData" {
+  DATATYPE { WEATHER }
+  DATAINDEX { STATION DAY }
+  DATASPACE {
+    LOOP DAY 1:365:1 { TEMP RAIN }
+  }
+  DATA { "DIR[0]/S$STATION" STATION = 0:3:1 }
+}
+)";
+
+  // 3. Compile the descriptor into data services and run queries.
+  auto plan = adv::codegen::DataServicePlan::from_text(
+      descriptor, "WeatherData", tmp.str());
+
+  std::printf("Files check out: %s\n\n",
+              plan.verify_files().empty() ? "yes" : "NO");
+
+  const char* queries[] = {
+      "SELECT STATION, DAY, TEMP FROM WeatherData WHERE DAY <= 3",
+      "SELECT DAY, RAIN FROM WeatherData WHERE STATION = 2 AND RAIN > 10",
+      "SELECT * FROM WeatherData WHERE TEMP > 20 AND DAY BETWEEN 100 AND "
+      "110",
+  };
+  for (const char* sql : queries) {
+    adv::codegen::ExtractStats stats;
+    adv::expr::Table t = plan.execute(sql, {}, &stats);
+    std::printf("%s\n-> %zu rows (scanned %llu, read %llu bytes)\n%s\n", sql,
+                t.num_rows(),
+                static_cast<unsigned long long>(stats.rows_scanned),
+                static_cast<unsigned long long>(stats.bytes_read),
+                t.to_csv(5).c_str());
+  }
+
+  // 4. The same descriptor can be compiled to standalone C++ source.
+  std::string src = adv::codegen::emit_cpp(plan.model());
+  std::printf("Generated standalone extractor: %zu lines of C++\n",
+              std::count(src.begin(), src.end(), '\n'));
+  return 0;
+}

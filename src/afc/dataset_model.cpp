@@ -1,0 +1,200 @@
+#include "afc/dataset_model.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.h"
+
+namespace adv::afc {
+
+namespace {
+
+// Collects leaf datasets in declaration order.
+void collect_leaves(const meta::DatasetDecl& d,
+                    std::vector<const meta::DatasetDecl*>& out) {
+  if (d.is_leaf()) {
+    out.push_back(&d);
+    return;
+  }
+  for (const auto& c : d.children) collect_leaves(c, out);
+}
+
+// Enumerates all assignments of the pattern's binding variables, invoking
+// `fn(env)` for each.
+void enumerate_bindings(const meta::FilePattern& fp,
+                        const std::function<void(const meta::VarEnv&)>& fn) {
+  meta::VarEnv env;
+  std::function<void(std::size_t)> rec = [&](std::size_t i) {
+    if (i == fp.bindings.size()) {
+      fn(env);
+      return;
+    }
+    const auto& b = fp.bindings[i];
+    meta::VarEnv empty;
+    int64_t lo = b.range.lo->eval(empty);
+    int64_t hi = b.range.hi->eval(empty);
+    int64_t step = b.range.step ? b.range.step->eval(empty) : 1;
+    for (int64_t v = lo; v <= hi; v += step) {
+      env.set(b.var, v);
+      rec(i + 1);
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+DatasetModel::DatasetModel(meta::Descriptor desc,
+                           const std::string& dataset_name,
+                           std::string root_path)
+    : desc_(std::move(desc)),
+      dataset_name_(dataset_name),
+      root_path_(std::move(root_path)) {
+  const meta::DatasetDecl* top = desc_.find_dataset(dataset_name);
+  if (!top)
+    throw QueryError("unknown dataset '" + dataset_name +
+                     "' (no DATASET declaration)");
+  schema_ = &desc_.schema_of(*top);
+  storage_ = desc_.find_storage(top->name);
+  if (storage_) {
+    node_names_ = storage_->node_names();
+    num_nodes_ = static_cast<int>(node_names_.size());
+  } else {
+    node_names_ = {"local"};
+    num_nodes_ = 1;
+  }
+
+  std::vector<const meta::DatasetDecl*> leaf_decls;
+  collect_leaves(*top, leaf_decls);
+  if (leaf_decls.empty())
+    throw ValidationError("dataset '" + dataset_name + "' has no leaf "
+                          "datasets");
+
+  for (std::size_t i = 0; i < leaf_decls.size(); ++i) {
+    LeafInfo li;
+    li.decl = leaf_decls[i];
+    li.name = leaf_decls[i]->name;
+    leaves_.push_back(std::move(li));
+  }
+  files_of_leaf_.resize(leaves_.size());
+
+  for (std::size_t i = 0; i < leaves_.size(); ++i)
+    enumerate_files(*leaves_[i].decl, static_cast<int>(i));
+
+  // Region skeletons and binding-attr lists per leaf.
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    if (files_of_leaf_[i].empty())
+      throw ValidationError("leaf dataset '" + leaves_[i].name +
+                            "' produced no concrete files");
+    leaves_[i].skeleton = files_[files_of_leaf_[i][0]].regions;
+    std::vector<int> battrs;
+    for (const auto& fp : leaves_[i].decl->files) {
+      for (const auto& b : fp.bindings) {
+        int a = schema_->find(b.var);
+        if (a >= 0 &&
+            std::find(battrs.begin(), battrs.end(), a) == battrs.end())
+          battrs.push_back(a);
+      }
+    }
+    leaves_[i].binding_attrs = std::move(battrs);
+  }
+}
+
+void DatasetModel::enumerate_files(const meta::DatasetDecl& leaf,
+                                   int leaf_idx) {
+  for (const auto& fp : leaf.files) {
+    enumerate_bindings(fp, [&](const meta::VarEnv& env) {
+      ConcreteFile cf;
+      cf.leaf = leaf_idx;
+      cf.env = env;
+
+      // Resolve the path and node.
+      std::string path;
+      int node = 0;
+      bool node_set = false;
+      for (const auto& seg : fp.segs) {
+        switch (seg.kind) {
+          case meta::PatternSeg::Kind::kLiteral:
+            path += seg.literal;
+            break;
+          case meta::PatternSeg::Kind::kVarRef:
+            path += std::to_string(env.get(seg.var));
+            break;
+          case meta::PatternSeg::Kind::kDirRef: {
+            int64_t idx = seg.dir_index->eval(env);
+            if (!storage_)
+              throw ValidationError("DIR[...] used without a storage section");
+            if (idx < 0 ||
+                static_cast<std::size_t>(idx) >= storage_->dirs.size())
+              throw ValidationError(
+                  "DIR index " + std::to_string(idx) + " out of range in "
+                  "pattern '" + fp.raw + "'");
+            const meta::StorageDir& dir = storage_->dirs[idx];
+            path += dir.path;
+            if (!node_set) {
+              auto it = std::find(node_names_.begin(), node_names_.end(),
+                                  dir.node_name);
+              node = static_cast<int>(it - node_names_.begin());
+              node_set = true;
+            }
+            break;
+          }
+        }
+      }
+      cf.path = path;
+      cf.full_path = root_path_.empty() ? path : root_path_ + "/" + path;
+      cf.node_id = node;
+
+      // Regions under this environment.
+      cf.regions = layout::analyze_regions(leaf.dataspace, *schema_,
+                                           leaf.local_attrs, env);
+
+      // Implicit points: binding variables naming schema attributes.
+      for (const auto& [var, value] : env.vars()) {
+        int a = schema_->find(var);
+        if (a >= 0)
+          cf.implicit_points.emplace_back(a, static_cast<double>(value));
+      }
+
+      // Implicit spans: loops (structure or record) naming schema
+      // attributes.  A loop ident that names an attribute constrains that
+      // attribute's values within this file to the loop range.
+      std::vector<std::pair<int, layout::EvalRange>> spans;
+      for (const auto& r : cf.regions) {
+        for (const auto& pl : r.path) {
+          int a = schema_->find(pl.ident);
+          if (a >= 0) spans.emplace_back(a, pl.range);
+        }
+        int a = schema_->find(r.record_ident);
+        if (a >= 0) spans.emplace_back(a, r.record_range);
+      }
+      // Merge per attribute (hull over regions).
+      std::sort(spans.begin(), spans.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (std::size_t i = 0; i < spans.size();) {
+        int attr = spans[i].first;
+        double lo = static_cast<double>(spans[i].second.lo);
+        double hi = static_cast<double>(spans[i].second.hi);
+        std::size_t j = i + 1;
+        while (j < spans.size() && spans[j].first == attr) {
+          lo = std::min(lo, static_cast<double>(spans[j].second.lo));
+          hi = std::max(hi, static_cast<double>(spans[j].second.hi));
+          ++j;
+        }
+        cf.implicit_spans.push_back({attr, lo, hi});
+        i = j;
+      }
+
+      files_of_leaf_[leaf_idx].push_back(static_cast<int>(files_.size()));
+      files_.push_back(std::move(cf));
+    });
+  }
+}
+
+uint64_t DatasetModel::expected_file_bytes(const ConcreteFile& f) const {
+  const LeafInfo& li = leaves_[f.leaf];
+  return layout::dataspace_bytes(li.decl->dataspace, *schema_,
+                                 li.decl->local_attrs, f.env);
+}
+
+}  // namespace adv::afc

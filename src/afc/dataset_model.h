@@ -1,0 +1,93 @@
+// Query-independent compilation of a descriptor: concrete file enumeration,
+// per-file region analysis, and per-file implicit attributes.
+//
+// This is the expensive half of the paper's two-phase design (§4): parsing
+// and analyzing the meta-data happens once; per-query work (the planner in
+// planner.h) only walks the precomputed structures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "afc/types.h"
+#include "metadata/model.h"
+
+namespace adv::afc {
+
+// A file named by a DATA pattern under one binding assignment.
+struct ConcreteFile {
+  int leaf = 0;           // index into DatasetModel::leaves()
+  std::string path;       // path relative to the dataset root
+  std::string full_path;  // root + "/" + path
+  int node_id = 0;        // virtual node holding the file
+  meta::VarEnv env;       // binding-variable values
+
+  std::vector<layout::Region> regions;
+
+  // Implicit attribute values derived from the file name: (attr, value).
+  std::vector<std::pair<int, double>> implicit_points;
+  // Implicit attribute ranges derived from loops whose ident names a schema
+  // attribute: (attr, lo, hi).
+  struct Span {
+    int attr;
+    double lo, hi;
+  };
+  std::vector<Span> implicit_spans;
+};
+
+// Per-leaf static information.
+struct LeafInfo {
+  const meta::DatasetDecl* decl = nullptr;
+  std::string name;
+  // Region skeletons (from the first concrete file): used to choose which
+  // (leaf, region, field) sources a query's attributes come from.  Region
+  // structure is identical across files of a leaf; only ranges differ.
+  std::vector<layout::Region> skeleton;
+  // Binding variables that name schema attributes (implicit point sources).
+  std::vector<int> binding_attrs;
+};
+
+class DatasetModel {
+ public:
+  // Compiles `dataset_name` of `desc`.  `root_path` is the filesystem
+  // directory the storage DIR paths are relative to.  Throws
+  // ValidationError / QueryError on unresolvable metadata.
+  DatasetModel(meta::Descriptor desc, const std::string& dataset_name,
+               std::string root_path);
+
+  const meta::Descriptor& descriptor() const { return desc_; }
+  const meta::Schema& schema() const { return *schema_; }
+  const std::string& dataset_name() const { return dataset_name_; }
+  const std::string& root_path() const { return root_path_; }
+
+  const std::vector<LeafInfo>& leaves() const { return leaves_; }
+  const std::vector<ConcreteFile>& files() const { return files_; }
+
+  // Files of one leaf (indices into files()).
+  const std::vector<int>& files_of_leaf(int leaf) const {
+    return files_of_leaf_[leaf];
+  }
+
+  // Number of virtual nodes (distinct storage node names; at least 1).
+  int num_nodes() const { return num_nodes_; }
+  const std::vector<std::string>& node_names() const { return node_names_; }
+
+  // Expected on-disk byte size of a concrete file (for integrity checks).
+  uint64_t expected_file_bytes(const ConcreteFile& f) const;
+
+ private:
+  void enumerate_files(const meta::DatasetDecl& leaf, int leaf_idx);
+
+  meta::Descriptor desc_;
+  std::string dataset_name_;
+  std::string root_path_;
+  const meta::Schema* schema_ = nullptr;
+  const meta::Storage* storage_ = nullptr;  // may be null
+  std::vector<std::string> node_names_;
+  int num_nodes_ = 1;
+  std::vector<LeafInfo> leaves_;
+  std::vector<ConcreteFile> files_;
+  std::vector<std::vector<int>> files_of_leaf_;
+};
+
+}  // namespace adv::afc

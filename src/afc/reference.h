@@ -1,0 +1,52 @@
+// Reference planner: the paper's Figure 5 pseudocode, implemented as
+// literally as possible.
+//
+//   Data_Extract {
+//     Find_File_Groups()          — match all files against the query,
+//                                   classify by attribute set, cartesian
+//                                   product, drop inconsistent implicits
+//     Process_File_Groups()       — per group: find aligned file chunks,
+//                                   supply implicit attributes, check each
+//                                   chunk against the index, compute offset
+//                                   and length, output
+//   }
+//
+// No incremental pruning, no interval jumps — every combination and every
+// loop value is visited and tested individually.  Exponentially slower than
+// afc::plan_afcs on wide vertical partitions, and used ONLY as a
+// differential-testing oracle: both planners must emit exactly the same
+// aligned chunk sets for every query (tests/reference_test.cpp).
+#pragma once
+
+#include "afc/dataset_model.h"
+#include "afc/types.h"
+#include "expr/predicate.h"
+
+namespace adv::afc::reference {
+
+// One aligned file chunk set in a planner-independent canonical form.
+struct FlatChunk {
+  std::string file;
+  uint64_t offset = 0;
+  uint32_t bytes_per_row = 0;
+
+  auto operator<=>(const FlatChunk&) const = default;
+};
+
+struct FlatAfc {
+  std::vector<FlatChunk> chunks;  // sorted
+  uint64_t num_rows = 0;
+  int64_t row_first = 0;
+
+  auto operator<=>(const FlatAfc&) const = default;
+};
+
+// Plans `q` the Figure 5 way.  The result is sorted canonically.
+std::vector<FlatAfc> plan_reference(const DatasetModel& model,
+                                    const expr::BoundQuery& q,
+                                    const ChunkFilter* filter = nullptr);
+
+// Canonicalizes an optimized-planner result for comparison.
+std::vector<FlatAfc> flatten(const PlanResult& pr);
+
+}  // namespace adv::afc::reference

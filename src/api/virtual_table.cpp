@@ -1,0 +1,61 @@
+#include "api/virtual_table.h"
+
+#include "common/string_util.h"
+#include "metadata/xml.h"
+
+namespace adv {
+
+VirtualTable VirtualTable::open(const std::string& descriptor_text,
+                                const std::string& dataset_name,
+                                const std::string& root_path,
+                                const Options& options) {
+  VirtualTable vt;
+  std::size_t i = descriptor_text.find_first_not_of(" \t\r\n");
+  meta::Descriptor desc =
+      (i != std::string::npos && descriptor_text[i] == '<')
+          ? meta::parse_descriptor_xml(descriptor_text)
+          : meta::parse_descriptor(descriptor_text);
+  vt.plan_ = std::make_shared<codegen::DataServicePlan>(std::move(desc),
+                                                        dataset_name,
+                                                        root_path);
+  if (options.verify) {
+    auto problems = vt.plan_->verify_files();
+    if (!problems.empty())
+      throw IoError("VirtualTable::open: " + problems.front() +
+                    (problems.size() > 1
+                         ? format(" (and %zu more)", problems.size() - 1)
+                         : ""));
+  }
+  if (!options.index_path.empty()) {
+    vt.index_ = index::MinMaxIndex::load(options.index_path);
+  } else if (options.build_index) {
+    const meta::DatasetDecl* decl =
+        vt.plan_->model().descriptor().find_dataset(dataset_name);
+    if (decl && !decl->dataindex.empty())
+      vt.index_ = index::MinMaxIndex::build(*vt.plan_);
+  }
+  vt.cluster_ =
+      std::make_shared<storm::StormCluster>(vt.plan_, options.cluster);
+  return vt;
+}
+
+uint64_t VirtualTable::total_candidate_rows() const {
+  expr::BoundQuery q =
+      plan_->bind("SELECT * FROM " + plan_->model().dataset_name());
+  return plan_->index_fn(q).candidate_rows();
+}
+
+expr::Table VirtualTable::query(const std::string& sql) const {
+  return query_detailed(sql).merged();
+}
+
+storm::QueryResult VirtualTable::query_detailed(
+    const std::string& sql, const storm::PartitionSpec& partition) const {
+  storm::QueryResult r =
+      cluster_->execute(sql, partition, index_ ? &*index_ : nullptr);
+  std::string err = r.first_error();
+  if (!err.empty()) throw IoError("query failed on a node: " + err);
+  return r;
+}
+
+}  // namespace adv

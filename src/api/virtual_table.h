@@ -1,0 +1,78 @@
+// VirtualTable — the one-class front door to a virtualized dataset.
+//
+// Bundles descriptor compilation, optional chunk-index construction or
+// loading, and cluster execution behind a minimal interface:
+//
+//   auto vt = adv::codegen::VirtualTable::open(descriptor_text,
+//                                              "IparsData", data_root);
+//   adv::expr::Table rows = vt.query(
+//       "SELECT * FROM IparsData WHERE TIME BETWEEN 10 AND 20");
+//
+// For anything more controlled (partitioning, transfer models, per-node
+// stats, emitted code), drop down to DataServicePlan / StormCluster.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "codegen/plan.h"
+#include "index/minmax.h"
+#include "storm/cluster.h"
+
+namespace adv {
+
+class VirtualTable {
+ public:
+  struct Options {
+    // Build the min/max chunk index over the DATAINDEX attributes at open
+    // time (one scan).  Ignored when the dataset declares none.
+    bool build_index = false;
+    // Load a previously saved index instead (path to an .advidx file).
+    std::string index_path;
+    // Verify file presence/sizes at open time; throws IoError listing the
+    // first problem when the check fails.
+    bool verify = false;
+    storm::ClusterOptions cluster;
+  };
+
+  // Opens from descriptor text (native or XML, auto-detected).
+  static VirtualTable open(const std::string& descriptor_text,
+                           const std::string& dataset_name,
+                           const std::string& root_path,
+                           const Options& options);
+  static VirtualTable open(const std::string& descriptor_text,
+                           const std::string& dataset_name,
+                           const std::string& root_path) {
+    return open(descriptor_text, dataset_name, root_path, Options());
+  }
+
+  const meta::Schema& schema() const { return plan_->schema(); }
+  int num_nodes() const { return cluster_->num_nodes(); }
+  uint64_t total_candidate_rows() const;
+  bool has_index() const { return index_.has_value(); }
+
+  // Executes a query across the virtual cluster and returns merged rows.
+  expr::Table query(const std::string& sql) const;
+
+  // Full result with per-node statistics and optional partitioning.
+  storm::QueryResult query_detailed(
+      const std::string& sql, const storm::PartitionSpec& partition = {})
+      const;
+
+  // The underlying pieces, for advanced use.
+  const codegen::DataServicePlan& plan() const { return *plan_; }
+  storm::StormCluster& cluster() const { return *cluster_; }
+  const index::MinMaxIndex* index() const {
+    return index_ ? &*index_ : nullptr;
+  }
+
+ private:
+  VirtualTable() = default;
+
+  std::shared_ptr<codegen::DataServicePlan> plan_;
+  std::shared_ptr<storm::StormCluster> cluster_;
+  std::optional<index::MinMaxIndex> index_;
+};
+
+}  // namespace adv

@@ -1,0 +1,189 @@
+#include "codegen/extractor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace adv::codegen {
+
+GroupBinding bind_group(const afc::GroupPlan& gp, const expr::BoundQuery& q,
+                        const meta::Schema& schema) {
+  GroupBinding b;
+  b.slots.resize(q.needed_attrs().size());
+  for (std::size_t s = 0; s < q.needed_attrs().size(); ++s) {
+    int attr = q.needed_attrs()[s];
+    SlotSource src;
+    bool found = false;
+    // Stored field, first chunk wins.
+    for (std::size_t c = 0; !found && c < gp.chunks.size(); ++c) {
+      for (const auto& f : gp.chunks[c].fields) {
+        if (f.attr == attr) {
+          src.kind = SlotSource::Kind::kField;
+          src.chunk = static_cast<int>(c);
+          src.intra_offset = f.intra_offset;
+          src.type = f.type;
+          found = true;
+          break;
+        }
+      }
+    }
+    // Constant implicit (file-name binding).
+    if (!found) {
+      for (const auto& [a, v] : gp.const_implicits) {
+        if (a == attr) {
+          src.kind = SlotSource::Kind::kConst;
+          src.const_value = v;
+          found = true;
+          break;
+        }
+      }
+    }
+    // Enumerated loop value.
+    if (!found) {
+      for (std::size_t k = 0; k < gp.loops.size(); ++k) {
+        if (gp.loops[k].attr == attr) {
+          src.kind = SlotSource::Kind::kLoop;
+          src.loop_index = static_cast<int>(k);
+          found = true;
+          break;
+        }
+      }
+    }
+    // Record-loop (row-varying) value.
+    if (!found && gp.row_attr == attr) {
+      src.kind = SlotSource::Kind::kRow;
+      found = true;
+    }
+    if (!found)
+      throw InternalError("no source for attribute '" +
+                          schema.at(static_cast<std::size_t>(attr)).name +
+                          "' in group");
+    b.slots[s] = src;
+  }
+
+  // Pre-analyze the per-row work.
+  for (std::size_t s = 0; s < b.slots.size(); ++s) {
+    const SlotSource& src = b.slots[s];
+    switch (src.kind) {
+      case SlotSource::Kind::kConst:
+        b.const_fills.emplace_back(s, src.const_value);
+        break;
+      case SlotSource::Kind::kLoop:
+        b.loop_fills.emplace_back(s, src.loop_index);
+        break;
+      case SlotSource::Kind::kRow:
+        b.row_slot = static_cast<int>(s);
+        break;
+      case SlotSource::Kind::kField: {
+        const afc::ChunkPlan& cp =
+            gp.chunks[static_cast<std::size_t>(src.chunk)];
+        bool in_pred = false;
+        for (int ps : q.predicate_slots())
+          if (ps == static_cast<int>(s)) in_pred = true;
+        auto& list = in_pred ? b.pred_fetches : b.post_fetches;
+        list.push_back({static_cast<std::size_t>(src.chunk),
+                        cp.bytes_per_row, src.intra_offset, src.type, s});
+        break;
+      }
+    }
+  }
+  return b;
+}
+
+const FileHandle& Extractor::handle(const std::string& path) {
+  auto it = handles_.find(path);
+  if (it == handles_.end())
+    it = handles_.emplace(path, FileHandle(path)).first;
+  return it->second;
+}
+
+const std::vector<const FileHandle*>& Extractor::group_handles(
+    const afc::GroupPlan& gp) {
+  auto& hv = group_handles_[&gp];
+  if (hv.size() != gp.files.size()) {
+    hv.clear();
+    hv.reserve(gp.files.size());
+    for (const auto& f : gp.files) hv.push_back(&handle(f));
+  }
+  return hv;
+}
+
+ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
+                                const GroupBinding& binding,
+                                const expr::BoundQuery& q, expr::Table& out) {
+  ExtractStats stats;
+  const std::size_t num_chunks = gp.chunks.size();
+  if (bufs_.size() < num_chunks) bufs_.resize(num_chunks);
+
+  // Batch size in rows, bounded by batch_bytes_ per chunk.
+  uint32_t max_bpr = 1;
+  for (const auto& c : gp.chunks) max_bpr = std::max(max_bpr, c.bytes_per_row);
+  uint64_t batch_rows =
+      std::max<uint64_t>(1, batch_bytes_ / max_bpr);
+
+  const std::vector<const FileHandle*>& handles = group_handles(gp);
+
+  // Row buffer: one double per needed slot (scratch reused across AFCs;
+  // every slot has exactly one source, so no zero-fill is needed).
+  row_.resize(binding.slots.size());
+  double* row = row_.data();
+  const int row_slot = binding.row_slot;
+
+  // Constant and per-AFC loop-implicit slots fill once.
+  for (const auto& [s, v] : binding.const_fills) row[s] = v;
+  for (const auto& [s, k] : binding.loop_fills)
+    row[s] = static_cast<double>(
+        a.loop_values[static_cast<std::size_t>(k)]);
+
+  const auto& select_slots = q.select_slots();
+  // Fast path: SELECT list is exactly the slot buffer in order (true for
+  // SELECT * and any projection whose needed set equals its select set).
+  bool identity_select = select_slots.size() == binding.slots.size();
+  for (std::size_t i = 0; identity_select && i < select_slots.size(); ++i)
+    identity_select = select_slots[i] == static_cast<int>(i);
+  out_row_.resize(select_slots.size());
+  double* out_row = out_row_.data();
+  const bool has_predicate = q.has_predicate();
+
+  for (uint64_t done = 0; done < a.num_rows; done += batch_rows) {
+    uint64_t n = std::min(batch_rows, a.num_rows - done);
+    // Read this batch from every chunk.
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const afc::ChunkPlan& cp = gp.chunks[c];
+      if (cp.bytes_per_row == 0) continue;
+      std::size_t bytes = static_cast<std::size_t>(n) * cp.bytes_per_row;
+      if (bufs_[c].size() < bytes) bufs_[c].resize(bytes);
+      handles[static_cast<std::size_t>(cp.file)]->pread_exact(
+          bufs_[c].data(), bytes, a.offsets[c] + done * cp.bytes_per_row);
+      stats.bytes_read += bytes;
+    }
+    // Zip rows: predicate inputs are materialized eagerly, the remaining
+    // fields only once a row passes the filter.
+    for (uint64_t r = 0; r < n; ++r) {
+      for (const GroupBinding::FieldFetch& f : binding.pred_fetches)
+        row[f.slot] =
+            decode_double(f.type, bufs_[f.chunk].data() + f.intra + r * f.bpr);
+      if (row_slot >= 0) {
+        row[static_cast<std::size_t>(row_slot)] = static_cast<double>(
+            a.row_first + static_cast<int64_t>(done + r) * gp.row_range.step);
+      }
+      stats.rows_scanned++;
+      if (!has_predicate || q.matches(row)) {
+        stats.rows_matched++;
+        for (const GroupBinding::FieldFetch& f : binding.post_fetches)
+          row[f.slot] = decode_double(
+              f.type, bufs_[f.chunk].data() + f.intra + r * f.bpr);
+        if (identity_select) {
+          out.append_row(row);
+        } else {
+          for (std::size_t i = 0; i < select_slots.size(); ++i)
+            out_row[i] = row[static_cast<std::size_t>(select_slots[i])];
+          out.append_row(out_row);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace adv::codegen

@@ -1,0 +1,115 @@
+// The extraction function: turns aligned file chunk sets into rows.
+//
+// For each AFC, the extractor reads num_rows * bytes_per_row bytes from
+// every chunk (in bounded batches so arbitrarily large chunks stream),
+// zips the streams row by row, decodes the needed fields into a dense
+// double buffer, fills in implicit attributes, evaluates the residual
+// predicate (including user-defined filters), and appends selected columns
+// to the result table.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "afc/types.h"
+#include "common/io.h"
+#include "expr/predicate.h"
+#include "expr/table.h"
+
+namespace adv::codegen {
+
+struct ExtractStats {
+  uint64_t bytes_read = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+
+  ExtractStats& operator+=(const ExtractStats& o) {
+    bytes_read += o.bytes_read;
+    rows_scanned += o.rows_scanned;
+    rows_matched += o.rows_matched;
+    return *this;
+  }
+};
+
+// Where each needed slot of a query comes from within one group.
+struct SlotSource {
+  enum class Kind : uint8_t { kField, kConst, kLoop, kRow };
+  Kind kind = Kind::kConst;
+  int chunk = -1;            // kField
+  uint32_t intra_offset = 0; // kField
+  DataType type = DataType::kFloat64;  // kField
+  int loop_index = -1;       // kLoop: index into GroupPlan::loops
+  double const_value = 0;    // kConst
+};
+
+// Per-(group, query) binding of needed slots to sources, with the per-row
+// work pre-analyzed: constant/loop fills happen once per AFC, stored-field
+// fetches compile to a flat list, and the (at most one) row-varying slot is
+// tracked separately.
+struct GroupBinding {
+  std::vector<SlotSource> slots;
+
+  struct FieldFetch {
+    std::size_t chunk;
+    uint32_t bpr;
+    uint32_t intra;
+    DataType type;
+    std::size_t slot;
+  };
+  // Fields the predicate reads (materialized for every row) and fields only
+  // the SELECT list needs (materialized lazily for matching rows).
+  std::vector<FieldFetch> pred_fetches;
+  std::vector<FieldFetch> post_fetches;
+  std::vector<std::pair<std::size_t, double>> const_fills;  // (slot, value)
+  std::vector<std::pair<std::size_t, int>> loop_fills;  // (slot, loop index)
+  int row_slot = -1;
+};
+
+// Builds the binding; throws InternalError when a needed attribute has no
+// source in the group (the planner guarantees one exists).
+GroupBinding bind_group(const afc::GroupPlan& gp, const expr::BoundQuery& q,
+                        const meta::Schema& schema);
+
+// Streaming extractor with a file-handle cache.  Not thread-safe; STORM
+// gives each virtual node its own Extractor.
+class Extractor {
+ public:
+  // `batch_bytes` bounds memory: at most ~batch_bytes are buffered per
+  // chunk while streaming one AFC.
+  explicit Extractor(std::size_t batch_bytes = 1 << 20)
+      : batch_bytes_(batch_bytes) {}
+
+  // Extracts one AFC.  `binding` must come from bind_group() of the AFC's
+  // group.  Appends matching rows to `out`.
+  ExtractStats extract(const afc::GroupPlan& gp, const afc::Afc& a,
+                       const GroupBinding& binding,
+                       const expr::BoundQuery& q, expr::Table& out);
+
+  // Drops cached file handles and per-group state.  Call when switching to
+  // a different PlanResult or after files were rewritten.
+  void clear_cache() {
+    handles_.clear();
+    group_handles_.clear();
+  }
+
+ private:
+  const FileHandle& handle(const std::string& path);
+  const std::vector<const FileHandle*>& group_handles(
+      const afc::GroupPlan& gp);
+
+  std::size_t batch_bytes_;
+  std::map<std::string, FileHandle> handles_;
+  // Resolved handles per group (keyed by GroupPlan address; valid while the
+  // PlanResult the groups live in is alive).
+  std::map<const afc::GroupPlan*, std::vector<const FileHandle*>>
+      group_handles_;
+  // Scratch reused across AFCs: chunk buffers, the slot row, the projected
+  // output row.
+  std::vector<std::vector<unsigned char>> bufs_;
+  std::vector<double> row_;
+  std::vector<double> out_row_;
+};
+
+}  // namespace adv::codegen

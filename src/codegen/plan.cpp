@@ -1,0 +1,116 @@
+#include "codegen/plan.h"
+
+#include "common/io.h"
+#include "common/thread_pool.h"
+#include "common/string_util.h"
+
+namespace adv::codegen {
+
+DataServicePlan::DataServicePlan(meta::Descriptor desc,
+                                 const std::string& dataset_name,
+                                 const std::string& root_path)
+    : model_(std::make_shared<afc::DatasetModel>(std::move(desc),
+                                                 dataset_name, root_path)) {}
+
+DataServicePlan DataServicePlan::from_text(const std::string& descriptor_text,
+                                           const std::string& dataset_name,
+                                           const std::string& root_path) {
+  return DataServicePlan(meta::parse_descriptor(descriptor_text),
+                         dataset_name, root_path);
+}
+
+expr::BoundQuery DataServicePlan::bind(const std::string& sql) const {
+  sql::SelectQuery q = sql::parse_select(sql);
+  if (!iequals(q.table, model_->dataset_name()) &&
+      !iequals(q.table, model_->schema().name))
+    throw QueryError("query is against table '" + q.table +
+                     "' but this plan serves dataset '" +
+                     model_->dataset_name() + "' (schema " +
+                     model_->schema().name + ")");
+  return expr::BoundQuery(std::move(q), model_->schema());
+}
+
+afc::PlanResult DataServicePlan::index_fn(const expr::BoundQuery& q,
+                                          const afc::PlannerOptions& opts) const {
+  return afc::plan_afcs(*model_, q, opts);
+}
+
+expr::Table DataServicePlan::execute(const std::string& sql,
+                                     const afc::PlannerOptions& opts,
+                                     ExtractStats* stats) const {
+  return execute(bind(sql), opts, stats);
+}
+
+expr::Table DataServicePlan::execute(const expr::BoundQuery& q,
+                                     const afc::PlannerOptions& opts,
+                                     ExtractStats* stats) const {
+  afc::PlanResult pr = index_fn(q, opts);
+  expr::Table out(q.result_columns());
+  Extractor ex;
+  std::vector<GroupBinding> bindings;
+  bindings.reserve(pr.groups.size());
+  for (const auto& g : pr.groups)
+    bindings.push_back(bind_group(g, q, model_->schema()));
+  ExtractStats total;
+  for (const auto& a : pr.afcs) {
+    total += ex.extract(pr.groups[static_cast<std::size_t>(a.group)], a,
+                        bindings[static_cast<std::size_t>(a.group)], q, out);
+  }
+  if (stats) *stats = total;
+  return out;
+}
+
+expr::Table DataServicePlan::execute_parallel(
+    const expr::BoundQuery& q, int threads, const afc::PlannerOptions& opts,
+    ExtractStats* stats) const {
+  if (threads < 1) throw QueryError("execute_parallel: threads must be >= 1");
+  afc::PlanResult pr = index_fn(q, opts);
+  std::vector<GroupBinding> bindings;
+  bindings.reserve(pr.groups.size());
+  for (const auto& g : pr.groups)
+    bindings.push_back(bind_group(g, q, model_->schema()));
+
+  std::vector<expr::Table> parts(static_cast<std::size_t>(threads),
+                                 expr::Table(q.result_columns()));
+  std::vector<ExtractStats> part_stats(static_cast<std::size_t>(threads));
+  ThreadPool pool(static_cast<std::size_t>(threads));
+  pool.parallel_for(static_cast<std::size_t>(threads), [&](std::size_t w) {
+    Extractor ex;
+    for (std::size_t i = w; i < pr.afcs.size();
+         i += static_cast<std::size_t>(threads)) {
+      const afc::Afc& a = pr.afcs[i];
+      part_stats[w] +=
+          ex.extract(pr.groups[static_cast<std::size_t>(a.group)], a,
+                     bindings[static_cast<std::size_t>(a.group)], q,
+                     parts[w]);
+    }
+  });
+  expr::Table out = std::move(parts[0]);
+  ExtractStats total = part_stats[0];
+  for (std::size_t w = 1; w < parts.size(); ++w) {
+    out.append_table(parts[w]);
+    total += part_stats[w];
+  }
+  if (stats) *stats = total;
+  return out;
+}
+
+std::vector<std::string> DataServicePlan::verify_files() const {
+  std::vector<std::string> problems;
+  for (const auto& f : model_->files()) {
+    if (!file_exists(f.full_path)) {
+      problems.push_back("missing file: " + f.full_path);
+      continue;
+    }
+    uint64_t expect = model_->expected_file_bytes(f);
+    uint64_t actual = file_size(f.full_path);
+    if (actual != expect) {
+      problems.push_back("size mismatch for " + f.full_path + ": layout "
+                         "implies " + std::to_string(expect) + " bytes, file "
+                         "has " + std::to_string(actual));
+    }
+  }
+  return problems;
+}
+
+}  // namespace adv::codegen

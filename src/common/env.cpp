@@ -1,0 +1,21 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace adv {
+
+int64_t env_int(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  char* end = nullptr;
+  long long out = std::strtoll(v, &end, 10);
+  if (end == v || (end && *end != '\0')) return def;
+  return static_cast<int64_t>(out);
+}
+
+std::string env_str(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return v && *v ? std::string(v) : def;
+}
+
+}  // namespace adv

@@ -1,0 +1,16 @@
+// Environment-variable helpers used by the benchmark harnesses to scale
+// dataset sizes and node counts without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adv {
+
+// Returns the integer value of env var `name`, or `def` when unset/invalid.
+int64_t env_int(const char* name, int64_t def);
+
+// Returns the value of env var `name`, or `def` when unset.
+std::string env_str(const char* name, const std::string& def);
+
+}  // namespace adv

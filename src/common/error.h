@@ -1,0 +1,71 @@
+// Error hierarchy used across the advirt library.
+//
+// The library reports unrecoverable conditions (malformed descriptors,
+// malformed SQL, I/O failures, internal invariant violations) via exceptions
+// derived from adv::Error.  Call sites that want to probe for failure (tests,
+// the STORM query service returning errors to remote clients) catch
+// adv::Error and inspect what().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adv {
+
+// Root of all advirt exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+// Lexical or syntactic error in a meta-data descriptor or SQL query text.
+// Carries the 1-based line/column where the problem was detected.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& msg, int line, int column)
+      : Error(msg + " (at line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+// Semantic error: the input parsed but is inconsistent (unknown attribute,
+// mismatched loop ranges, a layout the AFC model cannot serve, ...).
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Error binding or executing a query (unknown table, type mismatch in a
+// predicate, unknown user-defined function, ...).
+class QueryError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Filesystem / device error.  Wraps errno-style detail in the message.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Internal invariant violation: indicates a bug in advirt itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Throws InternalError when `cond` is false.  Used for invariants that
+// must hold regardless of user input.
+inline void check_internal(bool cond, const std::string& what) {
+  if (!cond) throw InternalError("internal invariant violated: " + what);
+}
+
+}  // namespace adv

@@ -1,0 +1,165 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace adv {
+
+namespace {
+std::string errno_message(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+FileHandle::FileHandle(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) throw IoError(errno_message("cannot open", path));
+}
+
+FileHandle::~FileHandle() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FileHandle::FileHandle(FileHandle&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), path_(std::move(o.path_)) {}
+
+FileHandle& FileHandle::operator=(FileHandle&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(o.fd_, -1);
+    path_ = std::move(o.path_);
+  }
+  return *this;
+}
+
+uint64_t FileHandle::size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) throw IoError(errno_message("fstat", path_));
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void FileHandle::pread_exact(void* out, std::size_t n, uint64_t offset) const {
+  std::size_t got = pread_some(out, n, offset);
+  if (got != n) {
+    throw IoError("short read from '" + path_ + "': wanted " +
+                  std::to_string(n) + " bytes at offset " +
+                  std::to_string(offset) + ", got " + std::to_string(got));
+  }
+}
+
+std::size_t FileHandle::pread_some(void* out, std::size_t n,
+                                   uint64_t offset) const {
+  unsigned char* p = static_cast<unsigned char*>(out);
+  std::size_t total = 0;
+  while (total < n) {
+    ssize_t r = ::pread(fd_, p + total, n - total,
+                        static_cast<off_t>(offset + total));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_message("pread", path_));
+    }
+    if (r == 0) break;  // EOF
+    total += static_cast<std::size_t>(r);
+  }
+  return total;
+}
+
+BufferedWriter::BufferedWriter(const std::string& path,
+                               std::size_t buffer_bytes)
+    : path_(path), buf_(buffer_bytes) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw IoError(errno_message("cannot create", path));
+}
+
+BufferedWriter::~BufferedWriter() {
+  if (fd_ >= 0) {
+    try {
+      close();
+    } catch (...) {
+      // Destructor must not throw; close() explicitly to observe errors.
+    }
+  }
+}
+
+void BufferedWriter::write(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    std::size_t room = buf_.size() - used_;
+    std::size_t take = n < room ? n : room;
+    std::memcpy(buf_.data() + used_, p, take);
+    used_ += take;
+    p += take;
+    n -= take;
+    bytes_written_ += take;
+    if (used_ == buf_.size()) flush();
+  }
+}
+
+void BufferedWriter::flush() {
+  std::size_t off = 0;
+  while (off < used_) {
+    ssize_t w = ::write(fd_, buf_.data() + off, used_ - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_message("write", path_));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  used_ = 0;
+}
+
+void BufferedWriter::close() {
+  if (fd_ < 0) return;
+  flush();
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw IoError(errno_message("close", path_));
+  }
+  fd_ = -1;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) throw IoError("write failed for '" + path + "'");
+}
+
+uint64_t file_size(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0)
+    throw IoError(errno_message("stat", path));
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+uint64_t directory_bytes(const std::filesystem::path& dir) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = std::filesystem::recursive_directory_iterator(dir, ec);
+       it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file(ec)) total += it->file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace adv

@@ -1,0 +1,93 @@
+// RAII file handles and buffered readers/writers over POSIX descriptors.
+//
+// The data-extraction hot path reads aligned file chunks with positioned
+// reads (pread), so a single FileHandle can be shared by code that walks
+// several chunks of the same file without seek-state interference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace adv {
+
+// Read-only file opened with open(2).  Move-only.
+class FileHandle {
+ public:
+  FileHandle() = default;
+  // Opens `path` for reading; throws IoError on failure.
+  explicit FileHandle(const std::string& path);
+  ~FileHandle();
+
+  FileHandle(FileHandle&& o) noexcept;
+  FileHandle& operator=(FileHandle&& o) noexcept;
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Size of the file in bytes (fstat).
+  uint64_t size() const;
+
+  // Reads exactly `n` bytes at absolute `offset` into `out`.
+  // Throws IoError on short read or error.
+  void pread_exact(void* out, std::size_t n, uint64_t offset) const;
+
+  // Reads up to `n` bytes at `offset`; returns the number of bytes read
+  // (0 at EOF).  Throws IoError only on a hard error.
+  std::size_t pread_some(void* out, std::size_t n, uint64_t offset) const;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+// Append-only buffered writer used by the dataset generators and minidb
+// loader.  Flushes on destruction; call close() to surface late errors.
+class BufferedWriter {
+ public:
+  explicit BufferedWriter(const std::string& path,
+                          std::size_t buffer_bytes = 1 << 20);
+  ~BufferedWriter();
+
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  void write(const void* data, std::size_t n);
+
+  template <typename T>
+  void write_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(&v, sizeof v);
+  }
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Flushes and closes; throws IoError if the final flush fails.
+  void close();
+
+ private:
+  void flush();
+
+  int fd_ = -1;
+  std::string path_;
+  std::vector<unsigned char> buf_;
+  std::size_t used_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+// Whole-file helpers.
+std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, const std::string& content);
+uint64_t file_size(const std::string& path);
+bool file_exists(const std::string& path);
+
+// Total size in bytes of all regular files under `dir` (recursive).
+uint64_t directory_bytes(const std::filesystem::path& dir);
+
+}  // namespace adv

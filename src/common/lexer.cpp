@@ -1,0 +1,239 @@
+#include "common/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace adv {
+
+bool Token::is_ident(const std::string& name) const {
+  return kind == TokKind::kIdent && iequals(text, name);
+}
+
+namespace {
+
+// Longest-match-first punctuation table.
+const char* kMultiPunct[] = {">=", "<=", "<>", "!=", "==", "&&", "||"};
+const char* kSinglePunct = "{}[]()<>=+-*/%,:;.$!&|";
+
+struct Scanner {
+  const std::string& in;
+  std::size_t pos = 0;
+  int line = 1;
+  int col = 1;
+
+  explicit Scanner(const std::string& s) : in(s) {}
+
+  bool done() const { return pos >= in.size(); }
+  char cur() const { return in[pos]; }
+  char lookahead(std::size_t k = 1) const {
+    return pos + k < in.size() ? in[pos + k] : '\0';
+  }
+
+  void advance() {
+    if (in[pos] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++pos;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (!done() && std::isspace(static_cast<unsigned char>(cur())))
+        advance();
+      if (done()) return;
+      // Line comments: "//" or "#".
+      if (cur() == '#' || (cur() == '/' && lookahead() == '/')) {
+        while (!done() && cur() != '\n') advance();
+        continue;
+      }
+      // Block comment: "{*" ... "*}".
+      if (cur() == '{' && lookahead() == '*') {
+        int start_line = line, start_col = col;
+        advance();
+        advance();
+        for (;;) {
+          if (done())
+            throw ParseError("unterminated {* comment", start_line, start_col);
+          if (cur() == '*' && lookahead() == '}') {
+            advance();
+            advance();
+            break;
+          }
+          advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+  std::vector<Token> out;
+  Scanner s(input);
+  for (;;) {
+    s.skip_ws_and_comments();
+    Token t;
+    t.line = s.line;
+    t.column = s.col;
+    if (s.done()) {
+      t.kind = TokKind::kEnd;
+      out.push_back(t);
+      return out;
+    }
+    char c = s.cur();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.kind = TokKind::kIdent;
+      while (!s.done() && (std::isalnum(static_cast<unsigned char>(s.cur())) ||
+                           s.cur() == '_')) {
+        t.text.push_back(s.cur());
+        s.advance();
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(s.lookahead())))) {
+      std::string num;
+      bool is_float = false;
+      while (!s.done() && std::isdigit(static_cast<unsigned char>(s.cur()))) {
+        num.push_back(s.cur());
+        s.advance();
+      }
+      if (!s.done() && s.cur() == '.' &&
+          std::isdigit(static_cast<unsigned char>(s.lookahead()))) {
+        is_float = true;
+        num.push_back('.');
+        s.advance();
+        while (!s.done() && std::isdigit(static_cast<unsigned char>(s.cur()))) {
+          num.push_back(s.cur());
+          s.advance();
+        }
+      }
+      if (!s.done() && (s.cur() == 'e' || s.cur() == 'E')) {
+        char nxt = s.lookahead();
+        char nxt2 = s.lookahead(2);
+        if (std::isdigit(static_cast<unsigned char>(nxt)) ||
+            ((nxt == '+' || nxt == '-') &&
+             std::isdigit(static_cast<unsigned char>(nxt2)))) {
+          is_float = true;
+          num.push_back(s.cur());
+          s.advance();
+          if (s.cur() == '+' || s.cur() == '-') {
+            num.push_back(s.cur());
+            s.advance();
+          }
+          while (!s.done() &&
+                 std::isdigit(static_cast<unsigned char>(s.cur()))) {
+            num.push_back(s.cur());
+            s.advance();
+          }
+        }
+      }
+      t.text = num;
+      if (is_float) {
+        t.kind = TokKind::kFloat;
+        t.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+        t.float_value = static_cast<double>(t.int_value);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      t.kind = TokKind::kString;
+      s.advance();
+      while (!s.done() && s.cur() != quote) {
+        t.text.push_back(s.cur());
+        s.advance();
+      }
+      if (s.done())
+        throw ParseError("unterminated string literal", t.line, t.column);
+      s.advance();  // closing quote
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char punctuation, greedy.
+    bool matched = false;
+    for (const char* mp : kMultiPunct) {
+      if (c == mp[0] && s.lookahead() == mp[1]) {
+        t.kind = TokKind::kPunct;
+        t.text = mp;
+        s.advance();
+        s.advance();
+        out.push_back(std::move(t));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::strchr(kSinglePunct, c)) {
+      t.kind = TokKind::kPunct;
+      t.text = std::string(1, c);
+      s.advance();
+      out.push_back(std::move(t));
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", s.line,
+                     s.col);
+  }
+}
+
+bool TokenCursor::accept_punct(const char* p) {
+  if (peek().is_punct(p)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::accept_ident(const std::string& kw) {
+  if (peek().is_ident(kw)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+const Token& TokenCursor::expect_punct(const char* p) {
+  if (!peek().is_punct(p))
+    fail(std::string("expected '") + p + "', found '" + peek().text + "'");
+  return next();
+}
+
+const Token& TokenCursor::expect_ident(const std::string& kw) {
+  if (!peek().is_ident(kw))
+    fail("expected keyword '" + kw + "', found '" + peek().text + "'");
+  return next();
+}
+
+const Token& TokenCursor::expect_any_ident(const char* what) {
+  if (peek().kind != TokKind::kIdent)
+    fail(std::string("expected ") + what + ", found '" + peek().text + "'");
+  return next();
+}
+
+const Token& TokenCursor::expect_int(const char* what) {
+  if (peek().kind != TokKind::kInt)
+    fail(std::string("expected integer ") + what + ", found '" + peek().text +
+         "'");
+  return next();
+}
+
+void TokenCursor::fail(const std::string& msg) const {
+  const Token& t = peek();
+  throw ParseError(msg, t.line, t.column);
+}
+
+}  // namespace adv

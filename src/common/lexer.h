@@ -1,0 +1,91 @@
+// Generic tokenizer shared by the meta-data descriptor parser and the SQL
+// parser.
+//
+// Produces identifiers, integer/float literals, double-quoted strings and
+// punctuation.  Comments: `//` to end of line, `#` to end of line, and the
+// paper's `{* ... *}` block comments.  Multi-character punctuation is chosen
+// greedily from a fixed set (">=", "<=", "<>", "!=", "==", "&&", "||").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace adv {
+
+enum class TokKind : uint8_t {
+  kIdent,    // [A-Za-z_][A-Za-z0-9_]*
+  kInt,      // 123
+  kFloat,    // 1.5, .5, 1e3, 1.5e-3
+  kString,   // "..." (value excludes quotes)
+  kPunct,    // one of the punctuation spellings
+  kEnd,      // end of input
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // identifier name / punct spelling / string value
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;    // 1-based
+  int column = 0;  // 1-based
+
+  bool is_punct(const char* p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+  // Case-insensitive identifier match (descriptor & SQL keywords are
+  // case-insensitive).
+  bool is_ident(const std::string& name) const;
+};
+
+// Tokenizes the entire input eagerly.  Throws ParseError on a bad character
+// or unterminated string/comment.
+std::vector<Token> tokenize(const std::string& input);
+
+// Cursor over a token stream with the usual peek/expect helpers.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& next() {
+    const Token& t = peek();
+    if (pos_ < toks_.size() - 1) ++pos_;
+    else pos_ = toks_.size() - 1;
+    return t;
+  }
+  bool at_end() const { return peek().kind == TokKind::kEnd; }
+
+  // If the next token is punctuation `p`, consume it and return true.
+  bool accept_punct(const char* p);
+  // If the next token is identifier `kw` (case-insensitive), consume it.
+  bool accept_ident(const std::string& kw);
+
+  // Consume punctuation `p` or throw ParseError.
+  const Token& expect_punct(const char* p);
+  // Consume identifier `kw` (case-insensitive) or throw ParseError.
+  const Token& expect_ident(const std::string& kw);
+  // Consume any identifier or throw ParseError.
+  const Token& expect_any_ident(const char* what);
+  // Consume an integer literal or throw ParseError.
+  const Token& expect_int(const char* what);
+
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  // Position save/restore for backtracking parsers.
+  std::size_t pos() const { return pos_; }
+  void set_pos(std::size_t p) {
+    pos_ = p < toks_.size() ? p : toks_.size() - 1;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace adv

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random utilities.
+//
+// The dataset generators must be able to recompute any cell value on demand
+// (the "row oracle" used by correctness tests), so values are derived from a
+// stateless hash of the cell coordinates rather than from sequential RNG
+// state.
+#pragma once
+
+#include <cstdint>
+
+namespace adv {
+
+// SplitMix64 finalizer: a high-quality 64-bit mix.
+constexpr uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combines hash values (order-sensitive).
+constexpr uint64_t hash_combine(uint64_t a, uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Uniform double in [0, 1) derived from a hash value.
+constexpr double hash_unit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+// Sequential generator (xorshift-star flavored SplitMix64 stream) for places
+// where order does not need to be recomputable per-cell.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+  // Uniform in [0, n).
+  uint64_t next_below(uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  double next_unit() { return hash_unit(next()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace adv

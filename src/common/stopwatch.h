@@ -1,0 +1,40 @@
+// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+// STORM per-node timing statistics.
+#pragma once
+
+#include <chrono>
+
+namespace adv {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates busy time across start/stop pairs; used to measure the
+// compute time of one virtual node independent of thread scheduling gaps.
+class BusyTimer {
+ public:
+  void start() { sw_.reset(); }
+  void stop() { total_ += sw_.elapsed_seconds(); }
+  double total_seconds() const { return total_; }
+  void add(double s) { total_ += s; }
+
+ private:
+  Stopwatch sw_;
+  double total_ = 0;
+};
+
+}  // namespace adv

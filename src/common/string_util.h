@@ -1,0 +1,32 @@
+// Small string helpers shared by the parsers and pretty-printers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adv {
+
+std::string to_lower(std::string s);
+std::string to_upper(std::string s);
+
+// Case-insensitive equality (ASCII).
+bool iequals(const std::string& a, const std::string& b);
+
+std::string trim(const std::string& s);
+
+std::vector<std::string> split(const std::string& s, char sep);
+
+// Joins with `sep` between elements.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count ("1.5 MB").
+std::string human_bytes(uint64_t bytes);
+
+}  // namespace adv

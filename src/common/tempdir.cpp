@@ -1,0 +1,55 @@
+#include "common/tempdir.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace adv {
+
+namespace {
+std::atomic<uint64_t> counter{0};
+}
+
+TempDir::TempDir(const std::string& tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::filesystem::path root = base && *base ? base : "/tmp";
+  // Unique name: pid + monotonic counter + a hash of the address of a local.
+  uint64_t n = counter.fetch_add(1);
+  uint64_t h = mix64(static_cast<uint64_t>(::getpid()) ^ (n << 32) ^
+                     reinterpret_cast<uintptr_t>(&n));
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::filesystem::path cand =
+        root / (tag + "-" + std::to_string((h + attempt) & 0xffffffffu) + "-" +
+                std::to_string(n));
+    std::error_code ec;
+    if (std::filesystem::create_directories(cand, ec) && !ec) {
+      path_ = cand;
+      return;
+    }
+  }
+  throw IoError("TempDir: failed to create a unique directory under " +
+                root.string());
+}
+
+TempDir::~TempDir() {
+  if (keep_ || path_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+  // Errors in cleanup are ignored: destructor must not throw.
+}
+
+std::string TempDir::subdir(const std::string& name) const {
+  std::filesystem::path p = path_ / name;
+  std::error_code ec;
+  std::filesystem::create_directories(p, ec);
+  if (ec)
+    throw IoError("TempDir: cannot create subdirectory '" + p.string() +
+                  "': " + ec.message());
+  return p.string();
+}
+
+}  // namespace adv

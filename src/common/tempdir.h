@@ -1,0 +1,39 @@
+// RAII temporary directory for tests, examples, and benchmarks.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace adv {
+
+// Creates a unique directory under $TMPDIR (default /tmp) on construction
+// and removes it recursively on destruction.
+class TempDir {
+ public:
+  // `tag` becomes part of the directory name for easier debugging.
+  explicit TempDir(const std::string& tag = "advirt");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+  // Path of an entry inside the directory.
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+  // Creates a subdirectory (and parents) and returns its path.
+  std::string subdir(const std::string& name) const;
+
+  // Disarm: keep the directory on destruction (for debugging).
+  void keep() { keep_ = true; }
+
+ private:
+  std::filesystem::path path_;
+  bool keep_ = false;
+};
+
+}  // namespace adv

@@ -1,0 +1,128 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace adv {
+
+std::string to_string(DataType t) {
+  switch (t) {
+    case DataType::kInt8: return "char";
+    case DataType::kInt16: return "short int";
+    case DataType::kInt32: return "int";
+    case DataType::kInt64: return "long int";
+    case DataType::kFloat32: return "float";
+    case DataType::kFloat64: return "double";
+  }
+  return "?";
+}
+
+DataType parse_data_type(const std::string& name) {
+  // Normalize: lowercase, collapse internal whitespace to single spaces.
+  std::string n;
+  bool last_space = true;
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!last_space) n.push_back(' ');
+      last_space = true;
+    } else {
+      n.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      last_space = false;
+    }
+  }
+  while (!n.empty() && n.back() == ' ') n.pop_back();
+
+  if (n == "char" || n == "int8") return DataType::kInt8;
+  if (n == "short" || n == "short int" || n == "int16") return DataType::kInt16;
+  if (n == "int" || n == "int32") return DataType::kInt32;
+  if (n == "long" || n == "long int" || n == "long long" || n == "int64")
+    return DataType::kInt64;
+  if (n == "float" || n == "float32") return DataType::kFloat32;
+  if (n == "double" || n == "float64") return DataType::kFloat64;
+  throw ValidationError("unknown data type name: '" + name + "'");
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  if (is_int()) {
+    os << as_int();
+  } else {
+    os << as_double();
+  }
+  return os.str();
+}
+
+Value decode_value(DataType t, const unsigned char* bytes) {
+  switch (t) {
+    case DataType::kInt8: {
+      int8_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kInt16: {
+      int16_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kInt32: {
+      int32_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kInt64: {
+      int64_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return Value(v);
+    }
+    case DataType::kFloat32: {
+      float v;
+      std::memcpy(&v, bytes, sizeof v);
+      return Value(static_cast<double>(v));
+    }
+    case DataType::kFloat64: {
+      double v;
+      std::memcpy(&v, bytes, sizeof v);
+      return Value(v);
+    }
+  }
+  throw InternalError("decode_value: bad DataType");
+}
+
+void encode_value(DataType t, const Value& v, unsigned char* out) {
+  switch (t) {
+    case DataType::kInt8: {
+      int8_t x = static_cast<int8_t>(v.as_int());
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kInt16: {
+      int16_t x = static_cast<int16_t>(v.as_int());
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kInt32: {
+      int32_t x = static_cast<int32_t>(v.as_int());
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kInt64: {
+      int64_t x = v.as_int();
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kFloat32: {
+      float x = static_cast<float>(v.as_double());
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kFloat64: {
+      double x = v.as_double();
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+  }
+  throw InternalError("encode_value: bad DataType");
+}
+
+}  // namespace adv

@@ -1,0 +1,180 @@
+// Scalar data types of virtual-table attributes and the runtime Value that
+// carries one attribute of one row.
+//
+// The meta-data description language (paper §3) declares each schema
+// attribute with a C-like type ("short int", "float", ...).  Those map onto
+// the fixed-width DataType enum below; every on-disk field is stored in
+// native little-endian byte order with exactly size_of(type) bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <variant>
+
+#include "common/error.h"
+
+namespace adv {
+
+enum class DataType : uint8_t {
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat32,
+  kFloat64,
+};
+
+// Number of bytes one field of this type occupies on disk and in memory.
+constexpr std::size_t size_of(DataType t) {
+  switch (t) {
+    case DataType::kInt8: return 1;
+    case DataType::kInt16: return 2;
+    case DataType::kInt32: return 4;
+    case DataType::kInt64: return 8;
+    case DataType::kFloat32: return 4;
+    case DataType::kFloat64: return 8;
+  }
+  return 0;  // unreachable
+}
+
+constexpr bool is_integral(DataType t) {
+  return t == DataType::kInt8 || t == DataType::kInt16 ||
+         t == DataType::kInt32 || t == DataType::kInt64;
+}
+
+constexpr bool is_floating(DataType t) { return !is_integral(t); }
+
+// Canonical spelling used when printing schemas and generating code.
+std::string to_string(DataType t);
+
+// Parses the descriptor-language type names: "char", "short", "short int",
+// "int", "long", "long int", "float", "double", plus the explicit-width
+// aliases "int8".."int64", "float32", "float64".  Throws ValidationError on
+// an unknown name.
+DataType parse_data_type(const std::string& name);
+
+// A single attribute value at runtime.  Integral types widen to int64_t,
+// floating types to double; the declared DataType is kept alongside wherever
+// the distinction matters (on-disk size, codegen).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+
+  int64_t as_int() const {
+    if (is_int()) return std::get<int64_t>(v_);
+    return static_cast<int64_t>(std::get<double>(v_));
+  }
+  double as_double() const {
+    if (is_double()) return std::get<double>(v_);
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+
+  // Numeric comparison with the usual int/double promotion.
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.is_int() && b.is_int()) return a.as_int() == b.as_int();
+    return a.as_double() == b.as_double();
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.is_int() && b.is_int()) return a.as_int() < b.as_int();
+    return a.as_double() < b.as_double();
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return b <= a; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  std::string to_string() const;
+
+ private:
+  std::variant<int64_t, double> v_;
+};
+
+// Decodes one field of type `t` from `bytes` (which must hold at least
+// size_of(t) bytes, little-endian / native x86 layout).
+Value decode_value(DataType t, const unsigned char* bytes);
+
+// Fast path used by the extraction loop: decodes directly to double.
+inline double decode_double(DataType t, const unsigned char* bytes) {
+  switch (t) {
+    case DataType::kInt8: {
+      int8_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return static_cast<double>(v);
+    }
+    case DataType::kInt16: {
+      int16_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return static_cast<double>(v);
+    }
+    case DataType::kInt32: {
+      int32_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return static_cast<double>(v);
+    }
+    case DataType::kInt64: {
+      int64_t v;
+      std::memcpy(&v, bytes, sizeof v);
+      return static_cast<double>(v);
+    }
+    case DataType::kFloat32: {
+      float v;
+      std::memcpy(&v, bytes, sizeof v);
+      return static_cast<double>(v);
+    }
+    case DataType::kFloat64: {
+      double v;
+      std::memcpy(&v, bytes, sizeof v);
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+// Encodes a double as type `t` (inverse of decode_double for in-range
+// values).  Used by the dataset generators.
+inline void encode_double(DataType t, double v, unsigned char* out) {
+  switch (t) {
+    case DataType::kInt8: {
+      int8_t x = static_cast<int8_t>(v);
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kInt16: {
+      int16_t x = static_cast<int16_t>(v);
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kInt32: {
+      int32_t x = static_cast<int32_t>(v);
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kInt64: {
+      int64_t x = static_cast<int64_t>(v);
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kFloat32: {
+      float x = static_cast<float>(v);
+      std::memcpy(out, &x, sizeof x);
+      return;
+    }
+    case DataType::kFloat64: {
+      std::memcpy(out, &v, sizeof v);
+      return;
+    }
+  }
+}
+
+// Encodes `v` as type `t` into `out` (size_of(t) bytes written).
+void encode_value(DataType t, const Value& v, unsigned char* out);
+
+}  // namespace adv

@@ -1,0 +1,311 @@
+#include "dataset/ipars.h"
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "afc/dataset_model.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dataset/layout_writer.h"
+
+namespace adv::dataset {
+
+const char* to_string(IparsLayout l) {
+  switch (l) {
+    case IparsLayout::kL0: return "L0";
+    case IparsLayout::kI: return "I";
+    case IparsLayout::kII: return "II";
+    case IparsLayout::kIII: return "III";
+    case IparsLayout::kIV: return "IV";
+    case IparsLayout::kV: return "V";
+    case IparsLayout::kVI: return "VI";
+  }
+  return "?";
+}
+
+std::vector<IparsLayout> all_ipars_layouts() {
+  return {IparsLayout::kL0, IparsLayout::kI,  IparsLayout::kII,
+          IparsLayout::kIII, IparsLayout::kIV, IparsLayout::kV,
+          IparsLayout::kVI};
+}
+
+namespace {
+
+// Names of the time-varying variables (schema indices 5..).
+std::vector<std::string> variable_names(const IparsConfig& cfg) {
+  std::vector<std::string> v = {"SOIL", "SGAS", "OILVX", "OILVY", "OILVZ"};
+  for (int i = 1; i <= cfg.pad_vars; ++i) v.push_back(format("P%02d", i));
+  return v;
+}
+
+}  // namespace
+
+uint64_t IparsConfig::table_bytes() const {
+  // REL int16 + TIME int32 + (num_attrs-2) float32.
+  uint64_t row = 2 + 4 + static_cast<uint64_t>(num_attrs() - 2) * 4;
+  return row * total_rows();
+}
+
+meta::Schema ipars_schema(const IparsConfig& cfg) {
+  meta::Schema s;
+  s.name = "IPARS";
+  s.attrs.push_back({"REL", DataType::kInt16});
+  s.attrs.push_back({"TIME", DataType::kInt32});
+  for (const char* c : {"X", "Y", "Z"})
+    s.attrs.push_back({c, DataType::kFloat32});
+  for (const auto& v : variable_names(cfg))
+    s.attrs.push_back({v, DataType::kFloat32});
+  return s;
+}
+
+double ipars_value(const IparsConfig& cfg, int attr, int rel, int time,
+                   int gid) {
+  switch (attr) {
+    case 0: return static_cast<double>(rel);
+    case 1: return static_cast<double>(time);
+    case 2:   // X
+    case 3:   // Y
+    case 4: { // Z — a regular 8x8xN lattice; coordinates are small integers.
+      int g = gid - 1;
+      int x = g % 8, y = (g / 8) % 8, z = g / 64;
+      return static_cast<double>(attr == 2 ? x : attr == 3 ? y : z);
+    }
+    default: {
+      // Hash of (seed, attr, rel, time, gid) -> 24-bit mantissa so the value
+      // is exactly representable as float32.
+      uint64_t h = mix64(cfg.seed);
+      h = hash_combine(h, static_cast<uint64_t>(attr));
+      h = hash_combine(h, static_cast<uint64_t>(rel));
+      h = hash_combine(h, static_cast<uint64_t>(time));
+      h = hash_combine(h, static_cast<uint64_t>(gid));
+      uint32_t m = static_cast<uint32_t>(h >> 40);  // 24 bits
+      float unit = static_cast<float>(m) * (1.0f / 16777216.0f);  // [0,1)
+      if (attr >= 7 && attr <= 9) {
+        // Velocity components in (-25, 25).
+        return static_cast<double>((unit - 0.5f) * 50.0f);
+      }
+      return static_cast<double>(unit);  // saturations / pads in [0,1)
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor generation.
+
+namespace {
+
+std::string schema_and_storage_text(const IparsConfig& cfg) {
+  std::ostringstream os;
+  meta::Schema s = ipars_schema(cfg);
+  os << "[IPARS]\n";
+  for (const auto& a : s.attrs)
+    os << a.name << " = " << to_string(a.type) << '\n';
+  os << "\n[IparsData]\nDatasetDescription = IPARS\n";
+  for (int n = 0; n < cfg.nodes; ++n)
+    os << "DIR[" << n << "] = node" << n << "/ipars\n";
+  os << '\n';
+  return os.str();
+}
+
+std::string grid_range(const IparsConfig& cfg) {
+  return format("($DIRID*%d+1):(($DIRID+1)*%d):1", cfg.grid_per_node,
+                cfg.grid_per_node);
+}
+
+std::string dir_binding(const IparsConfig& cfg) {
+  return format("DIRID = 0:%d:1", cfg.nodes - 1);
+}
+
+// All attribute names except REL and TIME (the explicit per-cell payload).
+std::vector<std::string> payload_attrs(const IparsConfig& cfg) {
+  std::vector<std::string> v = {"X", "Y", "Z"};
+  for (const auto& n : variable_names(cfg)) v.push_back(n);
+  return v;
+}
+
+// Splits the time-varying variables into `parts` contiguous groups.
+std::vector<std::vector<std::string>> split_vars(const IparsConfig& cfg,
+                                                 int parts) {
+  std::vector<std::string> vars = variable_names(cfg);
+  std::vector<std::vector<std::string>> out(parts);
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    out[i * parts / vars.size()].push_back(vars[i]);
+  return out;
+}
+
+std::string coords_leaf(const IparsConfig& cfg) {
+  std::ostringstream os;
+  os << "  DATASET \"coords\" {\n"
+     << "    DATASPACE { LOOP GRID " << grid_range(cfg) << " { X Y Z } }\n"
+     << "    DATA { \"DIR[$DIRID]/COORDS\" " << dir_binding(cfg) << " }\n"
+     << "  }\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ipars_descriptor_text(const IparsConfig& cfg,
+                                  IparsLayout layout) {
+  std::ostringstream os;
+  os << "// IPARS dataset, layout " << to_string(layout) << "\n";
+  os << schema_and_storage_text(cfg);
+  os << "DATASET \"IparsData\" {\n"
+     << "  DATATYPE { IPARS }\n"
+     << "  DATAINDEX { REL TIME }\n";
+
+  const std::string g = grid_range(cfg);
+  const std::string db = dir_binding(cfg);
+  const std::string rel_binding = format("REL = 0:%d:1", cfg.rels - 1);
+  const std::string time_binding = format("TIME = 1:%d:1", cfg.timesteps);
+  const std::string time_loop = format("LOOP TIME 1:%d:1", cfg.timesteps);
+  const std::string rel_loop = format("LOOP REL 0:%d:1", cfg.rels - 1);
+
+  switch (layout) {
+    case IparsLayout::kL0: {
+      // COORDS per node + one file per variable per realization per node.
+      os << coords_leaf(cfg);
+      for (const auto& var : variable_names(cfg)) {
+        os << "  DATASET \"var_" << var << "\" {\n"
+           << "    DATASPACE { " << time_loop << " { LOOP GRID " << g << " { "
+           << var << " } } }\n"
+           << "    DATA { \"DIR[$DIRID]/" << var << "$REL\" " << rel_binding
+           << " " << db << " }\n"
+           << "  }\n";
+      }
+      break;
+    }
+    case IparsLayout::kI: {
+      // One file per node: full tuples as records, time-major.
+      os << "  DATASET \"all\" {\n"
+         << "    DATASPACE { " << time_loop << " { " << rel_loop
+         << " { LOOP GRID " << g << " { REL TIME "
+         << join(payload_attrs(cfg), " ") << " } } } }\n"
+         << "    DATA { \"DIR[$DIRID]/ALL\" " << db << " }\n"
+         << "  }\n";
+      break;
+    }
+    case IparsLayout::kII: {
+      // One file per node: each time step a chunk, variables as arrays.
+      os << "  DATASET \"all\" {\n"
+         << "    DATASPACE { " << time_loop << " { " << rel_loop << " {\n";
+      for (const auto& var : payload_attrs(cfg))
+        os << "      LOOP GRID " << g << " { " << var << " }\n";
+      os << "    } } }\n"
+         << "    DATA { \"DIR[$DIRID]/ALL\" " << db << " }\n"
+         << "  }\n";
+      break;
+    }
+    case IparsLayout::kIII: {
+      // One file per time step per node; tuples in tabular form.
+      os << "  DATASET \"step\" {\n"
+         << "    DATASPACE { " << rel_loop << " { LOOP GRID " << g
+         << " { REL " << join(payload_attrs(cfg), " ") << " } } }\n"
+         << "    DATA { \"DIR[$DIRID]/T$TIME\" " << time_binding << " " << db
+         << " }\n"
+         << "  }\n";
+      break;
+    }
+    case IparsLayout::kIV: {
+      // One file per time step per node; variables as arrays.
+      os << "  DATASET \"step\" {\n"
+         << "    DATASPACE { " << rel_loop << " {\n";
+      for (const auto& var : payload_attrs(cfg))
+        os << "      LOOP GRID " << g << " { " << var << " }\n";
+      os << "    } }\n"
+         << "    DATA { \"DIR[$DIRID]/T$TIME\" " << time_binding << " " << db
+         << " }\n"
+         << "  }\n";
+      break;
+    }
+    case IparsLayout::kV:
+    case IparsLayout::kVI: {
+      // COORDS + the variables split over six files per node.
+      os << coords_leaf(cfg);
+      auto groups = split_vars(cfg, 6);
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        if (groups[gi].empty()) continue;
+        os << "  DATASET \"grp" << gi << "\" {\n"
+           << "    DATASPACE { " << time_loop << " { " << rel_loop << " {";
+        if (layout == IparsLayout::kV) {
+          os << " LOOP GRID " << g << " { " << join(groups[gi], " ")
+             << " } ";
+        } else {
+          os << "\n";
+          for (const auto& var : groups[gi])
+            os << "      LOOP GRID " << g << " { " << var << " }\n";
+          os << "    ";
+        }
+        os << "} } }\n"
+           << "    DATA { \"DIR[$DIRID]/G" << gi << "\" " << db << " }\n"
+           << "  }\n";
+      }
+      break;
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Data generation (layout-driven).
+
+GeneratedIpars generate_ipars(const IparsConfig& cfg, IparsLayout layout,
+                              const std::string& root_dir) {
+  GeneratedIpars out;
+  out.cfg = cfg;
+  out.layout = layout;
+  out.root = root_dir;
+  out.dataset_name = "IparsData";
+  out.descriptor_text = ipars_descriptor_text(cfg, layout);
+
+  meta::Descriptor desc = meta::parse_descriptor(out.descriptor_text);
+  afc::DatasetModel model(desc, "IparsData", root_dir);
+  const meta::Schema& schema = model.schema();
+
+  ValueFn fn = [&cfg, &schema](const std::string& attr,
+                               const meta::VarEnv& vars) {
+    int a = schema.find(attr);
+    int rel = vars.has("REL") ? static_cast<int>(vars.get("REL")) : 0;
+    int time = vars.has("TIME") ? static_cast<int>(vars.get("TIME")) : 0;
+    int gid = vars.has("GRID") ? static_cast<int>(vars.get("GRID")) : 0;
+    return ipars_value(cfg, a, rel, time, gid);
+  };
+
+  for (const auto& cf : model.files()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(cf.full_path).parent_path());
+    const auto& leaf = model.leaves()[static_cast<std::size_t>(cf.leaf)];
+    out.bytes_written +=
+        write_file_from_layout(*leaf.decl, schema, cf.env, cf.full_path, fn);
+    out.files_written++;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle.
+
+expr::Table ipars_oracle(const IparsConfig& cfg, const expr::BoundQuery& q) {
+  expr::Table out(q.result_columns());
+  const auto& needed = q.needed_attrs();
+  std::vector<double> buf(needed.size());
+  std::vector<double> sel(q.select_slots().size());
+  int total_grid = cfg.nodes * cfg.grid_per_node;
+  for (int rel = 0; rel < cfg.rels; ++rel) {
+    for (int time = 1; time <= cfg.timesteps; ++time) {
+      for (int gid = 1; gid <= total_grid; ++gid) {
+        for (std::size_t s = 0; s < needed.size(); ++s)
+          buf[s] = ipars_value(cfg, needed[s], rel, time, gid);
+        if (!q.matches(buf.data())) continue;
+        for (std::size_t i = 0; i < sel.size(); ++i)
+          sel[i] = buf[static_cast<std::size_t>(q.select_slots()[i])];
+        out.append_row(sel.data());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace adv::dataset

@@ -1,0 +1,92 @@
+// IPARS oil-reservoir dataset generator (paper §2.2, §5).
+//
+// The dataset models a multi-realization reservoir simulation: REL
+// realizations × TIME steps × a 3-D grid partitioned across cluster nodes.
+// Every cell value is a pure function of (attribute, rel, time, gid), so any
+// subset of the virtual table can be recomputed on demand — the "row oracle"
+// the correctness tests compare engine output against.
+//
+// The same logical data can be written in the eight physical layouts of the
+// paper's Figure 9 experiment:
+//   L0  — the application's original layout: one COORDS file per node plus
+//         one file per variable per realization per node (the paper's
+//         "18 different files" per aligned chunk set).
+//   I   — one file per node; full tuples as records, sorted by time.
+//   II  — one file per node; each time step a chunk, variables as arrays.
+//   III — one file per time step per node; tuples in tabular form.
+//   IV  — one file per time step per node; variables as arrays.
+//   V   — seven files per node: coordinates + attributes split over six
+//         files, tuples within each.
+//   VI  — like V but each variable stored as an array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "expr/table.h"
+#include "metadata/model.h"
+
+namespace adv::dataset {
+
+enum class IparsLayout { kL0, kI, kII, kIII, kIV, kV, kVI };
+
+const char* to_string(IparsLayout l);
+std::vector<IparsLayout> all_ipars_layouts();
+
+struct IparsConfig {
+  int nodes = 4;          // cluster nodes == grid partitions
+  int rels = 4;           // realizations 0..rels-1
+  int timesteps = 500;    // TIME values 1..timesteps
+  int grid_per_node = 100;  // grid points per partition
+  int pad_vars = 12;      // extra variables P01.. beyond the named five
+  uint64_t seed = 42;
+
+  // Schema: REL, TIME, X, Y, Z, SOIL, SGAS, OILVX, OILVY, OILVZ, P01..
+  // => 5 + pad_vars time-varying variables (the paper's 17 when pad_vars=12).
+  int num_attrs() const { return 10 + pad_vars; }
+  int num_variables() const { return 5 + pad_vars; }  // non-coordinate vars
+
+  uint64_t total_rows() const {
+    return static_cast<uint64_t>(nodes) * rels * timesteps * grid_per_node;
+  }
+  // Nominal table payload (all attributes, all rows).
+  uint64_t table_bytes() const;
+};
+
+// The schema the generator writes (shared by all layouts).
+meta::Schema ipars_schema(const IparsConfig& cfg);
+
+// The deterministic value of attribute `attr` (schema index) for the cell
+// (rel, time, gid).  Values of float32 attributes are exactly representable
+// in float32.
+double ipars_value(const IparsConfig& cfg, int attr, int rel, int time,
+                   int gid);
+
+// A generated dataset on disk.
+struct GeneratedIpars {
+  IparsConfig cfg;
+  IparsLayout layout = IparsLayout::kL0;
+  std::string root;             // filesystem root the DIR paths live under
+  std::string dataset_name;     // "IparsData"
+  std::string descriptor_text;  // complete meta-data descriptor
+  uint64_t bytes_written = 0;
+  uint64_t files_written = 0;
+};
+
+// Writes the dataset under `root_dir` in the given layout and returns the
+// matching descriptor.  Node k's files go to <root_dir>/node<k>/ipars.
+GeneratedIpars generate_ipars(const IparsConfig& cfg, IparsLayout layout,
+                              const std::string& root_dir);
+
+// Descriptor text only (no file writing) — used by tests that inspect the
+// metadata and by the documentation generator.
+std::string ipars_descriptor_text(const IparsConfig& cfg, IparsLayout layout);
+
+// Ground truth: evaluates `q` (bound against ipars_schema(cfg)) by brute
+// force over every cell.  Row order is unspecified; compare with
+// Table::same_rows.
+expr::Table ipars_oracle(const IparsConfig& cfg, const expr::BoundQuery& q);
+
+}  // namespace adv::dataset

@@ -1,0 +1,60 @@
+#include "dataset/layout_writer.h"
+
+#include "common/error.h"
+#include "common/io.h"
+#include "common/types.h"
+
+namespace adv::dataset {
+
+namespace {
+
+DataType type_of(const std::string& attr, const meta::Schema& schema,
+                 const std::vector<meta::Attribute>& local_attrs) {
+  int idx = schema.find(attr);
+  if (idx >= 0) return schema.at(static_cast<std::size_t>(idx)).type;
+  for (const auto& a : local_attrs)
+    if (a.name == attr) return a.type;
+  throw ValidationError("writer: unknown attribute '" + attr + "'");
+}
+
+struct Writer {
+  const meta::Schema& schema;
+  const std::vector<meta::Attribute>& local_attrs;
+  const ValueFn& fn;
+  BufferedWriter& out;
+  meta::VarEnv vars;  // file bindings plus enclosing loop values
+
+  void walk(const meta::LayoutNode& node) {
+    if (node.kind == meta::LayoutNode::Kind::kFields) {
+      unsigned char buf[8];
+      for (const auto& name : node.fields) {
+        DataType t = type_of(name, schema, local_attrs);
+        encode_double(t, fn(name, vars), buf);
+        out.write(buf, size_of(t));
+      }
+      return;
+    }
+    int64_t lo = node.range.lo->eval(vars);
+    int64_t hi = node.range.hi->eval(vars);
+    int64_t step = node.range.step ? node.range.step->eval(vars) : 1;
+    for (int64_t v = lo; v <= hi; v += step) {
+      vars.set(node.loop_ident, v);
+      for (const auto& item : node.body) walk(item);
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t write_file_from_layout(const meta::DatasetDecl& leaf,
+                                const meta::Schema& schema,
+                                const meta::VarEnv& env,
+                                const std::string& path, const ValueFn& fn) {
+  BufferedWriter out(path);
+  Writer w{schema, leaf.local_attrs, fn, out, env};
+  for (const auto& node : leaf.dataspace) w.walk(node);
+  out.close();
+  return out.bytes_written();
+}
+
+}  // namespace adv::dataset

@@ -1,0 +1,29 @@
+// Layout-driven file writer.
+//
+// Generates the bytes of a concrete file directly from its DATASPACE
+// declaration: the writer walks the loop nest exactly as the extractor's
+// offset model expects, asking a value callback for each scalar field.
+// Generator and descriptor therefore cannot drift apart — the same metadata
+// drives both sides.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "metadata/model.h"
+
+namespace adv::dataset {
+
+// Returns the value of `attr` for the current loop-variable assignment
+// (file bindings plus every enclosing loop ident, e.g. REL/TIME/GRID).
+using ValueFn =
+    std::function<double(const std::string& attr, const meta::VarEnv& vars)>;
+
+// Writes the file `path` for leaf dataset `leaf` under binding environment
+// `env`.  Returns bytes written.
+uint64_t write_file_from_layout(const meta::DatasetDecl& leaf,
+                                const meta::Schema& schema,
+                                const meta::VarEnv& env,
+                                const std::string& path, const ValueFn& fn);
+
+}  // namespace adv::dataset

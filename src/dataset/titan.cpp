@@ -1,0 +1,151 @@
+#include "dataset/titan.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "afc/dataset_model.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dataset/layout_writer.h"
+
+namespace adv::dataset {
+
+meta::Schema titan_schema() {
+  meta::Schema s;
+  s.name = "TITAN";
+  for (const char* c : {"X", "Y", "Z", "S1", "S2", "S3", "S4", "S5"})
+    s.attrs.push_back({c, DataType::kFloat32});
+  return s;
+}
+
+namespace {
+
+// Cell coordinates of a chunk (x-major linearization so x-slabs are
+// contiguous chunk-id ranges, one slab group per node).
+void chunk_cell(const TitanConfig& cfg, int chunk, int* ix, int* iy,
+                int* iz) {
+  *iz = chunk % cfg.cells_z;
+  *iy = (chunk / cfg.cells_z) % cfg.cells_y;
+  *ix = chunk / (cfg.cells_z * cfg.cells_y);
+}
+
+float unit_hash(const TitanConfig& cfg, int attr, int chunk, int elem) {
+  uint64_t h = mix64(cfg.seed ^ 0x7154u);
+  h = hash_combine(h, static_cast<uint64_t>(attr));
+  h = hash_combine(h, static_cast<uint64_t>(chunk));
+  h = hash_combine(h, static_cast<uint64_t>(elem));
+  uint32_t m = static_cast<uint32_t>(h >> 40);  // 24 bits
+  return static_cast<float>(m) * (1.0f / 16777216.0f);
+}
+
+}  // namespace
+
+void titan_chunk_bounds(const TitanConfig& cfg, int chunk, int attr,
+                        double* lo, double* hi) {
+  int ix, iy, iz;
+  chunk_cell(cfg, chunk, &ix, &iy, &iz);
+  int cell = attr == 0 ? ix : attr == 1 ? iy : iz;
+  int cells = attr == 0 ? cfg.cells_x : attr == 1 ? cfg.cells_y : cfg.cells_z;
+  double extent =
+      attr == 0 ? cfg.extent_x : attr == 1 ? cfg.extent_y : cfg.extent_z;
+  double w = extent / cells;
+  *lo = cell * w;
+  *hi = (cell + 1) * w;
+}
+
+double titan_value(const TitanConfig& cfg, int attr, int chunk, int elem) {
+  float u = unit_hash(cfg, attr, chunk, elem);
+  if (attr <= 2) {
+    double lo, hi;
+    titan_chunk_bounds(cfg, chunk, attr, &lo, &hi);
+    // Computed in float so the stored float32 round-trips exactly.
+    return static_cast<double>(static_cast<float>(lo) +
+                               u * (static_cast<float>(hi) -
+                                    static_cast<float>(lo)));
+  }
+  // Sensor values in [0,1), spatially autocorrelated like real instrument
+  // readings: a per-chunk base level plus small within-chunk variation.
+  // (This locality is what makes a B-tree on a sensor attribute effective
+  // in a row store — matching tuples cluster in few pages.)
+  float base = unit_hash(cfg, attr + 100, chunk, 0);
+  constexpr float kSpread = 0.125f;
+  return static_cast<double>(base * (1.0f - kSpread) + u * kSpread);
+}
+
+std::string titan_descriptor_text(const TitanConfig& cfg) {
+  if (cfg.cells_x % cfg.nodes != 0)
+    throw ValidationError("TitanConfig: cells_x must be divisible by nodes");
+  int cpn = cfg.num_chunks() / cfg.nodes;  // chunks per node
+  std::ostringstream os;
+  os << "// Titan satellite dataset\n[TITAN]\n";
+  for (const auto& a : titan_schema().attrs)
+    os << a.name << " = " << to_string(a.type) << '\n';
+  os << "\n[TitanData]\nDatasetDescription = TITAN\n";
+  for (int n = 0; n < cfg.nodes; ++n)
+    os << "DIR[" << n << "] = node" << n << "/titan\n";
+  os << "\nDATASET \"TitanData\" {\n"
+     << "  DATATYPE { TITAN }\n"
+     << "  DATAINDEX { X Y Z }\n"
+     << "  DATASPACE {\n"
+     << "    LOOP CHUNK ($DIRID*" << cpn << "):(($DIRID+1)*" << cpn
+     << "-1):1 {\n"
+     << "      LOOP ELEM 0:" << cfg.points_per_chunk - 1
+     << ":1 { X Y Z S1 S2 S3 S4 S5 }\n"
+     << "    }\n"
+     << "  }\n"
+     << "  DATA { \"DIR[$DIRID]/CHUNKS\" DIRID = 0:" << cfg.nodes - 1
+     << ":1 }\n"
+     << "}\n";
+  return os.str();
+}
+
+GeneratedTitan generate_titan(const TitanConfig& cfg,
+                              const std::string& root_dir) {
+  GeneratedTitan out;
+  out.cfg = cfg;
+  out.root = root_dir;
+  out.dataset_name = "TitanData";
+  out.descriptor_text = titan_descriptor_text(cfg);
+
+  meta::Descriptor desc = meta::parse_descriptor(out.descriptor_text);
+  afc::DatasetModel model(desc, "TitanData", root_dir);
+  const meta::Schema& schema = model.schema();
+
+  ValueFn fn = [&cfg, &schema](const std::string& attr,
+                               const meta::VarEnv& vars) {
+    return titan_value(cfg, schema.find(attr),
+                       static_cast<int>(vars.get("CHUNK")),
+                       static_cast<int>(vars.get("ELEM")));
+  };
+
+  for (const auto& cf : model.files()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(cf.full_path).parent_path());
+    const auto& leaf = model.leaves()[static_cast<std::size_t>(cf.leaf)];
+    out.bytes_written +=
+        write_file_from_layout(*leaf.decl, schema, cf.env, cf.full_path, fn);
+    out.files_written++;
+  }
+  return out;
+}
+
+expr::Table titan_oracle(const TitanConfig& cfg, const expr::BoundQuery& q) {
+  expr::Table out(q.result_columns());
+  const auto& needed = q.needed_attrs();
+  std::vector<double> buf(needed.size());
+  std::vector<double> sel(q.select_slots().size());
+  for (int c = 0; c < cfg.num_chunks(); ++c) {
+    for (int e = 0; e < cfg.points_per_chunk; ++e) {
+      for (std::size_t s = 0; s < needed.size(); ++s)
+        buf[s] = titan_value(cfg, needed[s], c, e);
+      if (!q.matches(buf.data())) continue;
+      for (std::size_t i = 0; i < sel.size(); ++i)
+        sel[i] = buf[static_cast<std::size_t>(q.select_slots()[i])];
+      out.append_row(sel.data());
+    }
+  }
+  return out;
+}
+
+}  // namespace adv::dataset

@@ -1,0 +1,46 @@
+#include "expr/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace adv::expr {
+
+std::string Interval::to_string() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "]";
+  return os.str();
+}
+
+void QueryIntervals::set_in_set(std::size_t attr,
+                                std::vector<double> sorted_values) {
+  in_sets_[attr] = std::move(sorted_values);
+}
+
+bool QueryIntervals::chunk_may_match(std::size_t attr, double lo,
+                                     double hi) const {
+  if (!intervals_[attr].overlaps(lo, hi)) return false;
+  if (in_sets_[attr]) {
+    // Any set member inside [lo, hi]?
+    const auto& s = *in_sets_[attr];
+    auto it = std::lower_bound(s.begin(), s.end(), lo);
+    if (it == s.end() || *it > hi) return false;
+  }
+  return true;
+}
+
+bool QueryIntervals::value_may_match(std::size_t attr, double v) const {
+  if (!intervals_[attr].contains(v)) return false;
+  if (in_sets_[attr]) {
+    const auto& s = *in_sets_[attr];
+    if (!std::binary_search(s.begin(), s.end(), v)) return false;
+  }
+  return true;
+}
+
+bool QueryIntervals::contradictory() const {
+  for (const auto& iv : intervals_)
+    if (iv.is_empty()) return true;
+  return false;
+}
+
+}  // namespace adv::expr

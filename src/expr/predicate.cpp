@@ -1,0 +1,368 @@
+#include "expr/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+
+namespace adv::expr {
+
+double CompiledScalar::eval(const double* row) const {
+  switch (kind) {
+    case Kind::kConst:
+      return cval;
+    case Kind::kSlot:
+      return row[slot];
+    case Kind::kCall: {
+      double argv[16];
+      std::size_t n = args.size();
+      for (std::size_t i = 0; i < n; ++i) argv[i] = args[i].eval(row);
+      return udf->fn(argv, n);
+    }
+    case Kind::kArith: {
+      double a = args[0].eval(row);
+      double b = args[1].eval(row);
+      switch (op) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/': return a / b;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+bool CompiledBool::eval(const double* row) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCmp: {
+      double a = lhs.eval(row);
+      double b = rhs.eval(row);
+      switch (cmp) {
+        case sql::CmpOp::kLt: return a < b;
+        case sql::CmpOp::kLe: return a <= b;
+        case sql::CmpOp::kGt: return a > b;
+        case sql::CmpOp::kGe: return a >= b;
+        case sql::CmpOp::kEq: return a == b;
+        case sql::CmpOp::kNe: return a != b;
+      }
+      return false;
+    }
+    case Kind::kIn:
+      return std::binary_search(in_set.begin(), in_set.end(), row[slot]);
+    case Kind::kAnd:
+      for (const auto& k : kids)
+        if (!k.eval(row)) return false;
+      return true;
+    case Kind::kOr:
+      for (const auto& k : kids)
+        if (k.eval(row)) return true;
+      return false;
+    case Kind::kNot:
+      return !kids[0].eval(row);
+  }
+  return true;
+}
+
+namespace {
+
+// Collects the schema attributes referenced by a scalar / boolean tree.
+void collect_attrs(const sql::Scalar& s, const meta::Schema& schema,
+                   std::set<int>& out) {
+  switch (s.kind) {
+    case sql::Scalar::Kind::kLiteral:
+      return;
+    case sql::Scalar::Kind::kAttr: {
+      int idx = schema.find(s.name);
+      if (idx < 0)
+        throw QueryError("unknown attribute '" + s.name + "' in query (table " +
+                         schema.name + ")");
+      out.insert(idx);
+      return;
+    }
+    case sql::Scalar::Kind::kCall:
+      for (const auto& a : s.args) collect_attrs(*a, schema, out);
+      return;
+    case sql::Scalar::Kind::kArith:
+      collect_attrs(*s.lhs, schema, out);
+      collect_attrs(*s.rhs, schema, out);
+      return;
+  }
+}
+
+void collect_attrs(const sql::BoolExpr& e, const meta::Schema& schema,
+                   std::set<int>& out) {
+  switch (e.kind) {
+    case sql::BoolExpr::Kind::kCmp:
+      collect_attrs(*e.lhs, schema, out);
+      collect_attrs(*e.rhs, schema, out);
+      return;
+    case sql::BoolExpr::Kind::kIn: {
+      int idx = schema.find(e.attr);
+      if (idx < 0)
+        throw QueryError("unknown attribute '" + e.attr + "' in IN clause");
+      out.insert(idx);
+      return;
+    }
+    case sql::BoolExpr::Kind::kAnd:
+    case sql::BoolExpr::Kind::kOr:
+      collect_attrs(*e.a, schema, out);
+      collect_attrs(*e.b, schema, out);
+      return;
+    case sql::BoolExpr::Kind::kNot:
+      collect_attrs(*e.a, schema, out);
+      return;
+  }
+}
+
+CompiledScalar compile_scalar(const sql::Scalar& s, const meta::Schema& schema,
+                              const std::vector<int>& attr_slot) {
+  CompiledScalar c;
+  switch (s.kind) {
+    case sql::Scalar::Kind::kLiteral:
+      c.kind = CompiledScalar::Kind::kConst;
+      c.cval = s.literal.as_double();
+      return c;
+    case sql::Scalar::Kind::kAttr: {
+      c.kind = CompiledScalar::Kind::kSlot;
+      c.slot = attr_slot[schema.find(s.name)];
+      return c;
+    }
+    case sql::Scalar::Kind::kCall: {
+      c.kind = CompiledScalar::Kind::kCall;
+      c.udf = UdfRegistry::find(s.name);
+      if (!c.udf) throw QueryError("unknown function '" + s.name + "'");
+      if (c.udf->arity >= 0 &&
+          static_cast<std::size_t>(c.udf->arity) != s.args.size())
+        throw QueryError("function '" + s.name + "' expects " +
+                         std::to_string(c.udf->arity) + " arguments, got " +
+                         std::to_string(s.args.size()));
+      if (s.args.size() > 16)
+        throw QueryError("function '" + s.name + "': too many arguments");
+      for (const auto& a : s.args)
+        c.args.push_back(compile_scalar(*a, schema, attr_slot));
+      return c;
+    }
+    case sql::Scalar::Kind::kArith:
+      c.kind = CompiledScalar::Kind::kArith;
+      c.op = s.op;
+      c.args.push_back(compile_scalar(*s.lhs, schema, attr_slot));
+      c.args.push_back(compile_scalar(*s.rhs, schema, attr_slot));
+      return c;
+  }
+  throw InternalError("compile_scalar: bad kind");
+}
+
+CompiledBool compile_bool(const sql::BoolExpr& e, const meta::Schema& schema,
+                          const std::vector<int>& attr_slot) {
+  CompiledBool c;
+  switch (e.kind) {
+    case sql::BoolExpr::Kind::kCmp:
+      c.kind = CompiledBool::Kind::kCmp;
+      c.cmp = e.cmp;
+      c.lhs = compile_scalar(*e.lhs, schema, attr_slot);
+      c.rhs = compile_scalar(*e.rhs, schema, attr_slot);
+      return c;
+    case sql::BoolExpr::Kind::kIn: {
+      c.kind = CompiledBool::Kind::kIn;
+      c.slot = attr_slot[schema.find(e.attr)];
+      for (const auto& v : e.in_values) c.in_set.push_back(v.as_double());
+      std::sort(c.in_set.begin(), c.in_set.end());
+      return c;
+    }
+    case sql::BoolExpr::Kind::kAnd:
+      c.kind = CompiledBool::Kind::kAnd;
+      c.kids.push_back(compile_bool(*e.a, schema, attr_slot));
+      c.kids.push_back(compile_bool(*e.b, schema, attr_slot));
+      return c;
+    case sql::BoolExpr::Kind::kOr:
+      c.kind = CompiledBool::Kind::kOr;
+      c.kids.push_back(compile_bool(*e.a, schema, attr_slot));
+      c.kids.push_back(compile_bool(*e.b, schema, attr_slot));
+      return c;
+    case sql::BoolExpr::Kind::kNot:
+      c.kind = CompiledBool::Kind::kNot;
+      c.kids.push_back(compile_bool(*e.a, schema, attr_slot));
+      return c;
+  }
+  throw InternalError("compile_bool: bad kind");
+}
+
+// ---------------------------------------------------------------------------
+// Interval extraction.
+
+// Tries to evaluate a scalar that references no attributes.
+bool const_fold(const sql::Scalar& s, double& out) {
+  switch (s.kind) {
+    case sql::Scalar::Kind::kLiteral:
+      out = s.literal.as_double();
+      return true;
+    case sql::Scalar::Kind::kAttr:
+    case sql::Scalar::Kind::kCall:
+      return false;
+    case sql::Scalar::Kind::kArith: {
+      double a, b;
+      if (!const_fold(*s.lhs, a) || !const_fold(*s.rhs, b)) return false;
+      switch (s.op) {
+        case '+': out = a + b; return true;
+        case '-': out = a - b; return true;
+        case '*': out = a * b; return true;
+        case '/':
+          if (b == 0) return false;
+          out = a / b;
+          return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void apply_cmp(QueryIntervals& qi, int attr, sql::CmpOp op, double v) {
+  Interval add = Interval::all();
+  switch (op) {
+    case sql::CmpOp::kLt:
+    case sql::CmpOp::kLe:
+      add = Interval::at_most(v);
+      break;
+    case sql::CmpOp::kGt:
+    case sql::CmpOp::kGe:
+      add = Interval::at_least(v);
+      break;
+    case sql::CmpOp::kEq:
+      add = Interval::point(v);
+      break;
+    case sql::CmpOp::kNe:
+      return;  // no useful interval
+  }
+  qi.interval(attr) = qi.interval(attr).intersect(add);
+}
+
+sql::CmpOp flip(sql::CmpOp op) {
+  switch (op) {
+    case sql::CmpOp::kLt: return sql::CmpOp::kGt;
+    case sql::CmpOp::kLe: return sql::CmpOp::kGe;
+    case sql::CmpOp::kGt: return sql::CmpOp::kLt;
+    case sql::CmpOp::kGe: return sql::CmpOp::kLe;
+    default: return op;
+  }
+}
+
+void extract_intervals(const sql::BoolExpr& e, const meta::Schema& schema,
+                       QueryIntervals& qi) {
+  switch (e.kind) {
+    case sql::BoolExpr::Kind::kCmp: {
+      double v;
+      if (e.lhs->kind == sql::Scalar::Kind::kAttr && const_fold(*e.rhs, v)) {
+        apply_cmp(qi, schema.find(e.lhs->name), e.cmp, v);
+      } else if (e.rhs->kind == sql::Scalar::Kind::kAttr &&
+                 const_fold(*e.lhs, v)) {
+        apply_cmp(qi, schema.find(e.rhs->name), flip(e.cmp), v);
+      }
+      return;
+    }
+    case sql::BoolExpr::Kind::kIn: {
+      int attr = schema.find(e.attr);
+      std::vector<double> vals;
+      for (const auto& v : e.in_values) vals.push_back(v.as_double());
+      std::sort(vals.begin(), vals.end());
+      vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+      if (!vals.empty()) {
+        qi.interval(attr) = qi.interval(attr).intersect(
+            Interval::closed(vals.front(), vals.back()));
+        // Merge with an existing IN-set by intersection.
+        if (qi.in_set(attr)) {
+          std::vector<double> inter;
+          std::set_intersection(vals.begin(), vals.end(),
+                                qi.in_set(attr)->begin(),
+                                qi.in_set(attr)->end(),
+                                std::back_inserter(inter));
+          qi.set_in_set(attr, std::move(inter));
+        } else {
+          qi.set_in_set(attr, std::move(vals));
+        }
+      }
+      return;
+    }
+    case sql::BoolExpr::Kind::kAnd:
+      extract_intervals(*e.a, schema, qi);
+      extract_intervals(*e.b, schema, qi);
+      return;
+    case sql::BoolExpr::Kind::kOr: {
+      // Conservative disjunction: hull of the two branches, per attribute.
+      QueryIntervals qa(qi.size()), qb(qi.size());
+      extract_intervals(*e.a, schema, qa);
+      extract_intervals(*e.b, schema, qb);
+      for (std::size_t i = 0; i < qi.size(); ++i) {
+        Interval h = qa.interval(i).hull(qb.interval(i));
+        qi.interval(i) = qi.interval(i).intersect(h);
+        if (qa.in_set(i) && qb.in_set(i)) {
+          std::vector<double> u;
+          std::set_union(qa.in_set(i)->begin(), qa.in_set(i)->end(),
+                         qb.in_set(i)->begin(), qb.in_set(i)->end(),
+                         std::back_inserter(u));
+          qi.set_in_set(i, std::move(u));
+        }
+      }
+      return;
+    }
+    case sql::BoolExpr::Kind::kNot:
+      return;  // conservative: no constraint
+  }
+}
+
+}  // namespace
+
+BoundQuery::BoundQuery(sql::SelectQuery query, const meta::Schema& schema)
+    : query_(std::move(query)),
+      schema_(schema),
+      intervals_(schema.size()) {
+  // Resolve the select list.
+  if (query_.select_all()) {
+    for (std::size_t i = 0; i < schema.size(); ++i)
+      select_attrs_.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& name : query_.select_attrs) {
+      int idx = schema.find(name);
+      if (idx < 0)
+        throw QueryError("unknown attribute '" + name + "' in SELECT list");
+      select_attrs_.push_back(idx);
+    }
+  }
+
+  // Needed = select ∪ predicate attributes.
+  std::set<int> needed(select_attrs_.begin(), select_attrs_.end());
+  if (query_.where) collect_attrs(*query_.where, schema, needed);
+  needed_attrs_.assign(needed.begin(), needed.end());
+
+  attr_slot_.assign(schema.size(), -1);
+  for (std::size_t s = 0; s < needed_attrs_.size(); ++s)
+    attr_slot_[needed_attrs_[s]] = static_cast<int>(s);
+
+  for (int a : select_attrs_) select_slots_.push_back(attr_slot_[a]);
+
+  if (query_.where) {
+    predicate_ = compile_bool(*query_.where, schema, attr_slot_);
+    extract_intervals(*query_.where, schema, intervals_);
+    // Slots the predicate reads: the needed-attr slots of the attributes
+    // referenced by the WHERE clause.
+    std::set<int> pred_attrs;
+    collect_attrs(*query_.where, schema, pred_attrs);
+    for (int a : pred_attrs) predicate_slots_.push_back(attr_slot_[a]);
+  }
+}
+
+std::vector<Table::Column> BoundQuery::result_columns() const {
+  std::vector<Table::Column> cols;
+  for (int a : select_attrs_) {
+    const auto& attr = schema_.at(static_cast<std::size_t>(a));
+    cols.push_back({attr.name, attr.type});
+  }
+  return cols;
+}
+
+}  // namespace adv::expr

@@ -1,0 +1,99 @@
+// Binding a parsed query to a schema and compiling its WHERE clause.
+//
+// The extraction hot loop materializes only the attributes a query needs
+// (select list ∪ predicate attributes) into a dense per-row double buffer.
+// The compiled predicate evaluates against that buffer by slot index; the
+// interval analysis feeding the index function is produced at bind time.
+#pragma once
+
+#include <vector>
+
+#include "expr/interval.h"
+#include "expr/table.h"
+#include "expr/udf.h"
+#include "metadata/model.h"
+#include "sql/ast.h"
+
+namespace adv::expr {
+
+// Compiled scalar expression with attribute references resolved to slots in
+// the materialized row buffer.
+struct CompiledScalar {
+  enum class Kind : uint8_t { kConst, kSlot, kCall, kArith };
+
+  Kind kind = Kind::kConst;
+  double cval = 0;
+  int slot = -1;
+  const Udf* udf = nullptr;
+  char op = '+';
+  std::vector<CompiledScalar> args;  // call args, or {lhs, rhs} for kArith
+
+  double eval(const double* row) const;
+};
+
+// Compiled boolean predicate.
+struct CompiledBool {
+  enum class Kind : uint8_t { kTrue, kCmp, kIn, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kTrue;
+  sql::CmpOp cmp = sql::CmpOp::kLt;
+  CompiledScalar lhs, rhs;       // kCmp
+  int slot = -1;                 // kIn
+  std::vector<double> in_set;    // kIn, sorted
+  std::vector<CompiledBool> kids;
+
+  bool eval(const double* row) const;
+};
+
+// A SELECT query bound against a schema.  Immutable after construction.
+// Owns a copy of the schema, so it outlives the object it was bound from.
+class BoundQuery {
+ public:
+  // Throws QueryError on unknown attributes / functions or arity mismatch.
+  BoundQuery(sql::SelectQuery query, const meta::Schema& schema);
+
+  const sql::SelectQuery& query() const { return query_; }
+  const meta::Schema& schema() const { return schema_; }
+
+  // Schema attribute indices the row pipeline must materialize, ascending.
+  const std::vector<int>& needed_attrs() const { return needed_attrs_; }
+
+  // Slot in the materialized buffer for schema attribute `attr`, or -1.
+  int slot_of_attr(int attr) const { return attr_slot_[attr]; }
+
+  // Selected schema attribute indices in output order (* expands to all).
+  const std::vector<int>& select_attrs() const { return select_attrs_; }
+
+  // Slots of the selected attributes in the materialized buffer.
+  const std::vector<int>& select_slots() const { return select_slots_; }
+
+  // Full predicate over the materialized buffer.
+  bool matches(const double* row) const { return predicate_.eval(row); }
+  const CompiledBool& predicate() const { return predicate_; }
+
+  // Slots (into the materialized buffer) the predicate reads — extraction
+  // materializes these eagerly and defers the rest until a row matches.
+  const std::vector<int>& predicate_slots() const { return predicate_slots_; }
+
+  // Whether the query has any WHERE clause at all.
+  bool has_predicate() const { return predicate_.kind != CompiledBool::Kind::kTrue; }
+
+  // Conservative per-attribute intervals implied by the WHERE clause.
+  const QueryIntervals& intervals() const { return intervals_; }
+
+  // Column descriptors of the result table.
+  std::vector<Table::Column> result_columns() const;
+
+ private:
+  sql::SelectQuery query_;
+  meta::Schema schema_;
+  std::vector<int> needed_attrs_;
+  std::vector<int> attr_slot_;
+  std::vector<int> select_attrs_;
+  std::vector<int> select_slots_;
+  CompiledBool predicate_;
+  std::vector<int> predicate_slots_;
+  QueryIntervals intervals_{0};
+};
+
+}  // namespace adv::expr

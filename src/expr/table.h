@@ -1,0 +1,64 @@
+// In-memory result table.
+//
+// Query results are numeric (every descriptor attribute is a fixed-width
+// numeric type), so the table stores column-major doubles — exact for every
+// supported integer type up to 2^53 — and keeps the declared DataType per
+// column for printing and for loading into minidb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace adv::expr {
+
+class Table {
+ public:
+  struct Column {
+    std::string name;
+    DataType type = DataType::kFloat64;
+  };
+
+  Table() = default;
+  explicit Table(std::vector<Column> cols);
+
+  const std::vector<Column>& columns() const { return cols_; }
+  std::size_t num_cols() const { return cols_.size(); }
+  std::size_t num_rows() const { return rows_; }
+
+  // Appends one row; `vals` must hold num_cols() values.
+  void append_row(const double* vals);
+
+  double at(std::size_t row, std::size_t col) const {
+    return data_[col][row];
+  }
+  const std::vector<double>& column(std::size_t col) const {
+    return data_[col];
+  }
+
+  // Appends all rows of `other` (column schemas must match in count).
+  void append_table(const Table& other);
+
+  // Sorts rows lexicographically (column 0 first).  Used to compare results
+  // produced in different orders by different layouts / engines.
+  void sort_rows();
+
+  // Row-set equality after independent sorting, with per-value tolerance
+  // `tol` (floats go through a float32 round-trip in some layouts).
+  bool same_rows(const Table& other, double tol = 1e-6) const;
+
+  // First `max_rows` rows as CSV with a header line.
+  std::string to_csv(std::size_t max_rows = 20) const;
+
+  // Nominal payload size: sum of column on-disk widths times rows.
+  uint64_t payload_bytes() const;
+
+ private:
+  std::vector<Column> cols_;
+  std::vector<std::vector<double>> data_;  // column-major
+  std::size_t rows_ = 0;
+};
+
+}  // namespace adv::expr

@@ -1,0 +1,76 @@
+#include "expr/udf.h"
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace adv::expr {
+
+namespace {
+
+std::vector<Udf>& registry() {
+  static std::vector<Udf> r;
+  return r;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+double udf_speed(const double* a, std::size_t) {
+  return std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]);
+}
+
+double udf_distance(const double* a, std::size_t) {
+  return std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]);
+}
+
+double udf_mag2(const double* a, std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * a[i];
+  return s;
+}
+
+double udf_absv(const double* a, std::size_t) { return std::fabs(a[0]); }
+
+std::once_flag builtins_once;
+
+}  // namespace
+
+void UdfRegistry::register_udf(const std::string& name, int arity, UdfFn fn) {
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  for (auto& u : registry()) {
+    if (iequals(u.name, name)) {
+      if (u.arity != arity)
+        throw QueryError("UDF '" + name + "' re-registered with arity " +
+                         std::to_string(arity) + " (was " +
+                         std::to_string(u.arity) + ")");
+      u.fn = fn;
+      return;
+    }
+  }
+  registry().push_back({name, arity, fn});
+}
+
+const Udf* UdfRegistry::find(const std::string& name) {
+  ensure_builtins();
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  for (const auto& u : registry())
+    if (iequals(u.name, name)) return &u;
+  return nullptr;
+}
+
+void UdfRegistry::ensure_builtins() {
+  std::call_once(builtins_once, [] {
+    register_udf("SPEED", 3, udf_speed);
+    register_udf("DISTANCE", 3, udf_distance);
+    register_udf("MAG2", -1, udf_mag2);
+    register_udf("ABSV", 1, udf_absv);
+  });
+}
+
+}  // namespace adv::expr

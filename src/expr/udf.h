@@ -1,0 +1,43 @@
+// User-defined filter functions (paper: the Filter(<Data Element>) clause).
+//
+// The STORM filtering service executes application-specific functions that
+// are hard to express as plain comparisons, e.g. SPEED(OILVX, OILVY, OILVZ)
+// in the IPARS example query and DISTANCE(X, Y, Z) in the Titan queries.
+// Functions are pure double-valued; applications register their own at
+// startup and reference them by name in SQL.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace adv::expr {
+
+using UdfFn = double (*)(const double* args, std::size_t n);
+
+struct Udf {
+  std::string name;  // matched case-insensitively
+  int arity;         // -1 = variadic
+  UdfFn fn;
+};
+
+// Process-global function registry.  Registration is expected at startup
+// (not thread-safe against concurrent lookup); lookup is read-only and
+// thread-safe afterwards.
+class UdfRegistry {
+ public:
+  // Registers (or replaces) a function.  Throws QueryError when `name`
+  // collides with a different arity.
+  static void register_udf(const std::string& name, int arity, UdfFn fn);
+
+  // Returns the function or nullptr.
+  static const Udf* find(const std::string& name);
+
+  // Built-ins available to every query:
+  //   SPEED(vx, vy, vz)    — magnitude of a velocity vector
+  //   DISTANCE(x, y, z)    — Euclidean distance from the origin
+  //   MAG2(a, b, ...)      — sum of squares (variadic)
+  //   ABSV(x)              — absolute value
+  static void ensure_builtins();
+};
+
+}  // namespace adv::expr

@@ -1,0 +1,191 @@
+#include "handwritten/ipars_hand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/io.h"
+#include "common/string_util.h"
+
+namespace adv::hand {
+
+namespace {
+
+// Variable names in schema order 5.. (matches dataset::ipars_schema).
+std::vector<std::string> var_names(const dataset::IparsConfig& cfg) {
+  std::vector<std::string> v = {"SOIL", "SGAS", "OILVX", "OILVY", "OILVZ"};
+  for (int i = 1; i <= cfg.pad_vars; ++i) v.push_back(format("P%02d", i));
+  return v;
+}
+
+std::vector<int> rel_list(const dataset::IparsConfig& cfg,
+                          const IparsQuery& q) {
+  if (!q.rels.empty()) return q.rels;
+  std::vector<int> all(static_cast<std::size_t>(cfg.rels));
+  for (int r = 0; r < cfg.rels; ++r) all[static_cast<std::size_t>(r)] = r;
+  return all;
+}
+
+expr::Table full_table(const dataset::IparsConfig& cfg) {
+  expr::Table t;
+  meta::Schema s = dataset::ipars_schema(cfg);
+  std::vector<expr::Table::Column> cols;
+  for (const auto& a : s.attrs) cols.push_back({a.name, a.type});
+  return expr::Table(std::move(cols));
+}
+
+inline float load_f32(const unsigned char* p) {
+  float v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+expr::Table run_ipars_l0(const dataset::IparsConfig& cfg,
+                         const std::string& root, const IparsQuery& q,
+                         int only_node, codegen::ExtractStats* stats) {
+  expr::Table out = full_table(cfg);
+  codegen::ExtractStats st;
+
+  const int G = cfg.grid_per_node;
+  const int nvars = cfg.num_variables();
+  const std::vector<std::string> vars = var_names(cfg);
+  const int t_lo = static_cast<int>(std::max<int64_t>(1, q.time_lo));
+  const int t_hi =
+      static_cast<int>(std::min<int64_t>(cfg.timesteps, q.time_hi));
+
+  std::vector<double> row(static_cast<std::size_t>(cfg.num_attrs()));
+  std::vector<unsigned char> coords(static_cast<std::size_t>(G) * 12);
+  std::vector<std::vector<unsigned char>> vbuf(
+      static_cast<std::size_t>(nvars),
+      std::vector<unsigned char>(static_cast<std::size_t>(G) * 4));
+
+  for (int node = 0; node < cfg.nodes; ++node) {
+    if (only_node >= 0 && node != only_node) continue;
+    std::string dir = root + "/node" + std::to_string(node) + "/ipars/";
+
+    FileHandle coords_f(dir + "COORDS");
+    coords_f.pread_exact(coords.data(), coords.size(), 0);
+    st.bytes_read += coords.size();
+
+    for (int rel : rel_list(cfg, q)) {
+      // The 17 per-variable files of this (node, realization).
+      std::vector<FileHandle> vf;
+      vf.reserve(static_cast<std::size_t>(nvars));
+      for (int v = 0; v < nvars; ++v)
+        vf.emplace_back(dir + vars[static_cast<std::size_t>(v)] +
+                        std::to_string(rel));
+
+      for (int t = t_lo; t <= t_hi; ++t) {
+        uint64_t off = (static_cast<uint64_t>(t) - 1) *
+                       static_cast<uint64_t>(G) * 4;
+        for (int v = 0; v < nvars; ++v) {
+          vf[static_cast<std::size_t>(v)].pread_exact(
+              vbuf[static_cast<std::size_t>(v)].data(),
+              static_cast<std::size_t>(G) * 4, off);
+          st.bytes_read += static_cast<std::size_t>(G) * 4;
+        }
+        for (int g = 0; g < G; ++g) {
+          st.rows_scanned++;
+          // Inlined filters in cheap-first order.
+          float soil = load_f32(vbuf[0].data() + g * 4);
+          if (!(static_cast<double>(soil) > q.soil_gt) &&
+              std::isfinite(q.soil_gt))
+            continue;
+          float vx = load_f32(vbuf[2].data() + g * 4);
+          float vy = load_f32(vbuf[3].data() + g * 4);
+          float vz = load_f32(vbuf[4].data() + g * 4);
+          if (std::isfinite(q.speed_lt)) {
+            double speed = std::sqrt(static_cast<double>(vx) * vx +
+                                     static_cast<double>(vy) * vy +
+                                     static_cast<double>(vz) * vz);
+            if (!(speed < q.speed_lt)) continue;
+          }
+          st.rows_matched++;
+          row[0] = rel;
+          row[1] = t;
+          row[2] = load_f32(coords.data() + g * 12);
+          row[3] = load_f32(coords.data() + g * 12 + 4);
+          row[4] = load_f32(coords.data() + g * 12 + 8);
+          for (int v = 0; v < nvars; ++v)
+            row[static_cast<std::size_t>(5 + v)] =
+                load_f32(vbuf[static_cast<std::size_t>(v)].data() + g * 4);
+          out.append_row(row.data());
+        }
+      }
+    }
+  }
+  if (stats) *stats = st;
+  return out;
+}
+
+expr::Table run_ipars_layout1(const dataset::IparsConfig& cfg,
+                              const std::string& root, const IparsQuery& q,
+                              int only_node, codegen::ExtractStats* stats) {
+  expr::Table out = full_table(cfg);
+  codegen::ExtractStats st;
+
+  const int G = cfg.grid_per_node;
+  const int nattrs = cfg.num_attrs();
+  // Record: REL int16 + TIME int32 + (X Y Z + vars) float32.
+  const std::size_t rec = 2 + 4 + static_cast<std::size_t>(nattrs - 2) * 4;
+  const int t_lo = static_cast<int>(std::max<int64_t>(1, q.time_lo));
+  const int t_hi =
+      static_cast<int>(std::min<int64_t>(cfg.timesteps, q.time_hi));
+
+  std::vector<int> rels = rel_list(cfg, q);
+  std::vector<bool> rel_ok(static_cast<std::size_t>(cfg.rels), false);
+  for (int r : rels)
+    if (r >= 0 && r < cfg.rels) rel_ok[static_cast<std::size_t>(r)] = true;
+
+  std::vector<double> row(static_cast<std::size_t>(nattrs));
+  std::vector<unsigned char> buf(rec * static_cast<std::size_t>(G));
+
+  for (int node = 0; node < cfg.nodes; ++node) {
+    if (only_node >= 0 && node != only_node) continue;
+    FileHandle f(root + "/node" + std::to_string(node) + "/ipars/ALL");
+    const uint64_t time_stride =
+        static_cast<uint64_t>(cfg.rels) * G * rec;  // one time step
+    for (int t = t_lo; t <= t_hi; ++t) {
+      for (int rel = 0; rel < cfg.rels; ++rel) {
+        if (!rel_ok[static_cast<std::size_t>(rel)]) continue;
+        uint64_t off = (static_cast<uint64_t>(t) - 1) * time_stride +
+                       static_cast<uint64_t>(rel) * G * rec;
+        f.pread_exact(buf.data(), buf.size(), off);
+        st.bytes_read += buf.size();
+        for (int g = 0; g < G; ++g) {
+          st.rows_scanned++;
+          const unsigned char* p = buf.data() + rec * static_cast<std::size_t>(g);
+          float soil = load_f32(p + 6 + 12);  // after REL,TIME,X,Y,Z
+          if (std::isfinite(q.soil_gt) &&
+              !(static_cast<double>(soil) > q.soil_gt))
+            continue;
+          if (std::isfinite(q.speed_lt)) {
+            float vx = load_f32(p + 6 + 12 + 8);
+            float vy = load_f32(p + 6 + 12 + 12);
+            float vz = load_f32(p + 6 + 12 + 16);
+            double speed = std::sqrt(static_cast<double>(vx) * vx +
+                                     static_cast<double>(vy) * vy +
+                                     static_cast<double>(vz) * vz);
+            if (!(speed < q.speed_lt)) continue;
+          }
+          st.rows_matched++;
+          int16_t rr;
+          std::memcpy(&rr, p, 2);
+          int32_t tt;
+          std::memcpy(&tt, p + 2, 4);
+          row[0] = rr;
+          row[1] = tt;
+          for (int a = 2; a < nattrs; ++a)
+            row[static_cast<std::size_t>(a)] =
+                load_f32(p + 6 + static_cast<std::size_t>(a - 2) * 4);
+          out.append_row(row.data());
+        }
+      }
+    }
+  }
+  if (stats) *stats = st;
+  return out;
+}
+
+}  // namespace adv::hand

@@ -1,0 +1,45 @@
+// Hand-written index and extraction functions for the IPARS L0 layout.
+//
+// This is the baseline the paper compares its compiler-generated code
+// against (Figs. 9-11): code an application developer would write with full
+// knowledge of the physical layout — hard-coded file names, offsets and
+// types, direct float loads, inlined predicates.  It intentionally bypasses
+// all advirt metadata machinery except the result Table.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "codegen/extractor.h"  // ExtractStats
+#include "dataset/ipars.h"
+#include "expr/table.h"
+
+namespace adv::hand {
+
+// The query shapes of the paper's Figure 8 (full scan, TIME range, SOIL
+// filter, SPEED filter), plus a realization list.
+struct IparsQuery {
+  int64_t time_lo = std::numeric_limits<int64_t>::min();
+  int64_t time_hi = std::numeric_limits<int64_t>::max();
+  double soil_gt = -std::numeric_limits<double>::infinity();
+  double speed_lt = std::numeric_limits<double>::infinity();
+  std::vector<int> rels;  // empty = all realizations
+};
+
+// Runs `q` against an L0-layout dataset rooted at `root` and returns full
+// schema rows.  `only_node` restricts to one node (-1 = all).
+expr::Table run_ipars_l0(const dataset::IparsConfig& cfg,
+                         const std::string& root, const IparsQuery& q,
+                         int only_node = -1,
+                         codegen::ExtractStats* stats = nullptr);
+
+// Hand-written extractor for Layout I (single file per node, full tuples,
+// time-major) — used by the layout ablation.
+expr::Table run_ipars_layout1(const dataset::IparsConfig& cfg,
+                              const std::string& root, const IparsQuery& q,
+                              int only_node = -1,
+                              codegen::ExtractStats* stats = nullptr);
+
+}  // namespace adv::hand

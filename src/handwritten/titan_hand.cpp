@@ -1,0 +1,82 @@
+#include "handwritten/titan_hand.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/io.h"
+
+namespace adv::hand {
+
+namespace {
+inline float load_f32(const unsigned char* p) {
+  float v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+}  // namespace
+
+expr::Table run_titan(const dataset::TitanConfig& cfg, const std::string& root,
+                      const TitanQuery& q, int only_node,
+                      codegen::ExtractStats* stats) {
+  std::vector<expr::Table::Column> cols;
+  for (const auto& a : dataset::titan_schema().attrs)
+    cols.push_back({a.name, a.type});
+  expr::Table out(std::move(cols));
+  codegen::ExtractStats st;
+
+  const int P = cfg.points_per_chunk;
+  const std::size_t rec = 8 * 4;  // 8 float32 attributes
+  const std::size_t chunk_bytes = static_cast<std::size_t>(P) * rec;
+  const int chunks_per_node = cfg.num_chunks() / cfg.nodes;
+
+  std::vector<unsigned char> buf(chunk_bytes);
+  double row[8];
+
+  for (int node = 0; node < cfg.nodes; ++node) {
+    if (only_node >= 0 && node != only_node) continue;
+    FileHandle f(root + "/node" + std::to_string(node) + "/titan/CHUNKS");
+    for (int local = 0; local < chunks_per_node; ++local) {
+      int chunk = node * chunks_per_node + local;
+      // Hand-coded spatial skip: the developer knows the cell geometry.
+      double lo, hi;
+      dataset::titan_chunk_bounds(cfg, chunk, 0, &lo, &hi);
+      if (hi < q.x_lo || lo > q.x_hi) continue;
+      dataset::titan_chunk_bounds(cfg, chunk, 1, &lo, &hi);
+      if (hi < q.y_lo || lo > q.y_hi) continue;
+      dataset::titan_chunk_bounds(cfg, chunk, 2, &lo, &hi);
+      if (hi < q.z_lo || lo > q.z_hi) continue;
+
+      f.pread_exact(buf.data(), chunk_bytes,
+                    static_cast<uint64_t>(local) * chunk_bytes);
+      st.bytes_read += chunk_bytes;
+      for (int e = 0; e < P; ++e) {
+        st.rows_scanned++;
+        const unsigned char* p = buf.data() + static_cast<std::size_t>(e) * rec;
+        float x = load_f32(p), y = load_f32(p + 4), z = load_f32(p + 8);
+        if (x < q.x_lo || x > q.x_hi || y < q.y_lo || y > q.y_hi ||
+            z < q.z_lo || z > q.z_hi)
+          continue;
+        float s1 = load_f32(p + 12);
+        if (std::isfinite(q.s1_lt) && !(static_cast<double>(s1) < q.s1_lt))
+          continue;
+        if (std::isfinite(q.dist_lt)) {
+          double d = std::sqrt(static_cast<double>(x) * x +
+                               static_cast<double>(y) * y +
+                               static_cast<double>(z) * z);
+          if (!(d < q.dist_lt)) continue;
+        }
+        st.rows_matched++;
+        row[0] = x;
+        row[1] = y;
+        row[2] = z;
+        for (int s = 0; s < 5; ++s)
+          row[3 + s] = load_f32(p + 12 + 4 * static_cast<std::size_t>(s));
+        out.append_row(row);
+      }
+    }
+  }
+  if (stats) *stats = st;
+  return out;
+}
+
+}  // namespace adv::hand

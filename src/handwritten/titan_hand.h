@@ -1,0 +1,31 @@
+// Hand-written index and extraction functions for the Titan chunked
+// layout, including a hard-coded spatial chunk skip using the generator's
+// cell geometry (the application developer "is" the indexing service here).
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "codegen/extractor.h"  // ExtractStats
+#include "dataset/titan.h"
+#include "expr/table.h"
+
+namespace adv::hand {
+
+// The query shapes of the paper's Figure 7.
+struct TitanQuery {
+  double x_lo = -std::numeric_limits<double>::infinity();
+  double x_hi = std::numeric_limits<double>::infinity();
+  double y_lo = -std::numeric_limits<double>::infinity();
+  double y_hi = std::numeric_limits<double>::infinity();
+  double z_lo = -std::numeric_limits<double>::infinity();
+  double z_hi = std::numeric_limits<double>::infinity();
+  double s1_lt = std::numeric_limits<double>::infinity();
+  double dist_lt = std::numeric_limits<double>::infinity();  // DISTANCE(X,Y,Z)
+};
+
+expr::Table run_titan(const dataset::TitanConfig& cfg, const std::string& root,
+                      const TitanQuery& q, int only_node = -1,
+                      codegen::ExtractStats* stats = nullptr);
+
+}  // namespace adv::hand

@@ -1,0 +1,161 @@
+#include "index/minmax.h"
+
+#include <limits>
+
+#include "codegen/plan.h"
+#include "common/error.h"
+#include "common/io.h"
+
+namespace adv::index {
+
+void MinMaxIndex::add(ChunkKey key, ChunkBounds bounds) {
+  if (bounds.bounds.size() != attrs_.size())
+    throw InternalError("MinMaxIndex::add: bounds arity mismatch");
+  entries_[std::move(key)] = std::move(bounds);
+}
+
+const ChunkBounds* MinMaxIndex::find(const ChunkKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool MinMaxIndex::may_match(const std::string& file_path, uint64_t offset,
+                            const expr::QueryIntervals& qi) const {
+  const ChunkBounds* b = find({file_path, offset});
+  if (!b) return true;  // unindexed chunk: cannot prune
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (!qi.chunk_may_match(static_cast<std::size_t>(attrs_[i]),
+                            b->bounds[i].first, b->bounds[i].second))
+      return false;
+  }
+  return true;
+}
+
+bool MinMaxIndex::chunk_bounds(const std::string& file_path, uint64_t offset,
+                               std::vector<std::pair<double, double>>& out)
+    const {
+  const ChunkBounds* b = find({file_path, offset});
+  if (!b) return false;
+  out = b->bounds;
+  return true;
+}
+
+void MinMaxIndex::save(const std::string& path) const {
+  BufferedWriter w(path);
+  const char magic[8] = {'A', 'D', 'V', 'M', 'M', 'I', 'X', '1'};
+  w.write(magic, 8);
+  w.write_pod(static_cast<uint32_t>(attrs_.size()));
+  for (int a : attrs_) w.write_pod(static_cast<int32_t>(a));
+  w.write_pod(static_cast<uint64_t>(entries_.size()));
+  for (const auto& [key, b] : entries_) {
+    w.write_pod(static_cast<uint32_t>(key.file.size()));
+    w.write(key.file.data(), key.file.size());
+    w.write_pod(key.offset);
+    for (const auto& [lo, hi] : b.bounds) {
+      w.write_pod(lo);
+      w.write_pod(hi);
+    }
+  }
+  w.close();
+}
+
+MinMaxIndex MinMaxIndex::load(const std::string& path) {
+  FileHandle f(path);
+  uint64_t pos = 0;
+  auto read = [&](void* out, std::size_t n) {
+    f.pread_exact(out, n, pos);
+    pos += n;
+  };
+  char magic[8];
+  read(magic, 8);
+  if (std::string(magic, 8) != "ADVMMIX1")
+    throw IoError("'" + path + "' is not a min/max index file");
+  uint32_t nattrs;
+  read(&nattrs, 4);
+  std::vector<int> attrs(nattrs);
+  for (auto& a : attrs) {
+    int32_t v;
+    read(&v, 4);
+    a = v;
+  }
+  MinMaxIndex idx(std::move(attrs));
+  uint64_t n;
+  read(&n, 8);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t len;
+    read(&len, 4);
+    std::string file(len, '\0');
+    read(file.data(), len);
+    ChunkKey key;
+    key.file = std::move(file);
+    read(&key.offset, 8);
+    ChunkBounds b;
+    b.bounds.resize(idx.attrs_.size());
+    for (auto& [lo, hi] : b.bounds) {
+      read(&lo, 8);
+      read(&hi, 8);
+    }
+    idx.entries_[std::move(key)] = std::move(b);
+  }
+  return idx;
+}
+
+MinMaxIndex MinMaxIndex::build(const codegen::DataServicePlan& plan,
+                               std::vector<int> attrs) {
+  const meta::Schema& schema = plan.schema();
+  if (attrs.empty()) {
+    // Use the DATAINDEX declaration of the dataset.
+    const meta::DatasetDecl* decl =
+        plan.model().descriptor().find_dataset(plan.model().dataset_name());
+    check_internal(decl != nullptr, "dataset decl disappeared");
+    for (const auto& name : decl->dataindex) {
+      int a = schema.find(name);
+      if (a >= 0) attrs.push_back(a);
+    }
+  }
+  if (attrs.empty())
+    throw QueryError("MinMaxIndex::build: dataset '" +
+                     plan.model().dataset_name() +
+                     "' declares no DATAINDEX attributes");
+
+  // Scan all chunks with a SELECT of the indexed attributes.
+  std::string sql = "SELECT ";
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i) sql += ", ";
+    sql += schema.at(static_cast<std::size_t>(attrs[i])).name;
+  }
+  sql += " FROM " + plan.model().dataset_name();
+  expr::BoundQuery q = plan.bind(sql);
+  afc::PlanResult pr = plan.index_fn(q);
+
+  MinMaxIndex idx(attrs);
+  codegen::Extractor ex;
+  std::vector<codegen::GroupBinding> bindings;
+  for (const auto& g : pr.groups)
+    bindings.push_back(codegen::bind_group(g, q, schema));
+
+  for (const auto& a : pr.afcs) {
+    const afc::GroupPlan& gp = pr.groups[static_cast<std::size_t>(a.group)];
+    expr::Table t(q.result_columns());
+    ex.extract(gp, a, bindings[static_cast<std::size_t>(a.group)], q, t);
+    ChunkBounds b;
+    b.bounds.assign(attrs.size(),
+                    {std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()});
+    for (std::size_t c = 0; c < attrs.size(); ++c) {
+      for (double v : t.column(c)) {
+        b.bounds[c].first = std::min(b.bounds[c].first, v);
+        b.bounds[c].second = std::max(b.bounds[c].second, v);
+      }
+    }
+    for (std::size_t c = 0; c < gp.chunks.size(); ++c) {
+      if (gp.chunks[c].fields.empty()) continue;
+      idx.add({gp.files[static_cast<std::size_t>(gp.chunks[c].file)],
+               a.offsets[c]},
+              b);
+    }
+  }
+  return idx;
+}
+
+}  // namespace adv::index

@@ -1,0 +1,74 @@
+// Min/max chunk index — the indexing service's persistent metadata
+// (paper §2.3: "A spatial index is built so that chunks that intersect the
+// query are searched for quickly").
+//
+// For every data chunk, identified by (file path, byte offset), the index
+// stores the [min, max] of each DATAINDEX attribute over the chunk's rows.
+// The planner's ChunkFilter hook consults it to drop aligned chunk sets
+// that provably contain no matching rows (Titan's spatial chunks; any
+// layout whose DATAINDEX attributes are stored rather than implicit).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "afc/types.h"
+
+namespace adv::codegen {
+class DataServicePlan;
+}
+
+namespace adv::index {
+
+struct ChunkKey {
+  std::string file;
+  uint64_t offset = 0;
+  auto operator<=>(const ChunkKey&) const = default;
+};
+
+struct ChunkBounds {
+  // Parallel to MinMaxIndex::attrs(): [min, max] per indexed attribute.
+  std::vector<std::pair<double, double>> bounds;
+};
+
+class MinMaxIndex : public afc::ChunkFilter, public afc::ChunkBoundsSource {
+ public:
+  MinMaxIndex() = default;
+  explicit MinMaxIndex(std::vector<int> attrs) : attrs_(std::move(attrs)) {}
+
+  const std::vector<int>& attrs() const { return attrs_; }
+  std::size_t num_chunks() const { return entries_.size(); }
+
+  void add(ChunkKey key, ChunkBounds bounds);
+  const ChunkBounds* find(const ChunkKey& key) const;
+  const std::map<ChunkKey, ChunkBounds>& entries() const { return entries_; }
+
+  // ChunkFilter: conservative membership test.  Unindexed chunks pass.
+  bool may_match(const std::string& file_path, uint64_t offset,
+                 const expr::QueryIntervals& qi) const override;
+
+  // ChunkBoundsSource (for the code emitter).
+  const std::vector<int>& bounds_attrs() const override { return attrs_; }
+  bool chunk_bounds(const std::string& file_path, uint64_t offset,
+                    std::vector<std::pair<double, double>>& out)
+      const override;
+
+  // Binary persistence.
+  void save(const std::string& path) const;
+  static MinMaxIndex load(const std::string& path);
+
+  // Builds the index by scanning every chunk of `plan` and recording the
+  // min/max of the DATAINDEX attributes declared in the dataset (or of
+  // `attrs` when non-empty).  This is the "index build" pass a repository
+  // administrator runs once after ingesting data.
+  static MinMaxIndex build(const codegen::DataServicePlan& plan,
+                           std::vector<int> attrs = {});
+
+ private:
+  std::vector<int> attrs_;
+  std::map<ChunkKey, ChunkBounds> entries_;
+};
+
+}  // namespace adv::index

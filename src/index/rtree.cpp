@@ -1,0 +1,136 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace adv::index {
+
+void Box::extend(const Box& o) {
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    lo[d] = std::min(lo[d], o.lo[d]);
+    hi[d] = std::max(hi[d], o.hi[d]);
+  }
+}
+
+namespace {
+
+double center(const Box& b, std::size_t d) { return (b.lo[d] + b.hi[d]) / 2; }
+
+// Recursive STR: orders `idx` so that consecutive runs of `run` elements
+// form spatially coherent tiles.
+void str_sort(std::vector<uint32_t>& idx, std::size_t begin, std::size_t end,
+              const std::vector<Box>& boxes, std::size_t dim,
+              std::size_t dims, std::size_t leaf_run) {
+  if (dim + 1 >= dims || end - begin <= leaf_run) {
+    std::sort(idx.begin() + begin, idx.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                return center(boxes[a], dim) < center(boxes[b], dim);
+              });
+    return;
+  }
+  std::sort(idx.begin() + begin, idx.begin() + end,
+            [&](uint32_t a, uint32_t b) {
+              return center(boxes[a], dim) < center(boxes[b], dim);
+            });
+  // Slice into ~sqrt(n/run) slabs along this dimension, recurse within.
+  std::size_t n = end - begin;
+  std::size_t slabs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(std::pow(static_cast<double>(n) / leaf_run,
+                                1.0 / static_cast<double>(dims - dim)))));
+  std::size_t per_slab = (n + slabs - 1) / slabs;
+  for (std::size_t s = begin; s < end; s += per_slab)
+    str_sort(idx, s, std::min(end, s + per_slab), boxes, dim + 1, dims,
+             leaf_run);
+}
+
+}  // namespace
+
+RTree RTree::build(std::vector<Entry> entries, std::size_t dims,
+                   std::size_t fanout) {
+  if (fanout < 2) fanout = 2;
+  RTree t;
+  t.entries_ = std::move(entries);
+  t.num_entries_ = t.entries_.size();
+  if (t.entries_.empty()) {
+    Node root;
+    root.leaf = true;
+    root.box = Box(std::vector<double>(dims, 0.0),
+                   std::vector<double>(dims, -1.0));  // empty box
+    t.nodes_.push_back(std::move(root));
+    t.root_ = 0;
+    t.height_ = 1;
+    return t;
+  }
+  for (const auto& e : t.entries_)
+    check_internal(e.box.dims() == dims, "RTree entry dimension mismatch");
+
+  // STR-order the entries.
+  std::vector<Box> boxes;
+  boxes.reserve(t.entries_.size());
+  for (const auto& e : t.entries_) boxes.push_back(e.box);
+  std::vector<uint32_t> order(t.entries_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  str_sort(order, 0, order.size(), boxes, 0, dims, fanout);
+
+  // Leaf level.
+  std::vector<uint32_t> level;
+  for (std::size_t i = 0; i < order.size(); i += fanout) {
+    Node n;
+    n.leaf = true;
+    std::size_t end = std::min(order.size(), i + fanout);
+    n.box = t.entries_[order[i]].box;
+    for (std::size_t j = i; j < end; ++j) {
+      n.children.push_back(order[j]);
+      n.box.extend(t.entries_[order[j]].box);
+    }
+    level.push_back(static_cast<uint32_t>(t.nodes_.size()));
+    t.nodes_.push_back(std::move(n));
+  }
+  t.height_ = 1;
+
+  // Inner levels.
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      Node n;
+      n.leaf = false;
+      std::size_t end = std::min(level.size(), i + fanout);
+      n.box = t.nodes_[level[i]].box;
+      for (std::size_t j = i; j < end; ++j) {
+        n.children.push_back(level[j]);
+        n.box.extend(t.nodes_[level[j]].box);
+      }
+      next.push_back(static_cast<uint32_t>(t.nodes_.size()));
+      t.nodes_.push_back(std::move(n));
+    }
+    level = std::move(next);
+    t.height_++;
+  }
+  t.root_ = level[0];
+  return t;
+}
+
+void RTree::query(const Box& q, std::vector<uint64_t>& out) const {
+  last_visited_ = 0;
+  if (num_entries_ == 0) return;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[ni];
+    last_visited_++;
+    if (!n.box.intersects(q)) continue;
+    if (n.leaf) {
+      for (uint32_t ei : n.children)
+        if (entries_[ei].box.intersects(q)) out.push_back(entries_[ei].payload);
+    } else {
+      for (uint32_t ci : n.children) stack.push_back(ci);
+    }
+  }
+}
+
+}  // namespace adv::index

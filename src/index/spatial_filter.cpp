@@ -1,0 +1,52 @@
+#include "index/spatial_filter.h"
+
+#include <limits>
+
+namespace adv::index {
+
+RTreeFilter::RTreeFilter(const MinMaxIndex& idx, std::size_t fanout)
+    : idx_(idx) {
+  std::vector<RTree::Entry> entries;
+  uint64_t ordinal = 0;
+  for (const auto& [key, b] : idx.entries()) {
+    RTree::Entry e;
+    e.payload = ordinal;
+    std::vector<double> lo, hi;
+    for (const auto& [l, h] : b.bounds) {
+      lo.push_back(l);
+      hi.push_back(h);
+    }
+    e.box = Box(std::move(lo), std::move(hi));
+    entries.push_back(std::move(e));
+    ordinals_[key] = ordinal++;
+  }
+  tree_ = RTree::build(std::move(entries), idx.attrs().size(), fanout);
+}
+
+Box RTreeFilter::query_box(const expr::QueryIntervals& qi) const {
+  std::vector<double> lo, hi;
+  for (int attr : idx_.attrs()) {
+    const expr::Interval& iv = qi.interval(static_cast<std::size_t>(attr));
+    lo.push_back(std::isfinite(iv.lo) ? iv.lo
+                                      : -std::numeric_limits<double>::max());
+    hi.push_back(std::isfinite(iv.hi) ? iv.hi
+                                      : std::numeric_limits<double>::max());
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+bool RTreeFilter::may_match(const std::string& file_path, uint64_t offset,
+                            const expr::QueryIntervals& qi) const {
+  auto it = ordinals_.find({file_path, offset});
+  if (it == ordinals_.end()) return true;  // unindexed chunk
+  if (cached_qi_ != &qi) {
+    cached_qi_ = &qi;
+    hits_.assign(ordinals_.size(), false);
+    std::vector<uint64_t> found;
+    tree_.query(query_box(qi), found);
+    for (uint64_t f : found) hits_[f] = true;
+  }
+  return hits_[it->second];
+}
+
+}  // namespace adv::index

@@ -1,0 +1,37 @@
+// ChunkFilter backed by an R-tree over the min/max chunk index.
+//
+// Semantically identical to filtering with the MinMaxIndex directly, but
+// the intersecting-chunk set is computed once per query with a tree walk
+// instead of a per-chunk scan.  Create one filter per query execution; the
+// hit set is cached against the QueryIntervals instance it first sees.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "index/minmax.h"
+#include "index/rtree.h"
+
+namespace adv::index {
+
+class RTreeFilter : public afc::ChunkFilter {
+ public:
+  explicit RTreeFilter(const MinMaxIndex& idx, std::size_t fanout = 16);
+
+  bool may_match(const std::string& file_path, uint64_t offset,
+                 const expr::QueryIntervals& qi) const override;
+
+  const RTree& rtree() const { return tree_; }
+
+  // The query box an interval set induces over the indexed attributes.
+  Box query_box(const expr::QueryIntervals& qi) const;
+
+ private:
+  const MinMaxIndex& idx_;
+  RTree tree_;
+  std::map<ChunkKey, uint64_t> ordinals_;
+  mutable const expr::QueryIntervals* cached_qi_ = nullptr;
+  mutable std::vector<bool> hits_;
+};
+
+}  // namespace adv::index

@@ -1,0 +1,94 @@
+// Loop-nest analysis of a leaf dataset's DATASPACE.
+//
+// A validated DATASPACE is a tree whose inner loops ("structure loops")
+// contain only loops and whose innermost loops ("record loops") contain only
+// scalar fields.  For one concrete file (a bound variable environment), this
+// module flattens the tree into *regions*: one region per record loop, with
+//
+//   * the path of enclosing structure loops, each with its evaluated bounds
+//     and its byte stride (the size of one iteration of its body),
+//   * the base byte offset of the region (sum of preceding siblings),
+//   * the record loop's bounds, the byte size of one record, and the field
+//     list with intra-record offsets.
+//
+// The byte offset of the chunk produced by a region under structure-loop
+// values v_1..v_k is
+//     base + sum_i ((v_i - lo_i) / step_i) * stride_i ,
+// and the chunk holds span(record loop) rows of record_bytes each.  This is
+// exactly the {File_i, Offset_i, Num_Bytes_i} shape of the paper's aligned
+// file chunks (§4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "metadata/model.h"
+
+namespace adv::layout {
+
+// Evaluated inclusive range.
+struct EvalRange {
+  int64_t lo = 0;
+  int64_t hi = -1;
+  int64_t step = 1;
+
+  int64_t count() const { return hi < lo ? 0 : (hi - lo) / step + 1; }
+  bool contains(int64_t v) const {
+    return v >= lo && v <= hi && (v - lo) % step == 0;
+  }
+  bool operator==(const EvalRange&) const = default;
+};
+
+// One structure loop on the path to a record loop.
+struct PathLoop {
+  std::string ident;
+  EvalRange range;
+  uint64_t stride = 0;  // bytes advanced per iteration of this loop
+};
+
+// One scalar field inside a record.
+struct Field {
+  std::string attr;
+  DataType type = DataType::kFloat32;
+  uint32_t intra_offset = 0;  // byte offset within the record
+};
+
+// One record loop and its surroundings, fully evaluated for one file.
+struct Region {
+  std::vector<PathLoop> path;  // outermost first; excludes the record loop
+  std::string record_ident;
+  EvalRange record_range;
+  uint32_t record_bytes = 0;
+  uint64_t base_offset = 0;  // offset of the region at all-loop-lower-bounds
+  std::vector<Field> fields;
+
+  uint64_t num_rows() const {
+    return static_cast<uint64_t>(record_range.count());
+  }
+
+  // Bytes the region occupies per full iteration of its record loop.
+  uint64_t chunk_bytes() const { return num_rows() * record_bytes; }
+
+  // Finds a field by attribute name; nullptr when not stored here.
+  const Field* find_field(const std::string& attr) const;
+};
+
+// Flattens `dataspace` for one variable environment.  `lookup_type` resolves
+// attribute names to types (schema plus local DATATYPE declarations).
+// Throws ValidationError when the dataspace violates the structural
+// restrictions (which validated descriptors cannot).
+std::vector<Region> analyze_regions(
+    const std::vector<meta::LayoutNode>& dataspace,
+    const meta::Schema& schema,
+    const std::vector<meta::Attribute>& local_attrs,
+    const meta::VarEnv& env);
+
+// Total byte size of the file described by `dataspace` under `env`.
+uint64_t dataspace_bytes(const std::vector<meta::LayoutNode>& dataspace,
+                         const meta::Schema& schema,
+                         const std::vector<meta::Attribute>& local_attrs,
+                         const meta::VarEnv& env);
+
+}  // namespace adv::layout

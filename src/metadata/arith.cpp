@@ -1,0 +1,196 @@
+#include "metadata/arith.h"
+
+#include <algorithm>
+
+namespace adv::meta {
+
+ArithExprPtr ArithExpr::constant(int64_t v) {
+  auto e = std::shared_ptr<ArithExpr>(new ArithExpr());
+  e->kind_ = Kind::kConst;
+  e->const_ = v;
+  return e;
+}
+
+ArithExprPtr ArithExpr::variable(std::string name) {
+  auto e = std::shared_ptr<ArithExpr>(new ArithExpr());
+  e->kind_ = Kind::kVar;
+  e->var_ = std::move(name);
+  return e;
+}
+
+ArithExprPtr ArithExpr::binary(char op, ArithExprPtr lhs, ArithExprPtr rhs) {
+  auto e = std::shared_ptr<ArithExpr>(new ArithExpr());
+  e->kind_ = Kind::kBinary;
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+int64_t ArithExpr::eval(const VarEnv& env) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return const_;
+    case Kind::kVar:
+      return env.get(var_);
+    case Kind::kBinary: {
+      int64_t a = lhs_->eval(env);
+      int64_t b = rhs_->eval(env);
+      switch (op_) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/':
+          if (b == 0) throw ValidationError("division by zero in layout expression");
+          return a / b;
+        case '%':
+          if (b == 0) throw ValidationError("modulo by zero in layout expression");
+          return a % b;
+      }
+      throw InternalError("ArithExpr: bad operator");
+    }
+  }
+  throw InternalError("ArithExpr: bad kind");
+}
+
+bool ArithExpr::is_constant() const {
+  switch (kind_) {
+    case Kind::kConst: return true;
+    case Kind::kVar: return false;
+    case Kind::kBinary: return lhs_->is_constant() && rhs_->is_constant();
+  }
+  return false;
+}
+
+void ArithExpr::collect_vars(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      if (std::find(out.begin(), out.end(), var_) == out.end())
+        out.push_back(var_);
+      return;
+    case Kind::kBinary:
+      lhs_->collect_vars(out);
+      rhs_->collect_vars(out);
+      return;
+  }
+}
+
+std::string ArithExpr::to_string() const {
+  switch (kind_) {
+    case Kind::kConst:
+      return std::to_string(const_);
+    case Kind::kVar:
+      return "$" + var_;
+    case Kind::kBinary:
+      return "(" + lhs_->to_string() + op_ + rhs_->to_string() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+ArithExprPtr parse_expr(TokenCursor& cur);
+
+ArithExprPtr parse_factor(TokenCursor& cur) {
+  const Token& t = cur.peek();
+  if (t.kind == TokKind::kInt) {
+    cur.next();
+    return ArithExpr::constant(t.int_value);
+  }
+  if (t.is_punct("-")) {
+    cur.next();
+    return ArithExpr::binary('-', ArithExpr::constant(0), parse_factor(cur));
+  }
+  if (t.is_punct("$")) {
+    cur.next();
+    const Token& name = cur.expect_any_ident("variable name after '$'");
+    return ArithExpr::variable(name.text);
+  }
+  if (t.kind == TokKind::kIdent) {
+    cur.next();
+    return ArithExpr::variable(t.text);
+  }
+  if (t.is_punct("(")) {
+    cur.next();
+    ArithExprPtr e = parse_expr(cur);
+    cur.expect_punct(")");
+    return e;
+  }
+  cur.fail("expected integer, variable, or '(' in arithmetic expression");
+}
+
+ArithExprPtr parse_term(TokenCursor& cur) {
+  ArithExprPtr e = parse_factor(cur);
+  for (;;) {
+    if (cur.peek().is_punct("*")) {
+      cur.next();
+      e = ArithExpr::binary('*', e, parse_factor(cur));
+    } else if (cur.peek().is_punct("/")) {
+      cur.next();
+      e = ArithExpr::binary('/', e, parse_factor(cur));
+    } else if (cur.peek().is_punct("%")) {
+      cur.next();
+      e = ArithExpr::binary('%', e, parse_factor(cur));
+    } else {
+      return e;
+    }
+  }
+}
+
+ArithExprPtr parse_expr(TokenCursor& cur) {
+  ArithExprPtr e = parse_term(cur);
+  for (;;) {
+    if (cur.peek().is_punct("+")) {
+      cur.next();
+      e = ArithExpr::binary('+', e, parse_term(cur));
+    } else if (cur.peek().is_punct("-")) {
+      cur.next();
+      e = ArithExpr::binary('-', e, parse_term(cur));
+    } else {
+      return e;
+    }
+  }
+}
+
+}  // namespace
+
+ArithExprPtr parse_arith(TokenCursor& cur) { return parse_expr(cur); }
+
+ArithExprPtr parse_arith(const std::string& text) {
+  TokenCursor cur(tokenize(text));
+  ArithExprPtr e = parse_expr(cur);
+  if (!cur.at_end()) cur.fail("trailing input after arithmetic expression");
+  return e;
+}
+
+int64_t LoopRange::count(const VarEnv& env) const {
+  int64_t l = lo->eval(env);
+  int64_t h = hi->eval(env);
+  int64_t s = step ? step->eval(env) : 1;
+  if (s <= 0) throw ValidationError("loop step must be positive");
+  if (h < l) return 0;
+  return (h - l) / s + 1;
+}
+
+std::string LoopRange::to_string() const {
+  std::string out = lo->to_string() + ":" + hi->to_string();
+  if (step) out += ":" + step->to_string();
+  return out;
+}
+
+LoopRange parse_range(TokenCursor& cur) {
+  LoopRange r;
+  r.lo = parse_arith(cur);
+  cur.expect_punct(":");
+  r.hi = parse_arith(cur);
+  if (cur.accept_punct(":")) {
+    r.step = parse_arith(cur);
+  } else {
+    r.step = ArithExpr::constant(1);
+  }
+  return r;
+}
+
+}  // namespace adv::meta

@@ -1,0 +1,106 @@
+// Integer arithmetic expressions over layout variables.
+//
+// The descriptor language uses these for loop bounds and directory indices,
+// e.g. `LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1`.  Expressions are
+// immutable after parsing and shared by pointer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/lexer.h"
+
+namespace adv::meta {
+
+// Variable environment: values for `$NAME` references.
+class VarEnv {
+ public:
+  VarEnv() = default;
+
+  void set(const std::string& name, int64_t value) { vars_[name] = value; }
+
+  bool has(const std::string& name) const { return vars_.count(name) > 0; }
+
+  int64_t get(const std::string& name) const {
+    auto it = vars_.find(name);
+    if (it == vars_.end())
+      throw ValidationError("unbound layout variable '$" + name + "'");
+    return it->second;
+  }
+
+  const std::map<std::string, int64_t>& vars() const { return vars_; }
+
+ private:
+  std::map<std::string, int64_t> vars_;
+};
+
+class ArithExpr;
+using ArithExprPtr = std::shared_ptr<const ArithExpr>;
+
+class ArithExpr {
+ public:
+  enum class Kind : uint8_t { kConst, kVar, kBinary };
+
+  static ArithExprPtr constant(int64_t v);
+  static ArithExprPtr variable(std::string name);
+  static ArithExprPtr binary(char op, ArithExprPtr lhs, ArithExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  int64_t constant_value() const { return const_; }
+  const std::string& var_name() const { return var_; }
+  char op() const { return op_; }
+  const ArithExprPtr& lhs() const { return lhs_; }
+  const ArithExprPtr& rhs() const { return rhs_; }
+
+  // Evaluates with the given variable bindings; throws ValidationError on an
+  // unbound variable or division by zero.
+  int64_t eval(const VarEnv& env) const;
+
+  // True when the expression references no variables.
+  bool is_constant() const;
+
+  // Collects referenced variable names into `out` (deduplicated by caller).
+  void collect_vars(std::vector<std::string>& out) const;
+
+  std::string to_string() const;
+
+ private:
+  ArithExpr() = default;
+
+  Kind kind_ = Kind::kConst;
+  int64_t const_ = 0;
+  std::string var_;
+  char op_ = '+';
+  ArithExprPtr lhs_, rhs_;
+};
+
+// Parses an arithmetic expression from the cursor.
+// Grammar: expr := term (('+'|'-') term)* ;
+//          term := factor (('*'|'/'|'%') factor)* ;
+//          factor := INT | '$' IDENT | IDENT | '(' expr ')' | '-' factor
+// Bare identifiers are treated like `$IDENT` (the paper writes `DIRID` and
+// `$DIRID` interchangeably).
+ArithExprPtr parse_arith(TokenCursor& cur);
+
+// Parses an expression from a standalone string (used by the file-name
+// pattern parser for `DIR[...]` indices).
+ArithExprPtr parse_arith(const std::string& text);
+
+// Inclusive range `lo:hi:step` (step defaults to 1 when omitted).
+struct LoopRange {
+  ArithExprPtr lo, hi, step;
+
+  // Number of iterations for the bound environment (0 when empty).
+  int64_t count(const VarEnv& env) const;
+
+  std::string to_string() const;
+};
+
+// Parses `expr ':' expr (':' expr)?`.
+LoopRange parse_range(TokenCursor& cur);
+
+}  // namespace adv::meta

@@ -1,0 +1,89 @@
+#include "metadata/model.h"
+
+#include <algorithm>
+
+namespace adv::meta {
+
+int Schema::find(const std::string& attr_name) const {
+  for (std::size_t i = 0; i < attrs.size(); ++i)
+    if (attrs[i].name == attr_name) return static_cast<int>(i);
+  return -1;
+}
+
+std::size_t Schema::row_bytes() const {
+  std::size_t total = 0;
+  for (const auto& a : attrs) total += size_of(a.type);
+  return total;
+}
+
+std::vector<std::string> Storage::node_names() const {
+  std::vector<std::string> out;
+  for (const auto& d : dirs) {
+    if (std::find(out.begin(), out.end(), d.node_name) == out.end())
+      out.push_back(d.node_name);
+  }
+  return out;
+}
+
+LayoutNode LayoutNode::make_fields(std::vector<std::string> names) {
+  LayoutNode n;
+  n.kind = Kind::kFields;
+  n.fields = std::move(names);
+  return n;
+}
+
+LayoutNode LayoutNode::make_loop(std::string ident, LoopRange r,
+                                 std::vector<LayoutNode> body) {
+  LayoutNode n;
+  n.kind = Kind::kLoop;
+  n.loop_ident = std::move(ident);
+  n.range = std::move(r);
+  n.body = std::move(body);
+  return n;
+}
+
+const Schema* Descriptor::find_schema(const std::string& name) const {
+  for (const auto& s : schemas)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Storage* Descriptor::find_storage(const std::string& dataset_name) const {
+  for (const auto& s : storages)
+    if (s.dataset_name == dataset_name) return &s;
+  return nullptr;
+}
+
+namespace {
+const DatasetDecl* find_in(const DatasetDecl& d, const std::string& name) {
+  if (d.name == name) return &d;
+  for (const auto& c : d.children)
+    if (const DatasetDecl* r = find_in(c, name)) return r;
+  return nullptr;
+}
+}  // namespace
+
+const DatasetDecl* Descriptor::find_dataset(const std::string& name) const {
+  for (const auto& d : datasets)
+    if (const DatasetDecl* r = find_in(d, name)) return r;
+  return nullptr;
+}
+
+const Schema& Descriptor::schema_of(const DatasetDecl& d) const {
+  std::string schema_name = d.datatype;
+  if (schema_name.empty()) {
+    // Fall back to the storage section for a top-level dataset.
+    if (const Storage* st = find_storage(d.name)) schema_name = st->schema_name;
+  }
+  if (schema_name.empty())
+    throw ValidationError("dataset '" + d.name +
+                          "' has no DATATYPE and no storage section declaring "
+                          "a schema");
+  const Schema* s = find_schema(schema_name);
+  if (!s)
+    throw ValidationError("dataset '" + d.name + "' references unknown schema '" +
+                          schema_name + "'");
+  return *s;
+}
+
+}  // namespace adv::meta

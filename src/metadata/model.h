@@ -1,0 +1,155 @@
+// Object model of the meta-data description language (paper §3).
+//
+// A descriptor has three components:
+//   I.   Dataset schema description  — the virtual relational table view.
+//   II.  Dataset storage description — nodes/directories holding the data.
+//   III. Dataset layout description  — nested DATASET declarations with
+//        DATATYPE / DATAINDEX / DATASPACE / DATA / LOOP clauses describing
+//        the physical organization of every file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "metadata/arith.h"
+
+namespace adv::meta {
+
+// ---------------------------------------------------------------------------
+// Component I: schema.
+
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kFloat32;
+};
+
+struct Schema {
+  std::string name;
+  std::vector<Attribute> attrs;
+
+  // Index of attribute `attr_name` or -1.
+  int find(const std::string& attr_name) const;
+  const Attribute& at(std::size_t i) const { return attrs[i]; }
+  std::size_t size() const { return attrs.size(); }
+
+  // Bytes of one fully-materialized row (sum of attribute sizes).
+  std::size_t row_bytes() const;
+};
+
+// ---------------------------------------------------------------------------
+// Component II: storage.
+
+// One DIR[i] entry: `node_name` identifies the cluster node the directory
+// lives on, `path` is the directory path relative to the dataset root.
+struct StorageDir {
+  std::string node_name;
+  std::string path;
+};
+
+struct Storage {
+  std::string dataset_name;  // section header, e.g. [IparsData]
+  std::string schema_name;   // DatasetDescription = IPARS
+  std::vector<StorageDir> dirs;
+
+  // Distinct node names in order of first appearance; the virtual cluster
+  // maps these onto virtual node ids.
+  std::vector<std::string> node_names() const;
+};
+
+// ---------------------------------------------------------------------------
+// Component III: layout.
+
+// One element of a DATASPACE: either a run of consecutive scalar fields or a
+// LOOP with a nested body.
+struct LayoutNode {
+  enum class Kind : uint8_t { kFields, kLoop };
+
+  Kind kind = Kind::kFields;
+
+  // kFields: names of consecutively stored attributes.
+  std::vector<std::string> fields;
+
+  // kLoop:
+  std::string loop_ident;
+  LoopRange range;
+  std::vector<LayoutNode> body;
+
+  static LayoutNode make_fields(std::vector<std::string> names);
+  static LayoutNode make_loop(std::string ident, LoopRange r,
+                              std::vector<LayoutNode> body);
+};
+
+// A segment of a file-name pattern such as `DIR[$DIRID]/DATA$REL`.
+struct PatternSeg {
+  enum class Kind : uint8_t { kLiteral, kDirRef, kVarRef };
+
+  Kind kind = Kind::kLiteral;
+  std::string literal;      // kLiteral
+  ArithExprPtr dir_index;   // kDirRef: expression inside DIR[...]
+  std::string var;          // kVarRef: variable name after '$'
+};
+
+// Variable enumerated by a file pattern (e.g. `REL = 0:3:1`); ranges must be
+// constant expressions.
+struct PatternBinding {
+  std::string var;
+  LoopRange range;
+};
+
+struct FilePattern {
+  std::vector<PatternSeg> segs;
+  std::vector<PatternBinding> bindings;
+
+  // Original raw spelling (for diagnostics and pretty-printing).
+  std::string raw;
+};
+
+// One DATASET declaration.  Leaf datasets carry a DATASPACE and file
+// patterns; inner datasets carry children.
+struct DatasetDecl {
+  std::string name;
+  std::string datatype;                  // referenced schema ("" = inherited)
+  std::vector<Attribute> local_attrs;    // extra attributes declared inline
+  std::vector<std::string> dataindex;    // DATAINDEX { REL TIME }
+  std::vector<LayoutNode> dataspace;     // leaf only
+  std::vector<FilePattern> files;        // leaf only
+  std::vector<DatasetDecl> children;     // inner only
+  std::vector<std::string> child_order;  // names listed in DATA { DATASET .. }
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+// ---------------------------------------------------------------------------
+// The full descriptor.
+
+struct Descriptor {
+  std::vector<Schema> schemas;
+  std::vector<Storage> storages;
+  std::vector<DatasetDecl> datasets;
+
+  const Schema* find_schema(const std::string& name) const;
+  const Storage* find_storage(const std::string& dataset_name) const;
+  const DatasetDecl* find_dataset(const std::string& name) const;
+
+  // Resolves the schema governing dataset `d` (its own datatype or the one
+  // declared by the storage section / enclosing dataset).  Throws
+  // ValidationError if unresolved.
+  const Schema& schema_of(const DatasetDecl& d) const;
+};
+
+// Parses a descriptor from text.  Throws ParseError / ValidationError.
+Descriptor parse_descriptor(const std::string& text);
+
+// Validates cross-references and the structural restrictions the AFC model
+// requires (see layout/); throws ValidationError with a precise message.
+// parse_descriptor() already calls this; exposed for tests and for
+// descriptors constructed programmatically.
+void validate(const Descriptor& d);
+
+// Pretty-prints a descriptor in the canonical syntax (round-trips through
+// parse_descriptor).
+std::string to_text(const Descriptor& d);
+
+}  // namespace adv::meta

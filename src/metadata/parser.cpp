@@ -1,0 +1,464 @@
+// Parser for the meta-data description language.
+//
+// The descriptor text has a line-oriented half (components I and II: schema
+// and storage sections, `[Name]` headers with `key = value` lines) followed
+// by a token-oriented half (component III: nested DATASET declarations).
+// The split point is the first line that begins with the DATASET keyword.
+#include <cctype>
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+#include "metadata/model.h"
+
+namespace adv::meta {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Sections (components I and II).
+
+// Removes `// ...`, `# ...` and single-line `{* ... *}` comments.
+std::string strip_line_comments(const std::string& line) {
+  std::string out;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '#') break;
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (line[i] == '{' && i + 1 < line.size() && line[i + 1] == '*') {
+      std::size_t close = line.find("*}", i + 2);
+      if (close == std::string::npos) break;  // comment runs to end of line
+      i = close + 1;
+      continue;
+    }
+    out.push_back(line[i]);
+  }
+  return out;
+}
+
+bool is_layout_start(const std::string& trimmed) {
+  if (trimmed.size() < 7) return false;
+  std::string head = to_upper(trimmed.substr(0, 7));
+  if (head != "DATASET") return false;
+  if (trimmed.size() == 7) return true;
+  char c = trimmed[7];
+  return std::isspace(static_cast<unsigned char>(c)) || c == '"' || c == '{';
+}
+
+// Parses `DIR[<int>]` and returns the index, or -1 when `key` is not a DIR
+// entry.
+int parse_dir_key(const std::string& key) {
+  std::string k = to_upper(trim(key));
+  if (!starts_with(k, "DIR")) return -1;
+  std::size_t lb = k.find('[');
+  std::size_t rb = k.find(']');
+  if (lb == std::string::npos || rb == std::string::npos || rb < lb) return -1;
+  std::string num = trim(k.substr(lb + 1, rb - lb - 1));
+  if (num.empty()) return -1;
+  for (char c : num)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+  return std::stoi(num);
+}
+
+struct SectionParseResult {
+  std::vector<Schema> schemas;
+  std::vector<Storage> storages;
+};
+
+SectionParseResult parse_sections(const std::vector<std::string>& lines,
+                                  int first_line_number) {
+  SectionParseResult out;
+
+  // Accumulate raw (key, value) pairs per section, then classify.
+  struct RawSection {
+    std::string name;
+    int line;
+    std::vector<std::pair<std::string, std::string>> entries;
+    std::vector<int> entry_lines;
+  };
+  std::vector<RawSection> sections;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    int lineno = first_line_number + static_cast<int>(i);
+    std::string line = trim(strip_line_comments(lines[i]));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      std::size_t close = line.find(']');
+      if (close == std::string::npos)
+        throw ParseError("missing ']' in section header", lineno, 1);
+      std::string name = trim(line.substr(1, close - 1));
+      if (name.empty())
+        throw ParseError("empty section name", lineno, 1);
+      sections.push_back({name, lineno, {}, {}});
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ParseError("expected 'key = value' line in descriptor section: '" +
+                           line + "'",
+                       lineno, 1);
+    if (sections.empty())
+      throw ParseError("entry before any [Section] header", lineno, 1);
+    sections.back().entries.emplace_back(trim(line.substr(0, eq)),
+                                         trim(line.substr(eq + 1)));
+    sections.back().entry_lines.push_back(lineno);
+  }
+
+  for (const auto& sec : sections) {
+    bool is_storage = false;
+    for (const auto& [k, v] : sec.entries) {
+      if (iequals(k, "DatasetDescription")) {
+        is_storage = true;
+        break;
+      }
+    }
+    if (is_storage) {
+      Storage st;
+      st.dataset_name = sec.name;
+      std::vector<std::pair<int, StorageDir>> dirs;
+      for (std::size_t e = 0; e < sec.entries.size(); ++e) {
+        const auto& [k, v] = sec.entries[e];
+        if (iequals(k, "DatasetDescription")) {
+          st.schema_name = v;
+          continue;
+        }
+        int idx = parse_dir_key(k);
+        if (idx < 0)
+          throw ParseError("unknown storage entry '" + k + "' in section [" +
+                               sec.name + "]",
+                           sec.entry_lines[e], 1);
+        StorageDir d;
+        d.path = v;
+        std::size_t slash = v.find('/');
+        d.node_name = slash == std::string::npos ? v : v.substr(0, slash);
+        dirs.emplace_back(idx, std::move(d));
+      }
+      // DIR indices must form 0..n-1 (any order in the text).
+      std::size_t n = dirs.size();
+      st.dirs.resize(n);
+      std::vector<bool> seen(n, false);
+      for (auto& [idx, d] : dirs) {
+        if (static_cast<std::size_t>(idx) >= n || seen[idx])
+          throw ValidationError("storage section [" + sec.name +
+                                "]: DIR indices must be 0..n-1 without gaps "
+                                "or duplicates");
+        seen[idx] = true;
+        st.dirs[idx] = std::move(d);
+      }
+      out.storages.push_back(std::move(st));
+    } else {
+      Schema sc;
+      sc.name = sec.name;
+      for (const auto& [k, v] : sec.entries) {
+        Attribute a;
+        a.name = k;
+        a.type = parse_data_type(v);
+        sc.attrs.push_back(std::move(a));
+      }
+      out.schemas.push_back(std::move(sc));
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Layout (component III).
+
+std::size_t token_raw_length(const Token& t) {
+  if (t.kind == TokKind::kString) return t.text.size() + 2;
+  return t.text.size();
+}
+
+bool tokens_adjacent(const Token& a, const Token& b) {
+  return a.line == b.line &&
+         static_cast<std::size_t>(b.column) ==
+             static_cast<std::size_t>(a.column) + token_raw_length(a);
+}
+
+// Re-assembles the raw text of an unquoted file-name pattern from adjacent
+// tokens (whitespace ends the pattern except inside `[...]`).
+std::string collect_pattern_raw(TokenCursor& cur) {
+  if (cur.peek().kind == TokKind::kString) return cur.next().text;
+  std::string raw;
+  int depth = 0;
+  Token prev = cur.next();
+  raw += prev.text;
+  if (prev.is_punct("[")) ++depth;
+  for (;;) {
+    const Token& t = cur.peek();
+    if (t.kind == TokKind::kEnd) break;
+    if (depth == 0 && !tokens_adjacent(prev, t)) break;
+    if (depth == 0 && t.is_punct("}")) break;
+    if (t.is_punct("[")) ++depth;
+    if (t.is_punct("]")) --depth;
+    raw += t.text;
+    prev = cur.next();
+  }
+  return raw;
+}
+
+// Parses the raw pattern text into segments: literals, `DIR[expr]`
+// references and `$VAR` substitutions.
+std::vector<PatternSeg> parse_pattern_segs(const std::string& raw, int line,
+                                           int column) {
+  std::vector<PatternSeg> segs;
+  std::string literal;
+  auto flush_literal = [&] {
+    if (!literal.empty()) {
+      PatternSeg s;
+      s.kind = PatternSeg::Kind::kLiteral;
+      s.literal = literal;
+      segs.push_back(std::move(s));
+      literal.clear();
+    }
+  };
+  std::size_t i = 0;
+  auto word_boundary = [&](std::size_t pos) {
+    if (pos == 0) return true;
+    char p = raw[pos - 1];
+    return !(std::isalnum(static_cast<unsigned char>(p)) || p == '_');
+  };
+  while (i < raw.size()) {
+    if (raw[i] == '$') {
+      flush_literal();
+      std::size_t j = i + 1;
+      while (j < raw.size() && (std::isalnum(static_cast<unsigned char>(raw[j])) ||
+                                raw[j] == '_'))
+        ++j;
+      if (j == i + 1)
+        throw ParseError("'$' must be followed by a variable name in file "
+                         "pattern '" + raw + "'",
+                         line, column);
+      PatternSeg s;
+      s.kind = PatternSeg::Kind::kVarRef;
+      s.var = raw.substr(i + 1, j - i - 1);
+      segs.push_back(std::move(s));
+      i = j;
+      continue;
+    }
+    // `DIR[` at a word boundary starts a directory reference.
+    if (word_boundary(i) && raw.size() - i >= 4 &&
+        iequals(raw.substr(i, 4), "DIR[")) {
+      flush_literal();
+      int depth = 1;
+      std::size_t j = i + 4;
+      while (j < raw.size() && depth > 0) {
+        if (raw[j] == '[') ++depth;
+        if (raw[j] == ']') --depth;
+        ++j;
+      }
+      if (depth != 0)
+        throw ParseError("unbalanced DIR[...] in file pattern '" + raw + "'",
+                         line, column);
+      PatternSeg s;
+      s.kind = PatternSeg::Kind::kDirRef;
+      s.dir_index = parse_arith(raw.substr(i + 4, j - i - 5));
+      segs.push_back(std::move(s));
+      i = j;
+      continue;
+    }
+    literal.push_back(raw[i]);
+    ++i;
+  }
+  flush_literal();
+  if (segs.empty())
+    throw ParseError("empty file pattern", line, column);
+  return segs;
+}
+
+class LayoutParser {
+ public:
+  explicit LayoutParser(TokenCursor& cur) : cur_(cur) {}
+
+  std::vector<DatasetDecl> parse_all() {
+    std::vector<DatasetDecl> out;
+    while (!cur_.at_end()) {
+      cur_.expect_ident("DATASET");
+      out.push_back(parse_dataset_body());
+    }
+    return out;
+  }
+
+ private:
+  DatasetDecl parse_dataset_body() {
+    DatasetDecl d;
+    const Token& name = cur_.peek();
+    if (name.kind == TokKind::kString || name.kind == TokKind::kIdent) {
+      d.name = name.text;
+      cur_.next();
+    } else {
+      cur_.fail("expected dataset name after DATASET");
+    }
+    cur_.expect_punct("{");
+    while (!cur_.accept_punct("}")) {
+      if (cur_.accept_ident("DATATYPE")) {
+        parse_datatype(d);
+      } else if (cur_.accept_ident("DATAINDEX")) {
+        parse_dataindex(d);
+      } else if (cur_.accept_ident("DATASPACE")) {
+        cur_.expect_punct("{");
+        d.dataspace = parse_layout_items();
+      } else if (cur_.accept_ident("DATA")) {
+        parse_data(d);
+      } else if (cur_.accept_ident("DATASET")) {
+        d.children.push_back(parse_dataset_body());
+      } else {
+        cur_.fail("expected DATATYPE, DATAINDEX, DATASPACE, DATA, or DATASET "
+                  "inside dataset declaration, found '" + cur_.peek().text +
+                  "'");
+      }
+    }
+    return d;
+  }
+
+  void parse_datatype(DatasetDecl& d) {
+    cur_.expect_punct("{");
+    while (!cur_.accept_punct("}")) {
+      const Token& first = cur_.expect_any_ident("schema name or attribute");
+      if (cur_.accept_punct("=")) {
+        // Inline attribute declaration: NAME = <type idents>.
+        Attribute a;
+        a.name = first.text;
+        std::string type_name;
+        // Consume type identifiers until the next `NAME =` or `}`.
+        while (cur_.peek().kind == TokKind::kIdent &&
+               !cur_.peek(1).is_punct("=")) {
+          if (!type_name.empty()) type_name += ' ';
+          type_name += cur_.next().text;
+        }
+        if (type_name.empty())
+          cur_.fail("expected type name after '=' in DATATYPE");
+        a.type = parse_data_type(type_name);
+        d.local_attrs.push_back(std::move(a));
+      } else {
+        if (!d.datatype.empty())
+          cur_.fail("multiple schema names in DATATYPE clause");
+        d.datatype = first.text;
+      }
+    }
+  }
+
+  void parse_dataindex(DatasetDecl& d) {
+    cur_.expect_punct("{");
+    while (!cur_.accept_punct("}")) {
+      const Token& a = cur_.expect_any_ident("attribute name in DATAINDEX");
+      d.dataindex.push_back(a.text);
+      cur_.accept_punct(",");
+    }
+  }
+
+  std::vector<LayoutNode> parse_layout_items() {
+    std::vector<LayoutNode> items;
+    std::vector<std::string> run;
+    auto flush_run = [&] {
+      if (!run.empty()) {
+        items.push_back(LayoutNode::make_fields(std::move(run)));
+        run.clear();
+      }
+    };
+    while (!cur_.accept_punct("}")) {
+      if (cur_.peek().is_ident("LOOP")) {
+        flush_run();
+        cur_.next();
+        const Token& ident = cur_.expect_any_ident("loop identifier");
+        LoopRange r = parse_range(cur_);
+        cur_.expect_punct("{");
+        std::vector<LayoutNode> body = parse_layout_items();
+        items.push_back(
+            LayoutNode::make_loop(ident.text, std::move(r), std::move(body)));
+      } else if (cur_.peek().kind == TokKind::kIdent) {
+        run.push_back(cur_.next().text);
+      } else {
+        cur_.fail("expected attribute name, LOOP, or '}' in DATASPACE, found "
+                  "'" + cur_.peek().text + "'");
+      }
+    }
+    flush_run();
+    return items;
+  }
+
+  void parse_data(DatasetDecl& d) {
+    cur_.expect_punct("{");
+    while (!cur_.accept_punct("}")) {
+      if (cur_.peek().is_ident("DATASET")) {
+        cur_.next();
+        const Token& name = cur_.peek();
+        if (name.kind != TokKind::kIdent && name.kind != TokKind::kString)
+          cur_.fail("expected dataset name after DATASET in DATA clause");
+        d.child_order.push_back(name.text);
+        cur_.next();
+        continue;
+      }
+      // File pattern followed by optional variable bindings.
+      FilePattern fp;
+      int line = cur_.peek().line, column = cur_.peek().column;
+      fp.raw = collect_pattern_raw(cur_);
+      fp.segs = parse_pattern_segs(fp.raw, line, column);
+      while (cur_.peek().kind == TokKind::kIdent &&
+             cur_.peek(1).is_punct("=")) {
+        PatternBinding b;
+        b.var = cur_.next().text;
+        cur_.expect_punct("=");
+        b.range = parse_range(cur_);
+        fp.bindings.push_back(std::move(b));
+      }
+      d.files.push_back(std::move(fp));
+    }
+  }
+
+  TokenCursor& cur_;
+};
+
+// Propagates the parent's datatype to children that do not declare one.
+void propagate_datatype(DatasetDecl& d, const std::string& inherited) {
+  if (d.datatype.empty()) d.datatype = inherited;
+  for (auto& c : d.children) propagate_datatype(c, d.datatype);
+}
+
+}  // namespace
+
+Descriptor parse_descriptor(const std::string& text) {
+  // Split into the section half and the layout half.
+  std::vector<std::string> lines = split(text, '\n');
+  std::size_t layout_begin = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string t = trim(strip_line_comments(lines[i]));
+    if (is_layout_start(t)) {
+      layout_begin = i;
+      break;
+    }
+  }
+
+  Descriptor d;
+  std::vector<std::string> section_lines(lines.begin(),
+                                         lines.begin() + layout_begin);
+  SectionParseResult sections = parse_sections(section_lines, 1);
+  d.schemas = std::move(sections.schemas);
+  d.storages = std::move(sections.storages);
+
+  if (layout_begin < lines.size()) {
+    // Re-join layout text, padding with blank lines so token line numbers
+    // match the original descriptor.
+    std::string layout_text(layout_begin, '\n');
+    for (std::size_t i = layout_begin; i < lines.size(); ++i) {
+      layout_text += lines[i];
+      layout_text += '\n';
+    }
+    TokenCursor cur(tokenize(layout_text));
+    LayoutParser lp(cur);
+    d.datasets = lp.parse_all();
+  }
+
+  // Resolve inherited datatypes: a top-level dataset with no DATATYPE takes
+  // the schema its storage section declares; children inherit from parents.
+  for (auto& ds : d.datasets) {
+    std::string top = ds.datatype;
+    if (top.empty()) {
+      if (const Storage* st = d.find_storage(ds.name)) top = st->schema_name;
+    }
+    propagate_datatype(ds, top);
+  }
+
+  validate(d);
+  return d;
+}
+
+}  // namespace adv::meta

@@ -1,0 +1,110 @@
+// Canonical pretty-printer for descriptors.  to_text(parse_descriptor(t))
+// re-parses to an equivalent descriptor (round-trip property tested in
+// tests/metadata_test.cpp).
+#include <sstream>
+
+#include "metadata/model.h"
+
+namespace adv::meta {
+
+namespace {
+
+void print_layout_items(std::ostringstream& os,
+                        const std::vector<LayoutNode>& items, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const auto& item : items) {
+    if (item.kind == LayoutNode::Kind::kFields) {
+      os << pad;
+      for (std::size_t i = 0; i < item.fields.size(); ++i) {
+        if (i) os << ' ';
+        os << item.fields[i];
+      }
+      os << '\n';
+    } else {
+      os << pad << "LOOP " << item.loop_ident << ' '
+         << item.range.to_string() << " {\n";
+      print_layout_items(os, item.body, indent + 1);
+      os << pad << "}\n";
+    }
+  }
+}
+
+std::string pattern_to_text(const FilePattern& fp) {
+  std::string out = "\"";
+  for (const auto& seg : fp.segs) {
+    switch (seg.kind) {
+      case PatternSeg::Kind::kLiteral:
+        out += seg.literal;
+        break;
+      case PatternSeg::Kind::kDirRef:
+        out += "DIR[" + seg.dir_index->to_string() + "]";
+        break;
+      case PatternSeg::Kind::kVarRef:
+        out += "$" + seg.var;
+        break;
+    }
+  }
+  out += "\"";
+  for (const auto& b : fp.bindings)
+    out += " " + b.var + " = " + b.range.to_string();
+  return out;
+}
+
+void print_dataset(std::ostringstream& os, const DatasetDecl& d, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << "DATASET \"" << d.name << "\" {\n";
+  std::string pad1(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  if (!d.datatype.empty() || !d.local_attrs.empty()) {
+    os << pad1 << "DATATYPE { ";
+    if (!d.datatype.empty()) os << d.datatype << ' ';
+    for (const auto& a : d.local_attrs)
+      os << a.name << " = " << to_string(a.type) << ' ';
+    os << "}\n";
+  }
+  if (!d.dataindex.empty()) {
+    os << pad1 << "DATAINDEX {";
+    for (const auto& i : d.dataindex) os << ' ' << i;
+    os << " }\n";
+  }
+  if (!d.dataspace.empty()) {
+    os << pad1 << "DATASPACE {\n";
+    print_layout_items(os, d.dataspace, indent + 2);
+    os << pad1 << "}\n";
+  }
+  if (!d.files.empty()) {
+    os << pad1 << "DATA {\n";
+    for (const auto& fp : d.files)
+      os << pad1 << "  " << pattern_to_text(fp) << '\n';
+    os << pad1 << "}\n";
+  }
+  if (!d.children.empty()) {
+    os << pad1 << "DATA {";
+    for (const auto& c : d.children) os << " DATASET " << c.name;
+    os << " }\n";
+    for (const auto& c : d.children) print_dataset(os, c, indent + 1);
+  }
+  os << pad << "}\n";
+}
+
+}  // namespace
+
+std::string to_text(const Descriptor& d) {
+  std::ostringstream os;
+  for (const auto& s : d.schemas) {
+    os << '[' << s.name << "]\n";
+    for (const auto& a : s.attrs)
+      os << a.name << " = " << to_string(a.type) << '\n';
+    os << '\n';
+  }
+  for (const auto& st : d.storages) {
+    os << '[' << st.dataset_name << "]\n";
+    os << "DatasetDescription = " << st.schema_name << '\n';
+    for (std::size_t i = 0; i < st.dirs.size(); ++i)
+      os << "DIR[" << i << "] = " << st.dirs[i].path << '\n';
+    os << '\n';
+  }
+  for (const auto& ds : d.datasets) print_dataset(os, ds, 0);
+  return os.str();
+}
+
+}  // namespace adv::meta

@@ -1,0 +1,324 @@
+// Semantic validation of a parsed descriptor.
+//
+// Beyond cross-reference checks, this enforces the structural restrictions
+// the AFC extraction model relies on (see layout/loop_nest.h):
+//   * a DATASPACE is a tree of LOOPs; *schema* attributes appear only
+//     inside a loop whose body contains fields exclusively (a "record
+//     loop"); file-local (DATATYPE-declared) fields may additionally appear
+//     next to loops or at top level as chunk/file headers the extractor
+//     skips;
+//   * a loop identifier is not reused along one nesting path (sibling reuse,
+//     as in per-variable arrays that each loop over GRID, is fine);
+//   * loop bounds reference only file-pattern binding variables, never
+//     enclosing loop identifiers (no triangular loop nests);
+//   * file-pattern binding ranges are constant.
+#include <functional>
+#include <set>
+#include <string>
+
+#include "metadata/model.h"
+
+namespace adv::meta {
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Descriptor& d) : d_(d) {}
+
+  void run() {
+    std::set<std::string> schema_names;
+    for (const auto& s : d_.schemas) {
+      if (!schema_names.insert(s.name).second)
+        fail("duplicate schema [" + s.name + "]");
+      if (s.attrs.empty()) fail("schema [" + s.name + "] has no attributes");
+      std::set<std::string> attr_names;
+      for (const auto& a : s.attrs)
+        if (!attr_names.insert(a.name).second)
+          fail("schema [" + s.name + "] declares attribute '" + a.name +
+               "' twice");
+    }
+
+    std::set<std::string> storage_names;
+    for (const auto& st : d_.storages) {
+      if (!storage_names.insert(st.dataset_name).second)
+        fail("duplicate storage section [" + st.dataset_name + "]");
+      if (!d_.find_schema(st.schema_name))
+        fail("storage section [" + st.dataset_name +
+             "] references unknown schema '" + st.schema_name + "'");
+      if (st.dirs.empty())
+        fail("storage section [" + st.dataset_name + "] lists no DIR entries");
+    }
+
+    std::set<std::string> dataset_names;
+    for (const auto& ds : d_.datasets) check_dataset(ds, dataset_names);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ValidationError(msg);
+  }
+
+  void check_dataset(const DatasetDecl& ds,
+                     std::set<std::string>& seen_names) {
+    if (ds.name.empty()) fail("dataset with empty name");
+    if (!seen_names.insert(ds.name).second)
+      fail("duplicate dataset name '" + ds.name + "'");
+
+    const Schema& schema = d_.schema_of(ds);  // throws when unresolvable
+
+    // Known attribute names for this dataset: schema plus local DATATYPE
+    // declarations.
+    std::set<std::string> known;
+    for (const auto& a : schema.attrs) known.insert(a.name);
+    for (const auto& a : ds.local_attrs) {
+      if (!known.insert(a.name).second)
+        fail("dataset '" + ds.name + "': local attribute '" + a.name +
+             "' shadows a schema attribute");
+    }
+
+    for (const auto& idx : ds.dataindex) {
+      if (!known.count(idx))
+        fail("dataset '" + ds.name + "': DATAINDEX attribute '" + idx +
+             "' is not in the schema");
+    }
+
+    if (ds.is_leaf()) {
+      if (ds.dataspace.empty())
+        fail("leaf dataset '" + ds.name + "' has no DATASPACE");
+      if (ds.files.empty())
+        fail("leaf dataset '" + ds.name + "' has no files in DATA");
+      check_files(ds);
+      check_dataspace(ds, known);
+    } else {
+      if (!ds.dataspace.empty())
+        fail("dataset '" + ds.name +
+             "' has both nested datasets and a DATASPACE");
+      if (!ds.files.empty())
+        fail("dataset '" + ds.name +
+             "' has both nested datasets and file patterns in DATA");
+      // When DATA lists child names, they must match the nested blocks.
+      if (!ds.child_order.empty()) {
+        std::set<std::string> child_names;
+        for (const auto& c : ds.children) child_names.insert(c.name);
+        for (const auto& n : ds.child_order)
+          if (!child_names.count(n))
+            fail("dataset '" + ds.name + "': DATA lists dataset '" + n +
+                 "' but no nested DATASET block defines it");
+      }
+      for (const auto& c : ds.children) check_dataset(c, seen_names);
+    }
+  }
+
+  void check_files(const DatasetDecl& ds) {
+    const Storage* st = storage_for(ds);
+    for (const auto& fp : ds.files) {
+      std::set<std::string> bound;
+      for (const auto& b : fp.bindings) {
+        if (!bound.insert(b.var).second)
+          fail("dataset '" + ds.name + "': file pattern binds variable '" +
+               b.var + "' twice");
+        for (const ArithExprPtr& e : {b.range.lo, b.range.hi, b.range.step}) {
+          if (e && !e->is_constant())
+            fail("dataset '" + ds.name + "': binding range for '" + b.var +
+                 "' must be constant");
+        }
+        VarEnv empty;
+        if (b.range.count(empty) <= 0)
+          fail("dataset '" + ds.name + "': binding range for '" + b.var +
+               "' is empty");
+      }
+      for (const auto& seg : fp.segs) {
+        if (seg.kind == PatternSeg::Kind::kVarRef && !bound.count(seg.var))
+          fail("dataset '" + ds.name + "': file pattern '" + fp.raw +
+               "' references unbound variable '$" + seg.var + "'");
+        if (seg.kind == PatternSeg::Kind::kDirRef) {
+          if (!st)
+            fail("dataset '" + ds.name + "': file pattern '" + fp.raw +
+                 "' uses DIR[...] but no storage section describes this "
+                 "dataset");
+          std::vector<std::string> vars;
+          seg.dir_index->collect_vars(vars);
+          for (const auto& v : vars)
+            if (!bound.count(v))
+              fail("dataset '" + ds.name + "': DIR index in pattern '" +
+                   fp.raw + "' references unbound variable '$" + v + "'");
+          // When the index is constant, it must be a valid DIR entry.
+          if (vars.empty()) {
+            VarEnv empty;
+            int64_t idx = seg.dir_index->eval(empty);
+            if (idx < 0 || static_cast<std::size_t>(idx) >= st->dirs.size())
+              fail("dataset '" + ds.name + "': DIR[" + std::to_string(idx) +
+                   "] is out of range (storage lists " +
+                   std::to_string(st->dirs.size()) + " directories)");
+          }
+        }
+      }
+    }
+  }
+
+  // The storage section of the outermost dataset that contains `ds`.
+  const Storage* storage_for(const DatasetDecl& ds) const {
+    for (const auto& top : d_.datasets) {
+      if (contains(top, ds.name))
+        if (const Storage* st = d_.find_storage(top.name)) return st;
+    }
+    return nullptr;
+  }
+
+  static bool contains(const DatasetDecl& d, const std::string& name) {
+    if (d.name == name) return true;
+    for (const auto& c : d.children)
+      if (contains(c, name)) return true;
+    return false;
+  }
+
+  void check_dataspace(const DatasetDecl& ds,
+                       const std::set<std::string>& known_attrs) {
+    // Variables every file pattern of this leaf binds — the only variables
+    // loop bounds may reference.
+    std::set<std::string> common_vars;
+    bool first = true;
+    for (const auto& fp : ds.files) {
+      std::set<std::string> vars;
+      for (const auto& b : fp.bindings) vars.insert(b.var);
+      if (first) {
+        common_vars = vars;
+        first = false;
+      } else {
+        std::set<std::string> inter;
+        for (const auto& v : common_vars)
+          if (vars.count(v)) inter.insert(v);
+        common_vars = inter;
+      }
+    }
+
+    // Top level: loops, plus optional file-local header fields (schema
+    // attributes outside any loop would be unreachable rows).
+    {
+      std::set<std::string> local;
+      for (const auto& a : ds.local_attrs) local.insert(a.name);
+      for (const auto& item : ds.dataspace) {
+        if (item.kind != LayoutNode::Kind::kFields) continue;
+        for (const auto& f : item.fields) {
+          if (!known_attrs.count(f))
+            fail("dataset '" + ds.name + "': DATASPACE references unknown "
+                 "attribute '" + f + "'");
+          if (!local.count(f))
+            fail("dataset '" + ds.name + "': schema attribute '" + f +
+                 "' appears at DATASPACE top level; only file-local "
+                 "(DATATYPE-declared) header fields may appear outside "
+                 "loops");
+        }
+      }
+    }
+
+    // A binding variable fixed by the file name must not reappear as a loop
+    // identifier: the file name would pin one value while the loop varies
+    // it — contradictory meta-data.
+    std::set<std::string> loop_idents;
+    std::function<void(const LayoutNode&)> collect =
+        [&](const LayoutNode& n) {
+          if (n.kind != LayoutNode::Kind::kLoop) return;
+          loop_idents.insert(n.loop_ident);
+          for (const auto& b : n.body) collect(b);
+        };
+    for (const auto& item : ds.dataspace) collect(item);
+    for (const auto& fp : ds.files)
+      for (const auto& b : fp.bindings)
+        if (loop_idents.count(b.var))
+          fail("dataset '" + ds.name + "': file pattern binds variable '" +
+               b.var + "' which is also a loop identifier in the DATASPACE "
+               "(the file name would fix a value the loop varies)");
+
+    std::set<std::string> path_idents;
+    for (const auto& item : ds.dataspace) {
+      if (item.kind != LayoutNode::Kind::kLoop) continue;  // header run
+      check_loop(ds, item, known_attrs, common_vars, path_idents);
+    }
+  }
+
+  void check_loop(const DatasetDecl& ds, const LayoutNode& loop,
+                  const std::set<std::string>& known_attrs,
+                  const std::set<std::string>& bound_vars,
+                  std::set<std::string>& path_idents) {
+    if (loop.kind != LayoutNode::Kind::kLoop)
+      throw InternalError("check_loop on non-loop node");
+    if (path_idents.count(loop.loop_ident))
+      fail("dataset '" + ds.name + "': loop identifier '" + loop.loop_ident +
+           "' is nested inside a loop with the same identifier");
+
+    for (const ArithExprPtr& e :
+         {loop.range.lo, loop.range.hi, loop.range.step}) {
+      if (!e) continue;
+      std::vector<std::string> vars;
+      e->collect_vars(vars);
+      for (const auto& v : vars) {
+        if (path_idents.count(v))
+          fail("dataset '" + ds.name + "': bounds of loop '" +
+               loop.loop_ident +
+               "' reference enclosing loop identifier '$" + v +
+               "' (triangular loop nests are not supported)");
+        if (!bound_vars.count(v))
+          fail("dataset '" + ds.name + "': bounds of loop '" +
+               loop.loop_ident + "' reference variable '$" + v +
+               "' which is not bound by every file pattern of this dataset");
+      }
+    }
+
+    if (loop.body.empty())
+      fail("dataset '" + ds.name + "': loop '" + loop.loop_ident +
+           "' has an empty body");
+
+    bool has_fields = false, has_loops = false;
+    for (const auto& item : loop.body) {
+      if (item.kind == LayoutNode::Kind::kFields) has_fields = true;
+      else has_loops = true;
+    }
+    if (has_fields && has_loops) {
+      // Mixed body: allowed only when every field is a file-local
+      // (non-schema) attribute — per-chunk headers/padding the extractor
+      // skips.  Schema attributes here would be unreachable by the
+      // aligned-chunk model.
+      std::set<std::string> local;
+      for (const auto& a : ds.local_attrs) local.insert(a.name);
+      for (const auto& item : loop.body) {
+        if (item.kind != LayoutNode::Kind::kFields) continue;
+        for (const auto& f : item.fields) {
+          if (!known_attrs.count(f))
+            fail("dataset '" + ds.name + "': DATASPACE references unknown "
+                 "attribute '" + f + "'");
+          if (!local.count(f))
+            fail("dataset '" + ds.name + "': loop '" + loop.loop_ident +
+                 "' mixes schema attribute '" + f + "' with nested loops; "
+                 "only file-local (DATATYPE-declared) header fields may "
+                 "appear alongside loops");
+        }
+      }
+      has_fields = false;  // treat as a structure loop below
+    }
+
+    if (has_fields) {
+      for (const auto& item : loop.body)
+        for (const auto& f : item.fields)
+          if (!known_attrs.count(f))
+            fail("dataset '" + ds.name + "': DATASPACE references unknown "
+                 "attribute '" + f + "'");
+    } else {
+      path_idents.insert(loop.loop_ident);
+      for (const auto& item : loop.body) {
+        if (item.kind != LayoutNode::Kind::kLoop) continue;  // header run
+        check_loop(ds, item, known_attrs, bound_vars, path_idents);
+      }
+      path_idents.erase(loop.loop_ident);
+    }
+  }
+
+  const Descriptor& d_;
+};
+
+}  // namespace
+
+void validate(const Descriptor& d) { Validator(d).run(); }
+
+}  // namespace adv::meta

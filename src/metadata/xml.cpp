@@ -1,0 +1,531 @@
+#include "metadata/xml.h"
+
+#include <cctype>
+#include <cstring>
+#include <functional>
+#include <sstream>
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+
+namespace adv::meta {
+
+// ---------------------------------------------------------------------------
+// Generic XML parsing.
+
+namespace {
+
+class XmlScanner {
+ public:
+  explicit XmlScanner(const std::string& s) : in_(s) {}
+
+  XmlNode parse_document() {
+    skip_prolog();
+    XmlNode root = parse_element();
+    skip_misc();
+    if (!done()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  bool done() const { return pos_ >= in_.size(); }
+  char cur() const { return in_[pos_]; }
+  bool match(const char* s) const {
+    return in_.compare(pos_, std::strlen(s), s) == 0;
+  }
+
+  void advance(std::size_t n = 1) {
+    for (std::size_t i = 0; i < n && pos_ < in_.size(); ++i) {
+      if (in_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("XML: " + msg, line_, col_);
+  }
+
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(cur())))
+      advance();
+  }
+
+  void skip_comment() {
+    // at "<!--"
+    advance(4);
+    while (!done() && !match("-->")) advance();
+    if (done()) fail("unterminated comment");
+    advance(3);
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (match("<?")) {
+      while (!done() && !match("?>")) advance();
+      if (done()) fail("unterminated XML declaration");
+      advance(2);
+    }
+    skip_misc();
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (match("<!--")) {
+        skip_comment();
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string parse_name() {
+    std::size_t start = pos_;
+    while (!done() && (std::isalnum(static_cast<unsigned char>(cur())) ||
+                       cur() == '_' || cur() == '-' || cur() == ':' ||
+                       cur() == '.'))
+      advance();
+    if (pos_ == start) fail("expected a name");
+    return in_.substr(start, pos_ - start);
+  }
+
+  std::string decode_entities(const std::string& s) {
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      std::size_t semi = s.find(';', i);
+      if (semi == std::string::npos) fail("unterminated entity");
+      std::string ent = s.substr(i + 1, semi - i - 1);
+      if (ent == "lt") out.push_back('<');
+      else if (ent == "gt") out.push_back('>');
+      else if (ent == "amp") out.push_back('&');
+      else if (ent == "quot") out.push_back('"');
+      else if (ent == "apos") out.push_back('\'');
+      else fail("unknown entity '&" + ent + ";'");
+      i = semi;
+    }
+    return out;
+  }
+
+  XmlNode parse_element() {
+    if (done() || cur() != '<') fail("expected '<'");
+    advance();
+    XmlNode node;
+    node.name = parse_name();
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (done()) fail("unterminated element <" + node.name + ">");
+      if (cur() == '>' || match("/>")) break;
+      std::string key = parse_name();
+      skip_ws();
+      if (done() || cur() != '=') fail("expected '=' after attribute name");
+      advance();
+      skip_ws();
+      if (done() || (cur() != '"' && cur() != '\''))
+        fail("expected quoted attribute value");
+      char quote = cur();
+      advance();
+      std::size_t start = pos_;
+      while (!done() && cur() != quote) advance();
+      if (done()) fail("unterminated attribute value");
+      node.attributes.emplace_back(
+          key, decode_entities(in_.substr(start, pos_ - start)));
+      advance();
+    }
+    if (match("/>")) {
+      advance(2);
+      return node;
+    }
+    advance();  // '>'
+
+    // Content.
+    for (;;) {
+      if (done()) fail("unterminated element <" + node.name + ">");
+      if (match("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (match("<![CDATA[")) {
+        advance(9);
+        std::size_t start = pos_;
+        while (!done() && !match("]]>")) advance();
+        if (done()) fail("unterminated CDATA section");
+        node.text += in_.substr(start, pos_ - start);
+        advance(3);
+        continue;
+      }
+      if (match("</")) {
+        advance(2);
+        std::string closing = parse_name();
+        if (closing != node.name)
+          fail("mismatched closing tag </" + closing + "> for <" +
+               node.name + ">");
+        skip_ws();
+        if (done() || cur() != '>') fail("expected '>' in closing tag");
+        advance();
+        return node;
+      }
+      if (cur() == '<') {
+        node.children.push_back(parse_element());
+        continue;
+      }
+      std::size_t start = pos_;
+      while (!done() && cur() != '<') advance();
+      node.text += decode_entities(in_.substr(start, pos_ - start));
+    }
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+  int line_ = 1, col_ = 1;
+};
+
+std::string encode_entities(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_node(std::ostringstream& os, const XmlNode& n, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << '<' << n.name;
+  for (const auto& [k, v] : n.attributes)
+    os << ' ' << k << "=\"" << encode_entities(v) << '"';
+  std::string text = trim(n.text);
+  if (n.children.empty() && text.empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (!text.empty()) os << encode_entities(text);
+  if (!n.children.empty()) {
+    os << '\n';
+    for (const auto& c : n.children) write_node(os, c, indent + 1);
+    os << pad;
+  }
+  os << "</" << n.name << ">\n";
+}
+
+}  // namespace
+
+std::string XmlNode::attr(const std::string& key,
+                          const std::string& def) const {
+  for (const auto& [k, v] : attributes)
+    if (k == key) return v;
+  return def;
+}
+
+bool XmlNode::has_attr(const std::string& key) const {
+  for (const auto& [k, v] : attributes)
+    if (k == key) return true;
+  return false;
+}
+
+const XmlNode* XmlNode::child(const std::string& name) const {
+  for (const auto& c : children)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    const std::string& name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children)
+    if (c.name == name) out.push_back(&c);
+  return out;
+}
+
+XmlNode parse_xml(const std::string& text) {
+  XmlScanner s(text);
+  return s.parse_document();
+}
+
+std::string to_xml_text(const XmlNode& node) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>\n";
+  write_node(os, node, 0);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor <-> XML.
+
+namespace {
+
+LoopRange range_from_string(const std::string& s) {
+  TokenCursor cur(tokenize(s));
+  LoopRange r = parse_range(cur);
+  if (!cur.at_end())
+    throw ValidationError("trailing input in range '" + s + "'");
+  return r;
+}
+
+std::vector<std::string> names_from_text(const std::string& text) {
+  std::vector<std::string> out;
+  std::string word;
+  for (char c : text + " ") {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!word.empty()) out.push_back(word);
+      word.clear();
+    } else {
+      word.push_back(c);
+    }
+  }
+  return out;
+}
+
+LayoutNode layout_from_xml(const XmlNode& n);
+
+std::vector<LayoutNode> layout_children(const XmlNode& n) {
+  std::vector<LayoutNode> out;
+  for (const auto& c : n.children) out.push_back(layout_from_xml(c));
+  return out;
+}
+
+LayoutNode layout_from_xml(const XmlNode& n) {
+  if (n.name == "loop") {
+    if (!n.has_attr("ident") || !n.has_attr("range"))
+      throw ValidationError("XML <loop> needs ident and range attributes");
+    return LayoutNode::make_loop(n.attr("ident"),
+                                 range_from_string(n.attr("range")),
+                                 layout_children(n));
+  }
+  if (n.name == "fields")
+    return LayoutNode::make_fields(names_from_text(n.text));
+  throw ValidationError("unexpected XML element <" + n.name +
+                        "> inside <dataspace>");
+}
+
+DatasetDecl dataset_from_xml(const XmlNode& n) {
+  DatasetDecl d;
+  d.name = n.attr("name");
+  d.datatype = n.attr("datatype");
+  if (const XmlNode* di = n.child("dataindex"))
+    d.dataindex = names_from_text(di->text);
+  if (const XmlNode* dt = n.child("datatype")) {
+    for (const XmlNode* a : dt->children_named("attribute"))
+      d.local_attrs.push_back(
+          {a->attr("name"), parse_data_type(a->attr("type"))});
+  }
+  if (const XmlNode* space = n.child("dataspace"))
+    d.dataspace = layout_children(*space);
+  if (const XmlNode* data = n.child("data")) {
+    for (const XmlNode* f : data->children_named("file")) {
+      FilePattern fp;
+      fp.raw = f->attr("pattern");
+      if (fp.raw.empty())
+        throw ValidationError("XML <file> needs a pattern attribute");
+      // Reuse the text-syntax pattern parser via a round trip through the
+      // canonical descriptor form of a single-file DATA clause.
+      std::string shim = "[S_]\nA_ = int\n[D_]\nDatasetDescription = S_\n"
+                         "DIR[0] = n/d\nDATASET \"D_\" { DATASPACE { LOOP "
+                         "I_ 1:1:1 { A_ } } DATA { \"" + fp.raw + "\"";
+      for (const XmlNode* b : f->children_named("bind"))
+        shim += " " + b->attr("var") + " = " + b->attr("range");
+      shim += " } }";
+      Descriptor tmp;
+      try {
+        tmp = parse_descriptor(shim);
+      } catch (const Error& e) {
+        throw ValidationError("XML <file pattern=\"" + fp.raw +
+                              "\"> does not parse: " + e.what());
+      }
+      FilePattern parsed = tmp.datasets[0].files[0];
+      fp.segs = parsed.segs;
+      fp.bindings = parsed.bindings;
+      d.files.push_back(std::move(fp));
+    }
+  }
+  for (const XmlNode* c : n.children_named("dataset")) {
+    d.children.push_back(dataset_from_xml(*c));
+    d.child_order.push_back(d.children.back().name);
+  }
+  return d;
+}
+
+}  // namespace
+
+Descriptor parse_descriptor_xml(const std::string& xml_text) {
+  XmlNode root = parse_xml(xml_text);
+  if (root.name != "descriptor")
+    throw ValidationError("XML root element must be <descriptor>, got <" +
+                          root.name + ">");
+  Descriptor d;
+  for (const XmlNode* s : root.children_named("schema")) {
+    Schema sc;
+    sc.name = s->attr("name");
+    for (const XmlNode* a : s->children_named("attribute"))
+      sc.attrs.push_back({a->attr("name"), parse_data_type(a->attr("type"))});
+    d.schemas.push_back(std::move(sc));
+  }
+  for (const XmlNode* s : root.children_named("storage")) {
+    Storage st;
+    st.dataset_name = s->attr("dataset");
+    st.schema_name = s->attr("schema");
+    auto dirs = s->children_named("dir");
+    st.dirs.resize(dirs.size());
+    for (const XmlNode* dir : dirs) {
+      std::size_t idx = static_cast<std::size_t>(
+          std::stoul(dir->attr("index", "0")));
+      if (idx >= st.dirs.size())
+        throw ValidationError("XML <dir index> out of range in storage [" +
+                              st.dataset_name + "]");
+      std::string path = dir->attr("path");
+      std::size_t slash = path.find('/');
+      st.dirs[idx] = {slash == std::string::npos ? path
+                                                 : path.substr(0, slash),
+                      path};
+    }
+    d.storages.push_back(std::move(st));
+  }
+  for (const XmlNode* ds : root.children_named("dataset"))
+    d.datasets.push_back(dataset_from_xml(*ds));
+
+  // Inherit datatypes exactly like the text parser.
+  for (auto& ds : d.datasets) {
+    std::string top = ds.datatype;
+    if (top.empty())
+      if (const Storage* st = d.find_storage(ds.name)) top = st->schema_name;
+    std::function<void(DatasetDecl&, const std::string&)> propagate =
+        [&](DatasetDecl& dd, const std::string& inherited) {
+          if (dd.datatype.empty()) dd.datatype = inherited;
+          for (auto& c : dd.children) propagate(c, dd.datatype);
+        };
+    propagate(ds, top);
+  }
+  validate(d);
+  return d;
+}
+
+namespace {
+
+XmlNode layout_to_xml(const LayoutNode& n) {
+  XmlNode x;
+  if (n.kind == LayoutNode::Kind::kFields) {
+    x.name = "fields";
+    x.text = join(n.fields, " ");
+    return x;
+  }
+  x.name = "loop";
+  x.attributes = {{"ident", n.loop_ident}, {"range", n.range.to_string()}};
+  for (const auto& b : n.body) x.children.push_back(layout_to_xml(b));
+  return x;
+}
+
+std::string pattern_to_string(const FilePattern& fp) {
+  std::string out;
+  for (const auto& seg : fp.segs) {
+    switch (seg.kind) {
+      case PatternSeg::Kind::kLiteral: out += seg.literal; break;
+      case PatternSeg::Kind::kDirRef:
+        out += "DIR[" + seg.dir_index->to_string() + "]";
+        break;
+      case PatternSeg::Kind::kVarRef: out += "$" + seg.var; break;
+    }
+  }
+  return out;
+}
+
+XmlNode dataset_to_xml(const DatasetDecl& d) {
+  XmlNode x;
+  x.name = "dataset";
+  x.attributes = {{"name", d.name}};
+  if (!d.datatype.empty()) x.attributes.push_back({"datatype", d.datatype});
+  if (!d.local_attrs.empty()) {
+    XmlNode dt;
+    dt.name = "datatype";
+    for (const auto& a : d.local_attrs) {
+      XmlNode at;
+      at.name = "attribute";
+      at.attributes = {{"name", a.name}, {"type", to_string(a.type)}};
+      dt.children.push_back(std::move(at));
+    }
+    x.children.push_back(std::move(dt));
+  }
+  if (!d.dataindex.empty()) {
+    XmlNode di;
+    di.name = "dataindex";
+    di.text = join(d.dataindex, " ");
+    x.children.push_back(std::move(di));
+  }
+  if (!d.dataspace.empty()) {
+    XmlNode space;
+    space.name = "dataspace";
+    for (const auto& n : d.dataspace)
+      space.children.push_back(layout_to_xml(n));
+    x.children.push_back(std::move(space));
+  }
+  if (!d.files.empty()) {
+    XmlNode data;
+    data.name = "data";
+    for (const auto& fp : d.files) {
+      XmlNode f;
+      f.name = "file";
+      f.attributes = {{"pattern", pattern_to_string(fp)}};
+      for (const auto& b : fp.bindings) {
+        XmlNode bind;
+        bind.name = "bind";
+        bind.attributes = {{"var", b.var}, {"range", b.range.to_string()}};
+        f.children.push_back(std::move(bind));
+      }
+      data.children.push_back(std::move(f));
+    }
+    x.children.push_back(std::move(data));
+  }
+  for (const auto& c : d.children) x.children.push_back(dataset_to_xml(c));
+  return x;
+}
+
+}  // namespace
+
+std::string to_xml(const Descriptor& d) {
+  XmlNode root;
+  root.name = "descriptor";
+  for (const auto& s : d.schemas) {
+    XmlNode sc;
+    sc.name = "schema";
+    sc.attributes = {{"name", s.name}};
+    for (const auto& a : s.attrs) {
+      XmlNode at;
+      at.name = "attribute";
+      at.attributes = {{"name", a.name}, {"type", to_string(a.type)}};
+      sc.children.push_back(std::move(at));
+    }
+    root.children.push_back(std::move(sc));
+  }
+  for (const auto& st : d.storages) {
+    XmlNode s;
+    s.name = "storage";
+    s.attributes = {{"dataset", st.dataset_name}, {"schema", st.schema_name}};
+    for (std::size_t i = 0; i < st.dirs.size(); ++i) {
+      XmlNode dir;
+      dir.name = "dir";
+      dir.attributes = {{"index", std::to_string(i)},
+                        {"path", st.dirs[i].path}};
+      s.children.push_back(std::move(dir));
+    }
+    root.children.push_back(std::move(s));
+  }
+  for (const auto& ds : d.datasets)
+    root.children.push_back(dataset_to_xml(ds));
+  return to_xml_text(root);
+}
+
+}  // namespace adv::meta

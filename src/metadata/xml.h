@@ -1,0 +1,79 @@
+// Minimal XML subset used for machine-independent descriptor interchange
+// (paper §3.1: "the description language we have developed can easily be
+// embedded in an XML file").
+//
+// Supported: elements with attributes, text content, CDATA sections,
+// comments, XML declarations, and the five standard entities.  Not
+// supported (not needed): namespaces, DTDs, processing instructions beyond
+// the declaration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metadata/model.h"
+
+namespace adv::meta {
+
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  // concatenated character data (entities resolved)
+
+  // First attribute value by name, or `def`.
+  std::string attr(const std::string& key, const std::string& def = "") const;
+  bool has_attr(const std::string& key) const;
+
+  // First child element with the given name, or nullptr.
+  const XmlNode* child(const std::string& name) const;
+  // All child elements with the given name.
+  std::vector<const XmlNode*> children_named(const std::string& name) const;
+};
+
+// Parses one XML document and returns the root element.
+// Throws ParseError with position information on malformed input.
+XmlNode parse_xml(const std::string& text);
+
+// Serializes a node tree (pretty-printed, 2-space indent).
+std::string to_xml_text(const XmlNode& node);
+
+// ---------------------------------------------------------------------------
+// Descriptor <-> XML.
+//
+// The XML descriptor format mirrors the three components:
+//
+//   <descriptor>
+//     <schema name="IPARS">
+//       <attribute name="REL" type="short int"/>
+//     </schema>
+//     <storage dataset="IparsData" schema="IPARS">
+//       <dir index="0" path="osu0/ipars"/>
+//     </storage>
+//     <dataset name="IparsData" datatype="IPARS">
+//       <dataindex>REL TIME</dataindex>
+//       <dataset name="ipars1">
+//         <dataspace>
+//           <loop ident="GRID" range="($DIRID*100+1):(($DIRID+1)*100):1">
+//             <fields>X Y Z</fields>
+//           </loop>
+//         </dataspace>
+//         <data>
+//           <file pattern="DIR[$DIRID]/COORDS">
+//             <bind var="DIRID" range="0:3:1"/>
+//           </file>
+//         </data>
+//       </dataset>
+//     </dataset>
+//   </descriptor>
+
+// Parses an XML descriptor document (root element <descriptor>) into the
+// same validated model parse_descriptor produces.
+Descriptor parse_descriptor_xml(const std::string& xml_text);
+
+// Serializes a descriptor as XML (round-trips through
+// parse_descriptor_xml).
+std::string to_xml(const Descriptor& d);
+
+}  // namespace adv::meta

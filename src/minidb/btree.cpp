@@ -1,0 +1,195 @@
+#include "minidb/btree.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace adv::minidb {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'D', 'B', 'B', 'T', 'R', 'E', '1'};
+constexpr std::size_t kEntrySize = 16;  // key(8) + page(4) + slot(2) + pad
+constexpr std::size_t kNodeHeader = 24; // count(4) + next(4) + reserved
+constexpr std::size_t kFanout = (kPageSize - kNodeHeader) / kEntrySize;
+
+void put_leaf_entry(unsigned char* p, double key, TupleId tid) {
+  std::memcpy(p, &key, 8);
+  std::memcpy(p + 8, &tid.page, 4);
+  std::memcpy(p + 12, &tid.slot, 2);
+}
+
+void get_leaf_entry(const unsigned char* p, double* key, TupleId* tid) {
+  std::memcpy(key, p, 8);
+  std::memcpy(&tid->page, p + 8, 4);
+  std::memcpy(&tid->slot, p + 12, 2);
+}
+
+void put_inner_entry(unsigned char* p, double key, uint32_t child) {
+  std::memcpy(p, &key, 8);
+  std::memcpy(p + 8, &child, 4);
+}
+
+void get_inner_entry(const unsigned char* p, double* key, uint32_t* child) {
+  std::memcpy(key, p, 8);
+  std::memcpy(child, p + 8, 4);
+}
+
+}  // namespace
+
+uint64_t BTree::build(const std::string& path,
+                      const std::vector<Entry>& sorted_entries) {
+  for (std::size_t i = 1; i < sorted_entries.size(); ++i)
+    check_internal(sorted_entries[i - 1].key <= sorted_entries[i].key,
+                   "BTree::build requires sorted entries");
+
+  BufferedWriter out(path);
+  // Header page written last would need a seek; reserve it and patch like
+  // the heap writer: write zero header now, patch at the end.
+  std::vector<unsigned char> header(kPageSize, 0);
+  out.write(header.data(), kPageSize);
+
+  uint32_t next_page = 1;
+  std::vector<unsigned char> page(kPageSize, 0);
+
+  // Leaf level.
+  std::vector<std::pair<double, uint32_t>> level;  // (min key, page id)
+  std::size_t n = sorted_entries.size();
+  std::size_t num_leaves = (n + kFanout - 1) / kFanout;
+  if (num_leaves == 0) num_leaves = 1;
+  for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    std::size_t begin = leaf * kFanout;
+    std::size_t end = std::min(n, begin + kFanout);
+    std::fill(page.begin(), page.end(), 0);
+    uint32_t count = static_cast<uint32_t>(end - begin);
+    std::memcpy(page.data(), &count, 4);
+    uint32_t next_leaf = (leaf + 1 < num_leaves) ? next_page + 1 : 0;
+    std::memcpy(page.data() + 4, &next_leaf, 4);
+    for (std::size_t i = begin; i < end; ++i)
+      put_leaf_entry(page.data() + kNodeHeader + (i - begin) * kEntrySize,
+                     sorted_entries[i].key, sorted_entries[i].tid);
+    double min_key = begin < end ? sorted_entries[begin].key : 0;
+    level.emplace_back(min_key, next_page);
+    out.write(page.data(), kPageSize);
+    next_page++;
+  }
+
+  // Internal levels.
+  int height = 1;
+  while (level.size() > 1) {
+    std::vector<std::pair<double, uint32_t>> parent;
+    for (std::size_t i = 0; i < level.size(); i += kFanout) {
+      std::size_t end = std::min(level.size(), i + kFanout);
+      std::fill(page.begin(), page.end(), 0);
+      uint32_t count = static_cast<uint32_t>(end - i);
+      std::memcpy(page.data(), &count, 4);
+      for (std::size_t j = i; j < end; ++j)
+        put_inner_entry(page.data() + kNodeHeader + (j - i) * kEntrySize,
+                        level[j].first, level[j].second);
+      parent.emplace_back(level[i].first, next_page);
+      out.write(page.data(), kPageSize);
+      next_page++;
+    }
+    level = std::move(parent);
+    height++;
+  }
+  out.close();
+
+  // Patch the header.
+  unsigned char* p = header.data();
+  std::memcpy(p, kMagic, 8);
+  uint32_t root = level[0].second;
+  std::memcpy(p + 8, &root, 4);
+  uint32_t h = static_cast<uint32_t>(height);
+  std::memcpy(p + 12, &h, 4);
+  uint64_t cnt = n;
+  std::memcpy(p + 16, &cnt, 8);
+  double mn = n ? sorted_entries.front().key : 0;
+  double mx = n ? sorted_entries.back().key : 0;
+  std::memcpy(p + 24, &mn, 8);
+  std::memcpy(p + 32, &mx, 8);
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) throw IoError("cannot reopen btree header: " + path);
+  ssize_t w = ::pwrite(fd, header.data(), kPageSize, 0);
+  ::close(fd);
+  if (w != static_cast<ssize_t>(kPageSize))
+    throw IoError("btree header write failed: " + path);
+  return static_cast<uint64_t>(next_page) * kPageSize;
+}
+
+BTree::BTree(const std::string& path) : file_(path) {
+  std::vector<unsigned char> header(kPageSize);
+  file_.pread_exact(header.data(), kPageSize, 0);
+  if (std::memcmp(header.data(), kMagic, 8) != 0)
+    throw IoError("'" + path + "' is not a minidb btree file");
+  uint32_t h;
+  std::memcpy(&root_page_, header.data() + 8, 4);
+  std::memcpy(&h, header.data() + 12, 4);
+  height_ = static_cast<int>(h);
+  std::memcpy(&entry_count_, header.data() + 16, 8);
+  std::memcpy(&min_key_, header.data() + 24, 8);
+  std::memcpy(&max_key_, header.data() + 32, 8);
+}
+
+void BTree::range_scan(double lo, double hi,
+                       const std::function<void(TupleId)>& fn,
+                       BTreeStats* stats) const {
+  if (entry_count_ == 0 || lo > hi) return;
+  std::vector<unsigned char> page(kPageSize);
+
+  // Descend to the leaf that may contain `lo`.
+  uint32_t pno = root_page_;
+  for (int level = height_; level > 1; --level) {
+    file_.pread_exact(page.data(), kPageSize,
+                      static_cast<uint64_t>(pno) * kPageSize);
+    if (stats) stats->pages_read++;
+    uint32_t count;
+    std::memcpy(&count, page.data(), 4);
+    // Last child whose min key <= lo (first child when lo precedes all).
+    uint32_t child = 0;
+    std::memcpy(&child, page.data() + kNodeHeader + 8, 4);
+    for (uint32_t i = 0; i < count; ++i) {
+      double key;
+      uint32_t c;
+      get_inner_entry(page.data() + kNodeHeader + i * kEntrySize, &key, &c);
+      if (i == 0 || key <= lo) child = c;
+      else break;
+    }
+    pno = child;
+  }
+
+  // Walk leaves.
+  while (pno != 0) {
+    file_.pread_exact(page.data(), kPageSize,
+                      static_cast<uint64_t>(pno) * kPageSize);
+    if (stats) stats->pages_read++;
+    uint32_t count, next;
+    std::memcpy(&count, page.data(), 4);
+    std::memcpy(&next, page.data() + 4, 4);
+    for (uint32_t i = 0; i < count; ++i) {
+      double key;
+      TupleId tid;
+      get_leaf_entry(page.data() + kNodeHeader + i * kEntrySize, &key, &tid);
+      if (key < lo) continue;
+      if (key > hi) return;
+      if (stats) stats->entries_returned++;
+      fn(tid);
+    }
+    pno = next;
+  }
+}
+
+double BTree::estimate_selectivity(double lo, double hi) const {
+  if (entry_count_ == 0) return 0;
+  double span = max_key_ - min_key_;
+  if (span <= 0) return (lo <= min_key_ && min_key_ <= hi) ? 1.0 : 0.0;
+  double clo = std::max(lo, min_key_), chi = std::min(hi, max_key_);
+  if (clo > chi) return 0;
+  return (chi - clo) / span;
+}
+
+}  // namespace adv::minidb

@@ -1,0 +1,60 @@
+// Packed (bulk-loaded) B+tree index over one double-valued column.
+//
+// Built once at CREATE INDEX time from sorted (key, TupleId) pairs, stored
+// in 8 KB pages in its own file.  Leaves are chained for range scans;
+// internal nodes hold (separator key, child page) entries.  Lookups count
+// page reads so the Figure 6 benchmark can report index-scan I/O honestly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "minidb/page.h"
+
+namespace adv::minidb {
+
+struct BTreeStats {
+  uint64_t pages_read = 0;
+  uint64_t entries_returned = 0;
+};
+
+class BTree {
+ public:
+  struct Entry {
+    double key;
+    TupleId tid;
+  };
+
+  // Bulk-builds the index file from entries (sorted ascending by key —
+  // asserted).  Returns the file size in bytes.
+  static uint64_t build(const std::string& path,
+                        const std::vector<Entry>& sorted_entries);
+
+  explicit BTree(const std::string& path);
+
+  uint64_t entry_count() const { return entry_count_; }
+  int height() const { return height_; }
+  uint64_t file_bytes() const { return file_.size(); }
+  double min_key() const { return min_key_; }
+  double max_key() const { return max_key_; }
+
+  // Invokes fn(tid) for every entry with lo <= key <= hi, in key order.
+  void range_scan(double lo, double hi,
+                  const std::function<void(TupleId)>& fn,
+                  BTreeStats* stats = nullptr) const;
+
+  // Uniformity-based selectivity estimate for [lo, hi] (planner input).
+  double estimate_selectivity(double lo, double hi) const;
+
+ private:
+  FileHandle file_;
+  uint32_t root_page_ = 0;
+  int height_ = 0;
+  uint64_t entry_count_ = 0;
+  double min_key_ = 0, max_key_ = 0;
+};
+
+}  // namespace adv::minidb

@@ -1,0 +1,176 @@
+#include "minidb/db.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/io.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "sql/ast.h"
+
+namespace adv::minidb {
+
+namespace {
+
+std::string heap_path(const std::string& dir, const std::string& table) {
+  return dir + "/" + table + ".heap";
+}
+
+std::string index_path(const std::string& dir, const std::string& table,
+                       const std::string& col) {
+  return dir + "/" + table + "." + col + ".idx";
+}
+
+}  // namespace
+
+Database::Database(std::string dir, std::string table,
+                   std::vector<std::string> index_cols)
+    : dir_(std::move(dir)), table_(std::move(table)) {
+  heap_ = std::make_unique<HeapFileReader>(heap_path(dir_, table_));
+  schema_.name = table_;
+  for (const auto& c : heap_->columns()) schema_.attrs.push_back({c.name, c.type});
+  for (const auto& col : index_cols) {
+    Index idx;
+    idx.col = col;
+    idx.attr = schema_.find(col);
+    if (idx.attr < 0)
+      throw QueryError("index column '" + col + "' not in table " + table_);
+    std::string p = index_path(dir_, table_, col);
+    idx.tree = std::make_unique<BTree>(p);
+    idx.file_bytes = file_size(p);
+    indexes_.push_back(std::move(idx));
+  }
+}
+
+Database Database::create(const std::string& dir, const std::string& table,
+                          const expr::Table& src,
+                          const std::vector<std::string>& index_cols,
+                          LoadStats* stats) {
+  Stopwatch sw;
+  LoadStats ls;
+  ls.rows = src.num_rows();
+  ls.raw_bytes = src.payload_bytes();
+
+  std::vector<HeapColumn> cols;
+  for (const auto& c : src.columns()) cols.push_back({c.name, c.type});
+  HeapFileWriter writer(heap_path(dir, table), cols);
+
+  // Remember TIDs for index builds.
+  std::vector<TupleId> tids;
+  tids.reserve(src.num_rows());
+  std::vector<double> row(src.num_cols());
+  for (std::size_t r = 0; r < src.num_rows(); ++r) {
+    for (std::size_t c = 0; c < src.num_cols(); ++c) row[c] = src.at(r, c);
+    tids.push_back(writer.append(row.data()));
+  }
+  writer.close();
+  ls.heap_bytes = file_size(heap_path(dir, table));
+
+  for (const auto& col : index_cols) {
+    int attr = -1;
+    for (std::size_t c = 0; c < src.num_cols(); ++c)
+      if (src.columns()[c].name == col) attr = static_cast<int>(c);
+    if (attr < 0)
+      throw QueryError("index column '" + col + "' not in source table");
+    std::vector<BTree::Entry> entries(src.num_rows());
+    for (std::size_t r = 0; r < src.num_rows(); ++r)
+      entries[r] = {src.at(r, static_cast<std::size_t>(attr)), tids[r]};
+    std::sort(entries.begin(), entries.end(),
+              [](const BTree::Entry& a, const BTree::Entry& b) {
+                return a.key < b.key;
+              });
+    ls.index_bytes += BTree::build(index_path(dir, table, col), entries);
+  }
+  ls.load_seconds = sw.elapsed_seconds();
+  if (stats) *stats = ls;
+  return Database(dir, table, index_cols);
+}
+
+Database Database::open(const std::string& dir, const std::string& table,
+                        const std::vector<std::string>& index_cols) {
+  return Database(dir, table, index_cols);
+}
+
+uint64_t Database::disk_bytes() const {
+  uint64_t total = heap_->file_bytes();
+  for (const auto& i : indexes_) total += i.file_bytes;
+  return total;
+}
+
+expr::Table Database::query(const std::string& sql, ExecStats* stats) const {
+  sql::SelectQuery q = sql::parse_select(sql);
+  if (!iequals(q.table, table_) && !iequals(q.table, schema_.name))
+    throw QueryError("query table '" + q.table + "' is not '" + table_ + "'");
+  return query(expr::BoundQuery(std::move(q), schema_), stats);
+}
+
+expr::Table Database::query(const expr::BoundQuery& q,
+                            ExecStats* stats) const {
+  ExecStats es;
+  expr::Table out(q.result_columns());
+
+  // Map the full heap row to the query's needed-slot buffer.
+  const auto& needed = q.needed_attrs();
+  std::vector<double> buf(needed.size());
+  std::vector<double> sel(q.select_slots().size());
+  auto consume = [&](const double* full_row) {
+    for (std::size_t s = 0; s < needed.size(); ++s)
+      buf[s] = full_row[needed[s]];
+    if (!q.matches(buf.data())) return;
+    for (std::size_t i = 0; i < sel.size(); ++i)
+      sel[i] = buf[static_cast<std::size_t>(q.select_slots()[i])];
+    out.append_row(sel.data());
+  };
+
+  // Plan: cheapest sufficiently-selective index wins, else seq scan.
+  const Index* best = nullptr;
+  double best_sel = 1.0;
+  expr::Interval best_iv;
+  if (!q.intervals().contradictory()) {
+    for (const auto& idx : indexes_) {
+      const expr::Interval& iv =
+          q.intervals().interval(static_cast<std::size_t>(idx.attr));
+      if (iv.is_all()) continue;
+      double lo = std::isfinite(iv.lo) ? iv.lo : idx.tree->min_key();
+      double hi = std::isfinite(iv.hi) ? iv.hi : idx.tree->max_key();
+      double s = idx.tree->estimate_selectivity(lo, hi);
+      if (s < best_sel) {
+        best_sel = s;
+        best = &idx;
+        best_iv = expr::Interval::closed(lo, hi);
+      }
+    }
+  } else {
+    // Contradictory predicate: nothing can match.
+    if (stats) {
+      stats->plan = "EmptyScan";
+      stats->rows_returned = 0;
+    }
+    return out;
+  }
+
+  HeapStats hs;
+  if (best && best_sel <= index_threshold_) {
+    es.plan = "IndexScan(" + best->col + ")";
+    es.estimated_selectivity = best_sel;
+    BTreeStats bs;
+    std::vector<TupleId> tids;
+    best->tree->range_scan(best_iv.lo, best_iv.hi,
+                           [&](TupleId tid) { tids.push_back(tid); }, &bs);
+    std::sort(tids.begin(), tids.end());
+    heap_->fetch(tids, consume, &hs);
+    es.pages_read = bs.pages_read + hs.pages_read;
+  } else {
+    es.plan = "SeqScan";
+    es.estimated_selectivity = best_sel;
+    heap_->scan(consume, &hs);
+    es.pages_read = hs.pages_read;
+  }
+  es.tuples_scanned = hs.tuples_read;
+  es.rows_returned = out.num_rows();
+  if (stats) *stats = es;
+  return out;
+}
+
+}  // namespace adv::minidb

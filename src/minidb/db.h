@@ -1,0 +1,86 @@
+// minidb::Database — the PostgreSQL-substitute engine for the Figure 6
+// comparison.
+//
+// Loading copies the dataset into minidb's own heap format (the storage
+// and loading overhead the paper's approach avoids) and bulk-builds B+tree
+// indexes.  Querying runs the same SQL subset through a two-alternative
+// planner: sequential heap scan, or a bitmap-style index scan when an
+// indexed attribute's predicate interval is estimated selective enough.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "expr/table.h"
+#include "metadata/model.h"
+#include "minidb/btree.h"
+#include "minidb/heap.h"
+
+namespace adv::minidb {
+
+struct LoadStats {
+  double load_seconds = 0;
+  uint64_t rows = 0;
+  uint64_t raw_bytes = 0;    // nominal payload of the source rows
+  uint64_t heap_bytes = 0;   // heap file size after load
+  uint64_t index_bytes = 0;  // total size of all index files
+  uint64_t total_bytes() const { return heap_bytes + index_bytes; }
+};
+
+struct ExecStats {
+  std::string plan;  // "SeqScan" or "IndexScan(<col>)"
+  uint64_t pages_read = 0;
+  uint64_t tuples_scanned = 0;
+  uint64_t rows_returned = 0;
+  double estimated_selectivity = 1.0;
+};
+
+class Database {
+ public:
+  // Creates `<dir>/<table>.heap` (+ one `.idx` per index column) from the
+  // source rows.  Source column order defines the table schema.
+  static Database create(const std::string& dir, const std::string& table,
+                         const expr::Table& src,
+                         const std::vector<std::string>& index_cols,
+                         LoadStats* stats = nullptr);
+
+  // Opens an existing database (indexes discovered from `index_cols`).
+  static Database open(const std::string& dir, const std::string& table,
+                       const std::vector<std::string>& index_cols);
+
+  const meta::Schema& schema() const { return schema_; }
+
+  // Index-scan threshold: use an index when the estimated selectivity of
+  // its predicate interval is below this fraction (PostgreSQL-flavored
+  // default).
+  void set_index_threshold(double t) { index_threshold_ = t; }
+
+  // Executes a SELECT; FROM must name this table (case-insensitive).
+  expr::Table query(const std::string& sql, ExecStats* stats = nullptr) const;
+  expr::Table query(const expr::BoundQuery& q,
+                    ExecStats* stats = nullptr) const;
+
+  uint64_t disk_bytes() const;
+
+ private:
+  Database(std::string dir, std::string table,
+           std::vector<std::string> index_cols);
+
+  struct Index {
+    std::string col;
+    int attr = -1;
+    std::unique_ptr<BTree> tree;
+    uint64_t file_bytes = 0;
+  };
+
+  std::string dir_, table_;
+  std::unique_ptr<HeapFileReader> heap_;
+  meta::Schema schema_;
+  std::vector<Index> indexes_;
+  double index_threshold_ = 0.05;
+};
+
+}  // namespace adv::minidb

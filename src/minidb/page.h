@@ -1,0 +1,30 @@
+// On-disk page geometry for minidb, the PostgreSQL-substitute row store
+// used as the Figure 6 comparator (see DESIGN.md §4 Substitutions).
+//
+// The cost structure mirrors PostgreSQL's storage shape:
+//   * 8 KB slotted pages with a page header and a line-pointer array;
+//   * a 24-byte tuple header in front of every row (PG: 23 bytes + pad);
+//   * values stored at their declared widths.
+// A narrow scientific row (e.g. Titan's 32 raw bytes) therefore inflates by
+// roughly 2x in the heap, and secondary B+tree indexes push total loaded
+// size toward the paper's observed ~3x.
+#pragma once
+
+#include <cstdint>
+
+namespace adv::minidb {
+
+constexpr std::size_t kPageSize = 8192;
+constexpr std::size_t kPageHeaderSize = 24;
+constexpr std::size_t kLinePointerSize = 4;
+constexpr std::size_t kTupleHeaderSize = 24;
+
+// Physical address of a tuple.
+struct TupleId {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  auto operator<=>(const TupleId&) const = default;
+};
+
+}  // namespace adv::minidb

@@ -1,0 +1,149 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace adv::sql {
+
+const char* to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+  }
+  return "?";
+}
+
+ScalarPtr Scalar::make_literal(Value v) {
+  auto s = std::make_shared<Scalar>();
+  s->kind = Kind::kLiteral;
+  s->literal = v;
+  return s;
+}
+
+ScalarPtr Scalar::make_attr(std::string name) {
+  auto s = std::make_shared<Scalar>();
+  s->kind = Kind::kAttr;
+  s->name = std::move(name);
+  return s;
+}
+
+ScalarPtr Scalar::make_call(std::string name, std::vector<ScalarPtr> args) {
+  auto s = std::make_shared<Scalar>();
+  s->kind = Kind::kCall;
+  s->name = std::move(name);
+  s->args = std::move(args);
+  return s;
+}
+
+ScalarPtr Scalar::make_arith(char op, ScalarPtr lhs, ScalarPtr rhs) {
+  auto s = std::make_shared<Scalar>();
+  s->kind = Kind::kArith;
+  s->op = op;
+  s->lhs = std::move(lhs);
+  s->rhs = std::move(rhs);
+  return s;
+}
+
+std::string Scalar::to_string() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.to_string();
+    case Kind::kAttr:
+      return name;
+    case Kind::kCall: {
+      std::string out = name + "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) out += ", ";
+        out += args[i]->to_string();
+      }
+      return out + ")";
+    }
+    case Kind::kArith:
+      return "(" + lhs->to_string() + " " + op + " " + rhs->to_string() + ")";
+  }
+  return "?";
+}
+
+BoolExprPtr BoolExpr::make_cmp(CmpOp op, ScalarPtr lhs, ScalarPtr rhs) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = Kind::kCmp;
+  e->cmp = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+BoolExprPtr BoolExpr::make_in(std::string attr, std::vector<Value> values) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = Kind::kIn;
+  e->attr = std::move(attr);
+  e->in_values = std::move(values);
+  return e;
+}
+
+BoolExprPtr BoolExpr::make_and(BoolExprPtr a, BoolExprPtr b) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = Kind::kAnd;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+BoolExprPtr BoolExpr::make_or(BoolExprPtr a, BoolExprPtr b) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = Kind::kOr;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+BoolExprPtr BoolExpr::make_not(BoolExprPtr a) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = Kind::kNot;
+  e->a = std::move(a);
+  return e;
+}
+
+std::string BoolExpr::to_string() const {
+  switch (kind) {
+    case Kind::kCmp:
+      return lhs->to_string() + " " + sql::to_string(cmp) + " " +
+             rhs->to_string();
+    case Kind::kIn: {
+      std::string out = attr + " IN (";
+      for (std::size_t i = 0; i < in_values.size(); ++i) {
+        if (i) out += ", ";
+        out += in_values[i].to_string();
+      }
+      return out + ")";
+    }
+    case Kind::kAnd:
+      return "(" + a->to_string() + " AND " + b->to_string() + ")";
+    case Kind::kOr:
+      return "(" + a->to_string() + " OR " + b->to_string() + ")";
+    case Kind::kNot:
+      return "NOT (" + a->to_string() + ")";
+  }
+  return "?";
+}
+
+std::string SelectQuery::to_string() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (select_all()) {
+    os << "*";
+  } else {
+    for (std::size_t i = 0; i < select_attrs.size(); ++i) {
+      if (i) os << ", ";
+      os << select_attrs[i];
+    }
+  }
+  os << " FROM " << table;
+  if (where) os << " WHERE " << where->to_string();
+  return os.str();
+}
+
+}  // namespace adv::sql

@@ -1,0 +1,85 @@
+// Abstract syntax of the SQL subset (paper Figure 1):
+//
+//   SELECT <data elements | *>
+//   FROM <dataset name>
+//   WHERE <expression> AND Filter(<data element>)
+//
+// Supported WHERE forms: comparisons between scalar expressions (attributes,
+// numeric literals, arithmetic, user-defined function calls), IN lists,
+// BETWEEN, AND / OR / NOT.  Joins, aggregates and GROUP BY are intentionally
+// not supported — the tool provides subsetting only (paper §2.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace adv::sql {
+
+enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* to_string(CmpOp op);
+
+struct Scalar;
+using ScalarPtr = std::shared_ptr<const Scalar>;
+
+// Scalar-valued expression.
+struct Scalar {
+  enum class Kind : uint8_t { kLiteral, kAttr, kCall, kArith };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;                  // kLiteral
+  std::string name;               // kAttr: attribute; kCall: function name
+  std::vector<ScalarPtr> args;    // kCall arguments
+  char op = '+';                  // kArith
+  ScalarPtr lhs, rhs;             // kArith
+
+  static ScalarPtr make_literal(Value v);
+  static ScalarPtr make_attr(std::string name);
+  static ScalarPtr make_call(std::string name, std::vector<ScalarPtr> args);
+  static ScalarPtr make_arith(char op, ScalarPtr lhs, ScalarPtr rhs);
+
+  std::string to_string() const;
+};
+
+struct BoolExpr;
+using BoolExprPtr = std::shared_ptr<const BoolExpr>;
+
+// Boolean-valued predicate.
+struct BoolExpr {
+  enum class Kind : uint8_t { kCmp, kIn, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kCmp;
+  CmpOp cmp = CmpOp::kLt;         // kCmp
+  ScalarPtr lhs, rhs;             // kCmp
+  std::string attr;               // kIn: attribute name
+  std::vector<Value> in_values;   // kIn
+  BoolExprPtr a, b;               // kAnd / kOr (b unused by kNot)
+
+  static BoolExprPtr make_cmp(CmpOp op, ScalarPtr lhs, ScalarPtr rhs);
+  static BoolExprPtr make_in(std::string attr, std::vector<Value> values);
+  static BoolExprPtr make_and(BoolExprPtr a, BoolExprPtr b);
+  static BoolExprPtr make_or(BoolExprPtr a, BoolExprPtr b);
+  static BoolExprPtr make_not(BoolExprPtr a);
+
+  std::string to_string() const;
+};
+
+// A parsed SELECT statement.
+struct SelectQuery {
+  std::vector<std::string> select_attrs;  // empty means SELECT *
+  std::string table;
+  BoolExprPtr where;  // null when there is no WHERE clause
+
+  bool select_all() const { return select_attrs.empty(); }
+
+  std::string to_string() const;
+};
+
+// Parses one SELECT statement (a trailing ';' is allowed).
+// Throws ParseError on malformed input.
+SelectQuery parse_select(const std::string& text);
+
+}  // namespace adv::sql

@@ -1,0 +1,241 @@
+// Recursive-descent parser for the SQL subset.
+//
+// Grammar (keywords case-insensitive):
+//   select    := SELECT select_list FROM IDENT [WHERE or_expr] [';']
+//   select_list := '*' | IDENT (',' IDENT)*
+//   or_expr   := and_expr (OR and_expr)*
+//   and_expr  := not_expr (AND not_expr)*
+//   not_expr  := NOT not_expr | primary
+//   primary   := scalar cmp scalar
+//              | IDENT IN '(' literal (',' literal)* ')'
+//              | scalar BETWEEN literal AND literal
+//              | '(' or_expr ')'
+//   scalar    := term (('+'|'-') term)*
+//   term      := factor (('*'|'/') factor)*
+//   factor    := NUMBER | IDENT | IDENT '(' scalar (',' scalar)* ')'
+//              | '(' scalar ')' | '-' factor
+#include "common/lexer.h"
+#include "common/string_util.h"
+#include "sql/ast.h"
+
+namespace adv::sql {
+
+namespace {
+
+bool is_keyword(const Token& t) {
+  static const char* kw[] = {"select", "from",    "where", "and", "or",
+                             "not",    "between", "in",    "asc", "desc"};
+  if (t.kind != TokKind::kIdent) return false;
+  for (const char* k : kw)
+    if (iequals(t.text, k)) return true;
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(TokenCursor& cur) : cur_(cur) {}
+
+  SelectQuery parse() {
+    SelectQuery q;
+    cur_.expect_ident("SELECT");
+    if (!cur_.accept_punct("*")) {
+      q.select_attrs.push_back(parse_attr_name());
+      while (cur_.accept_punct(","))
+        q.select_attrs.push_back(parse_attr_name());
+    }
+    cur_.expect_ident("FROM");
+    q.table = cur_.expect_any_ident("dataset name after FROM").text;
+    if (cur_.accept_ident("WHERE")) q.where = parse_or();
+    cur_.accept_punct(";");
+    if (!cur_.at_end())
+      cur_.fail("unexpected trailing input after query: '" +
+                cur_.peek().text + "'");
+    return q;
+  }
+
+ private:
+  std::string parse_attr_name() {
+    const Token& t = cur_.peek();
+    if (t.kind != TokKind::kIdent || is_keyword(t))
+      cur_.fail("expected attribute name, found '" + t.text + "'");
+    cur_.next();
+    return t.text;
+  }
+
+  BoolExprPtr parse_or() {
+    BoolExprPtr e = parse_and();
+    while (cur_.accept_ident("OR")) e = BoolExpr::make_or(e, parse_and());
+    return e;
+  }
+
+  BoolExprPtr parse_and() {
+    BoolExprPtr e = parse_not();
+    while (cur_.accept_ident("AND")) e = BoolExpr::make_and(e, parse_not());
+    return e;
+  }
+
+  BoolExprPtr parse_not() {
+    if (cur_.accept_ident("NOT")) return BoolExpr::make_not(parse_not());
+    return parse_primary();
+  }
+
+  BoolExprPtr parse_primary() {
+    // `(` is ambiguous: a parenthesized boolean or a parenthesized scalar on
+    // the left of a comparison.  Try the comparison interpretation first and
+    // backtrack on failure.
+    if (cur_.peek().is_punct("(")) {
+      std::size_t save = cur_.pos();
+      try {
+        return parse_comparison();
+      } catch (const ParseError&) {
+        cur_.set_pos(save);
+      }
+      cur_.expect_punct("(");
+      BoolExprPtr e = parse_or();
+      cur_.expect_punct(")");
+      return e;
+    }
+    return parse_comparison();
+  }
+
+  BoolExprPtr parse_comparison() {
+    ScalarPtr lhs = parse_scalar();
+    const Token& t = cur_.peek();
+    if (t.is_ident("IN")) {
+      if (lhs->kind != Scalar::Kind::kAttr)
+        cur_.fail("IN requires an attribute on its left-hand side");
+      cur_.next();
+      cur_.expect_punct("(");
+      std::vector<Value> vals;
+      vals.push_back(parse_literal());
+      while (cur_.accept_punct(",")) vals.push_back(parse_literal());
+      cur_.expect_punct(")");
+      return BoolExpr::make_in(lhs->name, std::move(vals));
+    }
+    if (t.is_ident("BETWEEN")) {
+      cur_.next();
+      Value lo = parse_literal();
+      cur_.expect_ident("AND");
+      Value hi = parse_literal();
+      // A BETWEEN x AND y  ==  A >= x AND A <= y.
+      return BoolExpr::make_and(
+          BoolExpr::make_cmp(CmpOp::kGe, lhs, Scalar::make_literal(lo)),
+          BoolExpr::make_cmp(CmpOp::kLe, lhs, Scalar::make_literal(hi)));
+    }
+    CmpOp op;
+    if (t.is_punct("<")) op = CmpOp::kLt;
+    else if (t.is_punct("<=")) op = CmpOp::kLe;
+    else if (t.is_punct(">")) op = CmpOp::kGt;
+    else if (t.is_punct(">=")) op = CmpOp::kGe;
+    else if (t.is_punct("=") || t.is_punct("==")) op = CmpOp::kEq;
+    else if (t.is_punct("<>") || t.is_punct("!=")) op = CmpOp::kNe;
+    else {
+      cur_.fail("expected comparison operator, IN, or BETWEEN, found '" +
+                t.text + "'");
+    }
+    cur_.next();
+    ScalarPtr rhs = parse_scalar();
+    return BoolExpr::make_cmp(op, lhs, rhs);
+  }
+
+  Value parse_literal() {
+    bool neg = cur_.accept_punct("-");
+    const Token& t = cur_.peek();
+    if (t.kind == TokKind::kInt) {
+      cur_.next();
+      return Value(neg ? -t.int_value : t.int_value);
+    }
+    if (t.kind == TokKind::kFloat) {
+      cur_.next();
+      return Value(neg ? -t.float_value : t.float_value);
+    }
+    cur_.fail("expected numeric literal, found '" + t.text + "'");
+  }
+
+  ScalarPtr parse_scalar() {
+    ScalarPtr e = parse_term();
+    for (;;) {
+      if (cur_.peek().is_punct("+")) {
+        cur_.next();
+        e = Scalar::make_arith('+', e, parse_term());
+      } else if (cur_.peek().is_punct("-")) {
+        cur_.next();
+        e = Scalar::make_arith('-', e, parse_term());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ScalarPtr parse_term() {
+    ScalarPtr e = parse_factor();
+    for (;;) {
+      if (cur_.peek().is_punct("*")) {
+        cur_.next();
+        e = Scalar::make_arith('*', e, parse_factor());
+      } else if (cur_.peek().is_punct("/")) {
+        cur_.next();
+        e = Scalar::make_arith('/', e, parse_factor());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ScalarPtr parse_factor() {
+    const Token& t = cur_.peek();
+    if (t.kind == TokKind::kInt) {
+      cur_.next();
+      return Scalar::make_literal(Value(t.int_value));
+    }
+    if (t.kind == TokKind::kFloat) {
+      cur_.next();
+      return Scalar::make_literal(Value(t.float_value));
+    }
+    if (t.is_punct("-")) {
+      cur_.next();
+      ScalarPtr inner = parse_factor();
+      // Fold a negated numeric literal into a literal.
+      if (inner->kind == Scalar::Kind::kLiteral) {
+        const Value& v = inner->literal;
+        return Scalar::make_literal(v.is_int() ? Value(-v.as_int())
+                                               : Value(-v.as_double()));
+      }
+      return Scalar::make_arith('-', Scalar::make_literal(Value(int64_t{0})),
+                                inner);
+    }
+    if (t.is_punct("(")) {
+      cur_.next();
+      ScalarPtr e = parse_scalar();
+      cur_.expect_punct(")");
+      return e;
+    }
+    if (t.kind == TokKind::kIdent && !is_keyword(t)) {
+      cur_.next();
+      if (cur_.accept_punct("(")) {
+        // Function call, possibly zero-argument.
+        std::vector<ScalarPtr> args;
+        if (!cur_.accept_punct(")")) {
+          args.push_back(parse_scalar());
+          while (cur_.accept_punct(",")) args.push_back(parse_scalar());
+          cur_.expect_punct(")");
+        }
+        return Scalar::make_call(t.text, std::move(args));
+      }
+      return Scalar::make_attr(t.text);
+    }
+    cur_.fail("expected scalar expression, found '" + t.text + "'");
+  }
+
+  TokenCursor& cur_;
+};
+
+}  // namespace
+
+SelectQuery parse_select(const std::string& text) {
+  TokenCursor cur(tokenize(text));
+  Parser p(cur);
+  return p.parse();
+}
+
+}  // namespace adv::sql

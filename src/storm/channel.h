@@ -1,0 +1,55 @@
+// Bounded multi-producer single-consumer channel used by the data mover to
+// ship row batches from virtual nodes to client consumers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace adv::storm {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  // Blocks while the channel is full.  Returns false if the channel was
+  // closed (item dropped).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    cv_data_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item arrives or the channel is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_data_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  // Producers are done; consumers drain what remains.
+  void close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    cv_data_.notify_all();
+    cv_space_.notify_all();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> q_;
+  std::mutex mu_;
+  std::condition_variable cv_data_, cv_space_;
+  bool closed_ = false;
+};
+
+}  // namespace adv::storm

@@ -1,0 +1,237 @@
+#include "storm/cluster.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace adv::storm {
+
+namespace {
+
+// Per-node worker: index -> extract/filter -> partition -> ship.
+void run_node(int node, const codegen::DataServicePlan& plan,
+              const expr::BoundQuery& q, const afc::ChunkFilter* filter,
+              const PartitionGenerationService& partsvc,
+              DataMoverService& mover, std::size_t batch_rows,
+              NodeStats& stats) {
+  stats.node_id = node;
+  Stopwatch busy;
+  try {
+    afc::PlannerOptions opts;
+    opts.filter = filter;
+    opts.only_node = node;
+    afc::PlanResult pr = plan.index_fn(q, opts);
+    stats.afcs = pr.afcs.size();
+
+    codegen::Extractor extractor;
+    std::vector<codegen::GroupBinding> bindings;
+    bindings.reserve(pr.groups.size());
+    for (const auto& g : pr.groups)
+      bindings.push_back(codegen::bind_group(g, q, plan.schema()));
+
+    const std::size_t ncols = q.select_slots().size();
+    const int nconsumers = partsvc.num_consumers();
+    std::vector<RowBatch> pending(static_cast<std::size_t>(nconsumers));
+    for (int c = 0; c < nconsumers; ++c) {
+      pending[c].source_node = node;
+      pending[c].consumer = c;
+      pending[c].num_cols = ncols;
+    }
+    auto flush = [&](int c) {
+      if (pending[c].data.empty()) return;
+      stats.bytes_sent += pending[c].bytes();
+      stats.transfer_seconds += mover.send(std::move(pending[c]));
+      pending[c] = RowBatch{};
+      pending[c].source_node = node;
+      pending[c].consumer = c;
+      pending[c].num_cols = ncols;
+    };
+
+    uint64_t row_seq = 0;
+    expr::Table scratch(q.result_columns());
+    for (const auto& a : pr.afcs) {
+      const afc::GroupPlan& gp = pr.groups[static_cast<std::size_t>(a.group)];
+      codegen::ExtractStats es = extractor.extract(
+          gp, a, bindings[static_cast<std::size_t>(a.group)], q, scratch);
+      stats.bytes_read += es.bytes_read;
+      stats.rows_scanned += es.rows_scanned;
+      stats.rows_matched += es.rows_matched;
+
+      // Partition the extracted rows and append to per-consumer batches.
+      std::vector<double> row(ncols);
+      for (std::size_t r = 0; r < scratch.num_rows(); ++r) {
+        for (std::size_t c = 0; c < ncols; ++c) row[c] = scratch.at(r, c);
+        int dest = partsvc.destination(row.data(), row_seq++);
+        RowBatch& b = pending[static_cast<std::size_t>(dest)];
+        b.data.insert(b.data.end(), row.begin(), row.end());
+        if (b.num_rows() >= batch_rows) flush(dest);
+      }
+      scratch = expr::Table(q.result_columns());  // reset scratch
+    }
+    for (int c = 0; c < nconsumers; ++c) flush(c);
+  } catch (const Error& e) {
+    stats.error = e.what();
+  }
+  stats.busy_seconds = busy.elapsed_seconds();
+}
+
+}  // namespace
+
+int PartitionGenerationService::destination(const double* row,
+                                            uint64_t row_seq) const {
+  switch (spec_.policy) {
+    case PartitionSpec::Policy::kSingle:
+      return 0;
+    case PartitionSpec::Policy::kRoundRobin:
+      return static_cast<int>(row_seq % spec_.num_consumers);
+    case PartitionSpec::Policy::kHashAttr: {
+      double v = row[spec_.select_index];
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof bits);
+      return static_cast<int>(mix64(bits) %
+                              static_cast<uint64_t>(spec_.num_consumers));
+    }
+    case PartitionSpec::Policy::kRangeAttr: {
+      double v = row[spec_.select_index];
+      double span = spec_.range_hi - spec_.range_lo;
+      if (span <= 0) return 0;
+      double t = (v - spec_.range_lo) / span;
+      int dest = static_cast<int>(t * spec_.num_consumers);
+      return std::clamp(dest, 0, spec_.num_consumers - 1);
+    }
+    case PartitionSpec::Policy::kBlockCyclic: {
+      uint64_t block = spec_.block_size == 0 ? 1 : spec_.block_size;
+      return static_cast<int>((row_seq / block) %
+                              static_cast<uint64_t>(spec_.num_consumers));
+    }
+  }
+  return 0;
+}
+
+StormCluster::StormCluster(std::shared_ptr<codegen::DataServicePlan> plan,
+                           ClusterOptions opts)
+    : plan_(std::move(plan)), opts_(opts), query_service_(plan_) {}
+
+int StormCluster::num_nodes() const { return plan_->model().num_nodes(); }
+
+QueryResult StormCluster::execute(const std::string& sql,
+                                  const PartitionSpec& partition,
+                                  const afc::ChunkFilter* filter) {
+  Stopwatch plan_sw;
+  expr::BoundQuery q = query_service_.submit(sql);
+  QueryResult r = execute(q, partition, filter);
+  r.plan_seconds += plan_sw.elapsed_seconds() - r.wall_seconds;
+  return r;
+}
+
+QueryResult StormCluster::execute(const expr::BoundQuery& q,
+                                  const PartitionSpec& partition,
+                                  const afc::ChunkFilter* filter) {
+  // Materializing execution is streaming execution draining into tables.
+  std::vector<expr::Table> tables;
+  for (int c = 0; c < std::max(1, partition.num_consumers); ++c)
+    tables.emplace_back(q.result_columns());
+  QueryResult result = execute_streaming(
+      q,
+      [&](const RowBatch& batch) {
+        expr::Table& t = tables[static_cast<std::size_t>(batch.consumer)];
+        for (std::size_t r = 0; r < batch.num_rows(); ++r)
+          t.append_row(batch.data.data() + r * batch.num_cols);
+      },
+      partition, filter);
+  result.partitions = std::move(tables);
+  return result;
+}
+
+QueryResult StormCluster::execute_streaming(const expr::BoundQuery& q,
+                                            const BatchSink& sink,
+                                            const PartitionSpec& partition,
+                                            const afc::ChunkFilter* filter) {
+  if (partition.num_consumers < 1)
+    throw QueryError("PartitionSpec.num_consumers must be >= 1");
+  if ((partition.policy == PartitionSpec::Policy::kHashAttr ||
+       partition.policy == PartitionSpec::Policy::kRangeAttr) &&
+      (partition.select_index < 0 ||
+       static_cast<std::size_t>(partition.select_index) >=
+           q.select_slots().size()))
+    throw QueryError("PartitionSpec.select_index out of range");
+
+  Stopwatch wall;
+  const int nodes = num_nodes();
+  QueryResult result;
+  result.node_stats.resize(static_cast<std::size_t>(nodes));
+
+  auto channel = std::make_shared<Channel<RowBatch>>(256);
+  DataMoverService mover(channel, opts_.transfer);
+  PartitionGenerationService partsvc(partition);
+
+  auto node_body = [&](int n) {
+    run_node(n, *plan_, q, filter, partsvc, mover, opts_.batch_rows,
+             result.node_stats[static_cast<std::size_t>(n)]);
+  };
+
+  if (opts_.parallel_nodes) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) workers.emplace_back(node_body, n);
+    // Close the channel once every node finished.
+    std::thread closer([&] {
+      for (auto& w : workers) w.join();
+      channel->close();
+    });
+    // Client side: hand batches to the sink as they arrive.
+    while (auto batch = channel->pop()) sink(*batch);
+    closer.join();
+  } else {
+    // Sequential mode: run one node at a time, draining its output after it
+    // finishes.  The per-node channel is unbounded so a node never blocks
+    // on its own undrained batches.
+    for (int n = 0; n < nodes; ++n) {
+      auto ch = std::make_shared<Channel<RowBatch>>(
+          std::numeric_limits<std::size_t>::max());
+      DataMoverService seq_mover(ch, opts_.transfer);
+      run_node(n, *plan_, q, filter, partsvc, seq_mover, opts_.batch_rows,
+               result.node_stats[static_cast<std::size_t>(n)]);
+      ch->close();
+      while (auto batch = ch->pop()) sink(*batch);
+    }
+  }
+
+  result.wall_seconds = wall.elapsed_seconds();
+  for (const auto& ns : result.node_stats)
+    result.makespan_seconds = std::max(
+        result.makespan_seconds, ns.busy_seconds + ns.transfer_seconds);
+  return result;
+}
+
+uint64_t QueryResult::total_rows() const {
+  uint64_t n = 0;
+  for (const auto& p : partitions) n += p.num_rows();
+  return n;
+}
+
+uint64_t QueryResult::total_bytes_read() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.bytes_read;
+  return n;
+}
+
+expr::Table QueryResult::merged() const {
+  expr::Table out = partitions.empty() ? expr::Table() : partitions[0];
+  for (std::size_t i = 1; i < partitions.size(); ++i)
+    out.append_table(partitions[i]);
+  return out;
+}
+
+std::string QueryResult::first_error() const {
+  for (const auto& s : node_stats)
+    if (!s.error.empty()) return s.error;
+  return "";
+}
+
+}  // namespace adv::storm

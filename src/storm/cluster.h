@@ -1,0 +1,92 @@
+// StormCluster — the virtual parallel machine.
+//
+// One worker thread per storage node.  Each node runs the generated index
+// function restricted to its own files, extracts and filters rows with the
+// generated extraction function, partitions them across the client's
+// consumers, and ships batches through the data mover.  The client (the
+// caller) assembles per-consumer tables.
+//
+// Timing: the host may have fewer cores than the virtual cluster has
+// nodes, so per-node *busy time* is measured around each node's compute,
+// and the reported `makespan_seconds` = max over nodes (what wall-clock
+// time would be on a real cluster with one CPU per node).  `wall_seconds`
+// is the actual host wall time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storm/services.h"
+
+namespace adv::storm {
+
+struct NodeStats {
+  int node_id = 0;
+  double busy_seconds = 0;          // compute + local I/O
+  double transfer_seconds = 0;      // simulated network time
+  uint64_t afcs = 0;
+  uint64_t bytes_read = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  uint64_t bytes_sent = 0;
+  std::string error;  // non-empty when the node failed
+};
+
+struct QueryResult {
+  std::vector<expr::Table> partitions;  // one per consumer
+  std::vector<NodeStats> node_stats;
+  double makespan_seconds = 0;  // max over nodes of busy+transfer
+  double wall_seconds = 0;
+  double plan_seconds = 0;      // query bind + global sanity checks
+
+  uint64_t total_rows() const;
+  uint64_t total_bytes_read() const;
+  // Concatenation of all partitions.
+  expr::Table merged() const;
+  // First error reported by any node ("" when none).
+  std::string first_error() const;
+};
+
+struct ClusterOptions {
+  TransferModel transfer;           // network model (default: not modeled)
+  std::size_t batch_rows = 4096;    // rows per shipped batch
+  bool parallel_nodes = true;       // false: run nodes sequentially
+};
+
+class StormCluster {
+ public:
+  StormCluster(std::shared_ptr<codegen::DataServicePlan> plan,
+               ClusterOptions opts = {});
+
+  int num_nodes() const;
+  const QueryService& query_service() const { return query_service_; }
+
+  // Executes a query across all virtual nodes.  Throws QueryError /
+  // ParseError for malformed queries; per-node runtime failures (I/O) are
+  // reported in NodeStats::error instead of aborting other nodes.
+  QueryResult execute(const std::string& sql,
+                      const PartitionSpec& partition = {},
+                      const afc::ChunkFilter* filter = nullptr);
+  QueryResult execute(const expr::BoundQuery& q,
+                      const PartitionSpec& partition = {},
+                      const afc::ChunkFilter* filter = nullptr);
+
+  // Streaming execution: row batches are handed to `sink` as nodes produce
+  // them instead of being materialized into tables (the callback runs on
+  // the client thread; batches from different nodes interleave).  The
+  // returned QueryResult carries stats only — its partitions are empty.
+  using BatchSink = std::function<void(const RowBatch&)>;
+  QueryResult execute_streaming(const expr::BoundQuery& q,
+                                const BatchSink& sink,
+                                const PartitionSpec& partition = {},
+                                const afc::ChunkFilter* filter = nullptr);
+
+ private:
+  std::shared_ptr<codegen::DataServicePlan> plan_;
+  ClusterOptions opts_;
+  QueryService query_service_;
+};
+
+}  // namespace adv::storm

@@ -1,0 +1,373 @@
+#include "storm/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace adv::storm {
+
+namespace {
+
+enum MsgType : uint8_t {
+  kQuery = 0x01,
+  kSchema = 0x02,
+  kRowBatch = 0x03,
+  kStats = 0x04,
+  kEnd = 0x05,
+  kError = 0x06,
+};
+
+// Byte-buffer writer/reader for frame payloads.
+class Payload {
+ public:
+  Payload() = default;
+  explicit Payload(std::vector<unsigned char> data) : data_(std::move(data)) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::size_t at = data_.size();
+    data_.resize(at + sizeof v);
+    std::memcpy(data_.data() + at, &v, sizeof v);
+  }
+  void put_bytes(const void* p, std::size_t n) {
+    std::size_t at = data_.size();
+    data_.resize(at + n);
+    std::memcpy(data_.data() + at, p, n);
+  }
+  void put_string(const std::string& s) {
+    put<uint32_t>(static_cast<uint32_t>(s.size()));
+    put_bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  T get() {
+    T v;
+    if (pos_ + sizeof v > data_.size())
+      throw IoError("malformed network frame (truncated payload)");
+    std::memcpy(&v, data_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+  std::string get_string() {
+    uint32_t n = get<uint32_t>();
+    if (pos_ + n > data_.size())
+      throw IoError("malformed network frame (truncated string)");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  const unsigned char* raw(std::size_t n) {
+    if (pos_ + n > data_.size())
+      throw IoError("malformed network frame (truncated block)");
+    const unsigned char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const std::vector<unsigned char>& data() const { return data_; }
+
+ private:
+  std::vector<unsigned char> data_;
+  std::size_t pos_ = 0;
+};
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void read_all(int fd, void* buf, std::size_t n) {
+  unsigned char* p = static_cast<unsigned char*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::recv(fd, p + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket recv failed: ") + std::strerror(errno));
+    }
+    if (r == 0) throw IoError("connection closed mid-frame");
+    off += static_cast<std::size_t>(r);
+  }
+}
+
+void send_frame(int fd, MsgType type, const Payload& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.data().size());
+  unsigned char header[5];
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<unsigned char>(type);
+  write_all(fd, header, 5);
+  if (len) write_all(fd, payload.data().data(), len);
+}
+
+std::pair<MsgType, Payload> recv_frame(int fd) {
+  unsigned char header[5];
+  read_all(fd, header, 5);
+  uint32_t len;
+  std::memcpy(&len, header, 4);
+  if (len > (64u << 20))
+    throw IoError("oversized network frame (" + std::to_string(len) + " bytes)");
+  std::vector<unsigned char> data(len);
+  if (len) read_all(fd, data.data(), len);
+  return {static_cast<MsgType>(header[4]), Payload(std::move(data))};
+}
+
+// RAII socket.
+struct Socket {
+  int fd = -1;
+  explicit Socket(int f) : fd(f) {}
+  ~Socket() {
+    if (fd >= 0) ::close(fd);
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server
+
+QueryServer::QueryServer(std::shared_ptr<codegen::DataServicePlan> plan,
+                         ClusterOptions opts, int port,
+                         const afc::ChunkFilter* filter)
+    : plan_(std::move(plan)), opts_(opts), filter_(filter) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw IoError("cannot create server socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(listen_fd_);
+    throw IoError(std::string("cannot bind query server: ") +
+                  std::strerror(errno));
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw IoError("cannot listen on query server socket");
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+QueryServer::~QueryServer() { shutdown(); }
+
+void QueryServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  // Closing the listen socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  for (auto& t : connections_)
+    if (t.joinable()) t.join();
+}
+
+void QueryServer::accept_loop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_ || (errno != EINTR && errno != ECONNABORTED)) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void QueryServer::serve_connection(int raw_fd) {
+  Socket sock(raw_fd);
+  try {
+    auto [type, payload] = recv_frame(sock.fd);
+    if (type != kQuery) {
+      Payload err;
+      err.put_string("expected a query frame");
+      send_frame(sock.fd, kError, err);
+      return;
+    }
+    PartitionSpec part;
+    part.num_consumers = payload.get<uint16_t>();
+    part.policy = static_cast<PartitionSpec::Policy>(payload.get<uint8_t>());
+    part.select_index = payload.get<int32_t>();
+    part.range_lo = payload.get<double>();
+    part.range_hi = payload.get<double>();
+    std::string sql = payload.get_string();
+
+    StormCluster cluster(plan_, opts_);
+    QueryResult r;
+    try {
+      r = cluster.execute(sql, part, filter_);
+    } catch (const Error& e) {
+      Payload err;
+      err.put_string(e.what());
+      send_frame(sock.fd, kError, err);
+      return;
+    }
+    if (!r.first_error().empty()) {
+      Payload err;
+      err.put_string(r.first_error());
+      send_frame(sock.fd, kError, err);
+      return;
+    }
+    queries_served_.fetch_add(1);
+
+    // Schema.
+    {
+      Payload schema;
+      const auto& cols = r.partitions[0].columns();
+      schema.put<uint16_t>(static_cast<uint16_t>(cols.size()));
+      for (const auto& c : cols) {
+        schema.put<uint8_t>(static_cast<uint8_t>(c.type));
+        schema.put<uint16_t>(static_cast<uint16_t>(c.name.size()));
+        schema.put_bytes(c.name.data(), c.name.size());
+      }
+      send_frame(sock.fd, kSchema, schema);
+    }
+    // Row batches (re-batched per partition; the data mover's network leg).
+    constexpr std::size_t kRowsPerFrame = 2048;
+    for (std::size_t c = 0; c < r.partitions.size(); ++c) {
+      const expr::Table& t = r.partitions[c];
+      std::size_t ncols = t.num_cols();
+      for (std::size_t begin = 0; begin < t.num_rows();
+           begin += kRowsPerFrame) {
+        std::size_t n = std::min(kRowsPerFrame, t.num_rows() - begin);
+        Payload batch;
+        batch.put<uint16_t>(static_cast<uint16_t>(c));
+        batch.put<uint32_t>(static_cast<uint32_t>(n));
+        batch.put<uint16_t>(static_cast<uint16_t>(ncols));
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t col = 0; col < ncols; ++col)
+            batch.put<double>(t.at(begin + i, col));
+        send_frame(sock.fd, kRowBatch, batch);
+      }
+    }
+    // Per-node stats.
+    {
+      Payload stats;
+      stats.put<uint32_t>(static_cast<uint32_t>(r.node_stats.size()));
+      for (const auto& ns : r.node_stats) {
+        stats.put<int32_t>(ns.node_id);
+        stats.put<uint64_t>(ns.afcs);
+        stats.put<uint64_t>(ns.bytes_read);
+        stats.put<uint64_t>(ns.rows_matched);
+        stats.put<double>(ns.busy_seconds);
+      }
+      send_frame(sock.fd, kStats, stats);
+    }
+    send_frame(sock.fd, kEnd, Payload());
+  } catch (const Error&) {
+    // Connection-level failure: nothing more we can do; the client sees a
+    // closed socket.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+expr::Table RemoteResult::merged() const {
+  expr::Table out = partitions.empty() ? expr::Table() : partitions[0];
+  for (std::size_t i = 1; i < partitions.size(); ++i)
+    out.append_table(partitions[i]);
+  return out;
+}
+
+RemoteResult QueryClient::execute(const std::string& sql,
+                                  const PartitionSpec& partition) const {
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (raw < 0) throw IoError("cannot create client socket");
+  Socket sock(raw);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
+    throw IoError("bad host address '" + host_ + "'");
+  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0)
+    throw IoError("cannot connect to " + host_ + ":" + std::to_string(port_) +
+                  ": " + std::strerror(errno));
+
+  Payload q;
+  q.put<uint16_t>(static_cast<uint16_t>(partition.num_consumers));
+  q.put<uint8_t>(static_cast<uint8_t>(partition.policy));
+  q.put<int32_t>(partition.select_index);
+  q.put<double>(partition.range_lo);
+  q.put<double>(partition.range_hi);
+  q.put_string(sql);
+  send_frame(sock.fd, kQuery, q);
+
+  RemoteResult result;
+  std::vector<expr::Table::Column> cols;
+  for (;;) {
+    auto [type, payload] = recv_frame(sock.fd);
+    switch (type) {
+      case kSchema: {
+        uint16_t n = payload.get<uint16_t>();
+        cols.clear();
+        for (uint16_t i = 0; i < n; ++i) {
+          expr::Table::Column c;
+          c.type = static_cast<DataType>(payload.get<uint8_t>());
+          uint16_t len = payload.get<uint16_t>();
+          c.name.assign(
+              reinterpret_cast<const char*>(payload.raw(len)), len);
+          cols.push_back(std::move(c));
+        }
+        result.partitions.assign(
+            static_cast<std::size_t>(partition.num_consumers),
+            expr::Table(cols));
+        break;
+      }
+      case kRowBatch: {
+        uint16_t consumer = payload.get<uint16_t>();
+        uint32_t nrows = payload.get<uint32_t>();
+        uint16_t ncols = payload.get<uint16_t>();
+        if (consumer >= result.partitions.size())
+          throw IoError("row batch for unknown consumer");
+        std::vector<double> row(ncols);
+        for (uint32_t r = 0; r < nrows; ++r) {
+          for (uint16_t c = 0; c < ncols; ++c) row[c] = payload.get<double>();
+          result.partitions[consumer].append_row(row.data());
+        }
+        break;
+      }
+      case kStats: {
+        uint32_t n = payload.get<uint32_t>();
+        for (uint32_t i = 0; i < n; ++i) {
+          NodeStats ns;
+          ns.node_id = payload.get<int32_t>();
+          ns.afcs = payload.get<uint64_t>();
+          ns.bytes_read = payload.get<uint64_t>();
+          ns.rows_matched = payload.get<uint64_t>();
+          ns.busy_seconds = payload.get<double>();
+          result.node_stats.push_back(ns);
+        }
+        break;
+      }
+      case kEnd:
+        return result;
+      case kError:
+        throw QueryError("server: " + payload.get_string());
+      default:
+        throw IoError("unexpected frame type from server");
+    }
+  }
+}
+
+}  // namespace adv::storm

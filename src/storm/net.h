@@ -1,0 +1,101 @@
+// Networked query service: the client-facing half of the STORM middleware.
+//
+// The paper's clients submit SQL to the query service over the network and
+// the data mover streams selected rows back to the client's processors.
+// QueryServer serves one dataset over TCP (loopback or LAN); QueryClient
+// connects, submits a query, and receives partitioned row batches.
+//
+// Wire protocol (little-endian):
+//   frame  := u32 payload_length, u8 type, payload
+//   types:
+//     0x01 kQuery     payload = u16 num_consumers, u8 policy,
+//                               i32 select_index, f64 range_lo, f64 range_hi,
+//                               u32 sql_length, sql bytes
+//     0x02 kSchema    payload = u16 ncols, then per column:
+//                               u8 type, u16 name_length, name bytes
+//     0x03 kRowBatch  payload = u16 consumer, u32 nrows, u16 ncols,
+//                               nrows*ncols f64 values
+//     0x04 kStats     payload = u32 nnodes, per node: i32 node, u64 afcs,
+//                               u64 bytes_read, u64 rows_matched,
+//                               f64 busy_seconds
+//     0x05 kEnd       payload = empty
+//     0x06 kError     payload = u32 length, message bytes
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storm/cluster.h"
+
+namespace adv::storm {
+
+// Serves one dataset on a TCP port.  Each connection is handled on its own
+// thread; queries on different connections execute concurrently.
+class QueryServer {
+ public:
+  // Binds to 127.0.0.1:`port` (0 = ephemeral).  Throws IoError on failure.
+  QueryServer(std::shared_ptr<codegen::DataServicePlan> plan,
+              ClusterOptions opts = {}, int port = 0,
+              const afc::ChunkFilter* filter = nullptr);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // The bound port.
+  int port() const { return port_; }
+  uint64_t queries_served() const { return queries_served_.load(); }
+
+  // Stops accepting and joins all threads (also done by the destructor).
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::shared_ptr<codegen::DataServicePlan> plan_;
+  ClusterOptions opts_;
+  const afc::ChunkFilter* filter_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> queries_served_{0};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+};
+
+// Result of a remote query.
+struct RemoteResult {
+  std::vector<expr::Table> partitions;
+  std::vector<NodeStats> node_stats;
+
+  uint64_t total_rows() const {
+    uint64_t n = 0;
+    for (const auto& p : partitions) n += p.num_rows();
+    return n;
+  }
+  expr::Table merged() const;
+};
+
+// Blocking client.  One query per call; the connection is opened and closed
+// per query (the paper's clients are batch analysis programs).
+class QueryClient {
+ public:
+  QueryClient(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+
+  // Throws QueryError with the server's message on query failure, IoError
+  // on connection problems.
+  RemoteResult execute(const std::string& sql,
+                       const PartitionSpec& partition = {}) const;
+
+ private:
+  std::string host_;
+  int port_;
+};
+
+}  // namespace adv::storm

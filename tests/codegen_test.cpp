@@ -1,0 +1,246 @@
+// End-to-end correctness of the generated data services: for every IPARS
+// layout and a battery of queries, descriptor -> DataServicePlan ->
+// index/extract must produce exactly the rows the brute-force oracle
+// produces.  Plus Titan, file verification, and failure injection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "codegen/plan.h"
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+#include "dataset/titan.h"
+
+namespace adv::codegen {
+namespace {
+
+dataset::IparsConfig small_cfg() {
+  dataset::IparsConfig cfg;
+  cfg.nodes = 2;
+  cfg.rels = 3;
+  cfg.timesteps = 12;
+  cfg.grid_per_node = 20;
+  cfg.pad_vars = 2;
+  return cfg;
+}
+
+// The query battery: exercises full scans, indexed subsetting, value
+// filters, UDF filters, IN lists, projections, and empty results.
+const char* kIparsQueries[] = {
+    "SELECT * FROM IparsData",
+    "SELECT * FROM IparsData WHERE TIME > 3 AND TIME < 8",
+    "SELECT * FROM IparsData WHERE TIME > 3 AND TIME < 8 AND SOIL > 0.7",
+    "SELECT * FROM IparsData WHERE SPEED(OILVX, OILVY, OILVZ) < 10.0",
+    "SELECT * FROM IparsData WHERE REL IN (0, 2) AND TIME <= 2",
+    "SELECT REL, TIME, SOIL FROM IparsData WHERE SOIL > 0.9",
+    "SELECT X, Y, Z FROM IparsData WHERE REL = 1 AND TIME = 5",
+    "SELECT * FROM IparsData WHERE TIME = 100",  // out of range -> empty
+    "SELECT TIME, SGAS FROM IparsData WHERE REL = 0 AND SGAS < 0.25 AND "
+    "TIME IN (2, 4, 6)",
+    "SELECT * FROM IparsData WHERE X >= 2 AND X <= 5 AND Y < 3",
+};
+
+struct LayoutCase {
+  dataset::IparsLayout layout;
+  const char* query;
+};
+
+class IparsEndToEnd : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(IparsEndToEnd, MatchesOracle) {
+  const LayoutCase& lc = GetParam();
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("e2e");
+  dataset::GeneratedIpars gen =
+      dataset::generate_ipars(cfg, lc.layout, tmp.str());
+
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  EXPECT_TRUE(plan.verify_files().empty());
+
+  expr::BoundQuery q = plan.bind(lc.query);
+  ExtractStats stats;
+  expr::Table got = plan.execute(q, {}, &stats);
+  expr::Table want = dataset::ipars_oracle(cfg, q);
+
+  EXPECT_EQ(got.num_rows(), want.num_rows()) << lc.query;
+  EXPECT_TRUE(got.same_rows(want)) << "layout "
+                                   << dataset::to_string(lc.layout) << ": "
+                                   << lc.query;
+  EXPECT_EQ(stats.rows_matched, got.num_rows());
+  EXPECT_GE(stats.rows_scanned, stats.rows_matched);
+}
+
+std::vector<LayoutCase> all_cases() {
+  std::vector<LayoutCase> cases;
+  for (auto l : dataset::all_ipars_layouts())
+    for (const char* q : kIparsQueries) cases.push_back({l, q});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, IparsEndToEnd, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<LayoutCase>& info) {
+      return std::string("L") + dataset::to_string(info.param.layout) + "_Q" +
+             std::to_string(info.index % (sizeof(kIparsQueries) /
+                                          sizeof(kIparsQueries[0])));
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-layout agreement: every layout of the same logical data returns the
+// same rows for the same query.
+
+TEST(CrossLayout, AllLayoutsAgree) {
+  dataset::IparsConfig cfg = small_cfg();
+  const char* query =
+      "SELECT * FROM IparsData WHERE TIME >= 2 AND TIME <= 9 AND SGAS < 0.5";
+  TempDir tmp("xlay");
+  expr::Table reference;
+  bool first = true;
+  for (auto layout : dataset::all_ipars_layouts()) {
+    std::string sub = tmp.subdir(dataset::to_string(layout));
+    auto gen = dataset::generate_ipars(cfg, layout, sub);
+    DataServicePlan plan = DataServicePlan::from_text(
+        gen.descriptor_text, gen.dataset_name, gen.root);
+    expr::Table t = plan.execute(query);
+    if (first) {
+      reference = t;
+      first = false;
+      EXPECT_GT(t.num_rows(), 0u);
+    } else {
+      EXPECT_TRUE(t.same_rows(reference))
+          << "layout " << dataset::to_string(layout);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Titan
+
+TEST(TitanEndToEnd, QueriesMatchOracle) {
+  dataset::TitanConfig cfg;
+  cfg.nodes = 2;
+  cfg.cells_x = 4;
+  cfg.cells_y = 4;
+  cfg.cells_z = 2;
+  cfg.points_per_chunk = 64;
+  TempDir tmp("titan");
+  auto gen = dataset::generate_titan(cfg, tmp.str());
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  EXPECT_TRUE(plan.verify_files().empty());
+
+  for (const char* query : {
+           "SELECT * FROM TitanData",
+           "SELECT * FROM TitanData WHERE X >= 0 AND X <= 10000 AND Y >= 0 "
+           "AND Y <= 10000 AND Z >= 0 AND Z <= 100",
+           "SELECT * FROM TitanData WHERE DISTANCE(X, Y, Z) < 9000",
+           "SELECT * FROM TitanData WHERE S1 < 0.01",
+           "SELECT X, Y, S1 FROM TitanData WHERE S1 < 0.5",
+       }) {
+    expr::BoundQuery q = plan.bind(query);
+    expr::Table got = plan.execute(q);
+    expr::Table want = dataset::titan_oracle(cfg, q);
+    EXPECT_TRUE(got.same_rows(want)) << query;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// API errors and failure injection
+
+TEST(PlanApi, WrongTableNameRejected) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("api");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kI, tmp.str());
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  EXPECT_THROW(plan.execute("SELECT * FROM SomethingElse"), QueryError);
+  // Both the dataset name and the schema name are accepted.
+  EXPECT_NO_THROW(plan.bind("SELECT * FROM IparsData WHERE TIME = 1"));
+  EXPECT_NO_THROW(plan.bind("SELECT * FROM IPARS WHERE TIME = 1"));
+}
+
+TEST(PlanApi, VerifyFilesDetectsTruncationAndLoss) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("verify");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kV, tmp.str());
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  ASSERT_TRUE(plan.verify_files().empty());
+
+  // Truncate one file.
+  std::string victim = plan.model().files()[1].full_path;
+  std::filesystem::resize_file(victim, 10);
+  auto problems = plan.verify_files();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("size mismatch"), std::string::npos);
+
+  // Remove it entirely.
+  std::filesystem::remove(victim);
+  problems = plan.verify_files();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("missing file"), std::string::npos);
+}
+
+TEST(PlanApi, TruncatedFileFailsExtractionLoudly) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("trunc");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kI, tmp.str());
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  std::string victim = plan.model().files()[0].full_path;
+  std::filesystem::resize_file(victim, 16);
+  EXPECT_THROW(plan.execute("SELECT * FROM IparsData"), IoError);
+}
+
+TEST(PlanApi, MissingRootDirectory) {
+  dataset::IparsConfig cfg = small_cfg();
+  std::string text =
+      dataset::ipars_descriptor_text(cfg, dataset::IparsLayout::kI);
+  DataServicePlan plan =
+      DataServicePlan::from_text(text, "IparsData", "/nonexistent/root");
+  EXPECT_FALSE(plan.verify_files().empty());
+  EXPECT_THROW(plan.execute("SELECT * FROM IparsData"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Extractor internals
+
+TEST(ExtractorTest, TinyBatchSizeStreamsCorrectly) {
+  // Force multi-batch streaming with a pathologically small batch buffer.
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("batch");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kII, tmp.str());
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  expr::BoundQuery q = plan.bind("SELECT * FROM IparsData WHERE TIME <= 3");
+
+  afc::PlanResult pr = plan.index_fn(q);
+  expr::Table out(q.result_columns());
+  Extractor tiny(8);  // 8-byte batches: one row at a time
+  std::vector<GroupBinding> bindings;
+  for (const auto& g : pr.groups)
+    bindings.push_back(bind_group(g, q, plan.schema()));
+  for (const auto& a : pr.afcs)
+    tiny.extract(pr.groups[a.group], a, bindings[a.group], q, out);
+
+  expr::Table want = dataset::ipars_oracle(cfg, q);
+  EXPECT_TRUE(out.same_rows(want));
+}
+
+TEST(ExtractorTest, StatsCountBytes) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("stats");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kI, tmp.str());
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  expr::BoundQuery q = plan.bind("SELECT * FROM IparsData");
+  afc::PlanResult pr = plan.index_fn(q);
+  ExtractStats stats;
+  plan.execute(q, {}, &stats);
+  EXPECT_EQ(stats.bytes_read, pr.bytes_to_read());
+  EXPECT_EQ(stats.rows_scanned, cfg.total_rows());
+}
+
+}  // namespace
+}  // namespace adv::codegen

@@ -1,0 +1,166 @@
+// Unit tests for the dataset generators themselves: determinism, float32
+// exactness (the property the oracles depend on), size accounting, and the
+// layout-driven writer.
+#include <gtest/gtest.h>
+
+#include "afc/dataset_model.h"
+#include "common/io.h"
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+#include "dataset/layout_writer.h"
+#include "dataset/titan.h"
+
+namespace adv::dataset {
+namespace {
+
+TEST(IparsValueTest, DeterministicAndFloat32Exact) {
+  IparsConfig cfg;
+  for (int attr : {0, 1, 2, 5, 7, 9}) {
+    double a = ipars_value(cfg, attr, 1, 7, 33);
+    double b = ipars_value(cfg, attr, 1, 7, 33);
+    EXPECT_EQ(a, b);
+    // Exactly representable as float32 (what the files store).
+    EXPECT_EQ(static_cast<double>(static_cast<float>(a)), a);
+  }
+  // Different cells give different hashes (with overwhelming probability).
+  EXPECT_NE(ipars_value(cfg, 5, 0, 1, 1), ipars_value(cfg, 5, 0, 1, 2));
+  EXPECT_NE(ipars_value(cfg, 5, 0, 1, 1), ipars_value(cfg, 5, 0, 2, 1));
+  // Different seeds decorrelate.
+  IparsConfig other = cfg;
+  other.seed = 99;
+  EXPECT_NE(ipars_value(cfg, 5, 0, 1, 1), ipars_value(other, 5, 0, 1, 1));
+}
+
+TEST(IparsValueTest, DimensionAttrsAndRanges) {
+  IparsConfig cfg;
+  EXPECT_EQ(ipars_value(cfg, 0, 3, 10, 5), 3.0);   // REL
+  EXPECT_EQ(ipars_value(cfg, 1, 3, 10, 5), 10.0);  // TIME
+  for (int g = 1; g <= 100; ++g) {
+    double soil = ipars_value(cfg, 5, 0, 1, g);
+    EXPECT_GE(soil, 0.0);
+    EXPECT_LT(soil, 1.0);
+    double vx = ipars_value(cfg, 7, 0, 1, g);
+    EXPECT_GT(vx, -25.0);
+    EXPECT_LT(vx, 25.0);
+  }
+}
+
+TEST(IparsConfigTest, SchemaAndSizes) {
+  IparsConfig cfg;
+  cfg.pad_vars = 12;
+  meta::Schema s = ipars_schema(cfg);
+  EXPECT_EQ(s.size(), 22u);  // REL TIME X Y Z + 17 variables
+  EXPECT_EQ(cfg.num_variables(), 17);
+  EXPECT_EQ(s.attrs.back().name, "P12");
+  EXPECT_EQ(cfg.total_rows(),
+            static_cast<uint64_t>(cfg.nodes) * cfg.rels * cfg.timesteps *
+                cfg.grid_per_node);
+  EXPECT_EQ(cfg.table_bytes(), cfg.total_rows() * (2 + 4 + 20 * 4));
+}
+
+TEST(GeneratorTest, BytesWrittenMatchLayoutPrediction) {
+  IparsConfig cfg;
+  cfg.nodes = 2;
+  cfg.rels = 2;
+  cfg.timesteps = 4;
+  cfg.grid_per_node = 8;
+  cfg.pad_vars = 0;
+  for (auto layout : all_ipars_layouts()) {
+    TempDir tmp("gen");
+    auto gen = generate_ipars(cfg, layout, tmp.str());
+    // Actual on-disk bytes equal both the generator's accounting and the
+    // layout model's prediction.
+    EXPECT_EQ(directory_bytes(tmp.path()), gen.bytes_written)
+        << to_string(layout);
+    afc::DatasetModel model(meta::parse_descriptor(gen.descriptor_text),
+                            "IparsData", tmp.str());
+    uint64_t predicted = 0;
+    for (const auto& f : model.files())
+      predicted += model.expected_file_bytes(f);
+    EXPECT_EQ(predicted, gen.bytes_written) << to_string(layout);
+    EXPECT_EQ(gen.files_written, model.files().size());
+  }
+}
+
+TEST(GeneratorTest, RegenerationIsByteIdentical) {
+  IparsConfig cfg;
+  cfg.nodes = 1;
+  cfg.rels = 1;
+  cfg.timesteps = 3;
+  cfg.grid_per_node = 5;
+  cfg.pad_vars = 0;
+  TempDir a("gen"), b("gen");
+  generate_ipars(cfg, IparsLayout::kI, a.str());
+  generate_ipars(cfg, IparsLayout::kI, b.str());
+  std::string fa = read_text_file(a.str() + "/node0/ipars/ALL");
+  std::string fb = read_text_file(b.str() + "/node0/ipars/ALL");
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(TitanValueTest, CoordinatesInsideChunkCell) {
+  TitanConfig cfg;
+  for (int chunk : {0, 17, cfg.num_chunks() - 1}) {
+    for (int attr = 0; attr < 3; ++attr) {
+      double lo, hi;
+      titan_chunk_bounds(cfg, chunk, attr, &lo, &hi);
+      EXPECT_LT(lo, hi);
+      for (int e = 0; e < 16; ++e) {
+        double v = titan_value(cfg, attr, chunk, e);
+        EXPECT_GE(v, lo);
+        EXPECT_LE(v, hi);
+        EXPECT_EQ(static_cast<double>(static_cast<float>(v)), v);
+      }
+    }
+  }
+}
+
+TEST(TitanValueTest, SensorsAreSpatiallyCorrelated) {
+  TitanConfig cfg;
+  // Within-chunk spread of S1 is bounded by the design's kSpread.
+  for (int chunk : {0, 5, 31}) {
+    double lo = 1e9, hi = -1e9;
+    for (int e = 0; e < 64; ++e) {
+      double v = titan_value(cfg, 3, chunk, e);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_LE(hi - lo, 0.125 + 1e-9) << "chunk " << chunk;
+  }
+}
+
+TEST(TitanConfigTest, NodeDivisibilityEnforced) {
+  TitanConfig cfg;
+  cfg.nodes = 3;
+  cfg.cells_x = 8;  // not divisible by 3
+  EXPECT_THROW(titan_descriptor_text(cfg), ValidationError);
+}
+
+TEST(LayoutWriterTest, UnknownAttributeThrows) {
+  const char* desc = R"(
+[S]
+A = int
+[DS]
+DatasetDescription = S
+DIR[0] = n/d
+DATASET "DS" {
+  DATASPACE { LOOP I 1:2:1 { A } }
+  DATA { "DIR[0]/f" DIRID = 0:0:1 }
+}
+)";
+  meta::Descriptor d = meta::parse_descriptor(desc);
+  TempDir tmp("lw");
+  meta::VarEnv env;
+  // Writer writes what the layout says; a value function is never asked
+  // about attributes outside the layout.
+  uint64_t n = write_file_from_layout(
+      d.datasets[0], d.schemas[0], env, tmp.file("f"),
+      [](const std::string& attr, const meta::VarEnv&) {
+        EXPECT_EQ(attr, "A");
+        return 7.0;
+      });
+  EXPECT_EQ(n, 8u);  // two int32 values
+  EXPECT_EQ(file_size(tmp.file("f")), 8u);
+}
+
+}  // namespace
+}  // namespace adv::dataset

@@ -1,0 +1,282 @@
+// Tests for interval analysis, UDFs, predicate compilation, and Table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "expr/interval.h"
+#include "expr/predicate.h"
+#include "expr/table.h"
+#include "expr/udf.h"
+#include "metadata/model.h"
+#include "sql/ast.h"
+
+namespace adv::expr {
+namespace {
+
+meta::Schema test_schema() {
+  meta::Schema s;
+  s.name = "T";
+  s.attrs = {{"REL", DataType::kInt16},   {"TIME", DataType::kInt32},
+             {"X", DataType::kFloat32},   {"Y", DataType::kFloat32},
+             {"Z", DataType::kFloat32},   {"SOIL", DataType::kFloat32},
+             {"VX", DataType::kFloat32},  {"VY", DataType::kFloat32},
+             {"VZ", DataType::kFloat32}};
+  return s;
+}
+
+BoundQuery bind(const std::string& sql_text) {
+  static meta::Schema s = test_schema();
+  return BoundQuery(sql::parse_select(sql_text), s);
+}
+
+// ---------------------------------------------------------------------------
+// Interval
+
+TEST(IntervalTest, BasicOps) {
+  Interval a = Interval::closed(1, 5);
+  EXPECT_TRUE(a.contains(1));
+  EXPECT_TRUE(a.contains(5));
+  EXPECT_FALSE(a.contains(5.01));
+  EXPECT_TRUE(a.overlaps(4, 9));
+  EXPECT_FALSE(a.overlaps(6, 9));
+  EXPECT_TRUE(a.intersect(Interval::at_least(3)).contains(4));
+  EXPECT_TRUE(a.intersect(Interval::at_least(6)).is_empty());
+  Interval h = a.hull(Interval::closed(10, 12));
+  EXPECT_TRUE(h.contains(7));
+  EXPECT_TRUE(Interval::all().is_all());
+}
+
+// ---------------------------------------------------------------------------
+// UDF registry
+
+TEST(UdfTest, BuiltinsExist) {
+  EXPECT_NE(UdfRegistry::find("SPEED"), nullptr);
+  EXPECT_NE(UdfRegistry::find("speed"), nullptr);  // case-insensitive
+  EXPECT_NE(UdfRegistry::find("DISTANCE"), nullptr);
+  EXPECT_EQ(UdfRegistry::find("NO_SUCH_FN"), nullptr);
+  double args[] = {3, 4, 0};
+  EXPECT_DOUBLE_EQ(UdfRegistry::find("SPEED")->fn(args, 3), 5.0);
+}
+
+TEST(UdfTest, CustomRegistration) {
+  UdfRegistry::register_udf("DOUBLE_IT", 1,
+                            [](const double* a, std::size_t) { return 2 * a[0]; });
+  const Udf* u = UdfRegistry::find("double_it");
+  ASSERT_NE(u, nullptr);
+  double x = 21;
+  EXPECT_DOUBLE_EQ(u->fn(&x, 1), 42.0);
+  EXPECT_THROW(UdfRegistry::register_udf("DOUBLE_IT", 2, u->fn), QueryError);
+}
+
+// ---------------------------------------------------------------------------
+// BoundQuery: slots, selection, evaluation
+
+TEST(BoundQueryTest, SelectStarNeedsAllAttrs) {
+  BoundQuery q = bind("SELECT * FROM T");
+  EXPECT_EQ(q.select_attrs().size(), 9u);
+  EXPECT_EQ(q.needed_attrs().size(), 9u);
+  EXPECT_FALSE(q.has_predicate());
+  double row[9] = {};
+  EXPECT_TRUE(q.matches(row));
+}
+
+TEST(BoundQueryTest, NeededIsSelectUnionPredicate) {
+  BoundQuery q = bind("SELECT X FROM T WHERE TIME > 10");
+  // Needed: TIME (index 1) and X (index 2).
+  ASSERT_EQ(q.needed_attrs().size(), 2u);
+  EXPECT_EQ(q.needed_attrs()[0], 1);
+  EXPECT_EQ(q.needed_attrs()[1], 2);
+  EXPECT_EQ(q.slot_of_attr(1), 0);
+  EXPECT_EQ(q.slot_of_attr(2), 1);
+  EXPECT_EQ(q.slot_of_attr(0), -1);
+  ASSERT_EQ(q.select_slots().size(), 1u);
+  EXPECT_EQ(q.select_slots()[0], 1);
+}
+
+TEST(BoundQueryTest, PredicateEvaluation) {
+  BoundQuery q = bind("SELECT * FROM T WHERE TIME > 100 AND SOIL >= 0.7");
+  // Slots are schema order: REL,TIME,X,Y,Z,SOIL,VX,VY,VZ.
+  double row[9] = {0, 150, 0, 0, 0, 0.8, 0, 0, 0};
+  EXPECT_TRUE(q.matches(row));
+  row[1] = 100;
+  EXPECT_FALSE(q.matches(row));
+  row[1] = 150;
+  row[5] = 0.5;
+  EXPECT_FALSE(q.matches(row));
+}
+
+TEST(BoundQueryTest, UdfInPredicate) {
+  BoundQuery q = bind("SELECT * FROM T WHERE SPEED(VX, VY, VZ) <= 5.0");
+  double row[9] = {0, 0, 0, 0, 0, 0, 3, 4, 0};
+  EXPECT_TRUE(q.matches(row));
+  row[6] = 30;
+  EXPECT_FALSE(q.matches(row));
+}
+
+TEST(BoundQueryTest, InListEvaluation) {
+  BoundQuery q = bind("SELECT * FROM T WHERE REL IN (0, 6, 26, 27)");
+  double row[9] = {6, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(q.matches(row));
+  row[0] = 7;
+  EXPECT_FALSE(q.matches(row));
+}
+
+TEST(BoundQueryTest, OrNotEvaluation) {
+  BoundQuery q = bind("SELECT * FROM T WHERE NOT (X < 0 OR X > 10)");
+  double row[9] = {0, 0, 5, 0, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(q.matches(row));
+  row[2] = -1;
+  EXPECT_FALSE(q.matches(row));
+  row[2] = 11;
+  EXPECT_FALSE(q.matches(row));
+}
+
+TEST(BoundQueryTest, ArithmeticInPredicate) {
+  BoundQuery q = bind("SELECT * FROM T WHERE (X + Y) * 2 > 10");
+  double row[9] = {0, 0, 3, 3, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(q.matches(row));
+  row[3] = 1;
+  EXPECT_FALSE(q.matches(row));
+}
+
+TEST(BoundQueryTest, ErrorsOnUnknownNames) {
+  EXPECT_THROW(bind("SELECT NOPE FROM T"), QueryError);
+  EXPECT_THROW(bind("SELECT * FROM T WHERE NOPE > 1"), QueryError);
+  EXPECT_THROW(bind("SELECT * FROM T WHERE NOFN(X) > 1"), QueryError);
+  EXPECT_THROW(bind("SELECT * FROM T WHERE SPEED(X) > 1"), QueryError);
+}
+
+TEST(BoundQueryTest, ResultColumnsCarryTypes) {
+  BoundQuery q = bind("SELECT TIME, X FROM T");
+  auto cols = q.result_columns();
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0].name, "TIME");
+  EXPECT_EQ(cols[0].type, DataType::kInt32);
+  EXPECT_EQ(cols[1].type, DataType::kFloat32);
+}
+
+// ---------------------------------------------------------------------------
+// Interval extraction
+
+TEST(IntervalExtractTest, ConjunctiveRanges) {
+  BoundQuery q = bind(
+      "SELECT * FROM T WHERE TIME > 1000 AND TIME < 1100 AND SOIL >= 0.7");
+  const auto& qi = q.intervals();
+  EXPECT_DOUBLE_EQ(qi.interval(1).lo, 1000);
+  EXPECT_DOUBLE_EQ(qi.interval(1).hi, 1100);
+  EXPECT_DOUBLE_EQ(qi.interval(5).lo, 0.7);
+  EXPECT_TRUE(std::isinf(qi.interval(5).hi));
+  EXPECT_TRUE(qi.interval(2).is_all());  // X unconstrained
+}
+
+TEST(IntervalExtractTest, LiteralOnLeftFlips) {
+  BoundQuery q = bind("SELECT * FROM T WHERE 1000 < TIME AND 1100 >= TIME");
+  EXPECT_DOUBLE_EQ(q.intervals().interval(1).lo, 1000);
+  EXPECT_DOUBLE_EQ(q.intervals().interval(1).hi, 1100);
+}
+
+TEST(IntervalExtractTest, InSetRecorded) {
+  BoundQuery q = bind("SELECT * FROM T WHERE REL IN (27, 0, 6)");
+  const auto& qi = q.intervals();
+  EXPECT_DOUBLE_EQ(qi.interval(0).lo, 0);
+  EXPECT_DOUBLE_EQ(qi.interval(0).hi, 27);
+  ASSERT_TRUE(qi.in_set(0).has_value());
+  EXPECT_EQ(qi.in_set(0)->size(), 3u);
+  EXPECT_TRUE(qi.value_may_match(0, 6));
+  EXPECT_FALSE(qi.value_may_match(0, 7));
+  EXPECT_TRUE(qi.chunk_may_match(0, 5, 10));    // contains 6
+  EXPECT_FALSE(qi.chunk_may_match(0, 7, 20));   // no member in [7,20]
+}
+
+TEST(IntervalExtractTest, OrTakesHull) {
+  BoundQuery q =
+      bind("SELECT * FROM T WHERE (TIME < 10 OR TIME > 90) AND TIME > 0");
+  // Hull of (-inf,10] and [90,inf) is everything; the AND adds lo=0.
+  EXPECT_DOUBLE_EQ(q.intervals().interval(1).lo, 0);
+  EXPECT_TRUE(std::isinf(q.intervals().interval(1).hi));
+}
+
+TEST(IntervalExtractTest, OrOfRangesOnSameAttr) {
+  BoundQuery q = bind(
+      "SELECT * FROM T WHERE (TIME > 10 AND TIME < 20) OR (TIME > 30 AND "
+      "TIME < 40)");
+  EXPECT_DOUBLE_EQ(q.intervals().interval(1).lo, 10);
+  EXPECT_DOUBLE_EQ(q.intervals().interval(1).hi, 40);
+}
+
+TEST(IntervalExtractTest, EqualityGivesPoint) {
+  BoundQuery q = bind("SELECT * FROM T WHERE REL = 3");
+  EXPECT_DOUBLE_EQ(q.intervals().interval(0).lo, 3);
+  EXPECT_DOUBLE_EQ(q.intervals().interval(0).hi, 3);
+}
+
+TEST(IntervalExtractTest, ContradictionDetected) {
+  BoundQuery q = bind("SELECT * FROM T WHERE TIME > 10 AND TIME < 5");
+  EXPECT_TRUE(q.intervals().contradictory());
+}
+
+TEST(IntervalExtractTest, ConstantFoldedComparand) {
+  BoundQuery q = bind("SELECT * FROM T WHERE TIME <= 100 * 11");
+  EXPECT_DOUBLE_EQ(q.intervals().interval(1).hi, 1100);
+}
+
+TEST(IntervalExtractTest, UdfComparisonGivesNoInterval) {
+  BoundQuery q = bind("SELECT * FROM T WHERE SPEED(VX,VY,VZ) < 30");
+  EXPECT_TRUE(q.intervals().interval(6).is_all());
+}
+
+// ---------------------------------------------------------------------------
+// Table
+
+TEST(TableTest, AppendAndAccess) {
+  Table t({{"A", DataType::kInt32}, {"B", DataType::kFloat32}});
+  double r1[] = {1, 2.5}, r2[] = {3, 4.5};
+  t.append_row(r1);
+  t.append_row(r2);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 4.5);
+  EXPECT_EQ(t.payload_bytes(), 2u * 8u);
+}
+
+TEST(TableTest, SameRowsIgnoresOrder) {
+  Table a({{"A", DataType::kInt32}}), b({{"A", DataType::kInt32}});
+  double v;
+  for (double x : {3.0, 1.0, 2.0}) { v = x; a.append_row(&v); }
+  for (double x : {1.0, 2.0, 3.0}) { v = x; b.append_row(&v); }
+  EXPECT_TRUE(a.same_rows(b));
+  v = 9;
+  b.append_row(&v);
+  EXPECT_FALSE(a.same_rows(b));
+}
+
+TEST(TableTest, SameRowsWithTolerance) {
+  Table a({{"A", DataType::kFloat32}}), b({{"A", DataType::kFloat32}});
+  double x = 1.0, y = 1.0 + 1e-9;
+  a.append_row(&x);
+  b.append_row(&y);
+  EXPECT_TRUE(a.same_rows(b, 1e-6));
+  EXPECT_FALSE(a.same_rows(b, 1e-12));
+}
+
+TEST(TableTest, AppendTableMergesPartitions) {
+  Table a({{"A", DataType::kInt32}}), b({{"A", DataType::kInt32}});
+  double v = 1;
+  a.append_row(&v);
+  v = 2;
+  b.append_row(&v);
+  a.append_table(b);
+  EXPECT_EQ(a.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({{"A", DataType::kInt32}, {"B", DataType::kFloat64}});
+  double r[] = {7, 0.5};
+  t.append_row(r);
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("A,B"), std::string::npos);
+  EXPECT_NE(csv.find("7,0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adv::expr

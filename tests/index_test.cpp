@@ -1,0 +1,180 @@
+// Tests for the indexing service: min/max chunk index (build, persistence,
+// pruning) and the packed R-tree (+ RTreeFilter equivalence).
+#include <gtest/gtest.h>
+
+#include "codegen/plan.h"
+#include "common/rng.h"
+#include "common/tempdir.h"
+#include "dataset/titan.h"
+#include "index/minmax.h"
+#include "index/rtree.h"
+#include "index/spatial_filter.h"
+
+namespace adv::index {
+namespace {
+
+dataset::TitanConfig titan_cfg() {
+  dataset::TitanConfig cfg;
+  cfg.nodes = 2;
+  cfg.cells_x = 4;
+  cfg.cells_y = 4;
+  cfg.cells_z = 2;
+  cfg.points_per_chunk = 32;
+  return cfg;
+}
+
+struct TitanFixture {
+  TempDir tmp{"idx"};
+  dataset::GeneratedTitan gen;
+  codegen::DataServicePlan plan;
+
+  TitanFixture()
+      : gen(dataset::generate_titan(titan_cfg(), tmp.str())),
+        plan(codegen::DataServicePlan::from_text(gen.descriptor_text,
+                                                 gen.dataset_name,
+                                                 gen.root)) {}
+};
+
+TEST(MinMaxIndexTest, BuildCoversEveryChunk) {
+  TitanFixture f;
+  MinMaxIndex idx = MinMaxIndex::build(f.plan);
+  EXPECT_EQ(idx.attrs().size(), 3u);  // DATAINDEX { X Y Z }
+  EXPECT_EQ(idx.num_chunks(),
+            static_cast<std::size_t>(titan_cfg().num_chunks()));
+  // Each chunk's recorded bounds sit inside its generator cell.
+  int checked = 0;
+  for (const auto& [key, b] : idx.entries()) {
+    (void)key;
+    for (std::size_t a = 0; a < 3; ++a) {
+      EXPECT_LE(b.bounds[a].first, b.bounds[a].second);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, titan_cfg().num_chunks());
+}
+
+TEST(MinMaxIndexTest, SaveLoadRoundTrip) {
+  TitanFixture f;
+  MinMaxIndex idx = MinMaxIndex::build(f.plan);
+  std::string path = f.tmp.file("titan.advidx");
+  idx.save(path);
+  MinMaxIndex loaded = MinMaxIndex::load(path);
+  EXPECT_EQ(loaded.attrs(), idx.attrs());
+  EXPECT_EQ(loaded.num_chunks(), idx.num_chunks());
+  for (const auto& [key, b] : idx.entries()) {
+    const ChunkBounds* lb = loaded.find(key);
+    ASSERT_NE(lb, nullptr);
+    EXPECT_EQ(lb->bounds, b.bounds);
+  }
+  EXPECT_THROW(MinMaxIndex::load(f.gen.root + "/node0/titan/CHUNKS"),
+               IoError);
+}
+
+TEST(MinMaxIndexTest, PruningPreservesResultsAndSkipsChunks) {
+  TitanFixture f;
+  MinMaxIndex idx = MinMaxIndex::build(f.plan);
+  const char* query =
+      "SELECT * FROM TitanData WHERE X >= 0 AND X <= 9000 AND Y >= 0 AND "
+      "Y <= 9000 AND Z >= 0 AND Z <= 200";
+  expr::BoundQuery q = f.plan.bind(query);
+
+  afc::PlannerOptions with, without;
+  with.filter = &idx;
+  afc::PlanResult pruned = f.plan.index_fn(q, with);
+  afc::PlanResult full = f.plan.index_fn(q, without);
+  EXPECT_LT(pruned.afcs.size(), full.afcs.size());
+  EXPECT_GT(pruned.stats.afcs_filtered_by_index, 0u);
+
+  expr::Table a = f.plan.execute(q, with);
+  expr::Table b = f.plan.execute(q, without);
+  EXPECT_GT(a.num_rows(), 0u);
+  EXPECT_TRUE(a.same_rows(b));
+  // And both equal the oracle.
+  EXPECT_TRUE(a.same_rows(dataset::titan_oracle(titan_cfg(), q)));
+}
+
+TEST(MinMaxIndexTest, UnindexedChunksPass) {
+  MinMaxIndex idx({0});
+  expr::QueryIntervals qi(1);
+  qi.interval(0) = expr::Interval::closed(0, 1);
+  EXPECT_TRUE(idx.may_match("nofile", 0, qi));
+  idx.add({"f", 0}, {{{5.0, 9.0}}});
+  EXPECT_FALSE(idx.may_match("f", 0, qi));
+  qi.interval(0) = expr::Interval::closed(6, 7);
+  EXPECT_TRUE(idx.may_match("f", 0, qi));
+}
+
+// ---------------------------------------------------------------------------
+// R-tree
+
+TEST(RTreeTest, EmptyTree) {
+  RTree t = RTree::build({}, 2);
+  std::vector<uint64_t> out;
+  t.query(Box({0, 0}, {1, 1}), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, QueryMatchesBruteForce) {
+  SplitMix64 rng(99);
+  std::vector<RTree::Entry> entries;
+  for (uint64_t i = 0; i < 500; ++i) {
+    double x = rng.next_unit() * 100, y = rng.next_unit() * 100;
+    double w = rng.next_unit() * 5, h = rng.next_unit() * 5;
+    entries.push_back({Box({x, y}, {x + w, y + h}), i});
+  }
+  RTree t = RTree::build(entries, 2);
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_GE(t.height(), 2);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    double qx = rng.next_unit() * 100, qy = rng.next_unit() * 100;
+    Box q({qx, qy}, {qx + 10, qy + 10});
+    std::vector<uint64_t> got;
+    t.query(q, got);
+    std::vector<uint64_t> want;
+    for (const auto& e : entries)
+      if (e.box.intersects(q)) want.push_back(e.payload);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, SelectiveQueryVisitsFewNodes) {
+  std::vector<RTree::Entry> entries;
+  // 1024 unit boxes on a 32x32 grid.
+  for (uint64_t i = 0; i < 1024; ++i) {
+    double x = static_cast<double>(i % 32) * 10;
+    double y = static_cast<double>(i / 32) * 10;
+    entries.push_back({Box({x, y}, {x + 1, y + 1}), i});
+  }
+  RTree t = RTree::build(entries, 2);
+  std::vector<uint64_t> out;
+  t.query(Box({0, 0}, {5, 5}), out);
+  EXPECT_EQ(out.size(), 1u);
+  // A point-ish query should visit far fewer nodes than the tree holds.
+  EXPECT_LT(t.last_nodes_visited(), 30u);
+}
+
+TEST(RTreeFilterTest, EquivalentToMinMaxFilter) {
+  TitanFixture f;
+  MinMaxIndex idx = MinMaxIndex::build(f.plan);
+  RTreeFilter rtf(idx);
+  expr::BoundQuery q = f.plan.bind(
+      "SELECT * FROM TitanData WHERE X <= 15000 AND Y >= 20000 AND Z < 400");
+
+  afc::PlannerOptions mm_opts, rt_opts;
+  mm_opts.filter = &idx;
+  rt_opts.filter = &rtf;
+  afc::PlanResult mm = f.plan.index_fn(q, mm_opts);
+  afc::PlanResult rt = f.plan.index_fn(q, rt_opts);
+  EXPECT_EQ(mm.afcs.size(), rt.afcs.size());
+  EXPECT_EQ(mm.stats.afcs_filtered_by_index, rt.stats.afcs_filtered_by_index);
+
+  expr::Table a = f.plan.execute(q, mm_opts);
+  expr::Table b = f.plan.execute(q, rt_opts);
+  EXPECT_TRUE(a.same_rows(b));
+}
+
+}  // namespace
+}  // namespace adv::index

@@ -1,0 +1,121 @@
+// Property-based soundness of the interval analysis: the index function
+// prunes chunks using per-attribute intervals extracted from the WHERE
+// clause, so for EVERY predicate and EVERY row, `matches(row)` must imply
+// that each attribute value lies inside its extracted interval (and
+// IN-set).  A violation would silently drop matching rows.  Random
+// predicate trees and rows probe this; SQL text round-tripping rides along.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/predicate.h"
+#include "metadata/model.h"
+#include "sql/ast.h"
+
+namespace adv::expr {
+namespace {
+
+constexpr int kAttrs = 4;
+
+meta::Schema fuzz_schema() {
+  meta::Schema s;
+  s.name = "F";
+  for (int i = 0; i < kAttrs; ++i)
+    s.attrs.push_back({"A" + std::to_string(i), DataType::kFloat64});
+  return s;
+}
+
+sql::ScalarPtr random_scalar(SplitMix64& rng, int depth) {
+  switch (rng.next_below(depth > 0 ? 4 : 2)) {
+    case 0:
+      return sql::Scalar::make_literal(
+          Value(std::floor(rng.next_unit() * 100)));
+    case 1:
+      return sql::Scalar::make_attr(
+          "A" + std::to_string(rng.next_below(kAttrs)));
+    case 2:
+      return sql::Scalar::make_arith(
+          "+-*"[rng.next_below(3)], random_scalar(rng, depth - 1),
+          random_scalar(rng, depth - 1));
+    default:
+      return sql::Scalar::make_call(
+          "MAG2", {random_scalar(rng, depth - 1)});
+  }
+}
+
+sql::BoolExprPtr random_bool(SplitMix64& rng, int depth) {
+  if (depth == 0 || rng.next_below(3) == 0) {
+    if (rng.next_below(4) == 0) {
+      std::vector<Value> vals;
+      std::size_t n = 1 + rng.next_below(4);
+      for (std::size_t i = 0; i < n; ++i)
+        vals.push_back(Value(std::floor(rng.next_unit() * 100)));
+      return sql::BoolExpr::make_in(
+          "A" + std::to_string(rng.next_below(kAttrs)), std::move(vals));
+    }
+    sql::CmpOp ops[] = {sql::CmpOp::kLt, sql::CmpOp::kLe, sql::CmpOp::kGt,
+                        sql::CmpOp::kGe, sql::CmpOp::kEq, sql::CmpOp::kNe};
+    return sql::BoolExpr::make_cmp(ops[rng.next_below(6)],
+                                   random_scalar(rng, 1),
+                                   random_scalar(rng, 1));
+  }
+  switch (rng.next_below(3)) {
+    case 0:
+      return sql::BoolExpr::make_and(random_bool(rng, depth - 1),
+                                     random_bool(rng, depth - 1));
+    case 1:
+      return sql::BoolExpr::make_or(random_bool(rng, depth - 1),
+                                    random_bool(rng, depth - 1));
+    default:
+      return sql::BoolExpr::make_not(random_bool(rng, depth - 1));
+  }
+}
+
+class IntervalFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalFuzz, PruningIsSoundForMatchingRows) {
+  SplitMix64 rng(mix64(GetParam() ^ 0x1f2e3d));
+  meta::Schema schema = fuzz_schema();
+
+  for (int trial = 0; trial < 40; ++trial) {
+    sql::SelectQuery q;
+    q.select_attrs = {};
+    q.table = "F";
+    q.where = random_bool(rng, 3);
+    SCOPED_TRACE("WHERE " + q.where->to_string());
+    BoundQuery bound(q, schema);
+
+    // SQL text round-trips to a fixed point.
+    sql::SelectQuery reparsed = sql::parse_select(q.to_string());
+    EXPECT_EQ(reparsed.to_string(), q.to_string());
+
+    const QueryIntervals& qi = bound.intervals();
+    for (int r = 0; r < 50; ++r) {
+      double row[kAttrs];
+      for (int a = 0; a < kAttrs; ++a) {
+        // Mix of in-range, boundary-ish, and wild values.
+        switch (rng.next_below(3)) {
+          case 0: row[a] = std::floor(rng.next_unit() * 100); break;
+          case 1: row[a] = rng.next_unit() * 100; break;
+          default: row[a] = (rng.next_unit() - 0.5) * 1e6; break;
+        }
+      }
+      if (!bound.matches(row)) continue;
+      // Soundness: a matching row must survive interval/IN-set pruning on
+      // every attribute.
+      for (int a = 0; a < kAttrs; ++a) {
+        EXPECT_TRUE(qi.value_may_match(static_cast<std::size_t>(a), row[a]))
+            << "attr A" << a << " = " << row[a] << " matched the predicate "
+            << "but was outside the extracted interval "
+            << qi.interval(static_cast<std::size_t>(a)).to_string();
+        EXPECT_TRUE(qi.chunk_may_match(static_cast<std::size_t>(a),
+                                       row[a] - 0.5, row[a] + 0.5));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalFuzz,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace adv::expr

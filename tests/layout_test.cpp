@@ -1,0 +1,144 @@
+// Tests for the loop-nest region analysis (layout/region.h).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "layout/region.h"
+#include "metadata/model.h"
+
+namespace adv::layout {
+namespace {
+
+meta::Schema schema3() {
+  meta::Schema s;
+  s.name = "S";
+  s.attrs = {{"TIME", DataType::kInt32},
+             {"X", DataType::kFloat32},
+             {"Y", DataType::kFloat32},
+             {"SOIL", DataType::kFloat32},
+             {"SGAS", DataType::kFloat32}};
+  return s;
+}
+
+// Parses just a DATASPACE body for testing.
+std::vector<meta::LayoutNode> parse_space(const std::string& body) {
+  std::string text = "[S]\nTIME = int\nX = float\nY = float\nSOIL = float\n"
+                     "SGAS = float\n[DS]\nDatasetDescription = S\n"
+                     "DIR[0] = n0/d\n"
+                     "DATASET \"DS\" { DATASPACE { " + body +
+                     " } DATA { f DIRID = 0:0:1 } }";
+  static std::vector<meta::Descriptor> keep_alive;
+  keep_alive.push_back(meta::parse_descriptor(text));
+  return keep_alive.back().datasets[0].dataspace;
+}
+
+TEST(RegionTest, SingleRecordLoop) {
+  auto space = parse_space("LOOP GRID 1:100:1 { X Y }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  auto regions = analyze_regions(space, s, {}, env);
+  ASSERT_EQ(regions.size(), 1u);
+  const Region& r = regions[0];
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_EQ(r.record_ident, "GRID");
+  EXPECT_EQ(r.record_range.count(), 100);
+  EXPECT_EQ(r.record_bytes, 8u);
+  EXPECT_EQ(r.base_offset, 0u);
+  ASSERT_EQ(r.fields.size(), 2u);
+  EXPECT_EQ(r.fields[0].attr, "X");
+  EXPECT_EQ(r.fields[0].intra_offset, 0u);
+  EXPECT_EQ(r.fields[1].intra_offset, 4u);
+  EXPECT_EQ(r.num_rows(), 100u);
+  EXPECT_EQ(r.chunk_bytes(), 800u);
+  EXPECT_NE(r.find_field("Y"), nullptr);
+  EXPECT_EQ(r.find_field("Z"), nullptr);
+}
+
+TEST(RegionTest, NestedStructureLoopStride) {
+  // TIME { GRID { SOIL SGAS } }: one TIME iteration spans 100*8 bytes.
+  auto space = parse_space("LOOP TIME 1:500:1 { LOOP GRID 1:100:1 { SOIL "
+                           "SGAS } }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  auto regions = analyze_regions(space, s, {}, env);
+  ASSERT_EQ(regions.size(), 1u);
+  const Region& r = regions[0];
+  ASSERT_EQ(r.path.size(), 1u);
+  EXPECT_EQ(r.path[0].ident, "TIME");
+  EXPECT_EQ(r.path[0].range.count(), 500);
+  EXPECT_EQ(r.path[0].stride, 800u);
+  EXPECT_EQ(r.record_bytes, 8u);
+}
+
+TEST(RegionTest, SiblingArraysGetBaseOffsets) {
+  // Per-variable arrays: SGAS array starts after the SOIL array.
+  auto space = parse_space(
+      "LOOP TIME 1:10:1 { LOOP GRID 1:100:1 { SOIL } LOOP GRID 1:100:1 { "
+      "SGAS } }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  auto regions = analyze_regions(space, s, {}, env);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].base_offset, 0u);
+  EXPECT_EQ(regions[0].record_bytes, 4u);
+  EXPECT_EQ(regions[1].base_offset, 400u);
+  // Both regions stride a full TIME iteration: 800 bytes.
+  EXPECT_EQ(regions[0].path[0].stride, 800u);
+  EXPECT_EQ(regions[1].path[0].stride, 800u);
+}
+
+TEST(RegionTest, EnvDependentBounds) {
+  auto space =
+      parse_space("LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 { X Y }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  env.set("DIRID", 2);
+  auto regions = analyze_regions(space, s, {}, env);
+  EXPECT_EQ(regions[0].record_range.lo, 201);
+  EXPECT_EQ(regions[0].record_range.hi, 300);
+}
+
+TEST(RegionTest, MixedTypeRecordBytes) {
+  // int32 TIME + two float32 = 12 bytes per record.
+  auto space = parse_space("LOOP GRID 1:10:1 { TIME X Y }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  auto regions = analyze_regions(space, s, {}, env);
+  EXPECT_EQ(regions[0].record_bytes, 12u);
+  EXPECT_EQ(regions[0].fields[1].intra_offset, 4u);
+  EXPECT_EQ(regions[0].fields[2].intra_offset, 8u);
+}
+
+TEST(RegionTest, DataspaceBytes) {
+  auto space = parse_space("LOOP TIME 1:500:1 { LOOP GRID 1:100:1 { SOIL "
+                           "SGAS } }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  EXPECT_EQ(dataspace_bytes(space, s, {}, env), 500u * 100u * 8u);
+}
+
+TEST(RegionTest, ThreeLevelNest) {
+  auto space = parse_space(
+      "LOOP TIME 1:5:1 { LOOP REL2 0:3:1 { LOOP GRID 1:10:1 { X } } }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  auto regions = analyze_regions(space, s, {}, env);
+  ASSERT_EQ(regions.size(), 1u);
+  ASSERT_EQ(regions[0].path.size(), 2u);
+  EXPECT_EQ(regions[0].path[0].ident, "TIME");
+  EXPECT_EQ(regions[0].path[0].stride, 4u * 40u);  // 4 rels * 10 grid * 4B
+  EXPECT_EQ(regions[0].path[1].ident, "REL2");
+  EXPECT_EQ(regions[0].path[1].stride, 40u);
+}
+
+TEST(RegionTest, EvalRangeContains) {
+  EvalRange r{1, 10, 3};  // 1,4,7,10
+  EXPECT_TRUE(r.contains(1));
+  EXPECT_TRUE(r.contains(7));
+  EXPECT_FALSE(r.contains(8));
+  EXPECT_FALSE(r.contains(0));
+  EXPECT_FALSE(r.contains(13));
+  EXPECT_EQ(r.count(), 4);
+}
+
+}  // namespace
+}  // namespace adv::layout

@@ -1,0 +1,381 @@
+// Tests for the meta-data description language: arithmetic expressions,
+// the section and layout parsers, validation, and pretty-print round-trips.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "metadata/model.h"
+
+namespace adv::meta {
+namespace {
+
+// The running example of the paper (Figure 4), spelled in our concrete
+// syntax: the IPARS dataset with a COORDS file per node and one file per
+// (realization, node) holding SOIL/SGAS for all time steps.
+const char* kIparsDescriptor = R"(
+// {* Component I: Dataset Schema Description *}
+[IPARS]
+REL = short int
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+
+// {* Component II: Dataset Storage Description *}
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = osu0/ipars
+DIR[1] = osu1/ipars
+DIR[2] = osu2/ipars
+DIR[3] = osu3/ipars
+
+// {* Component III: Dataset Layout Description *}
+DATASET "IparsData" {
+  DATATYPE { IPARS }
+  DATAINDEX { REL TIME }
+  DATA { DATASET ipars1 DATASET ipars2 }
+  DATASET "ipars1" {
+    DATASPACE {
+      LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+        X Y Z
+      }
+    }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }
+  }
+  DATASET "ipars2" {
+    DATASPACE {
+      LOOP TIME 1:500:1 {
+        LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+          SOIL SGAS
+        }
+      }
+    }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Arithmetic expressions
+
+TEST(ArithTest, EvalRespectsPrecedence) {
+  VarEnv env;
+  env.set("DIRID", 2);
+  EXPECT_EQ(parse_arith("$DIRID*100+1")->eval(env), 201);
+  EXPECT_EQ(parse_arith("($DIRID+1)*100")->eval(env), 300);
+  EXPECT_EQ(parse_arith("2+3*4")->eval(env), 14);
+  EXPECT_EQ(parse_arith("(2+3)*4")->eval(env), 20);
+  EXPECT_EQ(parse_arith("7/2")->eval(env), 3);
+  EXPECT_EQ(parse_arith("7%3")->eval(env), 1);
+  EXPECT_EQ(parse_arith("-3+10")->eval(env), 7);
+}
+
+TEST(ArithTest, BareIdentifierIsVariable) {
+  VarEnv env;
+  env.set("DIRID", 5);
+  EXPECT_EQ(parse_arith("DIRID*10")->eval(env), 50);
+}
+
+TEST(ArithTest, UnboundVariableThrows) {
+  VarEnv env;
+  EXPECT_THROW(parse_arith("$NOPE")->eval(env), ValidationError);
+}
+
+TEST(ArithTest, DivisionByZeroThrows) {
+  VarEnv env;
+  EXPECT_THROW(parse_arith("1/0")->eval(env), ValidationError);
+  EXPECT_THROW(parse_arith("1%0")->eval(env), ValidationError);
+}
+
+TEST(ArithTest, IsConstantAndCollectVars) {
+  EXPECT_TRUE(parse_arith("3*(4+5)")->is_constant());
+  EXPECT_FALSE(parse_arith("3*$X")->is_constant());
+  std::vector<std::string> vars;
+  parse_arith("$A+$B*$A")->collect_vars(vars);
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(ArithTest, RangeCount) {
+  VarEnv env;
+  auto parse_rng = [](const std::string& s) {
+    TokenCursor cur(tokenize(s));
+    return parse_range(cur);
+  };
+  EXPECT_EQ(parse_rng("1:500:1").count(env), 500);
+  EXPECT_EQ(parse_rng("0:3:1").count(env), 4);
+  EXPECT_EQ(parse_rng("1:10:3").count(env), 4);  // 1,4,7,10
+  EXPECT_EQ(parse_rng("5:4:1").count(env), 0);   // empty
+  EXPECT_EQ(parse_rng("7:7").count(env), 1);     // step defaults to 1
+  EXPECT_THROW(parse_rng("1:10:0").count(env), ValidationError);
+}
+
+// ---------------------------------------------------------------------------
+// Full descriptor parse (the paper's Figure 4)
+
+TEST(DescriptorTest, ParsesPaperExample) {
+  Descriptor d = parse_descriptor(kIparsDescriptor);
+
+  ASSERT_EQ(d.schemas.size(), 1u);
+  const Schema& s = d.schemas[0];
+  EXPECT_EQ(s.name, "IPARS");
+  ASSERT_EQ(s.attrs.size(), 7u);
+  EXPECT_EQ(s.attrs[0].name, "REL");
+  EXPECT_EQ(s.attrs[0].type, DataType::kInt16);
+  EXPECT_EQ(s.attrs[1].name, "TIME");
+  EXPECT_EQ(s.attrs[1].type, DataType::kInt32);
+  EXPECT_EQ(s.row_bytes(), 2u + 4u + 5u * 4u);
+  EXPECT_EQ(s.find("SGAS"), 6);
+  EXPECT_EQ(s.find("NOPE"), -1);
+
+  ASSERT_EQ(d.storages.size(), 1u);
+  const Storage& st = d.storages[0];
+  EXPECT_EQ(st.dataset_name, "IparsData");
+  EXPECT_EQ(st.schema_name, "IPARS");
+  ASSERT_EQ(st.dirs.size(), 4u);
+  EXPECT_EQ(st.dirs[2].path, "osu2/ipars");
+  EXPECT_EQ(st.dirs[2].node_name, "osu2");
+  EXPECT_EQ(st.node_names().size(), 4u);
+
+  ASSERT_EQ(d.datasets.size(), 1u);
+  const DatasetDecl& top = d.datasets[0];
+  EXPECT_EQ(top.name, "IparsData");
+  EXPECT_EQ(top.datatype, "IPARS");
+  ASSERT_EQ(top.dataindex.size(), 2u);
+  EXPECT_EQ(top.dataindex[0], "REL");
+  EXPECT_FALSE(top.is_leaf());
+  ASSERT_EQ(top.children.size(), 2u);
+  ASSERT_EQ(top.child_order.size(), 2u);
+
+  const DatasetDecl& ipars1 = top.children[0];
+  EXPECT_EQ(ipars1.name, "ipars1");
+  EXPECT_EQ(ipars1.datatype, "IPARS");  // inherited
+  EXPECT_TRUE(ipars1.is_leaf());
+  ASSERT_EQ(ipars1.dataspace.size(), 1u);
+  const LayoutNode& grid = ipars1.dataspace[0];
+  EXPECT_EQ(grid.kind, LayoutNode::Kind::kLoop);
+  EXPECT_EQ(grid.loop_ident, "GRID");
+  ASSERT_EQ(grid.body.size(), 1u);
+  EXPECT_EQ(grid.body[0].kind, LayoutNode::Kind::kFields);
+  EXPECT_EQ(grid.body[0].fields, (std::vector<std::string>{"X", "Y", "Z"}));
+  VarEnv env;
+  env.set("DIRID", 1);
+  EXPECT_EQ(grid.range.lo->eval(env), 101);
+  EXPECT_EQ(grid.range.hi->eval(env), 200);
+  EXPECT_EQ(grid.range.count(env), 100);
+
+  ASSERT_EQ(ipars1.files.size(), 1u);
+  const FilePattern& fp1 = ipars1.files[0];
+  ASSERT_EQ(fp1.segs.size(), 2u);
+  EXPECT_EQ(fp1.segs[0].kind, PatternSeg::Kind::kDirRef);
+  EXPECT_EQ(fp1.segs[1].kind, PatternSeg::Kind::kLiteral);
+  EXPECT_EQ(fp1.segs[1].literal, "/COORDS");
+  ASSERT_EQ(fp1.bindings.size(), 1u);
+  EXPECT_EQ(fp1.bindings[0].var, "DIRID");
+
+  const DatasetDecl& ipars2 = top.children[1];
+  ASSERT_EQ(ipars2.files.size(), 1u);
+  const FilePattern& fp2 = ipars2.files[0];
+  ASSERT_EQ(fp2.segs.size(), 3u);
+  EXPECT_EQ(fp2.segs[2].kind, PatternSeg::Kind::kVarRef);
+  EXPECT_EQ(fp2.segs[2].var, "REL");
+  ASSERT_EQ(fp2.bindings.size(), 2u);
+  // Nested loop structure: TIME { GRID { SOIL SGAS } }.
+  const LayoutNode& time_loop = ipars2.dataspace[0];
+  EXPECT_EQ(time_loop.loop_ident, "TIME");
+  EXPECT_EQ(time_loop.body[0].loop_ident, "GRID");
+  EXPECT_EQ(time_loop.body[0].body[0].fields,
+            (std::vector<std::string>{"SOIL", "SGAS"}));
+
+  EXPECT_EQ(d.find_dataset("ipars2"), &ipars2);
+  EXPECT_EQ(&d.schema_of(ipars2), &s);
+}
+
+TEST(DescriptorTest, QuotedPatternParsesSameAsUnquoted) {
+  std::string text = R"(
+[S]
+A = int
+[DS]
+DatasetDescription = S
+DIR[0] = n0/d
+DATASET "DS" {
+  DATASPACE { LOOP I 1:10:1 { A } }
+  DATA { "DIR[$DIRID]/file$V" V = 1:2:1 DIRID = 0:0:1 }
+}
+)";
+  Descriptor d = parse_descriptor(text);
+  const FilePattern& fp = d.datasets[0].files[0];
+  ASSERT_EQ(fp.segs.size(), 3u);
+  EXPECT_EQ(fp.segs[0].kind, PatternSeg::Kind::kDirRef);
+  EXPECT_EQ(fp.segs[1].literal, "/file");
+  EXPECT_EQ(fp.segs[2].var, "V");
+}
+
+TEST(DescriptorTest, RoundTripsThroughPrettyPrinter) {
+  Descriptor d1 = parse_descriptor(kIparsDescriptor);
+  std::string text = to_text(d1);
+  Descriptor d2 = parse_descriptor(text);
+  EXPECT_EQ(to_text(d2), text);
+  EXPECT_EQ(d2.schemas.size(), d1.schemas.size());
+  EXPECT_EQ(d2.datasets[0].children.size(), 2u);
+}
+
+TEST(DescriptorTest, LocalDatatypeAttributes) {
+  std::string text = R"(
+[S]
+A = int
+[DS]
+DatasetDescription = S
+DIR[0] = n0/d
+DATASET "DS" {
+  DATATYPE { S EXTRA = float }
+  DATASPACE { LOOP I 1:4:1 { A EXTRA } }
+  DATA { f }
+}
+)";
+  Descriptor d = parse_descriptor(text);
+  ASSERT_EQ(d.datasets[0].local_attrs.size(), 1u);
+  EXPECT_EQ(d.datasets[0].local_attrs[0].name, "EXTRA");
+  EXPECT_EQ(d.datasets[0].local_attrs[0].type, DataType::kFloat32);
+}
+
+// ---------------------------------------------------------------------------
+// Validation failures
+
+// Helper: wraps a layout body into a minimal single-schema descriptor.
+std::string with_layout(const std::string& layout_body) {
+  return "[S]\nA = int\nB = float\n[DS]\nDatasetDescription = S\n"
+         "DIR[0] = n0/d\nDIR[1] = n1/d\n" +
+         layout_body;
+}
+
+TEST(ValidateTest, UnknownAttributeInDataspace) {
+  EXPECT_THROW(parse_descriptor(with_layout(
+                   "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { NOPE } } "
+                   "DATA { f } }")),
+               ValidationError);
+}
+
+TEST(ValidateTest, UnknownSchemaInStorage) {
+  EXPECT_THROW(parse_descriptor("[DS]\nDatasetDescription = MISSING\n"
+                                "DIR[0] = n0/d\n"),
+               ValidationError);
+}
+
+TEST(ValidateTest, MixedLoopBodyRejected) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { A LOOP J 1:2:1 { B } "
+          "} } DATA { f } }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, TopLevelFieldsRejected) {
+  EXPECT_THROW(parse_descriptor(with_layout(
+                   "DATASET \"DS\" { DATASPACE { A B } DATA { f } }")),
+               ValidationError);
+}
+
+TEST(ValidateTest, NestedDuplicateLoopIdentRejected) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { LOOP I 1:2:1 { A } } "
+          "} DATA { f } }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, SiblingSameLoopIdentAllowed) {
+  EXPECT_NO_THROW(parse_descriptor(with_layout(
+      "DATASET \"DS\" { DATASPACE { LOOP T 1:2:1 { LOOP I 1:2:1 { A } LOOP "
+      "I 1:2:1 { B } } } DATA { f } }")));
+}
+
+TEST(ValidateTest, TriangularLoopRejected) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATASPACE { LOOP I 1:5:1 { LOOP J 1:$I:1 { A } } "
+          "} DATA { f } }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, UnboundLoopBoundVariableRejected) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATASPACE { LOOP I ($Q*2):10:1 { A } } DATA { f "
+          "} }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, NonConstantBindingRejected) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { A } } DATA { f$V V = "
+          "0:$W:1 } }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, DirIndexOutOfRangeRejected) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { A } } DATA { "
+          "DIR[7]/f } }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, UnboundPatternVariableRejected) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { A } } DATA { f$NOPE "
+          "} }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, DataIndexMustNameSchemaAttributes) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout(
+          "DATASET \"DS\" { DATAINDEX { NOPE } DATASPACE { LOOP I 1:2:1 { A "
+          "} } DATA { f } }")),
+      ValidationError);
+}
+
+TEST(ValidateTest, LeafNeedsDataspaceAndFiles) {
+  EXPECT_THROW(parse_descriptor(
+                   with_layout("DATASET \"DS\" { DATA { f } }")),
+               ValidationError);
+  EXPECT_THROW(parse_descriptor(with_layout(
+                   "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { A } } }")),
+               ValidationError);
+}
+
+TEST(ValidateTest, ChildOrderMustMatchNestedBlocks) {
+  EXPECT_THROW(parse_descriptor(with_layout(
+                   "DATASET \"DS\" { DATA { DATASET ghost } DATASET real { "
+                   "DATASPACE { LOOP I 1:2:1 { A } } DATA { f } } }")),
+               ValidationError);
+}
+
+// ---------------------------------------------------------------------------
+// Parse errors carry positions
+
+TEST(ParseErrorTest, BadSectionLine) {
+  try {
+    parse_descriptor("[S]\nA int\n");  // missing '='
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(ParseErrorTest, UnterminatedDatasetBlock) {
+  EXPECT_THROW(parse_descriptor(with_layout("DATASET \"DS\" { DATASPACE {")),
+               ParseError);
+}
+
+TEST(ParseErrorTest, GarbageInsideDataset) {
+  EXPECT_THROW(
+      parse_descriptor(with_layout("DATASET \"DS\" { WHATEVER { } }")),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace adv::meta

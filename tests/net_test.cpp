@@ -1,0 +1,139 @@
+// Tests for the networked query service: loopback round trips, partitioned
+// delivery, error propagation, concurrent clients.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+#include "storm/net.h"
+
+namespace adv::storm {
+namespace {
+
+struct NetFixture {
+  TempDir tmp{"net"};
+  dataset::IparsConfig cfg;
+  dataset::GeneratedIpars gen;
+  std::shared_ptr<codegen::DataServicePlan> plan;
+  QueryServer server;
+
+  static dataset::IparsConfig make_cfg() {
+    dataset::IparsConfig c;
+    c.nodes = 2;
+    c.rels = 2;
+    c.timesteps = 8;
+    c.grid_per_node = 16;
+    c.pad_vars = 0;
+    return c;
+  }
+
+  NetFixture()
+      : cfg(make_cfg()),
+        gen(dataset::generate_ipars(cfg, dataset::IparsLayout::kV,
+                                    tmp.str())),
+        plan(std::make_shared<codegen::DataServicePlan>(
+            meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
+            gen.root)),
+        server(plan) {}
+};
+
+TEST(QueryServerTest, LoopbackRoundTrip) {
+  NetFixture f;
+  ASSERT_GT(f.server.port(), 0);
+  QueryClient client("127.0.0.1", f.server.port());
+  const char* sql =
+      "SELECT * FROM IparsData WHERE TIME <= 4 AND SOIL > 0.25";
+  RemoteResult r = client.execute(sql);
+  ASSERT_EQ(r.partitions.size(), 1u);
+  // Schema travelled with the result.
+  EXPECT_EQ(r.partitions[0].columns().size(), 10u);
+  EXPECT_EQ(r.partitions[0].columns()[1].name, "TIME");
+  EXPECT_EQ(r.partitions[0].columns()[1].type, DataType::kInt32);
+  // Rows equal the local engine's.
+  expr::BoundQuery q = f.plan->bind(sql);
+  expr::Table want = dataset::ipars_oracle(f.cfg, q);
+  EXPECT_TRUE(r.merged().same_rows(want));
+  // Node stats arrived for both virtual nodes.
+  ASSERT_EQ(r.node_stats.size(), 2u);
+  EXPECT_GT(r.node_stats[0].rows_matched, 0u);
+  EXPECT_EQ(f.server.queries_served(), 1u);
+}
+
+TEST(QueryServerTest, PartitionedDelivery) {
+  NetFixture f;
+  QueryClient client("127.0.0.1", f.server.port());
+  PartitionSpec part;
+  part.policy = PartitionSpec::Policy::kRoundRobin;
+  part.num_consumers = 3;
+  RemoteResult r = client.execute("SELECT * FROM IparsData", part);
+  ASSERT_EQ(r.partitions.size(), 3u);
+  EXPECT_EQ(r.total_rows(), f.cfg.total_rows());
+  for (const auto& p : r.partitions) EXPECT_GT(p.num_rows(), 0u);
+}
+
+TEST(QueryServerTest, LargeResultStreamsInManyBatches) {
+  // More rows than one 2048-row frame.
+  NetFixture f;
+  QueryClient client("127.0.0.1", f.server.port());
+  RemoteResult r = client.execute("SELECT * FROM IparsData");
+  EXPECT_EQ(r.total_rows(), f.cfg.total_rows());  // 8192 rows > one frame
+}
+
+TEST(QueryServerTest, ErrorsPropagateToClient) {
+  NetFixture f;
+  QueryClient client("127.0.0.1", f.server.port());
+  try {
+    client.execute("SELECT NOPE FROM IparsData");
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_NE(std::string(e.what()).find("NOPE"), std::string::npos);
+  }
+  EXPECT_THROW(client.execute("not sql at all"), QueryError);
+  EXPECT_THROW(client.execute("SELECT * FROM WrongTable"), QueryError);
+  // The server survives bad queries and still answers good ones.
+  EXPECT_EQ(client.execute("SELECT REL FROM IparsData WHERE TIME = 1")
+                .total_rows(),
+            f.cfg.total_rows() / f.cfg.timesteps);
+}
+
+TEST(QueryServerTest, ConcurrentClients) {
+  NetFixture f;
+  std::vector<std::thread> clients;
+  std::vector<uint64_t> rows(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&f, &rows, i] {
+      QueryClient client("127.0.0.1", f.server.port());
+      RemoteResult r = client.execute(
+          "SELECT * FROM IparsData WHERE REL = " + std::to_string(i % 2));
+      rows[static_cast<std::size_t>(i)] = r.total_rows();
+    });
+  }
+  for (auto& t : clients) t.join();
+  uint64_t per_rel = f.cfg.total_rows() / 2;
+  for (uint64_t n : rows) EXPECT_EQ(n, per_rel);
+  EXPECT_EQ(f.server.queries_served(), 4u);
+}
+
+TEST(QueryServerTest, ConnectionToDeadServerFails) {
+  int dead_port;
+  {
+    NetFixture f;
+    dead_port = f.server.port();
+  }  // server shut down
+  QueryClient client("127.0.0.1", dead_port);
+  EXPECT_THROW(client.execute("SELECT * FROM IparsData"), IoError);
+}
+
+TEST(QueryServerTest, TransferModelAppliesToRemoteQueries) {
+  NetFixture f;
+  ClusterOptions slow;
+  slow.transfer.bandwidth_bytes_per_sec = 100e6 / 8;
+  QueryServer slow_server(f.plan, slow);
+  QueryClient client("127.0.0.1", slow_server.port());
+  RemoteResult r = client.execute("SELECT * FROM IparsData WHERE TIME <= 2");
+  EXPECT_GT(r.total_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace adv::storm

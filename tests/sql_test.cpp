@@ -1,0 +1,129 @@
+// Tests for the SQL-subset parser.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sql/ast.h"
+
+namespace adv::sql {
+namespace {
+
+TEST(SqlParserTest, SelectStarNoWhere) {
+  SelectQuery q = parse_select("SELECT * FROM TITAN");
+  EXPECT_TRUE(q.select_all());
+  EXPECT_EQ(q.table, "TITAN");
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST(SqlParserTest, SelectListAndSemicolon) {
+  SelectQuery q = parse_select("select X, Y, S1 from Titan;");
+  ASSERT_EQ(q.select_attrs.size(), 3u);
+  EXPECT_EQ(q.select_attrs[0], "X");
+  EXPECT_EQ(q.select_attrs[2], "S1");
+  EXPECT_EQ(q.table, "Titan");
+}
+
+TEST(SqlParserTest, PaperExampleQueryParses) {
+  // The IPARS example from Figure 1 (RID spelled REL per the schema).
+  SelectQuery q = parse_select(
+      "SELECT * FROM IparsData WHERE REL in (0,6,26,27) AND TIME >= 1000 "
+      "AND TIME <= 1100 AND SOIL >= 0.7 AND SPEED(OILVX, OILVY, OILVZ) <= "
+      "30.0;");
+  ASSERT_NE(q.where, nullptr);
+  // Top of the tree is the last AND.
+  EXPECT_EQ(q.where->kind, BoolExpr::Kind::kAnd);
+  std::string s = q.where->to_string();
+  EXPECT_NE(s.find("REL IN (0, 6, 26, 27)"), std::string::npos);
+  EXPECT_NE(s.find("SPEED(OILVX, OILVY, OILVZ) <= 30"), std::string::npos);
+}
+
+TEST(SqlParserTest, ComparisonOperators) {
+  auto op_of = [](const std::string& text) {
+    SelectQuery q = parse_select("SELECT * FROM T WHERE A " + text + " 1");
+    return q.where->cmp;
+  };
+  EXPECT_EQ(op_of("<"), CmpOp::kLt);
+  EXPECT_EQ(op_of("<="), CmpOp::kLe);
+  EXPECT_EQ(op_of(">"), CmpOp::kGt);
+  EXPECT_EQ(op_of(">="), CmpOp::kGe);
+  EXPECT_EQ(op_of("="), CmpOp::kEq);
+  EXPECT_EQ(op_of("=="), CmpOp::kEq);
+  EXPECT_EQ(op_of("<>"), CmpOp::kNe);
+  EXPECT_EQ(op_of("!="), CmpOp::kNe);
+}
+
+TEST(SqlParserTest, LiteralOnLeftSide) {
+  SelectQuery q = parse_select("SELECT * FROM T WHERE 5 < A");
+  EXPECT_EQ(q.where->kind, BoolExpr::Kind::kCmp);
+  EXPECT_EQ(q.where->lhs->kind, Scalar::Kind::kLiteral);
+  EXPECT_EQ(q.where->rhs->kind, Scalar::Kind::kAttr);
+}
+
+TEST(SqlParserTest, BetweenExpandsToRange) {
+  SelectQuery q = parse_select("SELECT * FROM T WHERE A BETWEEN 2 AND 7");
+  ASSERT_EQ(q.where->kind, BoolExpr::Kind::kAnd);
+  EXPECT_EQ(q.where->a->cmp, CmpOp::kGe);
+  EXPECT_EQ(q.where->b->cmp, CmpOp::kLe);
+}
+
+TEST(SqlParserTest, NegativeLiterals) {
+  SelectQuery q = parse_select("SELECT * FROM T WHERE A IN (-3, 5) AND B > -1.5");
+  EXPECT_EQ(q.where->a->in_values[0].as_int(), -3);
+  EXPECT_DOUBLE_EQ(q.where->b->rhs->literal.as_double(), -1.5);
+}
+
+TEST(SqlParserTest, OrAndPrecedence) {
+  // AND binds tighter than OR.
+  SelectQuery q =
+      parse_select("SELECT * FROM T WHERE A < 1 OR B < 2 AND C < 3");
+  ASSERT_EQ(q.where->kind, BoolExpr::Kind::kOr);
+  EXPECT_EQ(q.where->b->kind, BoolExpr::Kind::kAnd);
+}
+
+TEST(SqlParserTest, ParenthesizedBooleanBacktracks) {
+  SelectQuery q =
+      parse_select("SELECT * FROM T WHERE (A < 1 OR B < 2) AND C < 3");
+  ASSERT_EQ(q.where->kind, BoolExpr::Kind::kAnd);
+  EXPECT_EQ(q.where->a->kind, BoolExpr::Kind::kOr);
+}
+
+TEST(SqlParserTest, ParenthesizedScalarStillWorks) {
+  SelectQuery q = parse_select("SELECT * FROM T WHERE (A + B) * 2 > 10");
+  ASSERT_EQ(q.where->kind, BoolExpr::Kind::kCmp);
+  EXPECT_EQ(q.where->lhs->kind, Scalar::Kind::kArith);
+}
+
+TEST(SqlParserTest, NotOperator) {
+  SelectQuery q = parse_select("SELECT * FROM T WHERE NOT A > 5");
+  EXPECT_EQ(q.where->kind, BoolExpr::Kind::kNot);
+}
+
+TEST(SqlParserTest, FunctionCalls) {
+  SelectQuery q =
+      parse_select("SELECT * FROM T WHERE DISTANCE(X, Y, Z) < 1000");
+  EXPECT_EQ(q.where->lhs->kind, Scalar::Kind::kCall);
+  EXPECT_EQ(q.where->lhs->name, "DISTANCE");
+  EXPECT_EQ(q.where->lhs->args.size(), 3u);
+}
+
+TEST(SqlParserTest, RoundTripToString) {
+  const char* text =
+      "SELECT X, Y FROM T WHERE X >= 0 AND X <= 10 AND S1 < 0.5";
+  SelectQuery q1 = parse_select(text);
+  SelectQuery q2 = parse_select(q1.to_string());
+  EXPECT_EQ(q1.to_string(), q2.to_string());
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_THROW(parse_select("FROM T"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T WHERE"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T WHERE A >"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T WHERE A ! 3"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T extra"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T WHERE 3 IN (1,2)"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T WHERE A IN ()"), ParseError);
+  EXPECT_THROW(parse_select("SELECT FROM T"), ParseError);
+}
+
+}  // namespace
+}  // namespace adv::sql

@@ -1,0 +1,202 @@
+// Tests for XML descriptor interchange: the generic XML subset parser and
+// the Descriptor <-> XML mapping (paper §3.1: the description language
+// "can easily be embedded in an XML file and made machine independent").
+#include <gtest/gtest.h>
+
+#include "codegen/plan.h"
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+#include "metadata/xml.h"
+
+namespace adv::meta {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic XML parser
+
+TEST(XmlParserTest, ElementsAttributesText) {
+  XmlNode root = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<root a=\"1\" b='two'>\n"
+      "  <child>hello</child>\n"
+      "  <empty/>\n"
+      "  <child>world</child>\n"
+      "</root>");
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.attr("a"), "1");
+  EXPECT_EQ(root.attr("b"), "two");
+  EXPECT_EQ(root.attr("c", "dflt"), "dflt");
+  EXPECT_TRUE(root.has_attr("a"));
+  EXPECT_FALSE(root.has_attr("z"));
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children_named("child").size(), 2u);
+  EXPECT_EQ(root.children_named("child")[1]->text, "world");
+  EXPECT_NE(root.child("empty"), nullptr);
+  EXPECT_EQ(root.child("missing"), nullptr);
+}
+
+TEST(XmlParserTest, EntitiesCommentsCdata) {
+  XmlNode root = parse_xml(
+      "<r note=\"a &lt; b &amp; c\">"
+      "<!-- a comment <with brackets> -->"
+      "x &gt; y"
+      "<![CDATA[raw <text> & stuff]]>"
+      "</r>");
+  EXPECT_EQ(root.attr("note"), "a < b & c");
+  EXPECT_EQ(root.text, "x > yraw <text> & stuff");
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_THROW(parse_xml("<a><b></a>"), ParseError);       // mismatched
+  EXPECT_THROW(parse_xml("<a>"), ParseError);              // unterminated
+  EXPECT_THROW(parse_xml("<a x=1/>"), ParseError);         // unquoted attr
+  EXPECT_THROW(parse_xml("<a>&unknown;</a>"), ParseError); // bad entity
+  EXPECT_THROW(parse_xml("<a/><b/>"), ParseError);         // two roots
+  EXPECT_THROW(parse_xml("<a><![CDATA[x]]</a>"), ParseError);
+}
+
+TEST(XmlParserTest, RoundTripThroughSerializer) {
+  XmlNode root = parse_xml(
+      "<r a=\"v&quot;q\"><x>text</x><y n=\"2\"/></r>");
+  std::string text = to_xml_text(root);
+  XmlNode again = parse_xml(text);
+  EXPECT_EQ(again.attr("a"), "v\"q");
+  EXPECT_EQ(again.child("x")->text, "text");
+  EXPECT_EQ(again.child("y")->attr("n"), "2");
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor embedding
+
+const char* kXmlDescriptor = R"(<?xml version="1.0"?>
+<descriptor>
+  <schema name="IPARS">
+    <attribute name="REL" type="short int"/>
+    <attribute name="TIME" type="int"/>
+    <attribute name="X" type="float"/>
+    <attribute name="Y" type="float"/>
+    <attribute name="Z" type="float"/>
+    <attribute name="SOIL" type="float"/>
+    <attribute name="SGAS" type="float"/>
+  </schema>
+  <storage dataset="IparsData" schema="IPARS">
+    <dir index="0" path="osu0/ipars"/>
+    <dir index="1" path="osu1/ipars"/>
+  </storage>
+  <dataset name="IparsData" datatype="IPARS">
+    <dataindex>REL TIME</dataindex>
+    <dataset name="ipars1">
+      <dataspace>
+        <loop ident="GRID" range="($DIRID*100+1):(($DIRID+1)*100):1">
+          <fields>X Y Z</fields>
+        </loop>
+      </dataspace>
+      <data>
+        <file pattern="DIR[$DIRID]/COORDS">
+          <bind var="DIRID" range="0:1:1"/>
+        </file>
+      </data>
+    </dataset>
+    <dataset name="ipars2">
+      <dataspace>
+        <loop ident="TIME" range="1:500:1">
+          <loop ident="GRID" range="($DIRID*100+1):(($DIRID+1)*100):1">
+            <fields>SOIL SGAS</fields>
+          </loop>
+        </loop>
+      </dataspace>
+      <data>
+        <file pattern="DIR[$DIRID]/DATA$REL">
+          <bind var="REL" range="0:3:1"/>
+          <bind var="DIRID" range="0:1:1"/>
+        </file>
+      </data>
+    </dataset>
+  </dataset>
+</descriptor>
+)";
+
+TEST(XmlDescriptorTest, ParsesTheFigure4Example) {
+  Descriptor d = parse_descriptor_xml(kXmlDescriptor);
+  ASSERT_EQ(d.schemas.size(), 1u);
+  EXPECT_EQ(d.schemas[0].attrs.size(), 7u);
+  EXPECT_EQ(d.schemas[0].attrs[0].type, DataType::kInt16);
+  ASSERT_EQ(d.storages.size(), 1u);
+  EXPECT_EQ(d.storages[0].dirs[1].node_name, "osu1");
+  ASSERT_EQ(d.datasets.size(), 1u);
+  const DatasetDecl& top = d.datasets[0];
+  ASSERT_EQ(top.children.size(), 2u);
+  EXPECT_EQ(top.dataindex, (std::vector<std::string>{"REL", "TIME"}));
+  const DatasetDecl& ipars2 = top.children[1];
+  EXPECT_EQ(ipars2.datatype, "IPARS");  // inherited
+  ASSERT_EQ(ipars2.files.size(), 1u);
+  EXPECT_EQ(ipars2.files[0].bindings.size(), 2u);
+  EXPECT_EQ(ipars2.files[0].segs.size(), 3u);
+  EXPECT_EQ(ipars2.dataspace[0].loop_ident, "TIME");
+}
+
+TEST(XmlDescriptorTest, EquivalentToTextForm) {
+  Descriptor from_xml = parse_descriptor_xml(kXmlDescriptor);
+  // The canonical text of the XML-parsed descriptor re-parses identically.
+  std::string text = to_text(from_xml);
+  Descriptor from_text = parse_descriptor(text);
+  EXPECT_EQ(to_text(from_text), text);
+  EXPECT_EQ(to_xml(from_text), to_xml(from_xml));
+}
+
+TEST(XmlDescriptorTest, RoundTripsEveryGeneratedLayout) {
+  dataset::IparsConfig cfg;
+  cfg.nodes = 2;
+  cfg.rels = 2;
+  cfg.timesteps = 5;
+  cfg.grid_per_node = 8;
+  cfg.pad_vars = 1;
+  for (auto layout : dataset::all_ipars_layouts()) {
+    Descriptor d1 =
+        parse_descriptor(dataset::ipars_descriptor_text(cfg, layout));
+    std::string xml = to_xml(d1);
+    Descriptor d2 = parse_descriptor_xml(xml);
+    EXPECT_EQ(to_text(d2), to_text(d1))
+        << "layout " << dataset::to_string(layout);
+  }
+}
+
+TEST(XmlDescriptorTest, XmlDescriptorServesQueries) {
+  // End to end: generate data with the text descriptor, query it through
+  // the XML form of the same descriptor.
+  dataset::IparsConfig cfg;
+  cfg.nodes = 2;
+  cfg.rels = 2;
+  cfg.timesteps = 6;
+  cfg.grid_per_node = 10;
+  cfg.pad_vars = 0;
+  TempDir tmp("xml");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kV, tmp.str());
+  std::string xml = to_xml(parse_descriptor(gen.descriptor_text));
+
+  codegen::DataServicePlan plan(parse_descriptor_xml(xml), "IparsData",
+                                gen.root);
+  EXPECT_TRUE(plan.verify_files().empty());
+  expr::BoundQuery q = plan.bind(
+      "SELECT * FROM IparsData WHERE TIME <= 3 AND SOIL > 0.5");
+  expr::Table got = plan.execute(q);
+  EXPECT_TRUE(got.same_rows(dataset::ipars_oracle(cfg, q)));
+}
+
+TEST(XmlDescriptorTest, ValidationStillApplies) {
+  // Unknown attribute in the dataspace must be rejected like in text form.
+  const char* bad = R"(<descriptor>
+    <schema name="S"><attribute name="A" type="int"/></schema>
+    <storage dataset="DS" schema="S"><dir index="0" path="n/d"/></storage>
+    <dataset name="DS">
+      <dataspace><loop ident="I" range="1:2:1"><fields>NOPE</fields></loop>
+      </dataspace>
+      <data><file pattern="f"/></data>
+    </dataset>
+  </descriptor>)";
+  EXPECT_THROW(parse_descriptor_xml(bad), ValidationError);
+  EXPECT_THROW(parse_descriptor_xml("<notdescriptor/>"), ValidationError);
+}
+
+}  // namespace
+}  // namespace adv::meta
