@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_afc.dir/bench_ablation_afc.cpp.o"
+  "CMakeFiles/bench_ablation_afc.dir/bench_ablation_afc.cpp.o.d"
+  "bench_ablation_afc"
+  "bench_ablation_afc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_afc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pg_vs_storm.dir/bench_fig06_pg_vs_storm.cpp.o"
+  "CMakeFiles/bench_fig06_pg_vs_storm.dir/bench_fig06_pg_vs_storm.cpp.o.d"
+  "bench_fig06_pg_vs_storm"
+  "bench_fig06_pg_vs_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pg_vs_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_titan_queries.dir/bench_fig07_titan_queries.cpp.o"
+  "CMakeFiles/bench_fig07_titan_queries.dir/bench_fig07_titan_queries.cpp.o.d"
+  "bench_fig07_titan_queries"
+  "bench_fig07_titan_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_titan_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

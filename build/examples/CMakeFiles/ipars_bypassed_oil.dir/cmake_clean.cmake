@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipars_bypassed_oil.dir/ipars_bypassed_oil.cpp.o"
+  "CMakeFiles/ipars_bypassed_oil.dir/ipars_bypassed_oil.cpp.o.d"
+  "ipars_bypassed_oil"
+  "ipars_bypassed_oil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipars_bypassed_oil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ipars_bypassed_oil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ipars_bypassed_oil.
+# This may be replaced when dependencies are built.

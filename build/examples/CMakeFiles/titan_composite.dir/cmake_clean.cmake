@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_composite.dir/titan_composite.cpp.o"
+  "CMakeFiles/titan_composite.dir/titan_composite.cpp.o.d"
+  "titan_composite"
+  "titan_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

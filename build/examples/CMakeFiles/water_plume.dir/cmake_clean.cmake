@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_plume.dir/water_plume.cpp.o"
+  "CMakeFiles/water_plume.dir/water_plume.cpp.o.d"
+  "water_plume"
+  "water_plume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_plume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

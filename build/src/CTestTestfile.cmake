@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("metadata")
+subdirs("sql")
+subdirs("expr")
+subdirs("layout")
+subdirs("afc")
+subdirs("index")
+subdirs("codegen")
+subdirs("dataset")
+subdirs("handwritten")
+subdirs("storm")
+subdirs("minidb")
+subdirs("api")

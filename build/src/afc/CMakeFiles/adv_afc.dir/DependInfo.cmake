@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afc/dataset_model.cpp" "src/afc/CMakeFiles/adv_afc.dir/dataset_model.cpp.o" "gcc" "src/afc/CMakeFiles/adv_afc.dir/dataset_model.cpp.o.d"
+  "/root/repo/src/afc/planner.cpp" "src/afc/CMakeFiles/adv_afc.dir/planner.cpp.o" "gcc" "src/afc/CMakeFiles/adv_afc.dir/planner.cpp.o.d"
+  "/root/repo/src/afc/reference.cpp" "src/afc/CMakeFiles/adv_afc.dir/reference.cpp.o" "gcc" "src/afc/CMakeFiles/adv_afc.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/adv_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/adv_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/adv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/adv_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_afc.dir/dataset_model.cpp.o"
+  "CMakeFiles/adv_afc.dir/dataset_model.cpp.o.d"
+  "CMakeFiles/adv_afc.dir/planner.cpp.o"
+  "CMakeFiles/adv_afc.dir/planner.cpp.o.d"
+  "CMakeFiles/adv_afc.dir/reference.cpp.o"
+  "CMakeFiles/adv_afc.dir/reference.cpp.o.d"
+  "libadv_afc.a"
+  "libadv_afc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_afc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_api.dir/virtual_table.cpp.o"
+  "CMakeFiles/adv_api.dir/virtual_table.cpp.o.d"
+  "libadv_api.a"
+  "libadv_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/emit.cpp" "src/codegen/CMakeFiles/adv_codegen.dir/emit.cpp.o" "gcc" "src/codegen/CMakeFiles/adv_codegen.dir/emit.cpp.o.d"
+  "/root/repo/src/codegen/extractor.cpp" "src/codegen/CMakeFiles/adv_codegen.dir/extractor.cpp.o" "gcc" "src/codegen/CMakeFiles/adv_codegen.dir/extractor.cpp.o.d"
+  "/root/repo/src/codegen/plan.cpp" "src/codegen/CMakeFiles/adv_codegen.dir/plan.cpp.o" "gcc" "src/codegen/CMakeFiles/adv_codegen.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/afc/CMakeFiles/adv_afc.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/adv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/adv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/adv_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/adv_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_codegen.dir/emit.cpp.o"
+  "CMakeFiles/adv_codegen.dir/emit.cpp.o.d"
+  "CMakeFiles/adv_codegen.dir/extractor.cpp.o"
+  "CMakeFiles/adv_codegen.dir/extractor.cpp.o.d"
+  "CMakeFiles/adv_codegen.dir/plan.cpp.o"
+  "CMakeFiles/adv_codegen.dir/plan.cpp.o.d"
+  "libadv_codegen.a"
+  "libadv_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

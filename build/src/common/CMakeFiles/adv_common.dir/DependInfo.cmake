@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/adv_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/adv_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "src/common/CMakeFiles/adv_common.dir/io.cpp.o" "gcc" "src/common/CMakeFiles/adv_common.dir/io.cpp.o.d"
+  "/root/repo/src/common/lexer.cpp" "src/common/CMakeFiles/adv_common.dir/lexer.cpp.o" "gcc" "src/common/CMakeFiles/adv_common.dir/lexer.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/adv_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/adv_common.dir/string_util.cpp.o.d"
+  "/root/repo/src/common/tempdir.cpp" "src/common/CMakeFiles/adv_common.dir/tempdir.cpp.o" "gcc" "src/common/CMakeFiles/adv_common.dir/tempdir.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/adv_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/adv_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/adv_common.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/adv_common.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_common.dir/env.cpp.o"
+  "CMakeFiles/adv_common.dir/env.cpp.o.d"
+  "CMakeFiles/adv_common.dir/io.cpp.o"
+  "CMakeFiles/adv_common.dir/io.cpp.o.d"
+  "CMakeFiles/adv_common.dir/lexer.cpp.o"
+  "CMakeFiles/adv_common.dir/lexer.cpp.o.d"
+  "CMakeFiles/adv_common.dir/string_util.cpp.o"
+  "CMakeFiles/adv_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/adv_common.dir/tempdir.cpp.o"
+  "CMakeFiles/adv_common.dir/tempdir.cpp.o.d"
+  "CMakeFiles/adv_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/adv_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/adv_common.dir/types.cpp.o"
+  "CMakeFiles/adv_common.dir/types.cpp.o.d"
+  "libadv_common.a"
+  "libadv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/ipars.cpp" "src/dataset/CMakeFiles/adv_dataset.dir/ipars.cpp.o" "gcc" "src/dataset/CMakeFiles/adv_dataset.dir/ipars.cpp.o.d"
+  "/root/repo/src/dataset/layout_writer.cpp" "src/dataset/CMakeFiles/adv_dataset.dir/layout_writer.cpp.o" "gcc" "src/dataset/CMakeFiles/adv_dataset.dir/layout_writer.cpp.o.d"
+  "/root/repo/src/dataset/titan.cpp" "src/dataset/CMakeFiles/adv_dataset.dir/titan.cpp.o" "gcc" "src/dataset/CMakeFiles/adv_dataset.dir/titan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/adv_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/adv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/afc/CMakeFiles/adv_afc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/adv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/adv_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_dataset.dir/ipars.cpp.o"
+  "CMakeFiles/adv_dataset.dir/ipars.cpp.o.d"
+  "CMakeFiles/adv_dataset.dir/layout_writer.cpp.o"
+  "CMakeFiles/adv_dataset.dir/layout_writer.cpp.o.d"
+  "CMakeFiles/adv_dataset.dir/titan.cpp.o"
+  "CMakeFiles/adv_dataset.dir/titan.cpp.o.d"
+  "libadv_dataset.a"
+  "libadv_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

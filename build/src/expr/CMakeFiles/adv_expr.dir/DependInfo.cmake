@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/interval.cpp" "src/expr/CMakeFiles/adv_expr.dir/interval.cpp.o" "gcc" "src/expr/CMakeFiles/adv_expr.dir/interval.cpp.o.d"
+  "/root/repo/src/expr/predicate.cpp" "src/expr/CMakeFiles/adv_expr.dir/predicate.cpp.o" "gcc" "src/expr/CMakeFiles/adv_expr.dir/predicate.cpp.o.d"
+  "/root/repo/src/expr/table.cpp" "src/expr/CMakeFiles/adv_expr.dir/table.cpp.o" "gcc" "src/expr/CMakeFiles/adv_expr.dir/table.cpp.o.d"
+  "/root/repo/src/expr/udf.cpp" "src/expr/CMakeFiles/adv_expr.dir/udf.cpp.o" "gcc" "src/expr/CMakeFiles/adv_expr.dir/udf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/adv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/adv_metadata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_expr.dir/interval.cpp.o"
+  "CMakeFiles/adv_expr.dir/interval.cpp.o.d"
+  "CMakeFiles/adv_expr.dir/predicate.cpp.o"
+  "CMakeFiles/adv_expr.dir/predicate.cpp.o.d"
+  "CMakeFiles/adv_expr.dir/table.cpp.o"
+  "CMakeFiles/adv_expr.dir/table.cpp.o.d"
+  "CMakeFiles/adv_expr.dir/udf.cpp.o"
+  "CMakeFiles/adv_expr.dir/udf.cpp.o.d"
+  "libadv_expr.a"
+  "libadv_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_handwritten.dir/ipars_hand.cpp.o"
+  "CMakeFiles/adv_handwritten.dir/ipars_hand.cpp.o.d"
+  "CMakeFiles/adv_handwritten.dir/titan_hand.cpp.o"
+  "CMakeFiles/adv_handwritten.dir/titan_hand.cpp.o.d"
+  "libadv_handwritten.a"
+  "libadv_handwritten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_handwritten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_index.dir/minmax.cpp.o"
+  "CMakeFiles/adv_index.dir/minmax.cpp.o.d"
+  "CMakeFiles/adv_index.dir/rtree.cpp.o"
+  "CMakeFiles/adv_index.dir/rtree.cpp.o.d"
+  "CMakeFiles/adv_index.dir/spatial_filter.cpp.o"
+  "CMakeFiles/adv_index.dir/spatial_filter.cpp.o.d"
+  "libadv_index.a"
+  "libadv_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_layout.dir/region.cpp.o"
+  "CMakeFiles/adv_layout.dir/region.cpp.o.d"
+  "libadv_layout.a"
+  "libadv_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/arith.cpp" "src/metadata/CMakeFiles/adv_metadata.dir/arith.cpp.o" "gcc" "src/metadata/CMakeFiles/adv_metadata.dir/arith.cpp.o.d"
+  "/root/repo/src/metadata/model.cpp" "src/metadata/CMakeFiles/adv_metadata.dir/model.cpp.o" "gcc" "src/metadata/CMakeFiles/adv_metadata.dir/model.cpp.o.d"
+  "/root/repo/src/metadata/parser.cpp" "src/metadata/CMakeFiles/adv_metadata.dir/parser.cpp.o" "gcc" "src/metadata/CMakeFiles/adv_metadata.dir/parser.cpp.o.d"
+  "/root/repo/src/metadata/print.cpp" "src/metadata/CMakeFiles/adv_metadata.dir/print.cpp.o" "gcc" "src/metadata/CMakeFiles/adv_metadata.dir/print.cpp.o.d"
+  "/root/repo/src/metadata/validate.cpp" "src/metadata/CMakeFiles/adv_metadata.dir/validate.cpp.o" "gcc" "src/metadata/CMakeFiles/adv_metadata.dir/validate.cpp.o.d"
+  "/root/repo/src/metadata/xml.cpp" "src/metadata/CMakeFiles/adv_metadata.dir/xml.cpp.o" "gcc" "src/metadata/CMakeFiles/adv_metadata.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

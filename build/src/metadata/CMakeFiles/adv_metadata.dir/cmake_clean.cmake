@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_metadata.dir/arith.cpp.o"
+  "CMakeFiles/adv_metadata.dir/arith.cpp.o.d"
+  "CMakeFiles/adv_metadata.dir/model.cpp.o"
+  "CMakeFiles/adv_metadata.dir/model.cpp.o.d"
+  "CMakeFiles/adv_metadata.dir/parser.cpp.o"
+  "CMakeFiles/adv_metadata.dir/parser.cpp.o.d"
+  "CMakeFiles/adv_metadata.dir/print.cpp.o"
+  "CMakeFiles/adv_metadata.dir/print.cpp.o.d"
+  "CMakeFiles/adv_metadata.dir/validate.cpp.o"
+  "CMakeFiles/adv_metadata.dir/validate.cpp.o.d"
+  "CMakeFiles/adv_metadata.dir/xml.cpp.o"
+  "CMakeFiles/adv_metadata.dir/xml.cpp.o.d"
+  "libadv_metadata.a"
+  "libadv_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/btree.cpp" "src/minidb/CMakeFiles/adv_minidb.dir/btree.cpp.o" "gcc" "src/minidb/CMakeFiles/adv_minidb.dir/btree.cpp.o.d"
+  "/root/repo/src/minidb/db.cpp" "src/minidb/CMakeFiles/adv_minidb.dir/db.cpp.o" "gcc" "src/minidb/CMakeFiles/adv_minidb.dir/db.cpp.o.d"
+  "/root/repo/src/minidb/heap.cpp" "src/minidb/CMakeFiles/adv_minidb.dir/heap.cpp.o" "gcc" "src/minidb/CMakeFiles/adv_minidb.dir/heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/adv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/adv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/adv_metadata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_minidb.dir/btree.cpp.o"
+  "CMakeFiles/adv_minidb.dir/btree.cpp.o.d"
+  "CMakeFiles/adv_minidb.dir/db.cpp.o"
+  "CMakeFiles/adv_minidb.dir/db.cpp.o.d"
+  "CMakeFiles/adv_minidb.dir/heap.cpp.o"
+  "CMakeFiles/adv_minidb.dir/heap.cpp.o.d"
+  "libadv_minidb.a"
+  "libadv_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

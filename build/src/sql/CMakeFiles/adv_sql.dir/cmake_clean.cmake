@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_sql.dir/ast.cpp.o"
+  "CMakeFiles/adv_sql.dir/ast.cpp.o.d"
+  "CMakeFiles/adv_sql.dir/parser.cpp.o"
+  "CMakeFiles/adv_sql.dir/parser.cpp.o.d"
+  "libadv_sql.a"
+  "libadv_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_storm.dir/cluster.cpp.o"
+  "CMakeFiles/adv_storm.dir/cluster.cpp.o.d"
+  "CMakeFiles/adv_storm.dir/net.cpp.o"
+  "CMakeFiles/adv_storm.dir/net.cpp.o.d"
+  "libadv_storm.a"
+  "libadv_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

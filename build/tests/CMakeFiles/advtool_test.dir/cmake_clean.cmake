@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advtool_test.dir/advtool_test.cpp.o"
+  "CMakeFiles/advtool_test.dir/advtool_test.cpp.o.d"
+  "advtool_test"
+  "advtool_test.pdb"
+  "advtool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advtool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afc_test.dir/afc_test.cpp.o"
+  "CMakeFiles/afc_test.dir/afc_test.cpp.o.d"
+  "afc_test"
+  "afc_test.pdb"
+  "afc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

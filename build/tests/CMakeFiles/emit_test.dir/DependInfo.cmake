@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/emit_test.cpp" "tests/CMakeFiles/emit_test.dir/emit_test.cpp.o" "gcc" "tests/CMakeFiles/emit_test.dir/emit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/handwritten/CMakeFiles/adv_handwritten.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/adv_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/adv_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/adv_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/adv_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/adv_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/adv_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/afc/CMakeFiles/adv_afc.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/adv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/adv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/adv_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/adv_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

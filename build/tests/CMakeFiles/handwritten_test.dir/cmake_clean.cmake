@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handwritten_test.dir/handwritten_test.cpp.o"
+  "CMakeFiles/handwritten_test.dir/handwritten_test.cpp.o.d"
+  "handwritten_test"
+  "handwritten_test.pdb"
+  "handwritten_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handwritten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

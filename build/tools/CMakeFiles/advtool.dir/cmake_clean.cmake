@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advtool.dir/advtool.cpp.o"
+  "CMakeFiles/advtool.dir/advtool.cpp.o.d"
+  "advtool"
+  "advtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
