@@ -46,6 +46,7 @@ int main() {
   bench::ResultTable table({"nodes", "hand makespan (ms)",
                             "generated makespan (ms)", "gen/hand",
                             "rows"});
+  bench::JsonRecords json;
   std::vector<double> hand_ms, gen_ms, gh;
   for (int nodes : {1, 2, 4, 8}) {
     dataset::IparsConfig cfg;
@@ -129,8 +130,16 @@ int main() {
                    bench::ms(gen_makespan),
                    format("%.2f", gen_makespan / hand_makespan),
                    std::to_string(gen_rows)});
+    json.add()
+        .field("query", sql)
+        .field("nodes", nodes)
+        .field("hand_makespan_seconds", hand_makespan)
+        .field("generated_makespan_seconds", gen_makespan)
+        .field("generated_over_hand", gen_makespan / hand_makespan)
+        .field("rows", gen_rows);
   }
   table.print();
+  json.write("fig10_scalability");
 
   double avg = 0;
   for (double g : gh) avg += g;

@@ -2,13 +2,23 @@
 // design claim: per-query runtime work — SQL parse, bind, index function —
 // is microseconds, while the expensive metadata analysis happens once at
 // compile time.
+//
+// After the microbenches, a multi-AFC scan-throughput section exercises
+// the full intra-node extraction pipeline (index -> extract -> partition
+// -> ship -> client tables) across io modes (mmap vs pread) and
+// threads_per_node, and writes the measurements to BENCH_micro.json so
+// the perf trajectory is trackable across PRs.  ADV_THREADS sets the
+// parallel worker count (default 4).
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
 #include "advirt.h"
+#include "bench_util.h"
+#include "common/tempdir.h"
 #include "dataset/ipars.h"
 #include "dataset/titan.h"
+#include "storm/cluster.h"
 
 using namespace adv;
 
@@ -111,6 +121,95 @@ void BM_RTreeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeQuery);
 
+// ---------------------------------------------------------------------------
+// Multi-AFC scan throughput.
+
+struct ScanConfig {
+  const char* name;
+  std::size_t threads_per_node;
+  IoMode io_mode;
+};
+
+void run_scan_throughput() {
+  std::printf("\n=== multi-AFC scan throughput (BENCH_micro.json) ===\n");
+  TempDir tmp("bench-micro-scan");
+  auto gen = dataset::generate_ipars(micro_cfg(), dataset::IparsLayout::kL0,
+                                     tmp.str());
+  auto plan = std::make_shared<codegen::DataServicePlan>(
+      meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
+      gen.root);
+
+  const std::size_t par =
+      static_cast<std::size_t>(env_int("ADV_THREADS", 4));
+  const ScanConfig configs[] = {
+      {"seq-pread", 1, IoMode::kPread},  // the pre-pipeline baseline path
+      {"seq-mmap", 1, IoMode::kMmap},
+      {"par-pread", par, IoMode::kPread},
+      {"par-mmap", par, IoMode::kMmap},
+  };
+  const char* queries[] = {
+      "SELECT * FROM IparsData",
+      "SELECT * FROM IparsData WHERE SOIL >= 0.25",
+  };
+
+  bench::JsonRecords json;
+  bench::ResultTable table({"query", "config", "threads", "wall (s)",
+                            "rows/s", "MB/s", "identical"});
+  for (const char* sql : queries) {
+    expr::Table reference;
+    for (const ScanConfig& c : configs) {
+      storm::ClusterOptions opts;
+      opts.threads_per_node = c.threads_per_node;
+      opts.io_mode = c.io_mode;
+      storm::StormCluster cluster(plan, opts);
+      cluster.execute(sql);  // warmup: populate handle cache + page cache
+      double wall = 1e300;
+      uint64_t rows = 0, bytes = 0;
+      expr::Table merged;
+      for (int i = 0; i < bench::repeats(); ++i) {
+        Stopwatch sw;
+        storm::QueryResult r = cluster.execute(sql);
+        double t = sw.elapsed_seconds();
+        if (t < wall) wall = t;
+        rows = r.total_rows();
+        bytes = r.total_bytes_read();
+        merged = r.merged();
+      }
+      // Every configuration must produce the same row set as the
+      // sequential-pread baseline (sorted comparison).
+      bool identical = true;
+      if (&c == &configs[0]) reference = merged;
+      else identical = merged.same_rows(reference);
+
+      double rows_per_sec = static_cast<double>(rows) / wall;
+      double mb_per_sec = static_cast<double>(bytes) / wall / 1e6;
+      json.add()
+          .field("query", sql)
+          .field("config", c.name)
+          .field("threads_per_node", static_cast<uint64_t>(c.threads_per_node))
+          .field("io_mode", c.io_mode == IoMode::kMmap ? "mmap" : "pread")
+          .field("rows", rows)
+          .field("bytes_read", bytes)
+          .field("wall_seconds", wall)
+          .field("rows_per_sec", rows_per_sec)
+          .field("mb_per_sec", mb_per_sec)
+          .field("identical_to_baseline", identical);
+      table.add_row({sql, c.name, std::to_string(c.threads_per_node),
+                     bench::secs(wall), format("%.0f", rows_per_sec),
+                     format("%.1f", mb_per_sec), identical ? "yes" : "no"});
+    }
+  }
+  table.print();
+  json.write("micro");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  run_scan_throughput();
+  return 0;
+}

@@ -6,12 +6,14 @@
 // ADV_REPEATS to change the timing repetitions.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 
@@ -74,5 +76,74 @@ class ResultTable {
 
 inline std::string ms(double seconds) { return format("%.1f", seconds * 1e3); }
 inline std::string secs(double seconds) { return format("%.3f", seconds); }
+
+// Machine-readable benchmark output: a flat JSON array of records, one
+// object per measurement, written to BENCH_<name>.json so the perf
+// trajectory is trackable across PRs (set BENCH_JSON_DIR to redirect).
+class JsonRecords {
+ public:
+  JsonRecords& add() {
+    records_.emplace_back();
+    return *this;
+  }
+  JsonRecords& field(const std::string& key, const std::string& v) {
+    records_.back().push_back("\"" + escape(key) + "\": \"" + escape(v) +
+                              "\"");
+    return *this;
+  }
+  JsonRecords& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonRecords& field(const std::string& key, double v) {
+    return raw(key, format("%.6g", v));
+  }
+  JsonRecords& field(const std::string& key, uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonRecords& field(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonRecords& field(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+
+  std::string str() const {
+    std::string out = "[\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out += "  {";
+      for (std::size_t f = 0; f < records_[r].size(); ++f) {
+        if (f) out += ", ";
+        out += records_[r][f];
+      }
+      out += r + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    return out + "]\n";
+  }
+
+  // Writes BENCH_<name>.json into BENCH_JSON_DIR (default: cwd) and tells
+  // the user where it went.
+  void write(const std::string& name) const {
+    std::string path =
+        env_str("BENCH_JSON_DIR", ".") + "/BENCH_" + name + ".json";
+    write_text_file(path, str());
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  JsonRecords& raw(const std::string& key, const std::string& v) {
+    records_.back().push_back("\"" + escape(key) + "\": " + v);
+    return *this;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::vector<std::string>> records_;
+};
 
 }  // namespace adv::bench

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus race check for the intra-node parallel pipeline.
+#
+#   1. default build + full ctest suite
+#   2. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
+#      sensitive test binaries, run with halt_on_error so any data race
+#      fails the script
+#
+# Set VERIFY_SKIP_TSAN=1 to run only step 1 (e.g. on hosts without tsan).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
+  cmake --preset tsan >/dev/null
+  cmake --build build-tsan -j"$JOBS" --target storm_test storm_concurrency_test
+  # Exercise the parallel worker path even on single-core hosts.
+  export ADV_THREADS_PER_NODE=4
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_concurrency_test
+fi
+
+echo "verify OK"

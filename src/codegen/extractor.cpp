@@ -93,8 +93,9 @@ GroupBinding bind_group(const afc::GroupPlan& gp, const expr::BoundQuery& q,
 const FileHandle& Extractor::handle(const std::string& path) {
   auto it = handles_.find(path);
   if (it == handles_.end())
-    it = handles_.emplace(path, FileHandle(path)).first;
-  return it->second;
+    it = handles_.emplace(path, FileCache::instance().open(path, io_mode_))
+             .first;
+  return *it->second;
 }
 
 const std::vector<const FileHandle*>& Extractor::group_handles(
@@ -108,20 +109,54 @@ const std::vector<const FileHandle*>& Extractor::group_handles(
   return hv;
 }
 
+namespace {
+
+// Adapter: a sink that appends every matched row to a result table.
+class TableSink final : public RowSink {
+ public:
+  explicit TableSink(expr::Table& t) : t_(t) {}
+  void on_row(const double* vals, uint64_t) override { t_.append_row(vals); }
+
+ private:
+  expr::Table& t_;
+};
+
+}  // namespace
+
 ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
                                 const GroupBinding& binding,
                                 const expr::BoundQuery& q, expr::Table& out) {
+  TableSink sink(out);
+  return extract(gp, a, binding, q, sink);
+}
+
+ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
+                                const GroupBinding& binding,
+                                const expr::BoundQuery& q, RowSink& sink) {
   ExtractStats stats;
   const std::size_t num_chunks = gp.chunks.size();
   if (bufs_.size() < num_chunks) bufs_.resize(num_chunks);
+  if (srcs_.size() < num_chunks) srcs_.resize(num_chunks);
 
-  // Batch size in rows, bounded by batch_bytes_ per chunk.
+  const std::vector<const FileHandle*>& handles = group_handles(gp);
+
+  // Mapped chunks decode in place; only unmapped ones need buffered
+  // batching.  When every chunk is mapped the whole AFC is one batch.
+  bool all_mapped = true;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const afc::ChunkPlan& cp = gp.chunks[c];
+    if (cp.bytes_per_row == 0) continue;
+    if (!handles[static_cast<std::size_t>(cp.file)]->mapped_data())
+      all_mapped = false;
+  }
+
+  // Batch size in rows, bounded by batch_bytes_ per chunk on the pread
+  // path.
   uint32_t max_bpr = 1;
   for (const auto& c : gp.chunks) max_bpr = std::max(max_bpr, c.bytes_per_row);
   uint64_t batch_rows =
-      std::max<uint64_t>(1, batch_bytes_ / max_bpr);
-
-  const std::vector<const FileHandle*>& handles = group_handles(gp);
+      all_mapped ? std::max<uint64_t>(1, a.num_rows)
+                 : std::max<uint64_t>(1, batch_bytes_ / max_bpr);
 
   // Row buffer: one double per needed slot (scratch reused across AFCs;
   // every slot has exactly one source, so no zero-fill is needed).
@@ -145,24 +180,31 @@ ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
   double* out_row = out_row_.data();
   const bool has_predicate = q.has_predicate();
 
+  const unsigned char** srcs = srcs_.data();
   for (uint64_t done = 0; done < a.num_rows; done += batch_rows) {
     uint64_t n = std::min(batch_rows, a.num_rows - done);
-    // Read this batch from every chunk.
+    // Point each chunk cursor at this batch: straight into the mapping
+    // when the file is mapped, through a pread buffer otherwise.
     for (std::size_t c = 0; c < num_chunks; ++c) {
       const afc::ChunkPlan& cp = gp.chunks[c];
       if (cp.bytes_per_row == 0) continue;
       std::size_t bytes = static_cast<std::size_t>(n) * cp.bytes_per_row;
-      if (bufs_[c].size() < bytes) bufs_[c].resize(bytes);
-      handles[static_cast<std::size_t>(cp.file)]->pread_exact(
-          bufs_[c].data(), bytes, a.offsets[c] + done * cp.bytes_per_row);
+      uint64_t offset = a.offsets[c] + done * cp.bytes_per_row;
+      const FileHandle* h = handles[static_cast<std::size_t>(cp.file)];
+      if (h->mapped_data()) {
+        srcs[c] = h->mapped_range(bytes, offset);
+      } else {
+        if (bufs_[c].size() < bytes) bufs_[c].resize(bytes);
+        h->pread_exact(bufs_[c].data(), bytes, offset);
+        srcs[c] = bufs_[c].data();
+      }
       stats.bytes_read += bytes;
     }
     // Zip rows: predicate inputs are materialized eagerly, the remaining
     // fields only once a row passes the filter.
     for (uint64_t r = 0; r < n; ++r) {
       for (const GroupBinding::FieldFetch& f : binding.pred_fetches)
-        row[f.slot] =
-            decode_double(f.type, bufs_[f.chunk].data() + f.intra + r * f.bpr);
+        row[f.slot] = decode_double(f.type, srcs[f.chunk] + f.intra + r * f.bpr);
       if (row_slot >= 0) {
         row[static_cast<std::size_t>(row_slot)] = static_cast<double>(
             a.row_first + static_cast<int64_t>(done + r) * gp.row_range.step);
@@ -171,14 +213,14 @@ ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
       if (!has_predicate || q.matches(row)) {
         stats.rows_matched++;
         for (const GroupBinding::FieldFetch& f : binding.post_fetches)
-          row[f.slot] = decode_double(
-              f.type, bufs_[f.chunk].data() + f.intra + r * f.bpr);
+          row[f.slot] =
+              decode_double(f.type, srcs[f.chunk] + f.intra + r * f.bpr);
         if (identity_select) {
-          out.append_row(row);
+          sink.on_row(row, done + r);
         } else {
           for (std::size_t i = 0; i < select_slots.size(); ++i)
             out_row[i] = row[static_cast<std::size_t>(select_slots[i])];
-          out.append_row(out_row);
+          sink.on_row(out_row, done + r);
         }
       }
     }

@@ -1,11 +1,13 @@
 // The extraction function: turns aligned file chunk sets into rows.
 //
-// For each AFC, the extractor reads num_rows * bytes_per_row bytes from
-// every chunk (in bounded batches so arbitrarily large chunks stream),
-// zips the streams row by row, decodes the needed fields into a dense
-// double buffer, fills in implicit attributes, evaluates the residual
-// predicate (including user-defined filters), and appends selected columns
-// to the result table.
+// For each AFC, the extractor walks num_rows * bytes_per_row bytes of
+// every chunk — decoding directly out of the file's shared memory mapping
+// when available, otherwise preading bounded batches into per-extractor
+// buffers — zips the streams row by row, decodes the needed fields into a
+// dense double buffer, fills in implicit attributes, evaluates the
+// residual predicate (including user-defined filters), and hands each
+// matching row to a RowSink (zero-copy: the sink sees the decode buffer
+// itself).  A Table convenience overload appends to a result table.
 #pragma once
 
 #include <map>
@@ -72,26 +74,55 @@ struct GroupBinding {
 GroupBinding bind_group(const afc::GroupPlan& gp, const expr::BoundQuery& q,
                         const meta::Schema& schema);
 
-// Streaming extractor with a file-handle cache.  Not thread-safe; STORM
-// gives each virtual node its own Extractor.
+// Receives matched rows as they are decoded.  `vals` points at the
+// extractor's decode buffer — q.select_slots().size() doubles in SELECT
+// order, valid only for the duration of the call.  `scan_index` is the
+// row's 0-based scan position within the AFC being extracted; combined
+// with a per-AFC base it yields a threading-invariant global row sequence
+// (see storm's ordering contract in docs/PIPELINE.md).
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual void on_row(const double* vals, uint64_t scan_index) = 0;
+};
+
+struct ExtractorOptions {
+  // Bounds memory on the pread path: at most ~batch_bytes are buffered per
+  // chunk while streaming one AFC.  The mmap path needs no buffering.
+  std::size_t batch_bytes = 1 << 20;
+  IoMode io_mode = IoMode::kAuto;
+};
+
+// Streaming extractor.  File handles come from the process-wide FileCache
+// (opened/mapped once, shared across threads); the per-extractor scratch
+// state makes an Extractor instance itself not thread-safe — STORM gives
+// each worker its own.
 class Extractor {
  public:
-  // `batch_bytes` bounds memory: at most ~batch_bytes are buffered per
-  // chunk while streaming one AFC.
-  explicit Extractor(std::size_t batch_bytes = 1 << 20)
-      : batch_bytes_(batch_bytes) {}
+  explicit Extractor(std::size_t batch_bytes)
+      : Extractor(ExtractorOptions{batch_bytes, IoMode::kAuto}) {}
+  explicit Extractor(const ExtractorOptions& opts = {})
+      : batch_bytes_(opts.batch_bytes),
+        io_mode_(resolve_io_mode(opts.io_mode)) {}
 
   // Extracts one AFC.  `binding` must come from bind_group() of the AFC's
-  // group.  Appends matching rows to `out`.
+  // group.  Hands each matching row to `sink`.
+  ExtractStats extract(const afc::GroupPlan& gp, const afc::Afc& a,
+                       const GroupBinding& binding,
+                       const expr::BoundQuery& q, RowSink& sink);
+
+  // Convenience overload: appends matching rows to `out`.
   ExtractStats extract(const afc::GroupPlan& gp, const afc::Afc& a,
                        const GroupBinding& binding,
                        const expr::BoundQuery& q, expr::Table& out);
 
-  // Drops cached file handles and per-group state.  Call when switching to
-  // a different PlanResult or after files were rewritten.
+  // Drops this extractor's handle references and per-group state, and
+  // invalidates the process-wide handle cache.  Call when switching to a
+  // different PlanResult or after files were rewritten.
   void clear_cache() {
     handles_.clear();
     group_handles_.clear();
+    FileCache::instance().clear();
   }
 
  private:
@@ -100,14 +131,17 @@ class Extractor {
       const afc::GroupPlan& gp);
 
   std::size_t batch_bytes_;
-  std::map<std::string, FileHandle> handles_;
+  IoMode io_mode_;
+  // Shared handles pinned for this extractor's lifetime.
+  std::map<std::string, std::shared_ptr<const FileHandle>> handles_;
   // Resolved handles per group (keyed by GroupPlan address; valid while the
   // PlanResult the groups live in is alive).
   std::map<const afc::GroupPlan*, std::vector<const FileHandle*>>
       group_handles_;
-  // Scratch reused across AFCs: chunk buffers, the slot row, the projected
-  // output row.
+  // Scratch reused across AFCs: pread chunk buffers, per-chunk source
+  // cursors, the slot row, the projected output row.
   std::vector<std::vector<unsigned char>> bufs_;
+  std::vector<const unsigned char*> srcs_;
   std::vector<double> row_;
   std::vector<double> out_row_;
 };

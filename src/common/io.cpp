@@ -1,6 +1,7 @@
 #include "common/io.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -10,6 +11,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/env.h"
+
 namespace adv {
 
 namespace {
@@ -18,25 +21,63 @@ std::string errno_message(const std::string& what, const std::string& path) {
 }
 }  // namespace
 
+IoMode resolve_io_mode(IoMode mode) {
+  if (mode != IoMode::kAuto) return mode;
+  std::string v = env_str("ADV_IO_MODE", "mmap");
+  return v == "pread" ? IoMode::kPread : IoMode::kMmap;
+}
+
 FileHandle::FileHandle(const std::string& path) : path_(path) {
   fd_ = ::open(path.c_str(), O_RDONLY);
   if (fd_ < 0) throw IoError(errno_message("cannot open", path));
 }
 
 FileHandle::~FileHandle() {
+  if (map_) ::munmap(map_, map_size_);
   if (fd_ >= 0) ::close(fd_);
 }
 
 FileHandle::FileHandle(FileHandle&& o) noexcept
-    : fd_(std::exchange(o.fd_, -1)), path_(std::move(o.path_)) {}
+    : fd_(std::exchange(o.fd_, -1)),
+      path_(std::move(o.path_)),
+      map_(std::exchange(o.map_, nullptr)),
+      map_size_(std::exchange(o.map_size_, 0)) {}
 
 FileHandle& FileHandle::operator=(FileHandle&& o) noexcept {
   if (this != &o) {
+    if (map_) ::munmap(map_, map_size_);
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(o.fd_, -1);
     path_ = std::move(o.path_);
+    map_ = std::exchange(o.map_, nullptr);
+    map_size_ = std::exchange(o.map_size_, 0);
   }
   return *this;
+}
+
+bool FileHandle::map() {
+  if (map_) return true;
+  uint64_t n = size();
+  if (n == 0) return false;  // mmap(0) is invalid; empty files use pread
+  void* p = ::mmap(nullptr, n, PROT_READ, MAP_SHARED, fd_, 0);
+  if (p == MAP_FAILED) return false;
+  map_ = static_cast<unsigned char*>(p);
+  map_size_ = n;
+  // Extraction walks chunks front to back; ask the kernel to read ahead.
+  (void)::posix_madvise(map_, map_size_, POSIX_MADV_SEQUENTIAL);
+  (void)::posix_madvise(map_, map_size_, POSIX_MADV_WILLNEED);
+  return true;
+}
+
+const unsigned char* FileHandle::mapped_range(std::size_t n,
+                                              uint64_t offset) const {
+  if (!map_ || offset + n > map_size_) {
+    throw IoError("short mapped read from '" + path_ + "': wanted " +
+                  std::to_string(n) + " bytes at offset " +
+                  std::to_string(offset) + ", mapped " +
+                  std::to_string(map_size_));
+  }
+  return map_ + offset;
 }
 
 uint64_t FileHandle::size() const {
@@ -69,6 +110,47 @@ std::size_t FileHandle::pread_some(void* out, std::size_t n,
     total += static_cast<std::size_t>(r);
   }
   return total;
+}
+
+FileCache& FileCache::instance() {
+  static FileCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FileHandle> FileCache::open(const std::string& path,
+                                                  IoMode mode) {
+  const bool want_map = resolve_io_mode(mode) == IoMode::kMmap;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = cache_.find(path);
+  if (it != cache_.end()) {
+    // A handle is never mutated after insertion (mapping it in place would
+    // race with lock-free readers); when a mapping is wanted but the cached
+    // handle has none, a fresh mapped handle replaces the entry and the old
+    // one stays alive for whoever still holds it.
+    if (!want_map || it->second->mapped_data()) return it->second;
+    cache_.erase(it);
+  }
+  auto handle = std::make_shared<FileHandle>(path);
+  if (want_map) (void)handle->map();
+  if (cache_.size() >= capacity_) {
+    // Evict handles nobody else holds; in-flight ones stay shared.
+    for (auto e = cache_.begin(); e != cache_.end();) {
+      if (e->second.use_count() == 1) e = cache_.erase(e);
+      else ++e;
+    }
+  }
+  cache_.emplace(path, handle);
+  return handle;
+}
+
+void FileCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cache_.clear();
+}
+
+std::size_t FileCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.size();
 }
 
 BufferedWriter::BufferedWriter(const std::string& path,

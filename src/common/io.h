@@ -1,21 +1,39 @@
 // RAII file handles and buffered readers/writers over POSIX descriptors.
 //
-// The data-extraction hot path reads aligned file chunks with positioned
-// reads (pread), so a single FileHandle can be shared by code that walks
-// several chunks of the same file without seek-state interference.
+// The data-extraction hot path reads aligned file chunks either through a
+// read-only memory mapping (the default: extraction decodes straight out of
+// the page cache, no copy into a user buffer) or with positioned reads
+// (pread, the fallback).  A single FileHandle can be shared by code that
+// walks several chunks of the same file without seek-state interference,
+// and a process-wide FileCache shares handles across threads so concurrent
+// extraction workers do not reopen (and remap) the same files.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
 
 namespace adv {
 
-// Read-only file opened with open(2).  Move-only.
+// How extraction reads chunk bytes from data files.
+enum class IoMode : uint8_t {
+  kAuto,   // resolve from env ADV_IO_MODE ("mmap"/"pread"), default mmap
+  kMmap,   // read-only mapping with sequential readahead advice
+  kPread,  // positioned reads into per-worker buffers
+};
+
+// Resolves kAuto against the ADV_IO_MODE environment variable; other
+// values pass through unchanged.
+IoMode resolve_io_mode(IoMode mode);
+
+// Read-only file opened with open(2), optionally memory-mapped.  Move-only.
 class FileHandle {
  public:
   FileHandle() = default;
@@ -34,6 +52,23 @@ class FileHandle {
   // Size of the file in bytes (fstat).
   uint64_t size() const;
 
+  // Maps the whole file read-only with POSIX_MADV_SEQUENTIAL |
+  // POSIX_MADV_WILLNEED readahead advice.  Returns true on success; false
+  // when the file is empty or the platform refuses the mapping (callers
+  // fall back to pread).  Idempotent, but NOT thread-safe: map before
+  // publishing the handle to other threads (FileCache does this).
+  bool map();
+
+  // Base pointer of the mapping, or nullptr when not mapped.  The mapping
+  // is immutable and safe to read from any thread.
+  const unsigned char* mapped_data() const { return map_; }
+  uint64_t mapped_size() const { return map_size_; }
+
+  // Pointer to `n` bytes at `offset` inside the mapping; throws IoError
+  // when not mapped or the range runs past end-of-file (the moral
+  // equivalent of pread_exact's short-read error).
+  const unsigned char* mapped_range(std::size_t n, uint64_t offset) const;
+
   // Reads exactly `n` bytes at absolute `offset` into `out`.
   // Throws IoError on short read or error.
   void pread_exact(void* out, std::size_t n, uint64_t offset) const;
@@ -45,6 +80,40 @@ class FileHandle {
  private:
   int fd_ = -1;
   std::string path_;
+  unsigned char* map_ = nullptr;
+  uint64_t map_size_ = 0;
+};
+
+// Process-wide cache of shared read-only FileHandles, keyed by path.  All
+// extraction workers of all virtual nodes funnel through it, so a file
+// scanned by N threads is opened (and mapped) once instead of N times.
+// Handles are returned as shared_ptr<const FileHandle>: FileHandle's read
+// API is const and thread-safe, and a handle stays alive while any worker
+// still holds it even if the cache evicts it meanwhile.
+class FileCache {
+ public:
+  // The process-wide instance.
+  static FileCache& instance();
+
+  explicit FileCache(std::size_t capacity = 512) : capacity_(capacity) {}
+
+  // Returns the cached handle for `path`, opening (and, when `mode`
+  // resolves to kMmap, mapping) it on first use.  A handle opened without
+  // a mapping is upgraded in place when a kMmap request arrives later.
+  // Throws IoError when the file cannot be opened.
+  std::shared_ptr<const FileHandle> open(const std::string& path,
+                                         IoMode mode = IoMode::kAuto);
+
+  // Drops every cached handle (in-flight shared_ptrs stay valid).  Call
+  // after rewriting data files so stale handles are not served.
+  void clear();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::unordered_map<std::string, std::shared_ptr<const FileHandle>> cache_;
 };
 
 // Append-only buffered writer used by the dataset generators and minidb

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -41,10 +42,21 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Submit blocked ranges, ~4 per worker, instead of one task per index:
+  // a million-iteration loop enqueues a handful of std::functions, not a
+  // million, while still leaving enough blocks for load balancing.
+  const std::size_t nblocks = std::min(n, size() * 4);
+  const std::size_t per_block = (n + nblocks - 1) / nblocks;
   std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futs.push_back(submit([i, &fn] { fn(i); }));
+  futs.reserve(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t lo = b * per_block;
+    const std::size_t hi = std::min(n, lo + per_block);
+    if (lo >= hi) break;
+    futs.push_back(submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
   std::exception_ptr first_error;
   for (auto& f : futs) {
     try {

@@ -41,7 +41,10 @@ class ThreadPool {
   }
 
   // Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  // Exceptions from tasks propagate (the first one observed is rethrown).
+  // Indices are submitted as contiguous blocks (~4 per worker), so huge n
+  // costs a handful of task allocations.  Exceptions from tasks propagate
+  // (the first one observed is rethrown; an exception skips the remaining
+  // indices of its own block only).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

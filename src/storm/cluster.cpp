@@ -5,6 +5,7 @@
 #include <limits>
 #include <thread>
 
+#include "common/env.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -13,68 +14,169 @@ namespace adv::storm {
 
 namespace {
 
-// Per-node worker: index -> extract/filter -> partition -> ship.
+// Per-worker output: extraction counters, shipping accounting, and any
+// failure, written lock-free by exactly one worker and merged by the node
+// after the joins.  Errors travel as strings, not exceptions — an
+// exception object rethrown across threads would be shared mutable state.
+struct WorkerStats {
+  codegen::ExtractStats extract;
+  uint64_t bytes_sent = 0;
+  double transfer_seconds = 0;
+  std::string error;
+};
+
+// Sink that partitions matched rows into per-consumer pending batches and
+// ships full batches through the data mover.  Rows land in a batch
+// directly from the extractor's decode buffer — no intermediate table or
+// row copy.  One instance per worker; the only cross-worker state it
+// touches is the mover's channel, which is internally synchronized.
+class PartitionSink final : public codegen::RowSink {
+ public:
+  PartitionSink(int node, std::size_t ncols, int nconsumers,
+                const PartitionGenerationService& partsvc,
+                DataMoverService& mover, std::size_t batch_rows,
+                WorkerStats& ws)
+      : node_(node),
+        ncols_(ncols),
+        partsvc_(partsvc),
+        mover_(mover),
+        batch_rows_(batch_rows),
+        ws_(ws),
+        pending_(static_cast<std::size_t>(nconsumers)) {
+    for (int c = 0; c < nconsumers; ++c) reset(c);
+  }
+
+  // Scan-position sequence of the next AFC's first row.
+  void begin_afc(uint64_t base_seq) { base_seq_ = base_seq; }
+
+  void on_row(const double* vals, uint64_t scan_index) override {
+    int dest = partsvc_.destination(vals, base_seq_ + scan_index);
+    RowBatch& b = pending_[static_cast<std::size_t>(dest)];
+    b.data.insert(b.data.end(), vals, vals + ncols_);
+    if (b.num_rows() >= batch_rows_) flush(dest);
+  }
+
+  void flush_all() {
+    for (std::size_t c = 0; c < pending_.size(); ++c)
+      flush(static_cast<int>(c));
+  }
+
+ private:
+  void reset(int c) {
+    RowBatch& b = pending_[static_cast<std::size_t>(c)];
+    b = RowBatch{};
+    b.source_node = node_;
+    b.consumer = c;
+    b.num_cols = ncols_;
+  }
+
+  void flush(int c) {
+    RowBatch& b = pending_[static_cast<std::size_t>(c)];
+    if (b.data.empty()) return;
+    ws_.bytes_sent += b.bytes();
+    ws_.transfer_seconds += mover_.send(std::move(b));
+    reset(c);
+  }
+
+  int node_;
+  std::size_t ncols_;
+  const PartitionGenerationService& partsvc_;
+  DataMoverService& mover_;
+  std::size_t batch_rows_;
+  WorkerStats& ws_;
+  std::vector<RowBatch> pending_;
+  uint64_t base_seq_ = 0;
+};
+
+// Per-node worker: index -> parallel extract/filter -> partition -> ship.
+// When `pool` is non-null the AFC list is split into contiguous ranges
+// (balanced by row count, ~4 per pool thread) and scanned concurrently;
+// each range worker owns its Extractor and PartitionSink.
 void run_node(int node, const codegen::DataServicePlan& plan,
               const expr::BoundQuery& q, const afc::ChunkFilter* filter,
               const PartitionGenerationService& partsvc,
-              DataMoverService& mover, std::size_t batch_rows,
-              NodeStats& stats) {
+              DataMoverService& mover, const ClusterOptions& opts,
+              ThreadPool* pool, NodeStats& stats) {
   stats.node_id = node;
   Stopwatch busy;
   try {
-    afc::PlannerOptions opts;
-    opts.filter = filter;
-    opts.only_node = node;
-    afc::PlanResult pr = plan.index_fn(q, opts);
-    stats.afcs = pr.afcs.size();
+    afc::PlannerOptions popts;
+    popts.filter = filter;
+    popts.only_node = node;
+    afc::PlanResult pr = plan.index_fn(q, popts);
+    const std::size_t nafcs = pr.afcs.size();
+    stats.afcs = nafcs;
 
-    codegen::Extractor extractor;
     std::vector<codegen::GroupBinding> bindings;
     bindings.reserve(pr.groups.size());
     for (const auto& g : pr.groups)
       bindings.push_back(codegen::bind_group(g, q, plan.schema()));
 
+    // Ordering contract: rows are numbered by scan position.  AFC i's rows
+    // start at the prefix sum of earlier AFCs' row counts — a numbering
+    // that is a function of the plan alone, so kRoundRobin/kBlockCyclic
+    // destinations are identical no matter how the list is split across
+    // workers (or whether a predicate drops rows in between).
+    std::vector<uint64_t> base(nafcs + 1, 0);
+    for (std::size_t i = 0; i < nafcs; ++i)
+      base[i + 1] = base[i] + pr.afcs[i].num_rows;
+
     const std::size_t ncols = q.select_slots().size();
     const int nconsumers = partsvc.num_consumers();
-    std::vector<RowBatch> pending(static_cast<std::size_t>(nconsumers));
-    for (int c = 0; c < nconsumers; ++c) {
-      pending[c].source_node = node;
-      pending[c].consumer = c;
-      pending[c].num_cols = ncols;
-    }
-    auto flush = [&](int c) {
-      if (pending[c].data.empty()) return;
-      stats.bytes_sent += pending[c].bytes();
-      stats.transfer_seconds += mover.send(std::move(pending[c]));
-      pending[c] = RowBatch{};
-      pending[c].source_node = node;
-      pending[c].consumer = c;
-      pending[c].num_cols = ncols;
+    codegen::ExtractorOptions xopts;
+    xopts.io_mode = opts.io_mode;
+
+    auto scan_range = [&](std::size_t lo, std::size_t hi, WorkerStats& ws) {
+      try {
+        codegen::Extractor extractor(xopts);
+        PartitionSink sink(node, ncols, nconsumers, partsvc, mover,
+                           opts.batch_rows, ws);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const afc::Afc& a = pr.afcs[i];
+          sink.begin_afc(base[i]);
+          ws.extract += extractor.extract(
+              pr.groups[static_cast<std::size_t>(a.group)], a,
+              bindings[static_cast<std::size_t>(a.group)], q, sink);
+        }
+        sink.flush_all();
+      } catch (const std::exception& e) {
+        ws.error = e.what();
+      }
+    };
+    auto merge = [&stats](const WorkerStats& ws) {
+      stats.bytes_read += ws.extract.bytes_read;
+      stats.rows_scanned += ws.extract.rows_scanned;
+      stats.rows_matched += ws.extract.rows_matched;
+      stats.bytes_sent += ws.bytes_sent;
+      stats.transfer_seconds += ws.transfer_seconds;
+      if (stats.error.empty() && !ws.error.empty()) stats.error = ws.error;
     };
 
-    uint64_t row_seq = 0;
-    expr::Table scratch(q.result_columns());
-    for (const auto& a : pr.afcs) {
-      const afc::GroupPlan& gp = pr.groups[static_cast<std::size_t>(a.group)];
-      codegen::ExtractStats es = extractor.extract(
-          gp, a, bindings[static_cast<std::size_t>(a.group)], q, scratch);
-      stats.bytes_read += es.bytes_read;
-      stats.rows_scanned += es.rows_scanned;
-      stats.rows_matched += es.rows_matched;
-
-      // Partition the extracted rows and append to per-consumer batches.
-      std::vector<double> row(ncols);
-      for (std::size_t r = 0; r < scratch.num_rows(); ++r) {
-        for (std::size_t c = 0; c < ncols; ++c) row[c] = scratch.at(r, c);
-        int dest = partsvc.destination(row.data(), row_seq++);
-        RowBatch& b = pending[static_cast<std::size_t>(dest)];
-        b.data.insert(b.data.end(), row.begin(), row.end());
-        if (b.num_rows() >= batch_rows) flush(dest);
+    if (!pool || pool->size() <= 1 || nafcs <= 1) {
+      WorkerStats ws;
+      scan_range(0, nafcs, ws);
+      merge(ws);
+    } else {
+      // Contiguous ranges cut at balanced row counts, a few per thread so
+      // one heavyweight AFC doesn't serialize the tail.
+      const std::size_t ntasks = std::min(nafcs, pool->size() * 4);
+      std::vector<std::size_t> cuts(ntasks + 1, nafcs);
+      cuts[0] = 0;
+      for (std::size_t k = 1; k < ntasks; ++k) {
+        uint64_t target = base[nafcs] / ntasks * k;
+        cuts[k] = static_cast<std::size_t>(
+            std::lower_bound(base.begin(), base.begin() + nafcs, target) -
+            base.begin());
       }
-      scratch = expr::Table(q.result_columns());  // reset scratch
+      std::vector<WorkerStats> wstats(ntasks);
+      pool->parallel_for(ntasks, [&](std::size_t k) {
+        scan_range(cuts[k], cuts[k + 1], wstats[k]);
+      });
+      for (const WorkerStats& ws : wstats) merge(ws);
     }
-    for (int c = 0; c < nconsumers; ++c) flush(c);
   } catch (const Error& e) {
+    stats.error = e.what();
+  } catch (const std::exception& e) {
     stats.error = e.what();
   }
   stats.busy_seconds = busy.elapsed_seconds();
@@ -118,6 +220,18 @@ StormCluster::StormCluster(std::shared_ptr<codegen::DataServicePlan> plan,
     : plan_(std::move(plan)), opts_(opts), query_service_(plan_) {}
 
 int StormCluster::num_nodes() const { return plan_->model().num_nodes(); }
+
+ThreadPool* StormCluster::extraction_pool() {
+  std::size_t t = opts_.threads_per_node;
+  if (t == 0)
+    t = static_cast<std::size_t>(env_int(
+        "ADV_THREADS_PER_NODE",
+        std::max<int64_t>(1, std::thread::hardware_concurrency())));
+  if (t <= 1) return nullptr;
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(t);
+  return pool_.get();
+}
 
 QueryResult StormCluster::execute(const std::string& sql,
                                   const PartitionSpec& partition,
@@ -169,9 +283,10 @@ QueryResult StormCluster::execute_streaming(const expr::BoundQuery& q,
   auto channel = std::make_shared<Channel<RowBatch>>(256);
   DataMoverService mover(channel, opts_.transfer);
   PartitionGenerationService partsvc(partition);
+  ThreadPool* pool = extraction_pool();
 
   auto node_body = [&](int n) {
-    run_node(n, *plan_, q, filter, partsvc, mover, opts_.batch_rows,
+    run_node(n, *plan_, q, filter, partsvc, mover, opts_, pool,
              result.node_stats[static_cast<std::size_t>(n)]);
   };
 
@@ -195,7 +310,7 @@ QueryResult StormCluster::execute_streaming(const expr::BoundQuery& q,
       auto ch = std::make_shared<Channel<RowBatch>>(
           std::numeric_limits<std::size_t>::max());
       DataMoverService seq_mover(ch, opts_.transfer);
-      run_node(n, *plan_, q, filter, partsvc, seq_mover, opts_.batch_rows,
+      run_node(n, *plan_, q, filter, partsvc, seq_mover, opts_, pool,
                result.node_stats[static_cast<std::size_t>(n)]);
       ch->close();
       while (auto batch = ch->pop()) sink(*batch);

@@ -1,10 +1,16 @@
 // StormCluster — the virtual parallel machine.
 //
 // One worker thread per storage node.  Each node runs the generated index
-// function restricted to its own files, extracts and filters rows with the
-// generated extraction function, partitions them across the client's
-// consumers, and ships batches through the data mover.  The client (the
-// caller) assembles per-consumer tables.
+// function restricted to its own files, then extracts, filters, partitions,
+// and ships its AFC list — in parallel across a shared intra-node thread
+// pool when `threads_per_node` > 1: the AFC list is split into contiguous
+// ranges, each range is scanned by a worker with its own Extractor and its
+// own per-consumer pending batches (no shared mutable state), and batches
+// flow straight into the data-mover channel.  Rows are numbered by their
+// scan position in the node's AFC list, so a row's destination consumer
+// under kRoundRobin/kBlockCyclic is identical whether the node scans with
+// 1 thread or 64 (see docs/PIPELINE.md for the ordering contract).  The
+// client (the caller) assembles per-consumer tables.
 //
 // Timing: the host may have fewer cores than the virtual cluster has
 // nodes, so per-node *busy time* is measured around each node's compute,
@@ -15,9 +21,12 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/io.h"
+#include "common/thread_pool.h"
 #include "storm/services.h"
 
 namespace adv::storm {
@@ -53,6 +62,12 @@ struct ClusterOptions {
   TransferModel transfer;           // network model (default: not modeled)
   std::size_t batch_rows = 4096;    // rows per shipped batch
   bool parallel_nodes = true;       // false: run nodes sequentially
+  // Extraction workers sharing one pool across all nodes of this cluster;
+  // 0 = env ADV_THREADS_PER_NODE, defaulting to hardware_concurrency;
+  // 1 = scan each node's AFC list inline.
+  std::size_t threads_per_node = 0;
+  // kAuto honors env ADV_IO_MODE ("mmap"/"pread"), defaulting to mmap.
+  IoMode io_mode = IoMode::kAuto;
 };
 
 class StormCluster {
@@ -84,9 +99,15 @@ class StormCluster {
                                 const afc::ChunkFilter* filter = nullptr);
 
  private:
+  // Lazily-built pool shared by all node workers (and all concurrent
+  // queries) of this cluster; null while threads_per_node resolves to 1.
+  ThreadPool* extraction_pool();
+
   std::shared_ptr<codegen::DataServicePlan> plan_;
   ClusterOptions opts_;
   QueryService query_service_;
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace adv::storm

@@ -111,7 +111,12 @@ class PartitionGenerationService {
   PartitionGenerationService(const PartitionSpec& spec)
       : spec_(spec) {}
 
-  // Destination consumer of a row (values in SELECT order).
+  // Destination consumer of a row (values in SELECT order).  `row_seq` is
+  // the row's scan-position sequence within its node — the prefix-sum
+  // numbering assigned by run_node — so kRoundRobin/kBlockCyclic deal by
+  // scan position and a row's destination is invariant to how many
+  // extraction workers the node uses.  Stateless and safe to call from
+  // any number of threads.
   int destination(const double* row, uint64_t row_seq) const;
 
   int num_consumers() const { return spec_.num_consumers; }
@@ -143,6 +148,8 @@ class DataMoverService {
       : channel_(std::move(channel)), model_(model) {}
 
   // Ships a batch to its consumer; returns the simulated transfer seconds.
+  // Thread-safe: every extraction worker of every node ships through one
+  // mover, serialized only by the channel's internal lock.
   double send(RowBatch batch) {
     double t = model_.transfer_seconds(batch.bytes());
     channel_->push(std::move(batch));

@@ -249,6 +249,18 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
+TEST(ThreadPoolTest, ParallelForChunksHugeRanges) {
+  // A million indices must not become a million queued tasks; every index
+  // still runs exactly once and the sum is exact.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1'000'000;
+  std::atomic<uint64_t> sum{0};
+  pool.parallel_for(kN, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
 TEST(ThreadPoolTest, SubmitReturnsValue) {
   ThreadPool pool(2);
   auto f = pool.submit([] { return 6 * 7; });
