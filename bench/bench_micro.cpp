@@ -130,29 +130,32 @@ struct ScanConfig {
   IoMode io_mode;
 };
 
-void run_scan_throughput() {
+std::size_t bench_threads() {
+  return static_cast<std::size_t>(env_int("ADV_THREADS", 4));
+}
+
+std::vector<ScanConfig> scan_configs() {
+  return {
+      {"seq-pread", 1, IoMode::kPread},  // the pre-pipeline baseline path
+      {"seq-mmap", 1, IoMode::kMmap},
+      {"par-pread", bench_threads(), IoMode::kPread},
+      {"par-mmap", bench_threads(), IoMode::kMmap},
+  };
+}
+
+void run_scan_throughput(const dataset::GeneratedIpars& gen,
+                         bench::JsonRecords& json) {
   std::printf("\n=== multi-AFC scan throughput (BENCH_micro.json) ===\n");
-  TempDir tmp("bench-micro-scan");
-  auto gen = dataset::generate_ipars(micro_cfg(), dataset::IparsLayout::kL0,
-                                     tmp.str());
   auto plan = std::make_shared<codegen::DataServicePlan>(
       meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
       gen.root);
 
-  const std::size_t par =
-      static_cast<std::size_t>(env_int("ADV_THREADS", 4));
-  const ScanConfig configs[] = {
-      {"seq-pread", 1, IoMode::kPread},  // the pre-pipeline baseline path
-      {"seq-mmap", 1, IoMode::kMmap},
-      {"par-pread", par, IoMode::kPread},
-      {"par-mmap", par, IoMode::kMmap},
-  };
+  const std::vector<ScanConfig> configs = scan_configs();
   const char* queries[] = {
       "SELECT * FROM IparsData",
       "SELECT * FROM IparsData WHERE SOIL >= 0.25",
   };
 
-  bench::JsonRecords json;
   bench::ResultTable table({"query", "config", "threads", "wall (s)",
                             "rows/s", "MB/s", "identical"});
   for (const char* sql : queries) {
@@ -200,7 +203,129 @@ void run_scan_throughput() {
     }
   }
   table.print();
-  json.write("micro");
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map pruning: the selective query with and without the sidecar.
+
+void run_zonemap_pruning(const dataset::GeneratedIpars& gen,
+                         const std::string& zm_dir,
+                         bench::JsonRecords& json) {
+  std::printf("\n=== zone-map pruning, SOIL >= 0.9 (BENCH_micro.json) ===\n");
+  const char* sql = "SELECT * FROM IparsData WHERE SOIL >= 0.9";
+
+  bench::ResultTable table({"config", "threads", "wall (s)", "rows/s",
+                            "bytes read", "bytes skipped", "afcs pruned",
+                            "identical"});
+  expr::Table reference;
+  bool first = true;
+  for (bool indexed : {false, true}) {
+    for (const ScanConfig& c : scan_configs()) {
+      VirtualTable::Options opt;
+      opt.cluster.threads_per_node = c.threads_per_node;
+      opt.cluster.io_mode = c.io_mode;
+      opt.plan_cache_capacity = 0;  // measure planning every run
+      if (indexed) {
+        opt.zonemap_dir = zm_dir;   // first open builds + saves, rest load
+        opt.build_zonemap = true;
+      }
+      VirtualTable vt = VirtualTable::open(gen.descriptor_text,
+                                           gen.dataset_name, gen.root, opt);
+      vt.query_detailed(sql);  // warmup
+      double wall = 1e300;
+      storm::QueryResult last;
+      for (int i = 0; i < bench::repeats(); ++i) {
+        Stopwatch sw;
+        storm::QueryResult r = vt.query_detailed(sql);
+        double t = sw.elapsed_seconds();
+        if (t < wall) wall = t;
+        last = std::move(r);
+      }
+      expr::Table merged = last.merged();
+      bool identical = true;
+      if (first) reference = merged, first = false;
+      else identical = merged.same_rows(reference);
+
+      std::string name =
+          std::string(indexed ? "zonemap-" : "unindexed-") + c.name;
+      double rows_per_sec = static_cast<double>(last.total_rows()) / wall;
+      json.add()
+          .field("query", sql)
+          .field("config", name)
+          .field("threads_per_node", static_cast<uint64_t>(c.threads_per_node))
+          .field("io_mode", c.io_mode == IoMode::kMmap ? "mmap" : "pread")
+          .field("zonemap", indexed)
+          .field("rows", last.total_rows())
+          .field("bytes_read", last.total_bytes_read())
+          .field("bytes_skipped", last.total_bytes_skipped())
+          .field("afcs_pruned", last.total_afcs_pruned())
+          .field("rows_pruned", last.total_rows_pruned())
+          .field("wall_seconds", wall)
+          .field("rows_per_sec", rows_per_sec)
+          .field("identical_to_baseline", identical);
+      table.add_row({name, std::to_string(c.threads_per_node),
+                     bench::secs(wall), format("%.0f", rows_per_sec),
+                     human_bytes(last.total_bytes_read()),
+                     human_bytes(last.total_bytes_skipped()),
+                     std::to_string(last.total_afcs_pruned()),
+                     identical ? "yes" : "no"});
+    }
+  }
+  table.print();
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: repeated-query latency with and without cached per-node plans.
+
+void run_plan_cache(const dataset::GeneratedIpars& gen,
+                    const std::string& zm_dir, bench::JsonRecords& json) {
+  std::printf("\n=== plan cache, repeated query (BENCH_micro.json) ===\n");
+  const char* sql = "SELECT * FROM IparsData WHERE SOIL >= 0.9";
+
+  bench::ResultTable table(
+      {"config", "wall (s)", "rows/s", "cache hits", "identical"});
+  expr::Table reference;
+  for (bool cached : {false, true}) {
+    VirtualTable::Options opt;
+    opt.cluster.threads_per_node = bench_threads();
+    opt.zonemap_dir = zm_dir;  // plan with the chunk filter: realistic cost
+    opt.build_zonemap = true;
+    opt.plan_cache_capacity = cached ? 16 : 0;
+    VirtualTable vt = VirtualTable::open(gen.descriptor_text,
+                                         gen.dataset_name, gen.root, opt);
+    vt.query_detailed(sql);  // warmup; with the cache this is the cold miss
+    double wall = 1e300;
+    storm::QueryResult last;
+    for (int i = 0; i < bench::repeats(); ++i) {
+      Stopwatch sw;
+      storm::QueryResult r = vt.query_detailed(sql);
+      double t = sw.elapsed_seconds();
+      if (t < wall) wall = t;
+      last = std::move(r);
+    }
+    expr::Table merged = last.merged();
+    bool identical = true;
+    if (!cached) reference = merged;
+    else identical = merged.same_rows(reference);
+
+    const char* name = cached ? "plancache-hit" : "plancache-off";
+    double rows_per_sec = static_cast<double>(last.total_rows()) / wall;
+    json.add()
+        .field("query", sql)
+        .field("config", name)
+        .field("threads_per_node",
+               static_cast<uint64_t>(bench_threads()))
+        .field("plan_cache_hits", vt.plan_cache_stats().hits)
+        .field("rows", last.total_rows())
+        .field("bytes_read", last.total_bytes_read())
+        .field("wall_seconds", wall)
+        .field("rows_per_sec", rows_per_sec)
+        .field("identical_to_baseline", identical);
+    table.add_row({name, bench::secs(wall), format("%.0f", rows_per_sec),
+                   std::to_string(vt.plan_cache_stats().hits),
+                   identical ? "yes" : "no"});
+  }
+  table.print();
 }
 
 }  // namespace
@@ -210,6 +335,15 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  run_scan_throughput();
+
+  TempDir tmp("bench-micro-scan");
+  auto gen = dataset::generate_ipars(micro_cfg(), dataset::IparsLayout::kL0,
+                                     tmp.str());
+  std::string zm_dir = tmp.str() + "/.zm";
+  bench::JsonRecords json;
+  run_scan_throughput(gen, json);
+  run_zonemap_pruning(gen, zm_dir, json);
+  run_plan_cache(gen, zm_dir, json);
+  json.write("micro");
   return 0;
 }

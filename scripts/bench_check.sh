@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf regression gate: re-runs the bench_micro scan/pruning/plan-cache
+# sections and compares them against the committed BENCH_micro.json.
+#
+# Fails when
+#   * any matching (query, config) entry's rows_per_sec regresses by more
+#     than BENCH_CHECK_TOLERANCE (default 20%), or
+#   * identical_to_baseline is false anywhere in the fresh run (a
+#     correctness bug, not a perf one).
+#
+# Entries present in only one of the two files (new or retired
+# configurations) are skipped — the gate compares, it does not freeze the
+# benchmark's shape.  Requires a built tree (scripts/verify.sh builds one).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH_CHECK_BINARY:-build/bench/bench_micro}"
+BASELINE="BENCH_micro.json"
+TOLERANCE="${BENCH_CHECK_TOLERANCE:-0.20}"
+
+[[ -x "$BENCH" ]] || { echo "bench_check: $BENCH not built" >&2; exit 1; }
+[[ -f "$BASELINE" ]] || { echo "bench_check: no committed $BASELINE" >&2; exit 1; }
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# The google-benchmark microbenches are not gated; skip them for speed.
+BENCH_JSON_DIR="$workdir" "$BENCH" --benchmark_filter=NONE >"$workdir/log" || {
+  cat "$workdir/log" >&2
+  echo "bench_check: bench_micro failed" >&2
+  exit 1
+}
+
+python3 - "$BASELINE" "$workdir/BENCH_micro.json" "$TOLERANCE" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+key = lambda r: (r.get("query"), r.get("config"))
+baseline = {key(r): r for r in json.load(open(baseline_path))}
+fresh = [r for r in json.load(open(fresh_path))]
+
+failures = []
+compared = skipped = 0
+for r in fresh:
+    if r.get("identical_to_baseline") is False:
+        failures.append(f"{key(r)}: identical_to_baseline is false")
+    old = baseline.get(key(r))
+    if old is None or "rows_per_sec" not in old or "rows_per_sec" not in r:
+        skipped += 1
+        continue
+    compared += 1
+    floor = old["rows_per_sec"] * (1.0 - tol)
+    if r["rows_per_sec"] < floor:
+        failures.append(
+            f"{key(r)}: rows_per_sec {r['rows_per_sec']:.0f} < "
+            f"{floor:.0f} ({old['rows_per_sec']:.0f} committed, "
+            f"-{tol:.0%} tolerance)")
+
+print(f"bench_check: {compared} entries compared, {skipped} skipped "
+      f"(new/retired), tolerance {tol:.0%}")
+for f in failures:
+    print(f"bench_check FAIL {f}")
+sys.exit(1 if failures else 0)
+EOF
+
+echo "bench_check OK"

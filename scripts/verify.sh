@@ -5,8 +5,12 @@
 #   2. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
 #      sensitive test binaries, run with halt_on_error so any data race
 #      fails the script
+#   3. bench_check.sh — scan/pruning/plan-cache throughput vs the committed
+#      BENCH_micro.json (>20% rows_per_sec regression or any
+#      identical_to_baseline=false fails)
 #
-# Set VERIFY_SKIP_TSAN=1 to run only step 1 (e.g. on hosts without tsan).
+# Set VERIFY_SKIP_TSAN=1 to run only steps 1 and 3 (e.g. on hosts without
+# tsan); VERIFY_SKIP_BENCH=1 skips the perf gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +27,10 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   export ADV_THREADS_PER_NODE=4
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_concurrency_test
+fi
+
+if [[ "${VERIFY_SKIP_BENCH:-0}" != "1" ]]; then
+  scripts/bench_check.sh
 fi
 
 echo "verify OK"

@@ -10,6 +10,8 @@
 //   * storm::StormCluster — the parallel middleware: per-node index/extract/
 //     filter/partition/transfer with a virtual node per storage node.
 //   * index::MinMaxIndex / index::RTreeFilter — the chunk indexing service.
+//   * zonemap::ZoneMap — persistent per-chunk min/max sidecars over every
+//     stored attribute (see docs/INDEXING.md).
 //   * expr::Table — query results; expr::UdfRegistry — user-defined filter
 //     functions for WHERE clauses.
 //
@@ -42,3 +44,4 @@
 #include "sql/ast.h"
 #include "storm/cluster.h"
 #include "storm/net.h"
+#include "zonemap/zonemap.h"

@@ -305,6 +305,8 @@ class GroupBuilder {
                 gp.files[static_cast<std::size_t>(gp.chunks[ci].file)],
                 a.offsets[ci], q_.intervals())) {
           out_.stats.afcs_filtered_by_index++;
+          out_.stats.rows_pruned += num_rows;
+          out_.stats.bytes_skipped += num_rows * gp.bytes_per_full_row();
           return;
         }
       }

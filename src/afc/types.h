@@ -67,8 +67,11 @@ struct ChunkPlan {
     int attr = -1;
     DataType type = DataType::kFloat32;
     uint32_t intra_offset = 0;
+    bool operator==(const StoredField&) const = default;
   };
   std::vector<StoredField> fields;
+
+  bool operator==(const ChunkPlan&) const = default;
 };
 
 // One enumerated (non-record) loop of a group.
@@ -76,6 +79,8 @@ struct EnumLoop {
   std::string ident;
   int attr = -1;  // schema attribute index when the ident names one
   layout::EvalRange range;
+
+  bool operator==(const EnumLoop&) const = default;
 };
 
 // Static structure shared by all AFCs of one file group.
@@ -98,6 +103,8 @@ struct GroupPlan {
     for (const auto& c : chunks) n += c.bytes_per_row;
     return n;
   }
+
+  bool operator==(const GroupPlan&) const = default;
 };
 
 // One aligned file chunk set.
@@ -107,6 +114,8 @@ struct Afc {
   std::vector<uint64_t> offsets;   // per chunk, parallel to GroupPlan::chunks
   std::vector<int64_t> loop_values;  // per enumerated loop
   int64_t row_first = 0;           // record-loop value of the first row
+
+  bool operator==(const Afc&) const = default;
 };
 
 // Counters exposed for tests and the ablation benchmarks.
@@ -118,6 +127,12 @@ struct PlanStats {
   uint64_t afcs_considered = 0;
   uint64_t afcs_emitted = 0;
   uint64_t afcs_filtered_by_index = 0;
+  // Rows and extraction bytes the index-filtered AFCs would have cost —
+  // what chunk-level pruning (e.g. the zone-map sidecar) saved.
+  uint64_t rows_pruned = 0;
+  uint64_t bytes_skipped = 0;
+
+  bool operator==(const PlanStats&) const = default;
 };
 
 struct PlanResult {
@@ -129,6 +144,10 @@ struct PlanResult {
   uint64_t bytes_to_read() const;
   // Total rows before residual filtering.
   uint64_t candidate_rows() const;
+
+  // Structural equality (groups, AFCs, and counters) — lets tests assert a
+  // plan-cache hit reproduces the cold plan exactly.
+  bool operator==(const PlanResult&) const = default;
 };
 
 }  // namespace adv::afc

@@ -1,0 +1,45 @@
+#include "api/plan_cache.h"
+
+namespace adv {
+
+std::shared_ptr<const CachedPlan> PlanCache::find(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_++;
+    return nullptr;
+  }
+  hits_++;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {hits_, misses_, map_.size(), capacity_};
+}
+
+}  // namespace adv

@@ -2,8 +2,21 @@
 
 #include "common/string_util.h"
 #include "metadata/xml.h"
+#include "sql/ast.h"
 
 namespace adv {
+
+namespace {
+
+uint64_t fnv1a(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 VirtualTable VirtualTable::open(const std::string& descriptor_text,
                                 const std::string& dataset_name,
@@ -18,6 +31,8 @@ VirtualTable VirtualTable::open(const std::string& descriptor_text,
   vt.plan_ = std::make_shared<codegen::DataServicePlan>(std::move(desc),
                                                         dataset_name,
                                                         root_path);
+  vt.descriptor_hash_ =
+      fnv1a(root_path, fnv1a(dataset_name, fnv1a(descriptor_text)));
   if (options.verify) {
     auto problems = vt.plan_->verify_files();
     if (!problems.empty())
@@ -36,6 +51,22 @@ VirtualTable VirtualTable::open(const std::string& descriptor_text,
   }
   vt.cluster_ =
       std::make_shared<storm::StormCluster>(vt.plan_, options.cluster);
+  if (!options.zonemap_dir.empty())
+    vt.zonemap_ = zonemap::ZoneMap::load(options.zonemap_dir, *vt.plan_);
+  // build_zonemap guarantees a fully fresh map: rebuild when the sidecar is
+  // missing, unreadable, or has entries dropped for files that changed.
+  if (options.build_zonemap &&
+      (!vt.zonemap_ || vt.zonemap_->num_stale_files() > 0)) {
+    zonemap::ZoneMap::BuildOptions zopts;
+    zopts.io_mode = options.cluster.io_mode;
+    vt.zonemap_ = zonemap::ZoneMap::build(
+        *vt.plan_, vt.cluster_->extraction_pool(), zopts);
+    if (!options.zonemap_dir.empty())
+      vt.zonemap_->save(options.zonemap_dir, *vt.plan_);
+  }
+  if (options.plan_cache_capacity > 0)
+    vt.plan_cache_ =
+        std::make_shared<PlanCache>(options.plan_cache_capacity);
   return vt;
 }
 
@@ -45,14 +76,40 @@ uint64_t VirtualTable::total_candidate_rows() const {
   return plan_->index_fn(q).candidate_rows();
 }
 
+const afc::ChunkFilter* VirtualTable::chunk_filter() const {
+  if (zonemap_) return &*zonemap_;
+  if (index_) return &*index_;
+  return nullptr;
+}
+
+std::string VirtualTable::plan_key(const std::string& sql) const {
+  return format("%016llx|",
+                static_cast<unsigned long long>(descriptor_hash_)) +
+         sql::parse_select(sql).to_string();
+}
+
 expr::Table VirtualTable::query(const std::string& sql) const {
   return query_detailed(sql).merged();
 }
 
 storm::QueryResult VirtualTable::query_detailed(
     const std::string& sql, const storm::PartitionSpec& partition) const {
-  storm::QueryResult r =
-      cluster_->execute(sql, partition, index_ ? &*index_ : nullptr);
+  storm::QueryResult r;
+  if (plan_cache_) {
+    const std::string key = plan_key(sql);
+    std::shared_ptr<const CachedPlan> entry = plan_cache_->find(key);
+    if (!entry) {
+      auto fresh = std::make_shared<CachedPlan>(plan_->bind(sql));
+      fresh->node_plans =
+          cluster_->plan_nodes(fresh->query, chunk_filter());
+      plan_cache_->insert(key, fresh);
+      entry = std::move(fresh);
+    }
+    r = cluster_->execute_planned(entry->query, entry->node_plans,
+                                  partition);
+  } else {
+    r = cluster_->execute(sql, partition, chunk_filter());
+  }
   std::string err = r.first_error();
   if (!err.empty()) throw IoError("query failed on a node: " + err);
   return r;

@@ -1,7 +1,8 @@
 // VirtualTable — the one-class front door to a virtualized dataset.
 //
 // Bundles descriptor compilation, optional chunk-index construction or
-// loading, and cluster execution behind a minimal interface:
+// loading, a plan cache for repeated queries, and cluster execution behind
+// a minimal interface:
 //
 //   auto vt = adv::codegen::VirtualTable::open(descriptor_text,
 //                                              "IparsData", data_root);
@@ -16,9 +17,11 @@
 #include <optional>
 #include <string>
 
+#include "api/plan_cache.h"
 #include "codegen/plan.h"
 #include "index/minmax.h"
 #include "storm/cluster.h"
+#include "zonemap/zonemap.h"
 
 namespace adv {
 
@@ -30,6 +33,18 @@ class VirtualTable {
     bool build_index = false;
     // Load a previously saved index instead (path to an .advidx file).
     std::string index_path;
+    // Directory holding the zone-map sidecar (<dataset>.zm.{heap,idx,meta}).
+    // When set, a fresh sidecar is loaded at open time; entries for data
+    // files rewritten since the build are dropped (stale metadata falls
+    // back to full scans, never wrong answers).
+    std::string zonemap_dir;
+    // Build the zone map at open time (one parallel scan over every chunk,
+    // reusing the cluster's extraction pool).  With zonemap_dir set the
+    // build runs only when no fresh sidecar loads, and the result is saved
+    // there; without it the zone map stays in memory.
+    bool build_zonemap = false;
+    // Cached plans for repeated queries (0 disables the cache).
+    std::size_t plan_cache_capacity = 16;
     // Verify file presence/sizes at open time; throws IoError listing the
     // first problem when the check fails.
     bool verify = false;
@@ -51,6 +66,7 @@ class VirtualTable {
   int num_nodes() const { return cluster_->num_nodes(); }
   uint64_t total_candidate_rows() const;
   bool has_index() const { return index_.has_value(); }
+  bool has_zonemap() const { return zonemap_.has_value(); }
 
   // Executes a query across the virtual cluster and returns merged rows.
   expr::Table query(const std::string& sql) const;
@@ -60,11 +76,27 @@ class VirtualTable {
       const std::string& sql, const storm::PartitionSpec& partition = {})
       const;
 
+  // The chunk filter queries run with: the zone map when present, else the
+  // min/max index, else null.
+  const afc::ChunkFilter* chunk_filter() const;
+
+  // Cache key for `sql`: descriptor hash + the query's canonical printed
+  // form (so formatting-only differences share an entry).  Exposed for
+  // tests.
+  std::string plan_key(const std::string& sql) const;
+
   // The underlying pieces, for advanced use.
   const codegen::DataServicePlan& plan() const { return *plan_; }
   storm::StormCluster& cluster() const { return *cluster_; }
   const index::MinMaxIndex* index() const {
     return index_ ? &*index_ : nullptr;
+  }
+  const zonemap::ZoneMap* zone_map() const {
+    return zonemap_ ? &*zonemap_ : nullptr;
+  }
+  PlanCache* plan_cache() const { return plan_cache_.get(); }
+  PlanCache::Stats plan_cache_stats() const {
+    return plan_cache_ ? plan_cache_->stats() : PlanCache::Stats{};
   }
 
  private:
@@ -73,6 +105,9 @@ class VirtualTable {
   std::shared_ptr<codegen::DataServicePlan> plan_;
   std::shared_ptr<storm::StormCluster> cluster_;
   std::optional<index::MinMaxIndex> index_;
+  std::optional<zonemap::ZoneMap> zonemap_;
+  std::shared_ptr<PlanCache> plan_cache_;
+  uint64_t descriptor_hash_ = 0;
 };
 
 }  // namespace adv

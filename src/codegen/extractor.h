@@ -26,11 +26,20 @@ struct ExtractStats {
   uint64_t bytes_read = 0;
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
+  // Work the planner's chunk filter (zone-map / min-max index) removed
+  // before extraction started: AFCs dropped, rows never scanned, bytes
+  // never read.  Filled from PlanStats by whoever ran the index function.
+  uint64_t afcs_pruned = 0;
+  uint64_t rows_pruned = 0;
+  uint64_t bytes_skipped = 0;
 
   ExtractStats& operator+=(const ExtractStats& o) {
     bytes_read += o.bytes_read;
     rows_scanned += o.rows_scanned;
     rows_matched += o.rows_matched;
+    afcs_pruned += o.afcs_pruned;
+    rows_pruned += o.rows_pruned;
+    bytes_skipped += o.bytes_skipped;
     return *this;
   }
 };

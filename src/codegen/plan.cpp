@@ -52,6 +52,9 @@ expr::Table DataServicePlan::execute(const expr::BoundQuery& q,
   for (const auto& g : pr.groups)
     bindings.push_back(bind_group(g, q, model_->schema()));
   ExtractStats total;
+  total.afcs_pruned = pr.stats.afcs_filtered_by_index;
+  total.rows_pruned = pr.stats.rows_pruned;
+  total.bytes_skipped = pr.stats.bytes_skipped;
   for (const auto& a : pr.afcs) {
     total += ex.extract(pr.groups[static_cast<std::size_t>(a.group)], a,
                         bindings[static_cast<std::size_t>(a.group)], q, out);
@@ -91,6 +94,9 @@ expr::Table DataServicePlan::execute_parallel(
     out.append_table(parts[w]);
     total += part_stats[w];
   }
+  total.afcs_pruned += pr.stats.afcs_filtered_by_index;
+  total.rows_pruned += pr.stats.rows_pruned;
+  total.bytes_skipped += pr.stats.bytes_skipped;
   if (stats) *stats = total;
   return out;
 }

@@ -86,6 +86,17 @@ double ipars_value(const IparsConfig& cfg, int attr, int rel, int time,
         // Velocity components in (-25, 25).
         return static_cast<double>((unit - 0.5f) * 50.0f);
       }
+      if (attr == 5) {
+        // SOIL: oil saturation declines as the reservoir is produced, with
+        // per-cell noise around the trend.  The temporal correlation is what
+        // a real simulation exhibits — and what makes per-chunk min/max
+        // metadata (the zone-map index) able to skip whole time steps for
+        // selective saturation predicates.
+        float phase = static_cast<float>(time - 1) /
+                      static_cast<float>(cfg.timesteps);
+        return static_cast<double>((1.0f - phase) *
+                                   (0.55f + 0.45f * unit));
+      }
       return static_cast<double>(unit);  // saturations / pads in [0,1)
     }
   }

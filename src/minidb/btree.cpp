@@ -149,14 +149,18 @@ void BTree::range_scan(double lo, double hi,
     if (stats) stats->pages_read++;
     uint32_t count;
     std::memcpy(&count, page.data(), 4);
-    // Last child whose min key <= lo (first child when lo precedes all).
+    // Last child whose min key is strictly below lo (first child when lo
+    // precedes all).  Strict: with duplicate keys a run of lo-valued
+    // entries can start at the tail of the child *before* the first child
+    // whose min key equals lo, so descending by `<= lo` would skip them.
+    // The leaf walk below skips any sub-lo entries this lands us on.
     uint32_t child = 0;
     std::memcpy(&child, page.data() + kNodeHeader + 8, 4);
     for (uint32_t i = 0; i < count; ++i) {
       double key;
       uint32_t c;
       get_inner_entry(page.data() + kNodeHeader + i * kEntrySize, &key, &c);
-      if (i == 0 || key <= lo) child = c;
+      if (i == 0 || key < lo) child = c;
       else break;
     }
     pno = child;

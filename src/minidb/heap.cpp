@@ -177,12 +177,18 @@ void HeapFileReader::decode_page(
 
 void HeapFileReader::scan(const std::function<void(const double*)>& fn,
                           HeapStats* stats) const {
-  std::vector<unsigned char> page(kPageSize);
+  std::vector<unsigned char> page(is_mapped() ? 0 : kPageSize);
   for (uint32_t pno = 1; pno < page_count_; ++pno) {
-    file_.pread_exact(page.data(), kPageSize,
-                      static_cast<uint64_t>(pno) * kPageSize);
+    const uint64_t off = static_cast<uint64_t>(pno) * kPageSize;
+    const unsigned char* p;
+    if (is_mapped()) {
+      p = file_.mapped_range(kPageSize, off);
+    } else {
+      file_.pread_exact(page.data(), kPageSize, off);
+      p = page.data();
+    }
     if (stats) stats->pages_read++;
-    decode_page(page.data(), pno, [&](uint16_t, const double* row) {
+    decode_page(p, pno, [&](uint16_t, const double* row) {
       if (stats) stats->tuples_read++;
       fn(row);
     });
@@ -192,28 +198,33 @@ void HeapFileReader::scan(const std::function<void(const double*)>& fn,
 void HeapFileReader::fetch(const std::vector<TupleId>& sorted_tids,
                            const std::function<void(const double*)>& fn,
                            HeapStats* stats) const {
-  std::vector<unsigned char> page(kPageSize);
+  std::vector<unsigned char> buf(is_mapped() ? 0 : kPageSize);
+  const unsigned char* page = nullptr;
   uint32_t loaded_page = 0;  // page 0 is the header, never fetched
   std::vector<double> row(cols_.size());
   for (const TupleId& tid : sorted_tids) {
-    if (tid.page != loaded_page) {
-      file_.pread_exact(page.data(), kPageSize,
-                        static_cast<uint64_t>(tid.page) * kPageSize);
+    if (tid.page != loaded_page || page == nullptr) {
+      const uint64_t poff = static_cast<uint64_t>(tid.page) * kPageSize;
+      if (is_mapped()) {
+        page = file_.mapped_range(kPageSize, poff);
+      } else {
+        file_.pread_exact(buf.data(), kPageSize, poff);
+        page = buf.data();
+      }
       loaded_page = tid.page;
       if (stats) stats->pages_read++;
     }
     uint32_t count;
-    std::memcpy(&count, page.data(), 4);
+    std::memcpy(&count, page, 4);
     if (tid.slot >= count) continue;
     uint32_t off;
-    std::memcpy(&off,
-                page.data() + kPageHeaderSize + tid.slot * kLinePointerSize,
+    std::memcpy(&off, page + kPageHeaderSize + tid.slot * kLinePointerSize,
                 4);
     uint32_t xmin, xmax;
-    std::memcpy(&xmin, page.data() + off + 4, 4);
-    std::memcpy(&xmax, page.data() + off + 8, 4);
+    std::memcpy(&xmin, page + off + 4, 4);
+    std::memcpy(&xmax, page + off + 8, 4);
     if (xmin == 0 || xmax != 0) continue;
-    const unsigned char* tup = page.data() + off + kTupleHeaderSize;
+    const unsigned char* tup = page + off + kTupleHeaderSize;
     for (std::size_t c = 0; c < cols_.size(); ++c) {
       row[c] = decode_double(cols_[c].type, tup);
       tup += size_of(cols_[c].type);

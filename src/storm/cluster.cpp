@@ -96,16 +96,24 @@ void run_node(int node, const codegen::DataServicePlan& plan,
               const expr::BoundQuery& q, const afc::ChunkFilter* filter,
               const PartitionGenerationService& partsvc,
               DataMoverService& mover, const ClusterOptions& opts,
-              ThreadPool* pool, NodeStats& stats) {
+              ThreadPool* pool, NodeStats& stats,
+              const afc::PlanResult* preplanned = nullptr) {
   stats.node_id = node;
   Stopwatch busy;
   try {
-    afc::PlannerOptions popts;
-    popts.filter = filter;
-    popts.only_node = node;
-    afc::PlanResult pr = plan.index_fn(q, popts);
+    afc::PlanResult planned;
+    if (!preplanned) {
+      afc::PlannerOptions popts;
+      popts.filter = filter;
+      popts.only_node = node;
+      planned = plan.index_fn(q, popts);
+    }
+    const afc::PlanResult& pr = preplanned ? *preplanned : planned;
     const std::size_t nafcs = pr.afcs.size();
     stats.afcs = nafcs;
+    stats.afcs_pruned = pr.stats.afcs_filtered_by_index;
+    stats.rows_pruned = pr.stats.rows_pruned;
+    stats.bytes_skipped = pr.stats.bytes_skipped;
 
     std::vector<codegen::GroupBinding> bindings;
     bindings.reserve(pr.groups.size());
@@ -152,14 +160,27 @@ void run_node(int node, const codegen::DataServicePlan& plan,
       if (stats.error.empty() && !ws.error.empty()) stats.error = ws.error;
     };
 
-    if (!pool || pool->size() <= 1 || nafcs <= 1) {
+    // The pool is shared by every node worker, so size this node's range
+    // fan-out for its *share* of the pool: every node splitting into
+    // pool->size() * 4 ranges of its own would multiply the per-range
+    // setup cost (extractor scratch, pread batch buffers, per-consumer
+    // pending batches) by the node count without adding parallelism —
+    // measurably slower on short filtered scans (see docs/PIPELINE.md).
+    const std::size_t sharing =
+        opts.parallel_nodes
+            ? static_cast<std::size_t>(plan.model().num_nodes())
+            : 1;
+    const std::size_t ntasks =
+        pool ? std::min(nafcs,
+                        std::max<std::size_t>(1, pool->size() * 4 / sharing))
+             : 1;
+    if (!pool || pool->size() <= 1 || ntasks <= 1) {
       WorkerStats ws;
       scan_range(0, nafcs, ws);
       merge(ws);
     } else {
-      // Contiguous ranges cut at balanced row counts, a few per thread so
-      // one heavyweight AFC doesn't serialize the tail.
-      const std::size_t ntasks = std::min(nafcs, pool->size() * 4);
+      // Contiguous ranges cut at balanced row counts, so one heavyweight
+      // AFC doesn't serialize the tail.
       std::vector<std::size_t> cuts(ntasks + 1, nafcs);
       cuts[0] = 0;
       for (std::size_t k = 1; k < ntasks; ++k) {
@@ -262,10 +283,44 @@ QueryResult StormCluster::execute(const expr::BoundQuery& q,
   return result;
 }
 
-QueryResult StormCluster::execute_streaming(const expr::BoundQuery& q,
-                                            const BatchSink& sink,
-                                            const PartitionSpec& partition,
-                                            const afc::ChunkFilter* filter) {
+std::vector<afc::PlanResult> StormCluster::plan_nodes(
+    const expr::BoundQuery& q, const afc::ChunkFilter* filter) {
+  std::vector<afc::PlanResult> plans;
+  const int nodes = num_nodes();
+  plans.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    afc::PlannerOptions popts;
+    popts.filter = filter;
+    popts.only_node = n;
+    plans.push_back(plan_->index_fn(q, popts));
+  }
+  return plans;
+}
+
+QueryResult StormCluster::execute_planned(
+    const expr::BoundQuery& q, const std::vector<afc::PlanResult>& node_plans,
+    const PartitionSpec& partition) {
+  if (node_plans.size() != static_cast<std::size_t>(num_nodes()))
+    throw QueryError("execute_planned: expected one plan per node");
+  std::vector<expr::Table> tables;
+  for (int c = 0; c < std::max(1, partition.num_consumers); ++c)
+    tables.emplace_back(q.result_columns());
+  QueryResult result = execute_streaming(
+      q,
+      [&](const RowBatch& batch) {
+        expr::Table& t = tables[static_cast<std::size_t>(batch.consumer)];
+        for (std::size_t r = 0; r < batch.num_rows(); ++r)
+          t.append_row(batch.data.data() + r * batch.num_cols);
+      },
+      partition, nullptr, &node_plans);
+  result.partitions = std::move(tables);
+  return result;
+}
+
+QueryResult StormCluster::execute_streaming(
+    const expr::BoundQuery& q, const BatchSink& sink,
+    const PartitionSpec& partition, const afc::ChunkFilter* filter,
+    const std::vector<afc::PlanResult>* node_plans) {
   if (partition.num_consumers < 1)
     throw QueryError("PartitionSpec.num_consumers must be >= 1");
   if ((partition.policy == PartitionSpec::Policy::kHashAttr ||
@@ -285,9 +340,13 @@ QueryResult StormCluster::execute_streaming(const expr::BoundQuery& q,
   PartitionGenerationService partsvc(partition);
   ThreadPool* pool = extraction_pool();
 
+  if (node_plans && node_plans->size() != static_cast<std::size_t>(nodes))
+    throw QueryError("execute_streaming: expected one plan per node");
   auto node_body = [&](int n) {
     run_node(n, *plan_, q, filter, partsvc, mover, opts_, pool,
-             result.node_stats[static_cast<std::size_t>(n)]);
+             result.node_stats[static_cast<std::size_t>(n)],
+             node_plans ? &(*node_plans)[static_cast<std::size_t>(n)]
+                        : nullptr);
   };
 
   if (opts_.parallel_nodes) {
@@ -311,7 +370,9 @@ QueryResult StormCluster::execute_streaming(const expr::BoundQuery& q,
           std::numeric_limits<std::size_t>::max());
       DataMoverService seq_mover(ch, opts_.transfer);
       run_node(n, *plan_, q, filter, partsvc, seq_mover, opts_, pool,
-               result.node_stats[static_cast<std::size_t>(n)]);
+               result.node_stats[static_cast<std::size_t>(n)],
+               node_plans ? &(*node_plans)[static_cast<std::size_t>(n)]
+                          : nullptr);
       ch->close();
       while (auto batch = ch->pop()) sink(*batch);
     }
@@ -333,6 +394,24 @@ uint64_t QueryResult::total_rows() const {
 uint64_t QueryResult::total_bytes_read() const {
   uint64_t n = 0;
   for (const auto& s : node_stats) n += s.bytes_read;
+  return n;
+}
+
+uint64_t QueryResult::total_afcs_pruned() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.afcs_pruned;
+  return n;
+}
+
+uint64_t QueryResult::total_rows_pruned() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.rows_pruned;
+  return n;
+}
+
+uint64_t QueryResult::total_bytes_skipped() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.bytes_skipped;
   return n;
 }
 

@@ -40,6 +40,12 @@ struct NodeStats {
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
   uint64_t bytes_sent = 0;
+  // Work the chunk filter (zone map / min-max index) removed before this
+  // node's extraction started: AFCs dropped, rows never scanned, bytes
+  // never read.
+  uint64_t afcs_pruned = 0;
+  uint64_t rows_pruned = 0;
+  uint64_t bytes_skipped = 0;
   std::string error;  // non-empty when the node failed
 };
 
@@ -52,6 +58,9 @@ struct QueryResult {
 
   uint64_t total_rows() const;
   uint64_t total_bytes_read() const;
+  uint64_t total_afcs_pruned() const;
+  uint64_t total_rows_pruned() const;
+  uint64_t total_bytes_skipped() const;
   // Concatenation of all partitions.
   expr::Table merged() const;
   // First error reported by any node ("" when none).
@@ -96,13 +105,30 @@ class StormCluster {
   QueryResult execute_streaming(const expr::BoundQuery& q,
                                 const BatchSink& sink,
                                 const PartitionSpec& partition = {},
-                                const afc::ChunkFilter* filter = nullptr);
+                                const afc::ChunkFilter* filter = nullptr,
+                                const std::vector<afc::PlanResult>*
+                                    node_plans = nullptr);
 
- private:
+  // Executes against precomputed per-node plans (node_plans[n] is the
+  // index-function result for node n, with any chunk filter already
+  // applied), skipping the per-node planning step entirely.  This is the
+  // plan-cache fast path: a cached hit replays the exact AFC lists the
+  // cold run produced.
+  QueryResult execute_planned(const expr::BoundQuery& q,
+                              const std::vector<afc::PlanResult>& node_plans,
+                              const PartitionSpec& partition = {});
+
+  // Runs the per-node index function for every node (as execute() would)
+  // and returns the plans, one per node.
+  std::vector<afc::PlanResult> plan_nodes(
+      const expr::BoundQuery& q, const afc::ChunkFilter* filter = nullptr);
+
   // Lazily-built pool shared by all node workers (and all concurrent
   // queries) of this cluster; null while threads_per_node resolves to 1.
+  // Public so open-time index builds can reuse the same workers.
   ThreadPool* extraction_pool();
 
+ private:
   std::shared_ptr<codegen::DataServicePlan> plan_;
   ClusterOptions opts_;
   QueryService query_service_;

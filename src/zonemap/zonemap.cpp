@@ -1,0 +1,344 @@
+#include "zonemap/zonemap.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "codegen/plan.h"
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "minidb/btree.h"
+#include "minidb/heap.h"
+
+namespace adv::zonemap {
+
+namespace {
+
+constexpr const char* kManifestMagic = "ADVZM1";
+
+// Chunk offsets ride in kFloat64 heap columns; past 2^53 a uint64 is no
+// longer exactly representable there.
+constexpr uint64_t kMaxExactOffset = uint64_t{1} << 53;
+
+int64_t file_mtime_stamp(const std::string& path) {
+  std::error_code ec;
+  auto t = std::filesystem::last_write_time(path, ec);
+  if (ec) return 0;
+  return static_cast<int64_t>(t.time_since_epoch().count());
+}
+
+// RowSink that folds every decoded row into running per-column bounds.
+class BoundsSink final : public codegen::RowSink {
+ public:
+  explicit BoundsSink(std::size_t ncols)
+      : ncols_(ncols),
+        bounds_(ncols, {std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()}) {}
+
+  void on_row(const double* vals, uint64_t) override {
+    for (std::size_t c = 0; c < ncols_; ++c) {
+      bounds_[c].first = std::min(bounds_[c].first, vals[c]);
+      bounds_[c].second = std::max(bounds_[c].second, vals[c]);
+    }
+  }
+
+  std::vector<std::pair<double, double>> take() { return std::move(bounds_); }
+
+ private:
+  std::size_t ncols_;
+  std::vector<std::pair<double, double>> bounds_;
+};
+
+}  // namespace
+
+void ZoneMap::add(ZoneKey key, const ZoneBounds& bounds) {
+  if (bounds.bounds.size() != attrs_.size())
+    throw InternalError("ZoneMap::add: bounds arity mismatch");
+  auto [it, inserted] = entries_.try_emplace(std::move(key), bounds);
+  if (!inserted) {
+    // Same chunk reached twice (e.g. overlapping groups): keep the hull.
+    for (std::size_t i = 0; i < attrs_.size(); ++i) {
+      it->second.bounds[i].first =
+          std::min(it->second.bounds[i].first, bounds.bounds[i].first);
+      it->second.bounds[i].second =
+          std::max(it->second.bounds[i].second, bounds.bounds[i].second);
+    }
+  }
+}
+
+const ZoneBounds* ZoneMap::find(const ZoneKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ZoneMap::may_match(const std::string& file_path, uint64_t offset,
+                        const expr::QueryIntervals& qi) const {
+  const ZoneBounds* b = find({file_path, offset});
+  if (!b) return true;  // unindexed (or stale) chunk: cannot prune
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (!qi.chunk_may_match(static_cast<std::size_t>(attrs_[i]),
+                            b->bounds[i].first, b->bounds[i].second))
+      return false;
+  }
+  return true;
+}
+
+bool ZoneMap::chunk_bounds(const std::string& file_path, uint64_t offset,
+                           std::vector<std::pair<double, double>>& out)
+    const {
+  const ZoneBounds* b = find({file_path, offset});
+  if (!b) return false;
+  out = b->bounds;
+  return true;
+}
+
+SidecarPaths ZoneMap::sidecar_paths(const std::string& dir,
+                                    const std::string& dataset) {
+  std::string base = dir + "/" + dataset;
+  return {base + ".zm.heap", base + ".zm.idx", base + ".zm.meta"};
+}
+
+std::vector<int> ZoneMap::stored_attrs(const codegen::DataServicePlan& plan) {
+  const meta::Schema& schema = plan.schema();
+  std::set<int> found;
+  for (const auto& leaf : plan.model().leaves())
+    for (const auto& region : leaf.skeleton)
+      for (const auto& field : region.fields) {
+        int a = schema.find(field.attr);
+        if (a >= 0) found.insert(a);
+      }
+  return {found.begin(), found.end()};
+}
+
+ZoneMap ZoneMap::build(const codegen::DataServicePlan& plan, ThreadPool* pool,
+                       const BuildOptions& opts) {
+  Stopwatch sw;
+  std::vector<int> attrs = opts.attrs.empty() ? stored_attrs(plan)
+                                              : opts.attrs;
+  if (attrs.empty())
+    throw QueryError("ZoneMap::build: dataset '" +
+                     plan.model().dataset_name() +
+                     "' stores no schema attributes");
+  const meta::Schema& schema = plan.schema();
+
+  // One scan query covering the indexed attributes; no predicate, so every
+  // chunk is visited with its unclipped offsets — the same keys the planner
+  // later presents to may_match().
+  std::string sql = "SELECT ";
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i) sql += ", ";
+    sql += schema.at(static_cast<std::size_t>(attrs[i])).name;
+  }
+  sql += " FROM " + plan.model().dataset_name();
+  expr::BoundQuery q = plan.bind(sql);
+
+  // Plan per virtual node — the same per-node index-function runs the
+  // cluster performs — then fan the AFC scans out across the pool.
+  const int nodes = plan.model().num_nodes();
+  std::vector<afc::PlanResult> prs;
+  prs.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    afc::PlannerOptions popts;
+    popts.only_node = n;
+    prs.push_back(plan.index_fn(q, popts));
+  }
+
+  std::vector<std::vector<codegen::GroupBinding>> bindings(prs.size());
+  struct Task {
+    std::size_t pr;
+    std::size_t afc;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t p = 0; p < prs.size(); ++p) {
+    for (const auto& g : prs[p].groups)
+      bindings[p].push_back(codegen::bind_group(g, q, schema));
+    for (std::size_t i = 0; i < prs[p].afcs.size(); ++i)
+      tasks.push_back({p, i});
+  }
+
+  codegen::ExtractorOptions xopts;
+  xopts.io_mode = opts.io_mode;
+  std::vector<ZoneBounds> results(tasks.size());
+  auto scan_one = [&](std::size_t t, codegen::Extractor& ex) {
+    const afc::PlanResult& pr = prs[tasks[t].pr];
+    const afc::Afc& a = pr.afcs[tasks[t].afc];
+    const std::size_t g = static_cast<std::size_t>(a.group);
+    BoundsSink sink(attrs.size());
+    ex.extract(pr.groups[g], a, bindings[tasks[t].pr][g], q, sink);
+    results[t].bounds = sink.take();
+  };
+  if (pool && pool->size() > 1 && tasks.size() > 1) {
+    pool->parallel_for(tasks.size(), [&](std::size_t t) {
+      codegen::Extractor ex(xopts);
+      scan_one(t, ex);
+    });
+  } else {
+    codegen::Extractor ex(xopts);
+    for (std::size_t t = 0; t < tasks.size(); ++t) scan_one(t, ex);
+  }
+
+  ZoneMap zm(std::move(attrs));
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const afc::PlanResult& pr = prs[tasks[t].pr];
+    const afc::Afc& a = pr.afcs[tasks[t].afc];
+    const afc::GroupPlan& gp = pr.groups[static_cast<std::size_t>(a.group)];
+    for (std::size_t c = 0; c < gp.chunks.size(); ++c) {
+      if (gp.chunks[c].fields.empty()) continue;
+      zm.add({gp.files[static_cast<std::size_t>(gp.chunks[c].file)],
+              a.offsets[c]},
+             results[t]);
+    }
+  }
+  zm.files_total_ = plan.model().files().size();
+  zm.build_seconds_ = sw.elapsed_seconds();
+  return zm;
+}
+
+void ZoneMap::save(const std::string& dir,
+                   const codegen::DataServicePlan& plan) const {
+  std::filesystem::create_directories(dir);
+  const meta::Schema& schema = plan.schema();
+  SidecarPaths sp = sidecar_paths(dir, plan.model().dataset_name());
+
+  // File table: id = rank of the path among the indexed files.
+  std::map<std::string, uint32_t> file_ids;
+  for (const auto& [key, b] : entries_) file_ids.emplace(key.file, 0);
+  uint32_t next_id = 0;
+  for (auto& [path, id] : file_ids) id = next_id++;
+
+  // Heap: one tuple per chunk.  entries_ iterates file-major (ZoneKey
+  // ordering), so the B+tree bulk-load input comes out key-sorted.
+  std::vector<minidb::HeapColumn> cols;
+  cols.push_back({"FILE", DataType::kFloat64});
+  cols.push_back({"OFFSET", DataType::kFloat64});
+  for (int a : attrs_) {
+    const std::string& n = schema.at(static_cast<std::size_t>(a)).name;
+    cols.push_back({"MIN_" + n, DataType::kFloat64});
+    cols.push_back({"MAX_" + n, DataType::kFloat64});
+  }
+  minidb::HeapFileWriter heap(sp.heap, cols);
+  std::vector<minidb::BTree::Entry> tree_entries;
+  tree_entries.reserve(entries_.size());
+  std::vector<double> row(cols.size());
+  for (const auto& [key, b] : entries_) {
+    if (key.offset >= kMaxExactOffset)
+      throw InternalError("ZoneMap::save: chunk offset exceeds 2^53");
+    row[0] = static_cast<double>(file_ids.at(key.file));
+    row[1] = static_cast<double>(key.offset);
+    for (std::size_t i = 0; i < attrs_.size(); ++i) {
+      row[2 + 2 * i] = b.bounds[i].first;
+      row[3 + 2 * i] = b.bounds[i].second;
+    }
+    minidb::TupleId tid = heap.append(row.data());
+    tree_entries.push_back({row[0], tid});
+  }
+  heap.close();
+  minidb::BTree::build(sp.btree, tree_entries);
+
+  // Manifest last: it is the commit point loaders look for.
+  std::ostringstream m;
+  m << kManifestMagic << "\n";
+  m << "dataset " << plan.model().dataset_name() << "\n";
+  for (int a : attrs_)
+    m << "attr " << a << " "
+      << schema.at(static_cast<std::size_t>(a)).name << "\n";
+  m << "chunks " << entries_.size() << "\n";
+  for (const auto& [path, id] : file_ids) {
+    m << "file " << id << " " << file_size(path) << " "
+      << file_mtime_stamp(path) << " " << path << "\n";
+  }
+  write_text_file(sp.manifest, m.str());
+}
+
+std::optional<ZoneMap> ZoneMap::load(const std::string& dir,
+                                     const codegen::DataServicePlan& plan) {
+  const meta::Schema& schema = plan.schema();
+  SidecarPaths sp = sidecar_paths(dir, plan.model().dataset_name());
+  if (!file_exists(sp.manifest) || !file_exists(sp.heap) ||
+      !file_exists(sp.btree))
+    return std::nullopt;
+
+  struct FileEntry {
+    uint32_t id;
+    uint64_t size;
+    int64_t mtime;
+    std::string path;
+  };
+  std::vector<int> attrs;
+  std::vector<FileEntry> files;
+  try {
+    std::istringstream in(read_text_file(sp.manifest));
+    std::string line;
+    if (!std::getline(in, line) || line != kManifestMagic)
+      return std::nullopt;
+    while (std::getline(in, line)) {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "dataset") {
+        std::string name;
+        ls >> name;
+        if (name != plan.model().dataset_name()) return std::nullopt;
+      } else if (tag == "attr") {
+        int idx;
+        std::string name;
+        ls >> idx >> name;
+        // A rename or reorder of the schema invalidates the whole sidecar.
+        if (idx < 0 || static_cast<std::size_t>(idx) >= schema.size() ||
+            schema.at(static_cast<std::size_t>(idx)).name != name)
+          return std::nullopt;
+        attrs.push_back(idx);
+      } else if (tag == "file") {
+        FileEntry f;
+        ls >> f.id >> f.size >> f.mtime;
+        std::getline(ls, f.path);
+        std::size_t i = f.path.find_first_not_of(' ');
+        if (i != std::string::npos) f.path = f.path.substr(i);
+        files.push_back(std::move(f));
+      }
+    }
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  if (attrs.empty()) return std::nullopt;
+
+  ZoneMap zm(std::move(attrs));
+  try {
+    minidb::HeapFileReader heap(sp.heap);
+    heap.map();  // decode pages straight out of the mapping
+    if (heap.columns().size() != 2 + 2 * zm.attrs_.size())
+      return std::nullopt;
+    minidb::BTree tree(sp.btree);
+    for (const FileEntry& f : files) {
+      zm.files_total_++;
+      bool fresh = file_exists(f.path) && file_size(f.path) == f.size &&
+                   file_mtime_stamp(f.path) == f.mtime;
+      if (!fresh) {
+        // Rewritten or deleted since the build: drop its entries so the
+        // planner full-scans this file instead of trusting stale bounds.
+        zm.files_stale_++;
+        continue;
+      }
+      std::vector<minidb::TupleId> tids;
+      double fid = static_cast<double>(f.id);
+      tree.range_scan(fid, fid,
+                      [&](minidb::TupleId tid) { tids.push_back(tid); });
+      std::sort(tids.begin(), tids.end());
+      heap.fetch(tids, [&](const double* row) {
+        ZoneBounds b;
+        b.bounds.resize(zm.attrs_.size());
+        for (std::size_t i = 0; i < zm.attrs_.size(); ++i)
+          b.bounds[i] = {row[2 + 2 * i], row[3 + 2 * i]};
+        zm.entries_[{f.path, static_cast<uint64_t>(row[1])}] = std::move(b);
+      });
+    }
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  return zm;
+}
+
+}  // namespace adv::zonemap

@@ -1,0 +1,136 @@
+// Zone-map index — persistent per-chunk min/max over every stored
+// numeric attribute.
+//
+// Where index::MinMaxIndex covers only the DATAINDEX attributes a dataset
+// declares (the paper's spatial index), the zone map is the storage-level
+// generalization: one build pass scans each aligned file chunk exactly once
+// and records the [min, max] of *all* stored schema attributes, so any
+// interval predicate — not just declared index dimensions — can prune
+// chunks before extraction.
+//
+// The index persists as a sidecar triplet next to the data (minidb files,
+// so the metadata survives restarts and is memory-mapped on reopen):
+//
+//   <dataset>.zm.heap  slotted-page heap, one tuple per chunk:
+//                      [FILE id, OFFSET, MIN/MAX per indexed attribute]
+//   <dataset>.zm.idx   bulk-loaded B+tree keyed by FILE id -> TupleId,
+//                      so one file's chunk entries load without scanning
+//                      the whole heap
+//   <dataset>.zm.meta  text manifest: indexed attributes and the file
+//                      table with each data file's size + mtime fingerprint
+//
+// Staleness is per file: on load, any data file whose size or mtime no
+// longer matches the manifest has its entries dropped, so queries fall
+// back to a full scan of that file's chunks (conservative `may_match` =
+// true) — stale metadata can cost I/O, never correctness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "afc/types.h"
+#include "common/io.h"
+
+namespace adv {
+class ThreadPool;
+}
+namespace adv::codegen {
+class DataServicePlan;
+}
+
+namespace adv::zonemap {
+
+struct ZoneKey {
+  std::string file;  // full path of the data file
+  uint64_t offset = 0;
+  auto operator<=>(const ZoneKey&) const = default;
+};
+
+struct ZoneBounds {
+  // Parallel to ZoneMap::attrs(): [min, max] per indexed attribute.
+  std::vector<std::pair<double, double>> bounds;
+};
+
+// Sidecar file locations for one dataset under a given directory.
+struct SidecarPaths {
+  std::string heap;
+  std::string btree;
+  std::string manifest;
+};
+
+class ZoneMap : public afc::ChunkFilter, public afc::ChunkBoundsSource {
+ public:
+  struct BuildOptions {
+    IoMode io_mode = IoMode::kAuto;
+    // Schema attribute indices to cover; empty = every stored attribute.
+    std::vector<int> attrs;
+  };
+
+  ZoneMap() = default;
+  explicit ZoneMap(std::vector<int> attrs) : attrs_(std::move(attrs)) {}
+
+  // Schema attribute indices that appear as stored fields in any region of
+  // the dataset's layout (sorted, deduplicated).
+  static std::vector<int> stored_attrs(const codegen::DataServicePlan& plan);
+
+  // Scans every chunk of `plan` once — one planner run per virtual node,
+  // AFC scans fanned out across `pool` when given (each worker owns its
+  // Extractor; file handles come from the shared FileCache/mmap path) —
+  // and records per-chunk min/max of the covered attributes.
+  static ZoneMap build(const codegen::DataServicePlan& plan,
+                       ThreadPool* pool, const BuildOptions& opts);
+  static ZoneMap build(const codegen::DataServicePlan& plan,
+                       ThreadPool* pool = nullptr) {
+    return build(plan, pool, BuildOptions());
+  }
+
+  // Writes the sidecar triplet under `dir` (created if missing).  The
+  // manifest is written last so a crash mid-save leaves no loadable but
+  // half-written sidecar.
+  void save(const std::string& dir,
+            const codegen::DataServicePlan& plan) const;
+
+  // Loads the sidecar for `plan`'s dataset.  Returns nullopt when the
+  // sidecar is absent, unreadable, or was built against a different
+  // attribute set than the current schema provides.  Entries of data files
+  // whose size/mtime changed since the build are dropped (counted in
+  // num_stale_files()).
+  static std::optional<ZoneMap> load(const std::string& dir,
+                                     const codegen::DataServicePlan& plan);
+
+  static SidecarPaths sidecar_paths(const std::string& dir,
+                                    const std::string& dataset);
+
+  const std::vector<int>& attrs() const { return attrs_; }
+  std::size_t num_chunks() const { return entries_.size(); }
+  const std::map<ZoneKey, ZoneBounds>& entries() const { return entries_; }
+  uint64_t num_files() const { return files_total_; }
+  uint64_t num_stale_files() const { return files_stale_; }
+  double build_seconds() const { return build_seconds_; }
+
+  // Merges `bounds` into the entry for `key` (hull when already present).
+  void add(ZoneKey key, const ZoneBounds& bounds);
+  const ZoneBounds* find(const ZoneKey& key) const;
+
+  // ChunkFilter: conservative membership test.  Unindexed chunks pass.
+  bool may_match(const std::string& file_path, uint64_t offset,
+                 const expr::QueryIntervals& qi) const override;
+
+  // ChunkBoundsSource (for the code emitter).
+  const std::vector<int>& bounds_attrs() const override { return attrs_; }
+  bool chunk_bounds(const std::string& file_path, uint64_t offset,
+                    std::vector<std::pair<double, double>>& out)
+      const override;
+
+ private:
+  std::vector<int> attrs_;
+  std::map<ZoneKey, ZoneBounds> entries_;
+  uint64_t files_total_ = 0;
+  uint64_t files_stale_ = 0;
+  double build_seconds_ = 0;
+};
+
+}  // namespace adv::zonemap

@@ -228,6 +228,49 @@ TEST(ExtractorTest, TinyBatchSizeStreamsCorrectly) {
   EXPECT_TRUE(out.same_rows(want));
 }
 
+TEST(ExtractorTest, ClearCacheInvalidatesRewrittenFiles) {
+  // The process-wide FileCache pins open handles (and mmaps), so replacing
+  // a data file on disk is invisible to a live extractor until
+  // clear_cache() drops both the extractor's pinned handles and the shared
+  // cache.  Replace-via-rename swaps the inode, which makes the staleness
+  // deterministic: the old handle keeps serving the old bytes.
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("inval");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kL0, tmp.str());
+  DataServicePlan plan = DataServicePlan::from_text(
+      gen.descriptor_text, gen.dataset_name, gen.root);
+  expr::BoundQuery q = plan.bind("SELECT * FROM IparsData");
+  afc::PlanResult pr = plan.index_fn(q);
+  std::vector<GroupBinding> bindings;
+  for (const auto& g : pr.groups)
+    bindings.push_back(bind_group(g, q, plan.schema()));
+
+  Extractor ex;
+  auto run = [&] {
+    expr::Table out(q.result_columns());
+    for (const auto& a : pr.afcs)
+      ex.extract(pr.groups[a.group], a, bindings[a.group], q, out);
+    return out;
+  };
+  expr::Table before = run();
+
+  // Rewrite one data file in place (same size, zeroed payload) through a
+  // temp file + rename so the old inode survives inside cached handles.
+  const std::string victim = plan.model().files().front().full_path;
+  std::string blank(std::filesystem::file_size(victim), '\0');
+  write_text_file(victim + ".tmp", blank);
+  std::filesystem::rename(victim + ".tmp", victim);
+
+  expr::Table stale = run();
+  EXPECT_TRUE(stale.same_rows(before));  // cached handle: old bytes
+
+  ex.clear_cache();
+  EXPECT_EQ(FileCache::instance().size(), 0u);
+  expr::Table fresh = run();
+  EXPECT_EQ(fresh.num_rows(), before.num_rows());
+  EXPECT_FALSE(fresh.same_rows(before));  // zeroed file now visible
+}
+
 TEST(ExtractorTest, StatsCountBytes) {
   dataset::IparsConfig cfg = small_cfg();
   TempDir tmp("stats");

@@ -129,6 +129,28 @@ TEST(BTreeTest, RangeScanMatchesBruteForce) {
   }
 }
 
+TEST(BTreeTest, DuplicateKeyRunsSpanningLeavesAreComplete) {
+  // Regression: long runs of equal keys cross leaf boundaries, so a run of
+  // key k can begin at the tail of a leaf whose first entry is < k.  The
+  // descent must pick the child *before* the first child whose min key
+  // equals the probe, or those tail entries are silently skipped (this is
+  // exactly the zone-map sidecar shape: many chunk entries per file id).
+  TempDir tmp("btdup");
+  std::vector<BTree::Entry> entries;
+  uint32_t n = 0;
+  for (double key = 0; key < 40; ++key)      // 40 distinct keys x 500 dups
+    for (int d = 0; d < 500; ++d, ++n)       // ~= 79 entries/leaf -> runs
+      entries.push_back(                     // straddle many leaves
+          {key, TupleId{n / 100 + 1, static_cast<uint16_t>(n % 100)}});
+  BTree::build(tmp.file("t.idx"), entries);
+  BTree t(tmp.file("t.idx"));
+  for (double key = 0; key < 40; ++key) {
+    std::size_t got = 0;
+    t.range_scan(key, key, [&](TupleId) { got++; });
+    EXPECT_EQ(got, 500u) << "key " << key;
+  }
+}
+
 TEST(BTreeTest, SelectiveScanTouchesFewPages) {
   TempDir tmp("bt");
   std::vector<BTree::Entry> entries;

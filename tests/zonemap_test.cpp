@@ -1,0 +1,272 @@
+// Tests for the zone-map index subsystem: build/save/load roundtrip via
+// the minidb sidecars, AFC pruning correctness against the oracle, stale
+// sidecar fallback, prune counters, and the VirtualTable plan cache.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "advirt.h"
+#include "common/tempdir.h"
+#include "common/thread_pool.h"
+#include "dataset/ipars.h"
+
+namespace adv {
+namespace {
+
+dataset::IparsConfig small_cfg() {
+  dataset::IparsConfig cfg;
+  cfg.nodes = 2;
+  cfg.rels = 2;
+  cfg.timesteps = 40;
+  cfg.grid_per_node = 25;
+  cfg.pad_vars = 2;
+  return cfg;
+}
+
+// SOIL declines with time in the generated data, so a high-saturation
+// predicate matches only early time steps — the shape chunk-level min/max
+// metadata prunes well.
+constexpr const char* kSelective =
+    "SELECT * FROM IparsData WHERE SOIL >= 0.9";
+
+TEST(ZoneMapTest, BuildCoversAllStoredAttributes) {
+  TempDir tmp("zmb");
+  auto gen = dataset::generate_ipars(small_cfg(), dataset::IparsLayout::kL0,
+                                     tmp.str());
+  codegen::DataServicePlan plan =
+      codegen::DataServicePlan::from_text(gen.descriptor_text, "IparsData",
+                                          gen.root);
+  // REL and TIME are implicit (encoded in file names); the other ten
+  // schema attributes are stored and must all be covered.
+  std::vector<int> attrs = zonemap::ZoneMap::stored_attrs(plan);
+  EXPECT_EQ(attrs.size(), 10u);
+  for (int a : attrs) {
+    const std::string& n = plan.schema().at(static_cast<std::size_t>(a)).name;
+    EXPECT_NE(n, "REL");
+    EXPECT_NE(n, "TIME");
+  }
+
+  ThreadPool pool(4);
+  zonemap::ZoneMap zm = zonemap::ZoneMap::build(plan, &pool);
+  EXPECT_GT(zm.num_chunks(), 0u);
+  EXPECT_EQ(zm.num_files(), plan.model().files().size());
+  // Parallel and sequential builds agree chunk for chunk.
+  zonemap::ZoneMap seq = zonemap::ZoneMap::build(plan, nullptr);
+  ASSERT_EQ(zm.num_chunks(), seq.num_chunks());
+  for (const auto& [key, b] : zm.entries()) {
+    const zonemap::ZoneBounds* sb = seq.find(key);
+    ASSERT_NE(sb, nullptr);
+    EXPECT_EQ(b.bounds, sb->bounds);
+  }
+}
+
+TEST(ZoneMapTest, SidecarRoundTrip) {
+  TempDir tmp("zmr");
+  auto gen = dataset::generate_ipars(small_cfg(), dataset::IparsLayout::kL0,
+                                     tmp.str());
+  codegen::DataServicePlan plan =
+      codegen::DataServicePlan::from_text(gen.descriptor_text, "IparsData",
+                                          gen.root);
+  zonemap::ZoneMap built = zonemap::ZoneMap::build(plan);
+  std::string dir = tmp.str() + "/.zm";
+  built.save(dir, plan);
+
+  auto loaded = zonemap::ZoneMap::load(dir, plan);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->attrs(), built.attrs());
+  EXPECT_EQ(loaded->num_stale_files(), 0u);
+  ASSERT_EQ(loaded->num_chunks(), built.num_chunks());
+  for (const auto& [key, b] : built.entries()) {
+    const zonemap::ZoneBounds* lb = loaded->find(key);
+    ASSERT_NE(lb, nullptr) << key.file << " @" << key.offset;
+    EXPECT_EQ(b.bounds, lb->bounds);
+  }
+  // Missing sidecar -> nullopt, not an exception.
+  EXPECT_FALSE(zonemap::ZoneMap::load(tmp.str() + "/nowhere", plan));
+}
+
+TEST(ZoneMapTest, PruningMatchesOracleAndReducesBytes) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("zmp");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kL0,
+                                     tmp.str());
+
+  VirtualTable::Options plain;
+  VirtualTable unindexed =
+      VirtualTable::open(gen.descriptor_text, "IparsData", gen.root, plain);
+
+  VirtualTable::Options zopt;
+  zopt.build_zonemap = true;
+  zopt.zonemap_dir = tmp.str() + "/.zm";
+  VirtualTable indexed =
+      VirtualTable::open(gen.descriptor_text, "IparsData", gen.root, zopt);
+  ASSERT_TRUE(indexed.has_zonemap());
+
+  storm::QueryResult cold = unindexed.query_detailed(kSelective);
+  storm::QueryResult pruned = indexed.query_detailed(kSelective);
+
+  // Identical rows, against each other and against the oracle.
+  expr::BoundQuery q = indexed.plan().bind(kSelective);
+  expr::Table expect = dataset::ipars_oracle(cfg, q);
+  ASSERT_GT(expect.num_rows(), 0u);
+  EXPECT_TRUE(cold.merged().same_rows(expect));
+  EXPECT_TRUE(pruned.merged().same_rows(expect));
+
+  // The zone map must drop whole AFCs and at least halve extraction I/O on
+  // this selective query.
+  EXPECT_EQ(cold.total_afcs_pruned(), 0u);
+  EXPECT_GT(pruned.total_afcs_pruned(), 0u);
+  EXPECT_GT(pruned.total_rows_pruned(), 0u);
+  EXPECT_GT(pruned.total_bytes_skipped(), 0u);
+  EXPECT_LE(pruned.total_bytes_read() * 2, cold.total_bytes_read());
+  // What was skipped plus what was read covers the unindexed scan.
+  EXPECT_EQ(pruned.total_bytes_read() + pruned.total_bytes_skipped(),
+            cold.total_bytes_read());
+
+  // A full scan (no interval predicate on an indexed attribute) prunes
+  // nothing and still answers correctly.
+  const char* all = "SELECT * FROM IparsData";
+  storm::QueryResult full = indexed.query_detailed(all);
+  EXPECT_EQ(full.total_afcs_pruned(), 0u);
+  EXPECT_EQ(full.merged().num_rows(), cfg.total_rows());
+}
+
+TEST(ZoneMapTest, StaleFileFallsBackToFullScan) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("zms");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kL0,
+                                     tmp.str());
+  codegen::DataServicePlan plan =
+      codegen::DataServicePlan::from_text(gen.descriptor_text, "IparsData",
+                                          gen.root);
+  std::string dir = tmp.str() + "/.zm";
+  zonemap::ZoneMap::build(plan).save(dir, plan);
+
+  // Bump one data file's mtime: same bytes, but the fingerprint no longer
+  // matches, so its entries must be dropped on load.
+  const std::string& victim = plan.model().files().front().full_path;
+  std::filesystem::last_write_time(
+      victim, std::filesystem::last_write_time(victim) +
+                  std::chrono::seconds(7));
+
+  auto reloaded = zonemap::ZoneMap::load(dir, plan);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->num_stale_files(), 1u);
+  for (const auto& [key, b] : reloaded->entries())
+    EXPECT_NE(key.file, victim);
+
+  // Queries through the partially-stale map still match the oracle: the
+  // victim's chunks are merely unindexed (may_match = true).
+  VirtualTable::Options zopt;
+  zopt.zonemap_dir = dir;
+  VirtualTable vt =
+      VirtualTable::open(gen.descriptor_text, "IparsData", gen.root, zopt);
+  ASSERT_TRUE(vt.has_zonemap());
+  EXPECT_EQ(vt.zone_map()->num_stale_files(), 1u);
+  expr::BoundQuery q = vt.plan().bind(kSelective);
+  EXPECT_TRUE(vt.query(kSelective).same_rows(dataset::ipars_oracle(cfg, q)));
+}
+
+TEST(ZoneMapTest, RebuildRefreshesStaleSidecar) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("zmrb");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kL0,
+                                     tmp.str());
+  codegen::DataServicePlan plan =
+      codegen::DataServicePlan::from_text(gen.descriptor_text, "IparsData",
+                                          gen.root);
+  std::string dir = tmp.str() + "/.zm";
+  zonemap::ZoneMap::build(plan).save(dir, plan);
+  const std::string& victim = plan.model().files().front().full_path;
+  std::filesystem::last_write_time(
+      victim, std::filesystem::last_write_time(victim) +
+                  std::chrono::seconds(7));
+
+  // open(build_zonemap=true, zonemap_dir=...) sees the stale load and
+  // rebuilds a fully fresh sidecar in place.
+  VirtualTable::Options zopt;
+  zopt.build_zonemap = true;
+  zopt.zonemap_dir = dir;
+  {
+    auto stale = zonemap::ZoneMap::load(dir, plan);
+    ASSERT_TRUE(stale && stale->num_stale_files() == 1u);
+  }
+  VirtualTable vt =
+      VirtualTable::open(gen.descriptor_text, "IparsData", gen.root, zopt);
+  ASSERT_TRUE(vt.has_zonemap());
+  EXPECT_EQ(vt.zone_map()->num_stale_files(), 0u);
+  auto fresh = zonemap::ZoneMap::load(dir, plan);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->num_stale_files(), 0u);
+}
+
+TEST(PlanCacheTest, HitReplaysIdenticalPlans) {
+  dataset::IparsConfig cfg = small_cfg();
+  TempDir tmp("pc");
+  auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kL0,
+                                     tmp.str());
+  VirtualTable::Options opt;
+  opt.build_zonemap = true;
+  opt.plan_cache_capacity = 4;
+  VirtualTable vt =
+      VirtualTable::open(gen.descriptor_text, "IparsData", gen.root, opt);
+  ASSERT_NE(vt.plan_cache(), nullptr);
+
+  expr::Table first = vt.query(kSelective);
+  auto s1 = vt.plan_cache_stats();
+  EXPECT_EQ(s1.misses, 1u);
+  EXPECT_EQ(s1.entries, 1u);
+
+  // Second run (different formatting, same canonical shape) hits and
+  // returns the same rows.
+  expr::Table second =
+      vt.query("select  *  from IparsData where SOIL >= 0.9");
+  auto s2 = vt.plan_cache_stats();
+  EXPECT_GE(s2.hits, 1u);
+  EXPECT_EQ(s2.misses, 1u);
+  EXPECT_TRUE(second.same_rows(first));
+
+  // The cached per-node plans are structurally identical to a cold
+  // re-plan under the same chunk filter.
+  auto entry = vt.plan_cache()->find(vt.plan_key(kSelective));
+  ASSERT_NE(entry, nullptr);
+  expr::BoundQuery q = vt.plan().bind(kSelective);
+  std::vector<afc::PlanResult> cold =
+      vt.cluster().plan_nodes(q, vt.chunk_filter());
+  ASSERT_EQ(entry->node_plans.size(), cold.size());
+  for (std::size_t n = 0; n < cold.size(); ++n)
+    EXPECT_EQ(entry->node_plans[n], cold[n]);
+}
+
+TEST(PlanCacheTest, LruEvictsAndRecounts) {
+  PlanCache cache(2);
+  meta::Schema schema;
+  schema.name = "S";
+  meta::Attribute attr;
+  attr.name = "A";
+  attr.type = DataType::kFloat64;
+  schema.attrs.push_back(attr);
+  auto mk = [&] {
+    sql::SelectQuery q;
+    q.table = "S";
+    return std::make_shared<CachedPlan>(
+        expr::BoundQuery(std::move(q), schema));
+  };
+  EXPECT_EQ(cache.find("a"), nullptr);  // miss
+  cache.insert("a", mk());
+  cache.insert("b", mk());
+  EXPECT_NE(cache.find("a"), nullptr);  // a is now most recent
+  cache.insert("c", mk());              // evicts b
+  EXPECT_EQ(cache.find("b"), nullptr);
+  EXPECT_NE(cache.find("a"), nullptr);
+  EXPECT_NE(cache.find("c"), nullptr);
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+}
+
+}  // namespace
+}  // namespace adv

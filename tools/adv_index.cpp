@@ -1,0 +1,200 @@
+// adv_index — build and inspect zone-map index sidecars.
+//
+// The zone map records per-chunk [min, max] of every stored attribute and
+// persists as minidb heap + B+tree + manifest next to the data (see
+// docs/INDEXING.md).  This tool is the repository administrator's interface
+// to it: build after ingesting data, inspect to audit coverage and
+// staleness, check as a monitoring probe (exit 1 when any sidecar entry
+// went stale).
+//
+// Usage:
+//   adv_index build   <descriptor> <dataset> --root DIR [--dir DIR]
+//             [--threads N] [--io mmap|pread]
+//   adv_index inspect <descriptor> <dataset> --root DIR [--dir DIR]
+//             [--limit N]
+//   adv_index check   <descriptor> <dataset> --root DIR [--dir DIR]
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "advirt.h"
+#include "common/io.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "metadata/xml.h"
+
+using namespace adv;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr, R"(adv_index — zone-map sidecar builder/inspector
+
+commands:
+  build <descriptor> <dataset> --root DIR [--dir DIR] [--threads N]
+        [--io mmap|pread]
+      Scan every chunk once and write the sidecar triplet
+      (<dataset>.zm.{heap,idx,meta}) under --dir (default: --root).
+  inspect <descriptor> <dataset> --root DIR [--dir DIR] [--limit N]
+      Load the sidecar, report coverage, staleness, and sample bounds.
+  check <descriptor> <dataset> --root DIR [--dir DIR]
+      Exit 0 when a sidecar exists and is fully fresh, 1 otherwise.
+)");
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string flag(const std::string& key, const std::string& def = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  int flag_int(const std::string& key, int def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : std::stoi(it->second);
+  }
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string s = argv[i];
+    if (starts_with(s, "--")) {
+      if (i + 1 >= argc) usage(("missing value for " + s).c_str());
+      a.flags[s.substr(2)] = argv[++i];
+    } else {
+      a.positional.push_back(std::move(s));
+    }
+  }
+  return a;
+}
+
+meta::Descriptor load_descriptor(const std::string& path) {
+  std::string text = read_text_file(path);
+  std::size_t i = text.find_first_not_of(" \t\r\n");
+  if (i != std::string::npos && text[i] == '<')
+    return meta::parse_descriptor_xml(text);
+  return meta::parse_descriptor(text);
+}
+
+codegen::DataServicePlan make_plan(const Args& a) {
+  if (a.positional.size() < 2)
+    usage("expected <descriptor-file> <dataset-name>");
+  return codegen::DataServicePlan(load_descriptor(a.positional[0]),
+                                  a.positional[1], a.flag("root", "."));
+}
+
+std::string sidecar_dir(const Args& a) {
+  return a.flag("dir", a.flag("root", "."));
+}
+
+int cmd_build(const Args& a) {
+  codegen::DataServicePlan plan = make_plan(a);
+  zonemap::ZoneMap::BuildOptions opts;
+  std::string io = a.flag("io");
+  if (io == "mmap") opts.io_mode = IoMode::kMmap;
+  else if (io == "pread") opts.io_mode = IoMode::kPread;
+  else if (!io.empty()) usage("--io must be mmap or pread");
+
+  int threads = a.flag_int("threads", 0);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(threads));
+
+  zonemap::ZoneMap zm = zonemap::ZoneMap::build(plan, pool.get(), opts);
+  std::string dir = sidecar_dir(a);
+  zm.save(dir, plan);
+  auto sp = zonemap::ZoneMap::sidecar_paths(dir,
+                                            plan.model().dataset_name());
+  std::printf("indexed %zu chunks x %zu attribute(s) over %llu file(s) in "
+              "%.2f s\n",
+              zm.num_chunks(), zm.attrs().size(),
+              static_cast<unsigned long long>(zm.num_files()),
+              zm.build_seconds());
+  std::printf("  heap:     %s (%s)\n", sp.heap.c_str(),
+              human_bytes(file_size(sp.heap)).c_str());
+  std::printf("  btree:    %s (%s)\n", sp.btree.c_str(),
+              human_bytes(file_size(sp.btree)).c_str());
+  std::printf("  manifest: %s\n", sp.manifest.c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& a) {
+  codegen::DataServicePlan plan = make_plan(a);
+  std::string dir = sidecar_dir(a);
+  auto zm = zonemap::ZoneMap::load(dir, plan);
+  if (!zm) {
+    std::printf("no loadable zone-map sidecar for dataset %s under %s\n",
+                plan.model().dataset_name().c_str(), dir.c_str());
+    return 1;
+  }
+  const meta::Schema& schema = plan.schema();
+  std::printf("dataset:    %s\n", plan.model().dataset_name().c_str());
+  std::printf("attributes:");
+  for (int attr : zm->attrs())
+    std::printf(" %s", schema.at(static_cast<std::size_t>(attr)).name.c_str());
+  std::printf("\n");
+  std::printf("files:      %llu indexed, %llu stale (dropped)\n",
+              static_cast<unsigned long long>(zm->num_files()),
+              static_cast<unsigned long long>(zm->num_stale_files()));
+  std::printf("chunks:     %zu live entries\n", zm->num_chunks());
+
+  int limit = a.flag_int("limit", 5);
+  int shown = 0;
+  for (const auto& [key, b] : zm->entries()) {
+    if (shown++ >= limit) break;
+    std::printf("  %s @%llu:", key.file.c_str(),
+                static_cast<unsigned long long>(key.offset));
+    for (std::size_t i = 0; i < zm->attrs().size(); ++i)
+      std::printf(" %s=[%g, %g]",
+                  schema.at(static_cast<std::size_t>(zm->attrs()[i]))
+                      .name.c_str(),
+                  b.bounds[i].first, b.bounds[i].second);
+    std::printf("\n");
+  }
+  if (zm->num_chunks() > static_cast<std::size_t>(limit))
+    std::printf("  ... (%zu more)\n",
+                zm->num_chunks() - static_cast<std::size_t>(limit));
+  return 0;
+}
+
+int cmd_check(const Args& a) {
+  codegen::DataServicePlan plan = make_plan(a);
+  auto zm = zonemap::ZoneMap::load(sidecar_dir(a), plan);
+  if (!zm) {
+    std::printf("STALE: no loadable sidecar\n");
+    return 1;
+  }
+  if (zm->num_stale_files() > 0) {
+    std::printf("STALE: %llu of %llu files changed since the build\n",
+                static_cast<unsigned long long>(zm->num_stale_files()),
+                static_cast<unsigned long long>(zm->num_files()));
+    return 1;
+  }
+  std::printf("OK: %zu chunks over %llu files, all fresh\n", zm->num_chunks(),
+              static_cast<unsigned long long>(zm->num_files()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string cmd = argv[1];
+  Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "check") return cmd_check(args);
+    usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "adv_index: %s\n", e.what());
+    return 1;
+  }
+}
