@@ -11,7 +11,10 @@
 // parallel worker count (default 4).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "advirt.h"
 #include "bench_util.h"
@@ -19,6 +22,7 @@
 #include "dataset/ipars.h"
 #include "dataset/titan.h"
 #include "storm/cluster.h"
+#include "storm/net.h"
 
 using namespace adv;
 
@@ -328,6 +332,77 @@ void run_plan_cache(const dataset::GeneratedIpars& gen,
   table.print();
 }
 
+// ---------------------------------------------------------------------------
+// Served queries per second: the full TCP + admission-scheduler path.
+// Closed-loop clients hammer one QueryServer; every response is checked
+// against a direct cluster execution of the same query.
+
+void run_served_qps(const dataset::GeneratedIpars& gen,
+                    bench::JsonRecords& json) {
+  std::printf("\n=== served queries/s, admission path (BENCH_micro.json) ===\n");
+  const char* sql = "SELECT * FROM IparsData WHERE SOIL >= 0.9";
+  auto plan = std::make_shared<codegen::DataServicePlan>(
+      meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
+      gen.root);
+  storm::ClusterOptions copts;
+  copts.threads_per_node = bench_threads();
+
+  // Baseline: the identical query executed directly on a cluster.
+  expr::Table reference;
+  {
+    storm::StormCluster cluster(plan, copts);
+    reference = cluster.execute(sql).merged();
+  }
+
+  const std::size_t kClients = 8, kPerClient = 3;
+  sched::SchedulerOptions sopts;
+  sopts.max_concurrent_queries = 4;
+  sopts.max_queue_depth = 2 * kClients;  // closed loop never overflows it
+  storm::QueryServer server(plan, copts, 0, nullptr, sopts);
+
+  storm::QueryClient warm("127.0.0.1", server.port());
+  warm.execute(sql);  // warmup: page cache + handle cache
+
+  std::atomic<bool> all_identical{true};
+  Stopwatch sw;
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      storm::QueryClient client("127.0.0.1", server.port());
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        storm::RemoteResult r = client.execute(sql);
+        if (!r.merged().same_rows(reference)) all_identical.store(false);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double wall = sw.elapsed_seconds();
+
+  const uint64_t total = kClients * kPerClient;
+  double qps = static_cast<double>(total) / wall;
+  sched::SchedulerMetrics m = server.scheduler_metrics();
+  json.add()
+      .field("query", sql)
+      .field("config", "served-8clients-4slots")
+      .field("clients", static_cast<uint64_t>(kClients))
+      .field("max_concurrent_queries",
+             static_cast<uint64_t>(sopts.max_concurrent_queries))
+      .field("queries", total)
+      .field("wall_seconds", wall)
+      .field("queries_per_sec", qps)
+      .field("peak_running", static_cast<uint64_t>(m.peak_running))
+      .field("peak_queue_depth", static_cast<uint64_t>(m.peak_queue_depth))
+      .field("identical_to_baseline", all_identical.load());
+
+  bench::ResultTable table({"config", "clients", "slots", "queries",
+                            "wall (s)", "queries/s", "peak run", "identical"});
+  table.add_row({"served-8clients-4slots", std::to_string(kClients), "4",
+                 std::to_string(total), bench::secs(wall),
+                 format("%.1f", qps), std::to_string(m.peak_running),
+                 all_identical.load() ? "yes" : "no"});
+  table.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -344,6 +419,7 @@ int main(int argc, char** argv) {
   run_scan_throughput(gen, json);
   run_zonemap_pruning(gen, zm_dir, json);
   run_plan_cache(gen, zm_dir, json);
+  run_served_qps(gen, json);
   json.write("micro");
   return 0;
 }

@@ -3,8 +3,9 @@
 # sections and compares them against the committed BENCH_micro.json.
 #
 # Fails when
-#   * any matching (query, config) entry's rows_per_sec regresses by more
-#     than BENCH_CHECK_TOLERANCE (default 20%), or
+#   * any matching (query, config) entry's rows_per_sec (or, for the
+#     served-query section, queries_per_sec) regresses by more than
+#     BENCH_CHECK_TOLERANCE (default 20%), or
 #   * identical_to_baseline is false anywhere in the fresh run (a
 #     correctness bug, not a perf one).
 #
@@ -45,15 +46,16 @@ for r in fresh:
     if r.get("identical_to_baseline") is False:
         failures.append(f"{key(r)}: identical_to_baseline is false")
     old = baseline.get(key(r))
-    if old is None or "rows_per_sec" not in old or "rows_per_sec" not in r:
+    metric = "queries_per_sec" if "queries_per_sec" in r else "rows_per_sec"
+    if old is None or metric not in old or metric not in r:
         skipped += 1
         continue
     compared += 1
-    floor = old["rows_per_sec"] * (1.0 - tol)
-    if r["rows_per_sec"] < floor:
+    floor = old[metric] * (1.0 - tol)
+    if r[metric] < floor:
         failures.append(
-            f"{key(r)}: rows_per_sec {r['rows_per_sec']:.0f} < "
-            f"{floor:.0f} ({old['rows_per_sec']:.0f} committed, "
+            f"{key(r)}: {metric} {r[metric]:.0f} < "
+            f"{floor:.0f} ({old[metric]:.0f} committed, "
             f"-{tol:.0%} tolerance)")
 
 print(f"bench_check: {compared} entries compared, {skipped} skipped "

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus race check for the intra-node parallel pipeline.
+# Tier-1 verify plus race check for the intra-node parallel pipeline and
+# the admission scheduler / query server.
 #
 #   1. default build + full ctest suite
 #   2. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
-#      sensitive test binaries, run with halt_on_error so any data race
-#      fails the script
-#   3. bench_check.sh — scan/pruning/plan-cache throughput vs the committed
-#      BENCH_micro.json (>20% rows_per_sec regression or any
-#      identical_to_baseline=false fails)
+#      sensitive test binaries — parallel pipeline, scheduler, networked
+#      server — run with halt_on_error so any data race fails the script
+#   3. bench_check.sh — scan/pruning/plan-cache/served-query throughput vs
+#      the committed BENCH_micro.json (>20% rows_per_sec or
+#      queries_per_sec regression, or any identical_to_baseline=false,
+#      fails)
 #
 # Set VERIFY_SKIP_TSAN=1 to run only steps 1 and 3 (e.g. on hosts without
 # tsan); VERIFY_SKIP_BENCH=1 skips the perf gate.
@@ -22,11 +24,16 @@ cmake --build build -j"$JOBS"
 
 if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --preset tsan >/dev/null
-  cmake --build build-tsan -j"$JOBS" --target storm_test storm_concurrency_test
+  cmake --build build-tsan -j"$JOBS" \
+    --target storm_test storm_concurrency_test sched_test sched_stress_test \
+             net_test
   # Exercise the parallel worker path even on single-core hosts.
   export ADV_THREADS_PER_NODE=4
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_concurrency_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_stress_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/net_test
 fi
 
 if [[ "${VERIFY_SKIP_BENCH:-0}" != "1" ]]; then

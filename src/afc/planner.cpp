@@ -281,6 +281,10 @@ class GroupBuilder {
   void emit(int group_id, const std::vector<int64_t>& values,
             const std::vector<uint64_t>& idx, uint64_t num_rows,
             uint64_t row_first_idx, int64_t row_first_value) {
+    // Per considered AFC: the finest-grained planning poll, so a
+    // cancelled query leaves the index function within one emission even
+    // on plans enumerating millions of chunk sets.
+    if (opts_.cancel) opts_.cancel->check();
     const GroupPlan& gp = out_.groups[group_id];
     out_.stats.afcs_considered++;
 
@@ -406,6 +410,7 @@ PlanResult plan_afcs(const DatasetModel& model, const expr::BoundQuery& q,
       [&](std::size_t i, const Partial& partial) {
         const bool last = (i == sp.leaves.size() - 1);
         for (const ConcreteFile* f : matching[i]) {
+          if (opts.cancel) opts.cancel->check();
           if (last) out.stats.groups_considered++;
           Partial p = partial;
           if (!extend(p, i, f)) continue;

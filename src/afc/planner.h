@@ -16,6 +16,7 @@
 
 #include "afc/dataset_model.h"
 #include "afc/types.h"
+#include "common/cancel.h"
 #include "expr/predicate.h"
 
 namespace adv::afc {
@@ -29,6 +30,9 @@ struct PlannerOptions {
   bool prune_loops = true;
   // Restrict planning to one virtual node (-1 = all nodes).
   int only_node = -1;
+  // Cooperative cancellation: polled per file group and per considered
+  // AFC; a fired token aborts planning with CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 // Plans the AFCs answering `q` against `model`.

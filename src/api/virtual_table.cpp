@@ -88,12 +88,14 @@ std::string VirtualTable::plan_key(const std::string& sql) const {
          sql::parse_select(sql).to_string();
 }
 
-expr::Table VirtualTable::query(const std::string& sql) const {
-  return query_detailed(sql).merged();
+expr::Table VirtualTable::query(const std::string& sql,
+                                CancelToken* cancel) const {
+  return query_detailed(sql, {}, cancel).merged();
 }
 
 storm::QueryResult VirtualTable::query_detailed(
-    const std::string& sql, const storm::PartitionSpec& partition) const {
+    const std::string& sql, const storm::PartitionSpec& partition,
+    CancelToken* cancel) const {
   storm::QueryResult r;
   if (plan_cache_) {
     const std::string key = plan_key(sql);
@@ -106,9 +108,9 @@ storm::QueryResult VirtualTable::query_detailed(
       entry = std::move(fresh);
     }
     r = cluster_->execute_planned(entry->query, entry->node_plans,
-                                  partition);
+                                  partition, cancel);
   } else {
-    r = cluster_->execute(sql, partition, chunk_filter());
+    r = cluster_->execute(sql, partition, chunk_filter(), cancel);
   }
   std::string err = r.first_error();
   if (!err.empty()) throw IoError("query failed on a node: " + err);

@@ -69,12 +69,17 @@ class VirtualTable {
   bool has_zonemap() const { return zonemap_.has_value(); }
 
   // Executes a query across the virtual cluster and returns merged rows.
-  expr::Table query(const std::string& sql) const;
+  // `cancel` (optional) is a cooperative cancellation token threaded down
+  // through the AFC planner and extraction workers; when it fires the
+  // query aborts with CancelledError-derived node errors (reported here as
+  // the thrown IoError's message).
+  expr::Table query(const std::string& sql,
+                    CancelToken* cancel = nullptr) const;
 
   // Full result with per-node statistics and optional partitioning.
   storm::QueryResult query_detailed(
-      const std::string& sql, const storm::PartitionSpec& partition = {})
-      const;
+      const std::string& sql, const storm::PartitionSpec& partition = {},
+      CancelToken* cancel = nullptr) const;
 
   // The chunk filter queries run with: the zone map when present, else the
   // min/max index, else null.

@@ -157,6 +157,10 @@ ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
   uint64_t batch_rows =
       all_mapped ? std::max<uint64_t>(1, a.num_rows)
                  : std::max<uint64_t>(1, batch_bytes_ / max_bpr);
+  // With a cancel token, cap the batch so the poll below runs at a
+  // bounded row granularity even when a fully-mapped AFC would otherwise
+  // decode in one pass.
+  if (cancel_) batch_rows = std::min<uint64_t>(batch_rows, 1 << 16);
 
   // Row buffer: one double per needed slot (scratch reused across AFCs;
   // every slot has exactly one source, so no zero-fill is needed).
@@ -182,6 +186,7 @@ ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
 
   const unsigned char** srcs = srcs_.data();
   for (uint64_t done = 0; done < a.num_rows; done += batch_rows) {
+    if (cancel_) cancel_->check();
     uint64_t n = std::min(batch_rows, a.num_rows - done);
     // Point each chunk cursor at this batch: straight into the mapping
     // when the file is mapped, through a pread buffer otherwise.

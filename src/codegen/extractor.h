@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "afc/types.h"
+#include "common/cancel.h"
 #include "common/io.h"
 #include "expr/predicate.h"
 #include "expr/table.h"
@@ -100,6 +101,10 @@ struct ExtractorOptions {
   // chunk while streaming one AFC.  The mmap path needs no buffering.
   std::size_t batch_bytes = 1 << 20;
   IoMode io_mode = IoMode::kAuto;
+  // Cooperative cancellation: polled once per decode batch (batches are
+  // capped when a token is present so even a fully-mapped AFC polls every
+  // ~64Ki rows); a fired token aborts with CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 // Streaming extractor.  File handles come from the process-wide FileCache
@@ -112,7 +117,8 @@ class Extractor {
       : Extractor(ExtractorOptions{batch_bytes, IoMode::kAuto}) {}
   explicit Extractor(const ExtractorOptions& opts = {})
       : batch_bytes_(opts.batch_bytes),
-        io_mode_(resolve_io_mode(opts.io_mode)) {}
+        io_mode_(resolve_io_mode(opts.io_mode)),
+        cancel_(opts.cancel) {}
 
   // Extracts one AFC.  `binding` must come from bind_group() of the AFC's
   // group.  Hands each matching row to `sink`.
@@ -141,6 +147,7 @@ class Extractor {
 
   std::size_t batch_bytes_;
   IoMode io_mode_;
+  const CancelToken* cancel_ = nullptr;
   // Shared handles pinned for this extractor's lifetime.
   std::map<std::string, std::shared_ptr<const FileHandle>> handles_;
   // Resolved handles per group (keyed by GroupPlan address; valid while the

@@ -1,0 +1,78 @@
+// Cooperative cancellation.
+//
+// A CancelToken is a flag plus an optional deadline that long-running work
+// polls at natural yield points (per AFC, per extraction batch, per shipped
+// row batch, per planner emission).  Cancellation is *cooperative*: setting
+// the flag never interrupts anything — the next poll observes it and the
+// worker unwinds by throwing CancelledError, which the STORM node runner
+// converts into a per-node error string like any other runtime failure.
+//
+// Thread-safety: cancel() / set_deadline*() may race freely with the
+// cancelled()/check() polls; all state is atomic.  One token belongs to one
+// query; the scheduler (src/sched/) hands it out via QueryContext and the
+// query service's control-channel reader fires it on a client kCancel frame
+// or disconnect.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/error.h"
+
+namespace adv {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation (idempotent).
+  void cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  // Absolute deadline; work observes it through cancelled()/check().
+  void set_deadline(Clock::time_point tp) noexcept {
+    deadline_ns_.store(tp.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  // Relative deadline; <= 0 leaves the token without one.
+  void set_deadline_after(double seconds) noexcept {
+    if (seconds <= 0) return;
+    set_deadline(Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+  // True once cancel() was called (deadline expiry not included).
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  bool deadline_exceeded() const noexcept {
+    int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    return d != 0 && Clock::now().time_since_epoch().count() >= d;
+  }
+  // The poll: explicit request or expired deadline.
+  bool cancelled() const noexcept {
+    return cancel_requested() || deadline_exceeded();
+  }
+
+  // Throws CancelledError when the token fired.  The message distinguishes
+  // an explicit cancel from a deadline so callers can report the cause.
+  void check() const {
+    if (cancel_requested()) throw CancelledError("query cancelled");
+    if (deadline_exceeded()) throw CancelledError("query deadline exceeded");
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // steady_clock ticks; 0 = none
+};
+
+}  // namespace adv

@@ -62,6 +62,15 @@ class InternalError : public Error {
   using Error::Error;
 };
 
+// A cooperatively-cancelled operation unwinding (explicit CancelToken
+// cancel or an expired deadline).  Not a failure of the work itself: the
+// STORM node runner reports it as the node's error string and the query
+// service maps it back to the client's cancel/deadline outcome.
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
 // Throws InternalError when `cond` is false.  Used for invariants that
 // must hold regardless of user input.
 inline void check_internal(bool cond, const std::string& what) {

@@ -40,7 +40,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const CancelToken* cancel) {
   if (n == 0) return;
   // Submit blocked ranges, ~4 per worker, instead of one task per index:
   // a million-iteration loop enqueues a handful of std::functions, not a
@@ -53,8 +54,27 @@ void ThreadPool::parallel_for(std::size_t n,
     const std::size_t lo = b * per_block;
     const std::size_t hi = std::min(n, lo + per_block);
     if (lo >= hi) break;
-    futs.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    futs.push_back(submit([lo, hi, &fn, cancel] {
+      if (!cancel) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+        return;
+      }
+      // Cancellation exceptions stay worker-local: a cancelled query makes
+      // *every* worker throw at once, and shipping those objects to the
+      // joining thread via the future means they are constructed, read
+      // (what()), and refcount-destroyed on different threads.  The real
+      // synchronization lives in libstdc++'s __cxa exception refcounting,
+      // which tsan cannot see, so the joining thread re-raises from the
+      // token instead and the worker's exception never leaves this frame.
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          cancel->check();
+          fn(i);
+        }
+      } catch (const CancelledError&) {
+        // Swallowed; only this token's check() throws it, so the token is
+        // already fired and the joining thread re-raises below.
+      }
     }));
   }
   std::exception_ptr first_error;
@@ -65,6 +85,10 @@ void ThreadPool::parallel_for(std::size_t n,
       if (!first_error) first_error = std::current_exception();
     }
   }
+  // Cancellation wins over worker errors: once the token fired, any
+  // concurrent worker failure is teardown noise, and re-raising here keeps
+  // the exception object local to the joining thread.
+  if (cancel) cancel->check();
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace adv {
 
 class ThreadPool {
@@ -45,7 +47,14 @@ class ThreadPool {
   // costs a handful of task allocations.  Exceptions from tasks propagate
   // (the first one observed is rethrown; an exception skips the remaining
   // indices of its own block only).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  //
+  // With a non-null `cancel`, every block polls the token before each
+  // index: once it fires, queued blocks return at their first index and
+  // running blocks stop at their next one, so a cancelled query releases
+  // its pool slots without running its remaining work.  The resulting
+  // CancelledError is rethrown like any task exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const CancelToken* cancel = nullptr);
 
  private:
   void worker_loop();

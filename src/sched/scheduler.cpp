@@ -1,0 +1,220 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adv::sched {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Queued waiters poll their token at this granularity; it bounds how long
+// a cancel/deadline of a *queued* query can go unnoticed (running queries
+// poll at extraction-batch granularity instead).
+constexpr auto kWaitPoll = std::chrono::milliseconds(5);
+
+}  // namespace
+
+void LatencyHistogram::add(double seconds) {
+  count++;
+  sum_seconds += seconds;
+  double ms = seconds * 1e3;
+  std::size_t b = 0;
+  while (b + 1 < kBuckets && ms >= 1.0) {
+    ms /= 2;
+    b++;
+  }
+  buckets[b]++;
+}
+
+QueryScheduler::QueryScheduler(SchedulerOptions opts) : opts_(opts) {}
+
+std::size_t QueryScheduler::queued_locked() const {
+  std::size_t n = 0;
+  for (const Queue& q : queues_) n += q.size();
+  return n;
+}
+
+double QueryScheduler::retry_after_locked() const {
+  // Expected time until a slot frees for a retry: the backlog ahead of a
+  // hypothetical new arrival, paced by the average observed run time
+  // spread over the concurrency.  Before any query finished, fall back to
+  // a nominal 50 ms per backlogged query.
+  double per_query = ewma_run_seconds_ > 0 ? ewma_run_seconds_ : 0.05;
+  std::size_t conc = std::max<std::size_t>(1, opts_.max_concurrent_queries);
+  double backlog = static_cast<double>(queued_locked() + 1);
+  return std::max(1e-3, per_query * backlog / static_cast<double>(conc));
+}
+
+void QueryScheduler::admit_next_locked() {
+  while (opts_.max_concurrent_queries == 0 ||
+         running_ < opts_.max_concurrent_queries) {
+    std::shared_ptr<QueryContext> next;
+    for (std::size_t p = kPriorities; p-- > 0;) {
+      if (!queues_[p].empty()) {
+        next = std::move(queues_[p].front());
+        queues_[p].pop_front();
+        break;
+      }
+    }
+    if (!next) break;
+    // A query cancelled (or deadlined) while queued that nobody is
+    // waiting on any more: account for it and skip the slot.
+    if (next->token.cancelled()) {
+      record_abandoned_locked(*next);
+      next->state = QueryContext::State::kDequeued;
+      continue;
+    }
+    next->state = QueryContext::State::kRunning;
+    next->admitted_at = Clock::now();
+    next->queue_wait_seconds = seconds_since(next->enqueued_at);
+    metrics_.admitted++;
+    metrics_.queue_wait.add(next->queue_wait_seconds);
+    running_++;
+    metrics_.peak_running = std::max(metrics_.peak_running, running_);
+  }
+  metrics_.running = running_;
+  metrics_.queue_depth = queued_locked();
+  cv_.notify_all();
+}
+
+bool QueryScheduler::remove_queued_locked(
+    const std::shared_ptr<QueryContext>& ctx) {
+  Queue& q = queues_[level(ctx->priority)];
+  auto it = std::find(q.begin(), q.end(), ctx);
+  if (it == q.end()) return false;
+  q.erase(it);
+  metrics_.queue_depth = queued_locked();
+  return true;
+}
+
+void QueryScheduler::record_abandoned_locked(const QueryContext& ctx) {
+  if (ctx.token.cancel_requested())
+    metrics_.cancelled++;
+  else
+    metrics_.deadline_exceeded++;
+}
+
+QueryScheduler::Admission QueryScheduler::submit(uint8_t priority,
+                                                 double deadline_seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  metrics_.submitted++;
+  Admission adm;
+  if (draining_) {
+    metrics_.rejected++;
+    adm.reject_reason = "server is draining";
+    adm.retry_after_seconds = retry_after_locked();
+    return adm;
+  }
+  // Reject only when the query would actually have to wait: a free run
+  // slot admits immediately regardless of max_queue_depth (notably
+  // max_queue_depth = 0, "never queue").  The queue is non-empty only
+  // while every slot is taken — admit_next_locked() drains it whenever
+  // one frees — so slot_free implies the queue check is moot.
+  bool slot_free = opts_.max_concurrent_queries == 0 ||
+                   running_ < opts_.max_concurrent_queries;
+  if (!slot_free && queued_locked() >= opts_.max_queue_depth) {
+    metrics_.rejected++;
+    adm.reject_reason = "admission queue full";
+    adm.retry_after_seconds = retry_after_locked();
+    return adm;
+  }
+
+  auto ctx = std::make_shared<QueryContext>();
+  ctx->id = next_id_++;
+  ctx->priority = priority;
+  double deadline =
+      deadline_seconds > 0 ? deadline_seconds : opts_.default_deadline_seconds;
+  ctx->token.set_deadline_after(deadline);
+  ctx->enqueued_at = Clock::now();
+
+  // Queue position: everything at a strictly higher level plus the FIFO
+  // tail of its own level runs first.
+  std::size_t ahead = queues_[level(priority)].size();
+  for (std::size_t p = level(priority) + 1; p < kPriorities; ++p)
+    ahead += queues_[p].size();
+  queues_[level(priority)].push_back(ctx);
+  metrics_.queue_depth = queued_locked();
+  metrics_.peak_queue_depth =
+      std::max(metrics_.peak_queue_depth, metrics_.queue_depth);
+
+  admit_next_locked();
+
+  adm.ctx = ctx;
+  adm.queued = ctx->state != QueryContext::State::kRunning;
+  adm.queue_position = ahead;
+  adm.queue_depth = queued_locked();
+  return adm;
+}
+
+bool QueryScheduler::wait_admitted(
+    const std::shared_ptr<QueryContext>& ctx) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (ctx->state == QueryContext::State::kRunning) return true;
+    if (ctx->state == QueryContext::State::kDequeued) return false;
+    if (ctx->token.cancelled()) {
+      if (remove_queued_locked(ctx)) record_abandoned_locked(*ctx);
+      ctx->state = QueryContext::State::kDequeued;
+      cv_.notify_all();
+      return false;
+    }
+    // Timed wait: the token may fire from a thread that has no handle on
+    // this scheduler (the connection's control reader, a deadline), so
+    // poll it rather than requiring every canceller to notify us.
+    cv_.wait_for(lk, kWaitPoll);
+  }
+}
+
+void QueryScheduler::finish(const std::shared_ptr<QueryContext>& ctx,
+                            Outcome outcome) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ctx->state != QueryContext::State::kRunning) return;  // defensive
+  ctx->state = QueryContext::State::kDequeued;
+  ctx->run_seconds = seconds_since(ctx->admitted_at);
+  running_--;
+  metrics_.run_time.add(ctx->run_seconds);
+  ewma_run_seconds_ = ewma_run_seconds_ == 0
+                          ? ctx->run_seconds
+                          : 0.8 * ewma_run_seconds_ + 0.2 * ctx->run_seconds;
+  switch (outcome) {
+    case Outcome::kCompleted: metrics_.completed++; break;
+    case Outcome::kFailed: metrics_.failed++; break;
+    case Outcome::kCancelled: metrics_.cancelled++; break;
+    case Outcome::kDeadlineExceeded: metrics_.deadline_exceeded++; break;
+  }
+  admit_next_locked();
+}
+
+void QueryScheduler::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  draining_ = true;
+  // Dequeue everything still waiting; their wait_admitted() (if anyone is
+  // in it) observes kDequeued and returns false.
+  for (Queue& q : queues_) {
+    for (auto& ctx : q) {
+      ctx->token.cancel();
+      record_abandoned_locked(*ctx);
+      ctx->state = QueryContext::State::kDequeued;
+    }
+    q.clear();
+  }
+  metrics_.queue_depth = 0;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return running_ == 0; });
+}
+
+SchedulerMetrics QueryScheduler::metrics() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SchedulerMetrics m = metrics_;
+  m.queue_depth = queued_locked();
+  m.running = running_;
+  return m;
+}
+
+}  // namespace adv::sched

@@ -1,0 +1,171 @@
+// Query admission control and lifecycle scheduling for the STORM query
+// service.
+//
+// The paper's STORM middleware serves many concurrent analysis clients
+// over one shared virtual cluster.  QueryScheduler sits between the
+// network front end (storm::QueryServer) and execution
+// (storm::StormCluster): every query is submitted here first, and the
+// scheduler decides — under one lock — whether it runs now, waits in a
+// bounded queue, or is rejected with a retry-after hint.
+//
+//   submit()         admission: run / queue / reject
+//   wait_admitted()  blocks a queued query until a slot frees, its
+//                    CancelToken fires, or its deadline expires
+//   finish()         releases the slot, records the outcome, admits the
+//                    next queued query
+//   drain()          graceful shutdown: stop admitting, cancel the queue,
+//                    wait for running queries to finish
+//
+// Ordering is FIFO within a priority level; levels (0 = low, 1 = normal,
+// 2 = high) are served strictly highest-first.  Each admitted query gets
+// a QueryContext carrying its CancelToken (threaded down through the AFC
+// planner, the extraction workers, and the row-shipping path) and its
+// per-query timings.  Aggregate metrics — admitted/rejected/cancelled/
+// deadline-exceeded counts, peak concurrency, queue-wait and run-time
+// histograms — are served by metrics() and surfaced to remote clients in
+// the wire protocol's kStats frame (see docs/SERVING.md).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/cancel.h"
+
+namespace adv::sched {
+
+struct SchedulerOptions {
+  // Queries executing at once; 0 = unlimited (admission never queues).
+  std::size_t max_concurrent_queries = 4;
+  // Queries waiting beyond the running ones; submissions past this are
+  // rejected with a retry-after hint.
+  std::size_t max_queue_depth = 16;
+  // Deadline applied to queries that arrive without one; 0 = none.
+  double default_deadline_seconds = 0;
+};
+
+// How a query's lifecycle ended, for the outcome counters.
+enum class Outcome : uint8_t {
+  kCompleted,
+  kFailed,            // node or connection error
+  kCancelled,         // client kCancel / disconnect
+  kDeadlineExceeded,
+};
+
+// Log-scale latency histogram: bucket k counts samples in
+// [2^(k-1), 2^k) milliseconds (bucket 0 takes everything under 1 ms, the
+// last bucket everything from ~16 s up).
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 16;
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  double sum_seconds = 0;
+
+  void add(double seconds);
+  double mean_seconds() const { return count ? sum_seconds / count : 0; }
+};
+
+struct SchedulerMetrics {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;           // queue full or draining
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;          // explicit cancel, queued or running
+  uint64_t deadline_exceeded = 0;  // deadline fired, queued or running
+  std::size_t queue_depth = 0;     // current
+  std::size_t running = 0;         // current
+  std::size_t peak_running = 0;
+  std::size_t peak_queue_depth = 0;
+  LatencyHistogram queue_wait;     // admitted queries only
+  LatencyHistogram run_time;       // finished queries only
+};
+
+class QueryScheduler;
+
+// Per-query lifecycle state.  Created by QueryScheduler::submit() and
+// shared between the scheduler and the serving thread; the CancelToken is
+// additionally shared with whatever fires it (the connection's control
+// reader, a deadline, drain()).
+struct QueryContext {
+  uint64_t id = 0;
+  uint8_t priority = 1;
+  CancelToken token;
+  double queue_wait_seconds = 0;  // set at admission
+  double run_seconds = 0;         // set at finish
+
+ private:
+  friend class QueryScheduler;
+  enum class State : uint8_t { kQueued, kRunning, kDequeued };
+  State state = State::kQueued;
+  std::chrono::steady_clock::time_point enqueued_at{};
+  std::chrono::steady_clock::time_point admitted_at{};
+};
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(SchedulerOptions opts = {});
+
+  struct Admission {
+    std::shared_ptr<QueryContext> ctx;  // null when rejected
+    bool queued = false;                // admitted later, not immediately
+    std::size_t queue_position = 0;     // queries ahead at submit time
+    std::size_t queue_depth = 0;        // total queued at submit time
+    double retry_after_seconds = 0;     // rejection hint
+    std::string reject_reason;          // non-empty when rejected
+  };
+
+  // Admission decision.  A rejected submission carries a retry-after hint
+  // derived from the average run time of recently finished queries and
+  // the current backlog.  `deadline_seconds` <= 0 falls back to
+  // SchedulerOptions::default_deadline_seconds.
+  Admission submit(uint8_t priority = 1, double deadline_seconds = 0);
+
+  // Blocks until `ctx` is admitted (true) or leaves the queue without
+  // running (false: token cancelled, deadline expired, or drain()).  A
+  // query admitted at submit() returns true immediately.
+  bool wait_admitted(const std::shared_ptr<QueryContext>& ctx);
+
+  // Releases the slot of a running query, records its outcome and run
+  // time, and admits the next queued query.  Must be called exactly once
+  // per admitted query; never for one wait_admitted() returned false for.
+  void finish(const std::shared_ptr<QueryContext>& ctx, Outcome outcome);
+
+  // Graceful shutdown: rejects future submissions, cancels every queued
+  // query (their wait_admitted() returns false), and blocks until all
+  // running queries called finish().  Idempotent.
+  void drain();
+
+  SchedulerMetrics metrics() const;
+  const SchedulerOptions& options() const { return opts_; }
+
+ private:
+  static constexpr std::size_t kPriorities = 3;
+  using Queue = std::deque<std::shared_ptr<QueryContext>>;
+
+  static std::size_t level(uint8_t priority) {
+    return priority >= kPriorities ? kPriorities - 1 : priority;
+  }
+  std::size_t queued_locked() const;
+  void admit_next_locked();
+  bool remove_queued_locked(const std::shared_ptr<QueryContext>& ctx);
+  void record_abandoned_locked(const QueryContext& ctx);
+  double retry_after_locked() const;
+
+  const SchedulerOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<Queue, kPriorities> queues_;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  uint64_t next_id_ = 1;
+  double ewma_run_seconds_ = 0;  // retry-after hint basis
+  SchedulerMetrics metrics_;
+};
+
+}  // namespace adv::sched

@@ -35,13 +35,14 @@ class PartitionSink final : public codegen::RowSink {
   PartitionSink(int node, std::size_t ncols, int nconsumers,
                 const PartitionGenerationService& partsvc,
                 DataMoverService& mover, std::size_t batch_rows,
-                WorkerStats& ws)
+                WorkerStats& ws, const CancelToken* cancel)
       : node_(node),
         ncols_(ncols),
         partsvc_(partsvc),
         mover_(mover),
         batch_rows_(batch_rows),
         ws_(ws),
+        cancel_(cancel),
         pending_(static_cast<std::size_t>(nconsumers)) {
     for (int c = 0; c < nconsumers; ++c) reset(c);
   }
@@ -73,6 +74,9 @@ class PartitionSink final : public codegen::RowSink {
   void flush(int c) {
     RowBatch& b = pending_[static_cast<std::size_t>(c)];
     if (b.data.empty()) return;
+    // The row-shipping poll: a cancelled query must not keep feeding the
+    // data-mover channel (whose consumer may be about to stop draining).
+    if (cancel_) cancel_->check();
     ws_.bytes_sent += b.bytes();
     ws_.transfer_seconds += mover_.send(std::move(b));
     reset(c);
@@ -84,6 +88,7 @@ class PartitionSink final : public codegen::RowSink {
   DataMoverService& mover_;
   std::size_t batch_rows_;
   WorkerStats& ws_;
+  const CancelToken* cancel_;
   std::vector<RowBatch> pending_;
   uint64_t base_seq_ = 0;
 };
@@ -97,7 +102,8 @@ void run_node(int node, const codegen::DataServicePlan& plan,
               const PartitionGenerationService& partsvc,
               DataMoverService& mover, const ClusterOptions& opts,
               ThreadPool* pool, NodeStats& stats,
-              const afc::PlanResult* preplanned = nullptr) {
+              const afc::PlanResult* preplanned = nullptr,
+              const CancelToken* cancel = nullptr) {
   stats.node_id = node;
   Stopwatch busy;
   try {
@@ -106,6 +112,7 @@ void run_node(int node, const codegen::DataServicePlan& plan,
       afc::PlannerOptions popts;
       popts.filter = filter;
       popts.only_node = node;
+      popts.cancel = cancel;
       planned = plan.index_fn(q, popts);
     }
     const afc::PlanResult& pr = preplanned ? *preplanned : planned;
@@ -133,13 +140,15 @@ void run_node(int node, const codegen::DataServicePlan& plan,
     const int nconsumers = partsvc.num_consumers();
     codegen::ExtractorOptions xopts;
     xopts.io_mode = opts.io_mode;
+    xopts.cancel = cancel;
 
     auto scan_range = [&](std::size_t lo, std::size_t hi, WorkerStats& ws) {
       try {
         codegen::Extractor extractor(xopts);
         PartitionSink sink(node, ncols, nconsumers, partsvc, mover,
-                           opts.batch_rows, ws);
+                           opts.batch_rows, ws, cancel);
         for (std::size_t i = lo; i < hi; ++i) {
+          if (cancel) cancel->check();
           const afc::Afc& a = pr.afcs[i];
           sink.begin_afc(base[i]);
           ws.extract += extractor.extract(
@@ -190,9 +199,13 @@ void run_node(int node, const codegen::DataServicePlan& plan,
             base.begin());
       }
       std::vector<WorkerStats> wstats(ntasks);
-      pool->parallel_for(ntasks, [&](std::size_t k) {
-        scan_range(cuts[k], cuts[k + 1], wstats[k]);
-      });
+      // The pool-level token check makes queued ranges of a cancelled
+      // query return before constructing any per-range state (the ranges
+      // themselves poll per AFC and per batch once running).
+      pool->parallel_for(
+          ntasks,
+          [&](std::size_t k) { scan_range(cuts[k], cuts[k + 1], wstats[k]); },
+          cancel);
       for (const WorkerStats& ws : wstats) merge(ws);
     }
   } catch (const Error& e) {
@@ -256,17 +269,19 @@ ThreadPool* StormCluster::extraction_pool() {
 
 QueryResult StormCluster::execute(const std::string& sql,
                                   const PartitionSpec& partition,
-                                  const afc::ChunkFilter* filter) {
+                                  const afc::ChunkFilter* filter,
+                                  CancelToken* cancel) {
   Stopwatch plan_sw;
   expr::BoundQuery q = query_service_.submit(sql);
-  QueryResult r = execute(q, partition, filter);
+  QueryResult r = execute(q, partition, filter, cancel);
   r.plan_seconds += plan_sw.elapsed_seconds() - r.wall_seconds;
   return r;
 }
 
 QueryResult StormCluster::execute(const expr::BoundQuery& q,
                                   const PartitionSpec& partition,
-                                  const afc::ChunkFilter* filter) {
+                                  const afc::ChunkFilter* filter,
+                                  CancelToken* cancel) {
   // Materializing execution is streaming execution draining into tables.
   std::vector<expr::Table> tables;
   for (int c = 0; c < std::max(1, partition.num_consumers); ++c)
@@ -278,7 +293,7 @@ QueryResult StormCluster::execute(const expr::BoundQuery& q,
         for (std::size_t r = 0; r < batch.num_rows(); ++r)
           t.append_row(batch.data.data() + r * batch.num_cols);
       },
-      partition, filter);
+      partition, filter, nullptr, cancel);
   result.partitions = std::move(tables);
   return result;
 }
@@ -299,7 +314,7 @@ std::vector<afc::PlanResult> StormCluster::plan_nodes(
 
 QueryResult StormCluster::execute_planned(
     const expr::BoundQuery& q, const std::vector<afc::PlanResult>& node_plans,
-    const PartitionSpec& partition) {
+    const PartitionSpec& partition, CancelToken* cancel) {
   if (node_plans.size() != static_cast<std::size_t>(num_nodes()))
     throw QueryError("execute_planned: expected one plan per node");
   std::vector<expr::Table> tables;
@@ -312,7 +327,7 @@ QueryResult StormCluster::execute_planned(
         for (std::size_t r = 0; r < batch.num_rows(); ++r)
           t.append_row(batch.data.data() + r * batch.num_cols);
       },
-      partition, nullptr, &node_plans);
+      partition, nullptr, &node_plans, cancel);
   result.partitions = std::move(tables);
   return result;
 }
@@ -320,7 +335,7 @@ QueryResult StormCluster::execute_planned(
 QueryResult StormCluster::execute_streaming(
     const expr::BoundQuery& q, const BatchSink& sink,
     const PartitionSpec& partition, const afc::ChunkFilter* filter,
-    const std::vector<afc::PlanResult>* node_plans) {
+    const std::vector<afc::PlanResult>* node_plans, CancelToken* cancel) {
   if (partition.num_consumers < 1)
     throw QueryError("PartitionSpec.num_consumers must be >= 1");
   if ((partition.policy == PartitionSpec::Policy::kHashAttr ||
@@ -346,7 +361,24 @@ QueryResult StormCluster::execute_streaming(
     run_node(n, *plan_, q, filter, partsvc, mover, opts_, pool,
              result.node_stats[static_cast<std::size_t>(n)],
              node_plans ? &(*node_plans)[static_cast<std::size_t>(n)]
-                        : nullptr);
+                        : nullptr,
+             cancel);
+  };
+
+  // A sink that throws (a remote consumer hung up mid-stream) must not
+  // leak node workers blocked on a never-drained channel: capture the
+  // first sink failure, cancel the query so producers stop scanning, keep
+  // draining the channel (discarding batches), and rethrow only after
+  // every worker joined.
+  std::exception_ptr sink_error;
+  auto guarded_sink = [&](const RowBatch& batch) {
+    if (sink_error) return;
+    try {
+      sink(batch);
+    } catch (...) {
+      sink_error = std::current_exception();
+      if (cancel) cancel->cancel();
+    }
   };
 
   if (opts_.parallel_nodes) {
@@ -359,7 +391,7 @@ QueryResult StormCluster::execute_streaming(
       channel->close();
     });
     // Client side: hand batches to the sink as they arrive.
-    while (auto batch = channel->pop()) sink(*batch);
+    while (auto batch = channel->pop()) guarded_sink(*batch);
     closer.join();
   } else {
     // Sequential mode: run one node at a time, draining its output after it
@@ -372,11 +404,13 @@ QueryResult StormCluster::execute_streaming(
       run_node(n, *plan_, q, filter, partsvc, seq_mover, opts_, pool,
                result.node_stats[static_cast<std::size_t>(n)],
                node_plans ? &(*node_plans)[static_cast<std::size_t>(n)]
-                          : nullptr);
+                          : nullptr,
+               cancel);
       ch->close();
-      while (auto batch = ch->pop()) sink(*batch);
+      while (auto batch = ch->pop()) guarded_sink(*batch);
     }
   }
+  if (sink_error) std::rethrow_exception(sink_error);
 
   result.wall_seconds = wall.elapsed_seconds();
   for (const auto& ns : result.node_stats)

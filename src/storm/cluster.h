@@ -90,24 +90,39 @@ class StormCluster {
   // Executes a query across all virtual nodes.  Throws QueryError /
   // ParseError for malformed queries; per-node runtime failures (I/O) are
   // reported in NodeStats::error instead of aborting other nodes.
+  //
+  // `cancel` (optional) is the query's cooperative cancellation token: it
+  // is polled inside the per-node AFC planner, before every AFC and every
+  // extraction batch, and on the row-shipping path, so a fired token (an
+  // explicit cancel or an expired deadline) releases this cluster's pool
+  // workers within one extraction batch.  Cancellation surfaces as the
+  // affected nodes' NodeStats::error; concurrently executing queries with
+  // other tokens are unaffected.  The token is also *fired by* the
+  // cluster when a streaming sink throws (the consumer is gone), so
+  // producers stop instead of scanning for a dead connection.
   QueryResult execute(const std::string& sql,
                       const PartitionSpec& partition = {},
-                      const afc::ChunkFilter* filter = nullptr);
+                      const afc::ChunkFilter* filter = nullptr,
+                      CancelToken* cancel = nullptr);
   QueryResult execute(const expr::BoundQuery& q,
                       const PartitionSpec& partition = {},
-                      const afc::ChunkFilter* filter = nullptr);
+                      const afc::ChunkFilter* filter = nullptr,
+                      CancelToken* cancel = nullptr);
 
   // Streaming execution: row batches are handed to `sink` as nodes produce
   // them instead of being materialized into tables (the callback runs on
   // the client thread; batches from different nodes interleave).  The
   // returned QueryResult carries stats only — its partitions are empty.
+  // A sink exception cancels the query (when it has a token), drains the
+  // remaining batches, and is rethrown once every node worker joined.
   using BatchSink = std::function<void(const RowBatch&)>;
   QueryResult execute_streaming(const expr::BoundQuery& q,
                                 const BatchSink& sink,
                                 const PartitionSpec& partition = {},
                                 const afc::ChunkFilter* filter = nullptr,
                                 const std::vector<afc::PlanResult>*
-                                    node_plans = nullptr);
+                                    node_plans = nullptr,
+                                CancelToken* cancel = nullptr);
 
   // Executes against precomputed per-node plans (node_plans[n] is the
   // index-function result for node n, with any chunk filter already
@@ -116,7 +131,8 @@ class StormCluster {
   // cold run produced.
   QueryResult execute_planned(const expr::BoundQuery& q,
                               const std::vector<afc::PlanResult>& node_plans,
-                              const PartitionSpec& partition = {});
+                              const PartitionSpec& partition = {},
+                              CancelToken* cancel = nullptr);
 
   // Runs the per-node index function for every node (as execute() would)
   // and returns the plans, one per node.

@@ -2,6 +2,8 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,6 +22,10 @@ enum MsgType : uint8_t {
   kStats = 0x04,
   kEnd = 0x05,
   kError = 0x06,
+  kCancel = 0x07,
+  kQueued = 0x08,
+  kAdmitted = 0x09,
+  kRejected = 0x0A,
 };
 
 // Byte-buffer writer/reader for frame payloads.
@@ -69,6 +75,10 @@ class Payload {
     pos_ += n;
     return p;
   }
+
+  // Unread bytes left in the payload — how optional protocol-v2 tails are
+  // detected (a v1 peer simply stops before them).
+  std::size_t remaining() const { return data_.size() - pos_; }
 
   const std::vector<unsigned char>& data() const { return data_; }
 
@@ -125,6 +135,44 @@ std::pair<MsgType, Payload> recv_frame(int fd) {
   return {static_cast<MsgType>(header[4]), Payload(std::move(data))};
 }
 
+// Client-side receive that watches a CancelToken while blocked: polls the
+// socket in 20 ms ticks, and when the token fires sends one kCancel frame,
+// then keeps receiving — the server terminates the stream with kError.
+std::pair<MsgType, Payload> recv_frame_cancellable(int fd,
+                                                   const CancelToken* cancel,
+                                                   bool& cancel_sent) {
+  if (!cancel) return recv_frame(fd);
+  for (;;) {
+    if (!cancel_sent && cancel->cancelled()) {
+      cancel_sent = true;
+      send_frame(fd, kCancel, Payload());
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    int rc = ::poll(&p, 1, 20);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket poll failed: ") + std::strerror(errno));
+    }
+    if (rc > 0) return recv_frame(fd);
+  }
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// Why a running query ended, judged from its token: an explicit cancel
+// (client kCancel, disconnect, server drain) wins over an expired
+// deadline; anything else is a plain failure.
+sched::Outcome classify_failure(const CancelToken& token) {
+  if (token.cancel_requested()) return sched::Outcome::kCancelled;
+  if (token.deadline_exceeded()) return sched::Outcome::kDeadlineExceeded;
+  return sched::Outcome::kFailed;
+}
+
 // RAII socket.
 struct Socket {
   int fd = -1;
@@ -136,6 +184,10 @@ struct Socket {
   Socket& operator=(const Socket&) = delete;
 };
 
+// Fixed-size kStats v2 tail: query_id + queue_wait + run_seconds + 7
+// outcome counters + 4 gauges, 8 bytes each.
+constexpr std::size_t kSchedTailBytes = 14 * 8;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -143,8 +195,12 @@ struct Socket {
 
 QueryServer::QueryServer(std::shared_ptr<codegen::DataServicePlan> plan,
                          ClusterOptions opts, int port,
-                         const afc::ChunkFilter* filter)
-    : plan_(std::move(plan)), opts_(opts), filter_(filter) {
+                         const afc::ChunkFilter* filter,
+                         sched::SchedulerOptions sched_opts)
+    : plan_(std::move(plan)),
+      filter_(filter),
+      cluster_(plan_, opts),
+      scheduler_(sched_opts) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw IoError("cannot create server socket");
   int one = 1;
@@ -161,7 +217,7 @@ QueryServer::QueryServer(std::shared_ptr<codegen::DataServicePlan> plan,
   socklen_t alen = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) != 0) {
+  if (::listen(listen_fd_, 64) != 0) {
     ::close(listen_fd_);
     throw IoError("cannot listen on query server socket");
   }
@@ -172,13 +228,37 @@ QueryServer::~QueryServer() { shutdown(); }
 
 void QueryServer::shutdown() {
   if (stopping_.exchange(true)) return;
-  // Closing the listen socket unblocks accept().
+  // 1. Stop accepting.  shutdown() — not close() — unblocks accept()
+  // without racing a concurrent accept against kernel fd reuse; the fd is
+  // closed only once the acceptor joined.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Drain the scheduler: future submissions are rejected, queued
+  // queries are cancelled (their connections send kError and wind down),
+  // and running queries finish streaming their results.
+  scheduler_.drain();
+  // 3. Unblock idle connections (parked in recv waiting for a query
+  // frame) and join every connection thread.  Collect node pointers under
+  // the lock but join outside it — serving threads take conn_mu_ to close
+  // their fd on the way out.
+  std::vector<Connection*> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto& c : connections_) {
+      // Busy connections already had their fate settled by the drain
+      // (queued ones expelled, running ones completed); they deliver
+      // their final frames and exit on their own — forcing their sockets
+      // here would chop that delivery mid-frame.
+      if (c->fd >= 0 && !c->busy.load()) ::shutdown(c->fd, SHUT_RDWR);
+      conns.push_back(c.get());
+    }
+  }
+  for (Connection* c : conns)
+    if (c->thread.joinable()) c->thread.join();
   std::lock_guard<std::mutex> lk(conn_mu_);
-  for (auto& t : connections_)
-    if (t.joinable()) t.join();
+  connections_.clear();
 }
 
 void QueryServer::accept_loop() {
@@ -188,19 +268,53 @@ void QueryServer::accept_loop() {
       if (stopping_ || (errno != EINTR && errno != ECONNABORTED)) return;
       continue;
     }
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    set_nodelay(fd);
     std::lock_guard<std::mutex> lk(conn_mu_);
-    connections_.emplace_back([this, fd] { serve_connection(fd); });
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* cp = conn.get();
+    connections_.push_back(std::move(conn));
+    cp->thread = std::thread([this, cp] { serve_connection(cp); });
   }
 }
 
-void QueryServer::serve_connection(int raw_fd) {
-  Socket sock(raw_fd);
+void QueryServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryServer::serve_connection(Connection* conn) {
+  serve_query(conn);
+  // Close under conn_mu_: shutdown() shuts live fds down under the same
+  // lock, so it can never touch a closed (possibly reused) descriptor.
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conn->done.store(true);
+}
+
+void QueryServer::serve_query(Connection* conn) {
+  const int fd = conn->fd;
   try {
-    auto [type, payload] = recv_frame(sock.fd);
+    auto [type, payload] = recv_frame(fd);
+    conn->busy.store(true);
     if (type != kQuery) {
       Payload err;
       err.put_string("expected a query frame");
-      send_frame(sock.fd, kError, err);
+      send_frame(fd, kError, err);
       return;
     }
     PartitionSpec part;
@@ -210,72 +324,173 @@ void QueryServer::serve_connection(int raw_fd) {
     part.range_lo = payload.get<double>();
     part.range_hi = payload.get<double>();
     std::string sql = payload.get_string();
+    // v2 tail: deadline + priority (absent from v1 clients).
+    double deadline_seconds = 0;
+    uint8_t priority = 1;
+    if (payload.remaining() >= sizeof(double) + 1) {
+      deadline_seconds = payload.get<double>();
+      priority = payload.get<uint8_t>();
+    }
 
-    StormCluster cluster(plan_, opts_);
-    QueryResult r;
+    // Admission.
+    sched::QueryScheduler::Admission adm =
+        scheduler_.submit(priority, deadline_seconds);
+    if (!adm.ctx) {
+      Payload rej;
+      rej.put<double>(adm.retry_after_seconds);
+      rej.put_string(adm.reject_reason);
+      send_frame(fd, kRejected, rej);
+      return;
+    }
+    std::shared_ptr<sched::QueryContext> ctx = adm.ctx;
+    if (adm.queued) {
+      Payload qd;
+      qd.put<uint64_t>(ctx->id);
+      qd.put<uint32_t>(static_cast<uint32_t>(adm.queue_position));
+      qd.put<uint32_t>(static_cast<uint32_t>(adm.queue_depth));
+      send_frame(fd, kQueued, qd);
+    }
+
+    // Control reader: for the rest of the query's life, a kCancel frame or
+    // a disconnect fires the token (which the planner, the extraction
+    // workers, and the row-shipping path all poll).
+    std::thread reader([fd, ctx] {
+      try {
+        for (;;) {
+          auto [t, p] = recv_frame(fd);
+          if (t == kCancel) {
+            ctx->token.cancel();
+            return;
+          }
+          // Ignore anything else the client sends mid-query.
+        }
+      } catch (const Error&) {
+        // EOF or socket error: the client is gone.
+        ctx->token.cancel();
+      }
+    });
+    bool reader_joined = false;
+    // Joined only after the query's outcome is recorded, so a disconnect
+    // observed by the reader can never misclassify a finished query.
+    auto join_reader = [&]() noexcept {
+      if (reader_joined) return;
+      reader_joined = true;
+      ::shutdown(fd, SHUT_RD);  // unblocks the reader's recv
+      reader.join();
+    };
+
+    if (!scheduler_.wait_admitted(ctx)) {
+      // Left the queue without running: client cancel, expired deadline,
+      // or server drain.  The scheduler already recorded the outcome.
+      join_reader();
+      Payload err;
+      err.put_string(ctx->token.cancel_requested() ? "query cancelled"
+                                                   : "query deadline exceeded");
+      send_frame(fd, kError, err);
+      return;
+    }
+
+    bool finished = false;
+    auto finish = [&](sched::Outcome o) {
+      if (finished) return;
+      finished = true;
+      scheduler_.finish(ctx, o);
+    };
     try {
-      r = cluster.execute(sql, part, filter_);
+      Payload admitted;
+      admitted.put<uint64_t>(ctx->id);
+      admitted.put<double>(ctx->queue_wait_seconds);
+      send_frame(fd, kAdmitted, admitted);
+
+      // Bind first: the schema frame goes out before execution so the
+      // client can stream row batches straight into typed tables.
+      expr::BoundQuery q = cluster_.query_service().submit(sql);
+      {
+        Payload schema;
+        std::vector<expr::Table::Column> cols = q.result_columns();
+        schema.put<uint16_t>(static_cast<uint16_t>(cols.size()));
+        for (const auto& c : cols) {
+          schema.put<uint8_t>(static_cast<uint8_t>(c.type));
+          schema.put<uint16_t>(static_cast<uint16_t>(c.name.size()));
+          schema.put_bytes(c.name.data(), c.name.size());
+        }
+        send_frame(fd, kSchema, schema);
+      }
+
+      // Stream: the data mover's network leg.  Batches go out as nodes
+      // produce them; a send failure (client gone) makes execute_streaming
+      // cancel the query and rethrow after its workers joined.
+      QueryResult r = cluster_.execute_streaming(
+          q,
+          [&](const RowBatch& b) {
+            if (b.num_rows() == 0) return;
+            Payload batch;
+            batch.put<uint16_t>(static_cast<uint16_t>(b.consumer));
+            batch.put<uint32_t>(static_cast<uint32_t>(b.num_rows()));
+            batch.put<uint16_t>(static_cast<uint16_t>(b.num_cols));
+            batch.put_bytes(b.data.data(), b.data.size() * sizeof(double));
+            send_frame(fd, kRowBatch, batch);
+          },
+          part, filter_, nullptr, &ctx->token);
+
+      std::string node_error = r.first_error();
+      if (!node_error.empty()) {
+        finish(classify_failure(ctx->token));
+        join_reader();
+        Payload err;
+        err.put_string(node_error);
+        send_frame(fd, kError, err);
+        return;
+      }
+
+      // Record the outcome (and the query's run time) before joining the
+      // reader and before shipping stats that include it.
+      finish(sched::Outcome::kCompleted);
+      join_reader();
+      queries_served_.fetch_add(1);
+
+      {
+        sched::SchedulerMetrics m = scheduler_.metrics();
+        Payload stats;
+        stats.put<uint32_t>(static_cast<uint32_t>(r.node_stats.size()));
+        for (const auto& ns : r.node_stats) {
+          stats.put<int32_t>(ns.node_id);
+          stats.put<uint64_t>(ns.afcs);
+          stats.put<uint64_t>(ns.bytes_read);
+          stats.put<uint64_t>(ns.rows_matched);
+          stats.put<double>(ns.busy_seconds);
+        }
+        stats.put<uint64_t>(ctx->id);
+        stats.put<double>(ctx->queue_wait_seconds);
+        stats.put<double>(ctx->run_seconds);
+        stats.put<uint64_t>(m.submitted);
+        stats.put<uint64_t>(m.admitted);
+        stats.put<uint64_t>(m.rejected);
+        stats.put<uint64_t>(m.completed);
+        stats.put<uint64_t>(m.failed);
+        stats.put<uint64_t>(m.cancelled);
+        stats.put<uint64_t>(m.deadline_exceeded);
+        stats.put<uint64_t>(m.queue_depth);
+        stats.put<uint64_t>(m.running);
+        stats.put<uint64_t>(m.peak_running);
+        stats.put<uint64_t>(m.peak_queue_depth);
+        send_frame(fd, kStats, stats);
+      }
+      send_frame(fd, kEnd, Payload());
     } catch (const Error& e) {
+      finish(classify_failure(ctx->token));
+      join_reader();
       Payload err;
       err.put_string(e.what());
-      send_frame(sock.fd, kError, err);
-      return;
-    }
-    if (!r.first_error().empty()) {
-      Payload err;
-      err.put_string(r.first_error());
-      send_frame(sock.fd, kError, err);
-      return;
-    }
-    queries_served_.fetch_add(1);
-
-    // Schema.
-    {
-      Payload schema;
-      const auto& cols = r.partitions[0].columns();
-      schema.put<uint16_t>(static_cast<uint16_t>(cols.size()));
-      for (const auto& c : cols) {
-        schema.put<uint8_t>(static_cast<uint8_t>(c.type));
-        schema.put<uint16_t>(static_cast<uint16_t>(c.name.size()));
-        schema.put_bytes(c.name.data(), c.name.size());
-      }
-      send_frame(sock.fd, kSchema, schema);
-    }
-    // Row batches (re-batched per partition; the data mover's network leg).
-    constexpr std::size_t kRowsPerFrame = 2048;
-    for (std::size_t c = 0; c < r.partitions.size(); ++c) {
-      const expr::Table& t = r.partitions[c];
-      std::size_t ncols = t.num_cols();
-      for (std::size_t begin = 0; begin < t.num_rows();
-           begin += kRowsPerFrame) {
-        std::size_t n = std::min(kRowsPerFrame, t.num_rows() - begin);
-        Payload batch;
-        batch.put<uint16_t>(static_cast<uint16_t>(c));
-        batch.put<uint32_t>(static_cast<uint32_t>(n));
-        batch.put<uint16_t>(static_cast<uint16_t>(ncols));
-        for (std::size_t i = 0; i < n; ++i)
-          for (std::size_t col = 0; col < ncols; ++col)
-            batch.put<double>(t.at(begin + i, col));
-        send_frame(sock.fd, kRowBatch, batch);
+      try {
+        send_frame(fd, kError, err);
+      } catch (const Error&) {
+        // The connection is already gone.
       }
     }
-    // Per-node stats.
-    {
-      Payload stats;
-      stats.put<uint32_t>(static_cast<uint32_t>(r.node_stats.size()));
-      for (const auto& ns : r.node_stats) {
-        stats.put<int32_t>(ns.node_id);
-        stats.put<uint64_t>(ns.afcs);
-        stats.put<uint64_t>(ns.bytes_read);
-        stats.put<uint64_t>(ns.rows_matched);
-        stats.put<double>(ns.busy_seconds);
-      }
-      send_frame(sock.fd, kStats, stats);
-    }
-    send_frame(sock.fd, kEnd, Payload());
   } catch (const Error&) {
-    // Connection-level failure: nothing more we can do; the client sees a
-    // closed socket.
+    // Connection-level failure outside a query's lifecycle: nothing more
+    // we can do; the client sees a closed socket.
   }
 }
 
@@ -290,17 +505,22 @@ expr::Table RemoteResult::merged() const {
 }
 
 RemoteResult QueryClient::execute(const std::string& sql,
-                                  const PartitionSpec& partition) const {
+                                  const PartitionSpec& partition,
+                                  const QueryOptions& opts) const {
   int raw = ::socket(AF_INET, SOCK_STREAM, 0);
   if (raw < 0) throw IoError("cannot create client socket");
   Socket sock(raw);
+  set_nodelay(sock.fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port_));
   if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
     throw IoError("bad host address '" + host_ + "'");
-  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0)
+  int rc;
+  do {
+    rc = ::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0)
     throw IoError("cannot connect to " + host_ + ":" + std::to_string(port_) +
                   ": " + std::strerror(errno));
 
@@ -311,13 +531,37 @@ RemoteResult QueryClient::execute(const std::string& sql,
   q.put<double>(partition.range_lo);
   q.put<double>(partition.range_hi);
   q.put_string(sql);
+  // v2 tail (a v1 server's positional parse simply ignores it).
+  q.put<double>(opts.deadline_seconds);
+  q.put<uint8_t>(opts.priority);
   send_frame(sock.fd, kQuery, q);
 
   RemoteResult result;
   std::vector<expr::Table::Column> cols;
+  std::vector<double> rowbuf;
+  bool cancel_sent = false;
   for (;;) {
-    auto [type, payload] = recv_frame(sock.fd);
+    auto [type, payload] =
+        recv_frame_cancellable(sock.fd, opts.cancel, cancel_sent);
     switch (type) {
+      case kQueued: {
+        uint64_t id = payload.get<uint64_t>();
+        uint32_t position = payload.get<uint32_t>();
+        uint32_t depth = payload.get<uint32_t>();
+        if (opts.on_queued) opts.on_queued(id, position, depth);
+        break;
+      }
+      case kAdmitted: {
+        uint64_t id = payload.get<uint64_t>();
+        double wait = payload.get<double>();
+        if (opts.on_admitted) opts.on_admitted(id, wait);
+        break;
+      }
+      case kRejected: {
+        double retry_after = payload.get<double>();
+        std::string msg = payload.get_string();
+        throw QueueFullError("server: " + msg, retry_after);
+      }
       case kSchema: {
         uint16_t n = payload.get<uint16_t>();
         cols.clear();
@@ -340,11 +584,14 @@ RemoteResult QueryClient::execute(const std::string& sql,
         uint16_t ncols = payload.get<uint16_t>();
         if (consumer >= result.partitions.size())
           throw IoError("row batch for unknown consumer");
-        std::vector<double> row(ncols);
-        for (uint32_t r = 0; r < nrows; ++r) {
-          for (uint16_t c = 0; c < ncols; ++c) row[c] = payload.get<double>();
-          result.partitions[consumer].append_row(row.data());
-        }
+        std::size_t nvals = static_cast<std::size_t>(nrows) * ncols;
+        rowbuf.resize(nvals);
+        std::memcpy(rowbuf.data(), payload.raw(nvals * sizeof(double)),
+                    nvals * sizeof(double));
+        for (uint32_t r = 0; r < nrows; ++r)
+          result.partitions[consumer].append_row(rowbuf.data() +
+                                                 static_cast<std::size_t>(r) *
+                                                     ncols);
         break;
       }
       case kStats: {
@@ -358,12 +605,34 @@ RemoteResult QueryClient::execute(const std::string& sql,
           ns.busy_seconds = payload.get<double>();
           result.node_stats.push_back(ns);
         }
+        if (payload.remaining() >= kSchedTailBytes) {
+          SchedInfo& s = result.sched;
+          s.valid = true;
+          s.query_id = payload.get<uint64_t>();
+          s.queue_wait_seconds = payload.get<double>();
+          s.run_seconds = payload.get<double>();
+          s.submitted = payload.get<uint64_t>();
+          s.admitted = payload.get<uint64_t>();
+          s.rejected = payload.get<uint64_t>();
+          s.completed = payload.get<uint64_t>();
+          s.failed = payload.get<uint64_t>();
+          s.cancelled = payload.get<uint64_t>();
+          s.deadline_exceeded = payload.get<uint64_t>();
+          s.queue_depth = payload.get<uint64_t>();
+          s.running = payload.get<uint64_t>();
+          s.peak_running = payload.get<uint64_t>();
+          s.peak_queue_depth = payload.get<uint64_t>();
+        }
         break;
       }
       case kEnd:
         return result;
-      case kError:
-        throw QueryError("server: " + payload.get_string());
+      case kError: {
+        std::string msg = payload.get_string();
+        if (opts.cancel && opts.cancel->cancelled())
+          throw CancelledError("server: " + msg);
+        throw QueryError("server: " + msg);
+      }
       default:
         throw IoError("unexpected frame type from server");
     }

@@ -5,12 +5,21 @@
 // QueryServer serves one dataset over TCP (loopback or LAN); QueryClient
 // connects, submits a query, and receives partitioned row batches.
 //
-// Wire protocol (little-endian):
+// Every connection passes through the sched::QueryScheduler admission
+// controller before touching the shared StormCluster: at most
+// `max_concurrent_queries` execute at once, up to `max_queue_depth` more
+// wait in a priority/FIFO queue, and anything beyond that is rejected
+// with a retry-after hint.  Results stream back batch-by-batch as nodes
+// produce them, and a per-connection control reader lets the client
+// cancel a running (or queued) query mid-stream — see docs/SERVING.md.
+//
+// Wire protocol v2 (little-endian):
 //   frame  := u32 payload_length, u8 type, payload
 //   types:
 //     0x01 kQuery     payload = u16 num_consumers, u8 policy,
 //                               i32 select_index, f64 range_lo, f64 range_hi,
-//                               u32 sql_length, sql bytes
+//                               u32 sql_length, sql bytes,
+//                               [v2 tail: f64 deadline_seconds, u8 priority]
 //     0x02 kSchema    payload = u16 ncols, then per column:
 //                               u8 type, u16 name_length, name bytes
 //     0x03 kRowBatch  payload = u16 consumer, u32 nrows, u16 ncols,
@@ -18,28 +27,49 @@
 //     0x04 kStats     payload = u32 nnodes, per node: i32 node, u64 afcs,
 //                               u64 bytes_read, u64 rows_matched,
 //                               f64 busy_seconds
+//                               [v2 tail: u64 query_id, f64 queue_wait_s,
+//                                f64 run_s, u64 submitted, u64 admitted,
+//                                u64 rejected, u64 completed, u64 failed,
+//                                u64 cancelled, u64 deadline_exceeded,
+//                                u64 queue_depth, u64 running,
+//                                u64 peak_running, u64 peak_queue_depth]
 //     0x05 kEnd       payload = empty
 //     0x06 kError     payload = u32 length, message bytes
+//     0x07 kCancel    client -> server: abandon the in-flight query
+//     0x08 kQueued    payload = u64 query_id, u32 position, u32 depth
+//     0x09 kAdmitted  payload = u64 query_id, f64 queue_wait_seconds
+//     0x0A kRejected  payload = f64 retry_after_seconds,
+//                               u32 length, message bytes
+//
+// v1 interop: the kQuery tail and the kStats tail are optional — a v1
+// peer simply never sends or reads them (payload parsing is positional,
+// trailing bytes are ignored).
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <list>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+#include "sched/scheduler.h"
 #include "storm/cluster.h"
 
 namespace adv::storm {
 
 // Serves one dataset on a TCP port.  Each connection is handled on its own
-// thread; queries on different connections execute concurrently.
+// thread; queries on different connections pass through one shared
+// admission scheduler and execute on one shared StormCluster.
 class QueryServer {
  public:
   // Binds to 127.0.0.1:`port` (0 = ephemeral).  Throws IoError on failure.
   QueryServer(std::shared_ptr<codegen::DataServicePlan> plan,
               ClusterOptions opts = {}, int port = 0,
-              const afc::ChunkFilter* filter = nullptr);
+              const afc::ChunkFilter* filter = nullptr,
+              sched::SchedulerOptions sched_opts = {});
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -48,30 +78,76 @@ class QueryServer {
   // The bound port.
   int port() const { return port_; }
   uint64_t queries_served() const { return queries_served_.load(); }
+  sched::SchedulerMetrics scheduler_metrics() const {
+    return scheduler_.metrics();
+  }
 
-  // Stops accepting and joins all threads (also done by the destructor).
+  // Deterministic graceful drain (also done by the destructor):
+  //   1. stop accepting (listen socket shut down, acceptor joined),
+  //   2. drain the scheduler — queued queries are cancelled, running ones
+  //      finish and stream their results,
+  //   3. shut down every remaining connection socket (unblocks idle
+  //      connections parked in recv) and join all connection threads.
   void shutdown();
 
  private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    // True once a query frame arrived: shutdown() leaves busy connections
+    // alone (the scheduler drain settles their fate and they exit on their
+    // own, with the cancel/error frame delivered intact) and only forces
+    // idle ones — parked in recv awaiting a query — off their sockets.
+    std::atomic<bool> busy{false};
+    std::atomic<bool> done{false};
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Connection* conn);
+  void serve_query(Connection* conn);
+  void reap_finished_locked();
 
   std::shared_ptr<codegen::DataServicePlan> plan_;
-  ClusterOptions opts_;
   const afc::ChunkFilter* filter_;
+  StormCluster cluster_;
+  sched::QueryScheduler scheduler_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> queries_served_{0};
   std::thread acceptor_;
   std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  // std::list: node addresses stay valid while threads run, so shutdown
+  // can collect Connection* under the lock and join outside it.
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+// Scheduler-side view of one served query plus a snapshot of the server's
+// aggregate scheduler metrics, parsed from the kStats v2 tail.  `valid` is
+// false when the server spoke protocol v1.
+struct SchedInfo {
+  bool valid = false;
+  uint64_t query_id = 0;
+  double queue_wait_seconds = 0;
+  double run_seconds = 0;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t queue_depth = 0;
+  uint64_t running = 0;
+  uint64_t peak_running = 0;
+  uint64_t peak_queue_depth = 0;
 };
 
 // Result of a remote query.
 struct RemoteResult {
   std::vector<expr::Table> partitions;
   std::vector<NodeStats> node_stats;
+  SchedInfo sched;
 
   uint64_t total_rows() const {
     uint64_t n = 0;
@@ -81,6 +157,35 @@ struct RemoteResult {
   expr::Table merged() const;
 };
 
+// The server's admission queue was full (or it is draining).  Carries the
+// server's retry-after hint.
+class QueueFullError : public QueryError {
+ public:
+  QueueFullError(const std::string& msg, double retry_after)
+      : QueryError(msg), retry_after_seconds(retry_after) {}
+
+  double retry_after_seconds = 0;
+};
+
+// Per-query client-side options.
+struct QueryOptions {
+  // Server-enforced deadline; <= 0 uses the server's default (if any).
+  double deadline_seconds = 0;
+  // 0 = low, 1 = normal, 2 = high (clamped server-side).
+  uint8_t priority = 1;
+  // Client-side cancellation: when this token fires while the query is in
+  // flight, the client sends one kCancel frame and keeps reading until the
+  // server terminates the stream; execute() then throws CancelledError.
+  CancelToken* cancel = nullptr;
+  // Progress hooks, invoked on the calling thread as the server reports
+  // queue state (may never fire when the query is admitted immediately).
+  std::function<void(uint64_t query_id, std::size_t position,
+                     std::size_t depth)>
+      on_queued;
+  std::function<void(uint64_t query_id, double queue_wait_seconds)>
+      on_admitted;
+};
+
 // Blocking client.  One query per call; the connection is opened and closed
 // per query (the paper's clients are batch analysis programs).
 class QueryClient {
@@ -88,10 +193,12 @@ class QueryClient {
   QueryClient(std::string host, int port)
       : host_(std::move(host)), port_(port) {}
 
-  // Throws QueryError with the server's message on query failure, IoError
-  // on connection problems.
+  // Throws QueryError with the server's message on query failure,
+  // QueueFullError when admission rejected it, CancelledError when
+  // `opts.cancel` fired, IoError on connection problems.
   RemoteResult execute(const std::string& sql,
-                       const PartitionSpec& partition = {}) const;
+                       const PartitionSpec& partition = {},
+                       const QueryOptions& opts = {}) const;
 
  private:
   std::string host_;

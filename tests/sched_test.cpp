@@ -1,0 +1,384 @@
+// Tests for the query admission scheduler and the cooperative-cancellation
+// plumbing underneath it: admission/queueing/rejection decisions, priority
+// and FIFO ordering, cancel and deadline handling for queued and running
+// queries, drain, and the CancelToken checks inside the thread pool, the
+// extraction path, and the cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "api/virtual_table.h"
+#include "common/tempdir.h"
+#include "common/thread_pool.h"
+#include "dataset/ipars.h"
+#include "sched/scheduler.h"
+#include "storm/cluster.h"
+
+namespace adv::sched {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(QuerySchedulerTest, AdmitsUpToLimitImmediately) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 4;
+  QueryScheduler s(opts);
+  std::vector<std::shared_ptr<QueryContext>> running;
+  for (int i = 0; i < 4; ++i) {
+    auto adm = s.submit();
+    ASSERT_TRUE(adm.ctx);
+    EXPECT_FALSE(adm.queued);
+    EXPECT_TRUE(s.wait_admitted(adm.ctx));
+    running.push_back(adm.ctx);
+  }
+  SchedulerMetrics m = s.metrics();
+  EXPECT_EQ(m.running, 4u);
+  EXPECT_EQ(m.admitted, 4u);
+  EXPECT_EQ(m.queue_depth, 0u);
+  for (auto& ctx : running) s.finish(ctx, Outcome::kCompleted);
+  m = s.metrics();
+  EXPECT_EQ(m.running, 0u);
+  EXPECT_EQ(m.completed, 4u);
+  EXPECT_EQ(m.peak_running, 4u);
+  EXPECT_GT(m.run_time.count, 0u);
+}
+
+TEST(QuerySchedulerTest, UnlimitedWhenZero) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 0;
+  QueryScheduler s(opts);
+  for (int i = 0; i < 32; ++i) {
+    auto adm = s.submit();
+    ASSERT_TRUE(adm.ctx);
+    EXPECT_FALSE(adm.queued);
+  }
+  EXPECT_EQ(s.metrics().running, 32u);
+}
+
+TEST(QuerySchedulerTest, QueuesBeyondLimitFifo) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  QueryScheduler s(opts);
+  auto a = s.submit();
+  auto b = s.submit();
+  auto c = s.submit();
+  ASSERT_FALSE(a.queued);
+  ASSERT_TRUE(b.queued);
+  ASSERT_TRUE(c.queued);
+  EXPECT_EQ(b.queue_position, 0u);
+  EXPECT_EQ(c.queue_position, 1u);
+  EXPECT_EQ(s.metrics().queue_depth, 2u);
+
+  s.finish(a.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(b.ctx));   // b runs before c
+  EXPECT_EQ(s.metrics().queue_depth, 1u);
+  s.finish(b.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(c.ctx));
+  s.finish(c.ctx, Outcome::kCompleted);
+  EXPECT_GE(b.ctx->queue_wait_seconds, 0.0);
+  EXPECT_EQ(s.metrics().queue_wait.count, 3u);
+}
+
+TEST(QuerySchedulerTest, HigherPriorityOvertakesQueue) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  QueryScheduler s(opts);
+  auto running = s.submit(/*priority=*/1);
+  auto low = s.submit(/*priority=*/0);
+  auto normal = s.submit(/*priority=*/1);
+  auto high = s.submit(/*priority=*/2);
+  ASSERT_TRUE(low.queued);
+  ASSERT_TRUE(normal.queued);
+  ASSERT_TRUE(high.queued);
+  // A high-priority submission reports the whole lower-priority backlog
+  // behind it, not ahead of it.
+  EXPECT_EQ(high.queue_position, 0u);
+
+  s.finish(running.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(high.ctx));
+  s.finish(high.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(normal.ctx));
+  s.finish(normal.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(low.ctx));
+  s.finish(low.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, RejectsWhenQueueFull) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.max_queue_depth = 2;
+  QueryScheduler s(opts);
+  auto a = s.submit();
+  s.submit();
+  s.submit();
+  auto rejected = s.submit();
+  EXPECT_FALSE(rejected.ctx);
+  EXPECT_GT(rejected.retry_after_seconds, 0.0);
+  EXPECT_NE(rejected.reject_reason.find("full"), std::string::npos);
+  SchedulerMetrics m = s.metrics();
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.submitted, 4u);
+  EXPECT_EQ(m.peak_queue_depth, 2u);
+  s.finish(a.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, CancelWhileQueued) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  QueryScheduler s(opts);
+  auto a = s.submit();
+  auto b = s.submit();
+  auto c = s.submit();
+  b.ctx->token.cancel();
+  EXPECT_FALSE(s.wait_admitted(b.ctx));
+  EXPECT_EQ(s.metrics().cancelled, 1u);
+  // The cancelled entry freed its queue slot; c still runs after a.
+  s.finish(a.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(c.ctx));
+  s.finish(c.ctx, Outcome::kCompleted);
+  EXPECT_EQ(s.metrics().completed, 2u);
+}
+
+TEST(QuerySchedulerTest, DeadlineWhileQueued) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  QueryScheduler s(opts);
+  auto a = s.submit();
+  auto b = s.submit(/*priority=*/1, /*deadline_seconds=*/0.005);
+  ASSERT_TRUE(b.queued);
+  // Nobody frees a slot; the deadline must expel b from the queue.
+  EXPECT_FALSE(s.wait_admitted(b.ctx));
+  EXPECT_EQ(s.metrics().deadline_exceeded, 1u);
+  s.finish(a.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, DefaultDeadlineApplies) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.default_deadline_seconds = 0.005;
+  QueryScheduler s(opts);
+  auto a = s.submit();
+  EXPECT_TRUE(a.ctx->token.has_deadline());
+  auto b = s.submit();
+  EXPECT_FALSE(s.wait_admitted(b.ctx));  // default deadline fires in queue
+  s.finish(a.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, DrainCancelsQueuedAndWaitsForRunning) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  QueryScheduler s(opts);
+  auto a = s.submit();
+  auto b = s.submit();
+  ASSERT_TRUE(b.queued);
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    s.drain();
+    drained.store(true);
+  });
+  // Drain blocks on the running query...
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(drained.load());
+  // ...while the queued one is already expelled.
+  EXPECT_FALSE(s.wait_admitted(b.ctx));
+  s.finish(a.ctx, Outcome::kCompleted);
+  drainer.join();
+  EXPECT_TRUE(drained.load());
+  // Post-drain submissions are rejected.
+  auto late = s.submit();
+  EXPECT_FALSE(late.ctx);
+  EXPECT_NE(late.reject_reason.find("drain"), std::string::npos);
+}
+
+TEST(QuerySchedulerTest, ConcurrencyBoundHoldsUnderThreads) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 4;
+  opts.max_queue_depth = 64;
+  QueryScheduler s(opts);
+  std::atomic<int> gauge{0}, peak{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 16; ++i) {
+    workers.emplace_back([&] {
+      auto adm = s.submit();
+      ASSERT_TRUE(adm.ctx);
+      ASSERT_TRUE(s.wait_admitted(adm.ctx));
+      int now = gauge.fetch_add(1) + 1;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(2ms);
+      gauge.fetch_sub(1);
+      s.finish(adm.ctx, Outcome::kCompleted);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(peak.load(), 4);
+  SchedulerMetrics m = s.metrics();
+  EXPECT_EQ(m.completed, 16u);
+  EXPECT_LE(m.peak_running, 4u);
+  EXPECT_EQ(m.running, 0u);
+  EXPECT_EQ(m.queue_depth, 0u);
+}
+
+TEST(LatencyHistogramTest, BucketsByLog2Milliseconds) {
+  LatencyHistogram h;
+  h.add(0.0001);  // < 1 ms -> bucket 0
+  h.add(0.003);   // ~3 ms
+  h.add(1.0);     // 1 s
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_GT(h.buckets[0], 0u);
+  EXPECT_NEAR(h.mean_seconds(), (0.0001 + 0.003 + 1.0) / 3, 1e-9);
+  uint64_t total = 0;
+  for (uint64_t b : h.buckets) total += b;
+  EXPECT_EQ(total, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation plumbing below the scheduler.
+
+TEST(CancelTokenTest, FiresOnCancelAndDeadline) {
+  CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_NO_THROW(t.check());
+  t.set_deadline_after(0.002);
+  EXPECT_TRUE(t.has_deadline());
+  std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(t.deadline_exceeded());
+  EXPECT_THROW(t.check(), CancelledError);
+  CancelToken c;
+  c.cancel();
+  EXPECT_TRUE(c.cancel_requested());
+  EXPECT_THROW(c.check(), CancelledError);
+}
+
+TEST(ThreadPoolCancelTest, ParallelForStopsOnCancel) {
+  ThreadPool pool(2);
+  CancelToken token;
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(
+          10000,
+          [&](std::size_t) {
+            if (ran.fetch_add(1) == 5) token.cancel();
+            std::this_thread::sleep_for(std::chrono::microseconds(10));
+          },
+          &token),
+      CancelledError);
+  // The fired token stopped the sweep long before 10000 iterations.
+  EXPECT_LT(ran.load(), 9000u);
+}
+
+struct ClusterFixture {
+  TempDir tmp{"sched"};
+  dataset::IparsConfig cfg;
+  dataset::GeneratedIpars gen;
+  std::shared_ptr<codegen::DataServicePlan> plan;
+
+  static dataset::IparsConfig make_cfg() {
+    dataset::IparsConfig c;
+    c.nodes = 2;
+    c.rels = 2;
+    c.timesteps = 8;
+    c.grid_per_node = 16;
+    c.pad_vars = 0;
+    return c;
+  }
+
+  ClusterFixture()
+      : cfg(make_cfg()),
+        gen(dataset::generate_ipars(cfg, dataset::IparsLayout::kV,
+                                    tmp.str())),
+        plan(std::make_shared<codegen::DataServicePlan>(
+            meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
+            gen.root)) {}
+};
+
+TEST(ClusterCancelTest, PreCancelledTokenAbortsAllNodes) {
+  ClusterFixture f;
+  storm::StormCluster cluster(f.plan);
+  CancelToken token;
+  token.cancel();
+  storm::QueryResult r =
+      cluster.execute("SELECT * FROM IparsData", {}, nullptr, &token);
+  ASSERT_EQ(r.node_stats.size(), 2u);
+  for (const auto& ns : r.node_stats)
+    EXPECT_NE(ns.error.find("cancelled"), std::string::npos) << ns.error;
+  EXPECT_EQ(r.total_rows(), 0u);
+}
+
+TEST(ClusterCancelTest, ExpiredDeadlineAbortsWithDeadlineMessage) {
+  ClusterFixture f;
+  storm::StormCluster cluster(f.plan);
+  CancelToken token;
+  token.set_deadline(CancelToken::Clock::now());  // already expired
+  storm::QueryResult r =
+      cluster.execute("SELECT * FROM IparsData", {}, nullptr, &token);
+  for (const auto& ns : r.node_stats)
+    EXPECT_NE(ns.error.find("deadline"), std::string::npos) << ns.error;
+}
+
+TEST(ClusterCancelTest, UntouchedTokenDoesNotPerturbResults) {
+  ClusterFixture f;
+  storm::StormCluster cluster(f.plan);
+  const char* sql = "SELECT * FROM IparsData WHERE SOIL > 0.25";
+  storm::QueryResult base = cluster.execute(sql);
+  CancelToken token;
+  storm::QueryResult with = cluster.execute(sql, {}, nullptr, &token);
+  EXPECT_EQ(base.first_error(), "");
+  EXPECT_EQ(with.first_error(), "");
+  EXPECT_TRUE(with.merged().same_rows(base.merged()));
+}
+
+TEST(ClusterCancelTest, CancelOneQueryLeavesConcurrentOnesIntact) {
+  ClusterFixture f;
+  storm::StormCluster cluster(f.plan);
+  const char* sql = "SELECT * FROM IparsData WHERE SOIL > 0.25";
+  storm::QueryResult base = cluster.execute(sql);
+
+  CancelToken doomed;
+  doomed.cancel();
+  std::atomic<bool> ok{true};
+  std::thread victim([&] {
+    storm::QueryResult r = cluster.execute(sql, {}, nullptr, &doomed);
+    if (r.first_error().find("cancelled") == std::string::npos)
+      ok.store(false);
+  });
+  storm::QueryResult healthy = cluster.execute(sql);
+  victim.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(healthy.first_error(), "");
+  EXPECT_TRUE(healthy.merged().same_rows(base.merged()));
+}
+
+TEST(ClusterCancelTest, VirtualTableSurfacesCancellation) {
+  ClusterFixture f;
+  VirtualTable vt = VirtualTable::open(f.gen.descriptor_text,
+                                       f.gen.dataset_name, f.gen.root);
+  CancelToken token;
+  token.cancel();
+  try {
+    vt.query("SELECT * FROM IparsData", &token);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+  // Plan-cache fast path (second run replays cached node plans) honors the
+  // token too.
+  expr::Table warm = vt.query("SELECT * FROM IparsData WHERE SOIL > 0.25");
+  CancelToken token2;
+  token2.cancel();
+  EXPECT_THROW(
+      vt.query("SELECT * FROM IparsData WHERE SOIL > 0.25", &token2),
+      IoError);
+  // And an untouched table still answers.
+  EXPECT_GT(vt.query("SELECT * FROM IparsData WHERE SOIL > 0.25").num_rows(),
+            0u);
+  EXPECT_GT(warm.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace adv::sched
