@@ -2,17 +2,21 @@
 # Tier-1 verify plus race check for the intra-node parallel pipeline and
 # the admission scheduler / query server.
 #
-#   1. default build + full ctest suite
-#   2. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
+#   1. default build + full ctest suite (all tiers: fast, slow, fuzz, fault)
+#   2. bounded fuzz + fault smoke with FIXED seeds (deterministic, a few
+#      seconds): the differential harness and the property suites invoked
+#      directly so the ADV_FUZZ_* overrides apply (see docs/TESTING.md)
+#   3. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
 #      sensitive test binaries — parallel pipeline, scheduler, networked
-#      server — run with halt_on_error so any data race fails the script
-#   3. bench_check.sh — scan/pruning/plan-cache/served-query throughput vs
+#      server, and the dq differential/fault harness — run with
+#      halt_on_error so any data race fails the script
+#   4. bench_check.sh — scan/pruning/plan-cache/served-query throughput vs
 #      the committed BENCH_micro.json (>20% rows_per_sec or
 #      queries_per_sec regression, or any identical_to_baseline=false,
-#      fails)
+#      fails; skips cleanly when no baseline is committed)
 #
-# Set VERIFY_SKIP_TSAN=1 to run only steps 1 and 3 (e.g. on hosts without
-# tsan); VERIFY_SKIP_BENCH=1 skips the perf gate.
+# Set VERIFY_SKIP_TSAN=1 to skip step 3 (e.g. on hosts without tsan);
+# VERIFY_SKIP_BENCH=1 skips the perf gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,11 +26,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
+# Bounded fuzz + fault smoke, fixed seeds so a failure here is always
+# reproducible with the printed replay command.
+ADV_FUZZ_SEED=97 ./build/tests/property_test >/dev/null
+ADV_FUZZ_SEED=97 ./build/tests/interval_fuzz_test >/dev/null
+./build/tools/adv_fuzz --seed 101 --seeds 3 >/dev/null
+./build/tools/adv_fuzz --seed 101 --campaign io >/dev/null
+./build/tools/adv_fuzz --seed 101 --campaign net --server >/dev/null
+./build/tools/adv_fuzz --seed 101 --campaign node --partial >/dev/null
+echo "fuzz/fault smoke OK"
+
 if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target storm_test storm_concurrency_test sched_test sched_stress_test \
-             net_test
+             net_test dq_diff_test dq_fault_test
   # Exercise the parallel worker path even on single-core hosts.
   export ADV_THREADS_PER_NODE=4
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_test
@@ -34,6 +48,10 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_stress_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/net_test
+  # Bounded corpora under tsan: the full wall clock stays in seconds.
+  ADV_FUZZ_ITERS=6 TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/dq/dq_diff_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/dq/dq_fault_test
 fi
 
 if [[ "${VERIFY_SKIP_BENCH:-0}" != "1" ]]; then

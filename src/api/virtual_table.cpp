@@ -67,6 +67,7 @@ VirtualTable VirtualTable::open(const std::string& descriptor_text,
   if (options.plan_cache_capacity > 0)
     vt.plan_cache_ =
         std::make_shared<PlanCache>(options.plan_cache_capacity);
+  vt.partial_results_ = options.partial_results;
   return vt;
 }
 
@@ -113,8 +114,25 @@ storm::QueryResult VirtualTable::query_detailed(
     r = cluster_->execute(sql, partition, chunk_filter(), cancel);
   }
   std::string err = r.first_error();
-  if (!err.empty()) throw IoError("query failed on a node: " + err);
-  return r;
+  if (err.empty()) return r;
+
+  ErrorKind kind = r.first_error_kind();
+  // Partial-results mode: as long as one node answered and the query was
+  // not cancelled, hand back what survived; the per-node errors stay in
+  // the result for the caller to inspect.
+  if (partial_results_ && kind != ErrorKind::kCancelled &&
+      r.failed_nodes().size() < r.node_stats.size())
+    return r;
+
+  const std::string msg = "query failed on a node: " + err;
+  switch (kind) {
+    case ErrorKind::kCancelled: throw CancelledError(msg);
+    case ErrorKind::kParse: throw ParseError(msg, 0, 0);
+    case ErrorKind::kValidation: throw ValidationError(msg);
+    case ErrorKind::kQuery: throw QueryError(msg);
+    case ErrorKind::kInternal: throw InternalError(msg);
+    default: throw IoError(msg);
+  }
 }
 
 }  // namespace adv

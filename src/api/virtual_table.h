@@ -48,6 +48,12 @@ class VirtualTable {
     // Verify file presence/sizes at open time; throws IoError listing the
     // first problem when the check fails.
     bool verify = false;
+    // Graceful degradation: when some (but not all) nodes fail, return the
+    // surviving nodes' rows instead of throwing.  The failures stay visible
+    // in the result (NodeStats::error / error_kind, failed_nodes()), so
+    // callers opting in can tell a complete answer from a partial one.
+    // Cancellation still throws — a cancelled query has no answer to give.
+    bool partial_results = false;
     storm::ClusterOptions cluster;
   };
 
@@ -70,9 +76,14 @@ class VirtualTable {
 
   // Executes a query across the virtual cluster and returns merged rows.
   // `cancel` (optional) is a cooperative cancellation token threaded down
-  // through the AFC planner and extraction workers; when it fires the
-  // query aborts with CancelledError-derived node errors (reported here as
-  // the thrown IoError's message).
+  // through the AFC planner and extraction workers.
+  //
+  // Node failures rethrow typed by the failing node's error kind:
+  // CancelledError for a fired token / expired deadline, QueryError for a
+  // query-shape problem, IoError for everything storage-related.  With
+  // Options::partial_results set, a query where at least one node
+  // succeeded returns the surviving rows instead (inspect
+  // query_detailed()'s result for the casualty list).
   expr::Table query(const std::string& sql,
                     CancelToken* cancel = nullptr) const;
 
@@ -113,6 +124,7 @@ class VirtualTable {
   std::optional<zonemap::ZoneMap> zonemap_;
   std::shared_ptr<PlanCache> plan_cache_;
   uint64_t descriptor_hash_ = 0;
+  bool partial_results_ = false;
 };
 
 }  // namespace adv

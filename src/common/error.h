@@ -77,4 +77,45 @@ inline void check_internal(bool cond, const std::string& what) {
   if (!cond) throw InternalError("internal invariant violated: " + what);
 }
 
+// Coarse classification of an error, for carrying failure categories across
+// layers that cannot keep the exception object alive (per-node stats, wire
+// frames, scheduler outcomes).
+enum class ErrorKind {
+  kNone = 0,   // no error
+  kParse,
+  kValidation,
+  kQuery,
+  kIo,
+  kCancelled,
+  kInternal,
+  kOther,      // not an adv::Error (std::exception from below)
+};
+
+inline const char* error_kind_name(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kValidation: return "validation";
+    case ErrorKind::kQuery: return "query";
+    case ErrorKind::kIo: return "io";
+    case ErrorKind::kCancelled: return "cancelled";
+    case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kOther: return "other";
+  }
+  return "?";
+}
+
+// Maps a caught exception to its kind.  Ordered most-derived-first so a
+// CancelledError is never misreported as a generic Error.
+inline ErrorKind classify_error(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e)) return ErrorKind::kCancelled;
+  if (dynamic_cast<const ParseError*>(&e)) return ErrorKind::kParse;
+  if (dynamic_cast<const ValidationError*>(&e)) return ErrorKind::kValidation;
+  if (dynamic_cast<const QueryError*>(&e)) return ErrorKind::kQuery;
+  if (dynamic_cast<const IoError*>(&e)) return ErrorKind::kIo;
+  if (dynamic_cast<const InternalError*>(&e)) return ErrorKind::kInternal;
+  if (dynamic_cast<const Error*>(&e)) return ErrorKind::kOther;
+  return ErrorKind::kOther;
+}
+
 }  // namespace adv

@@ -12,12 +12,28 @@
 #include <utility>
 
 #include "common/env.h"
+#include "faultz/faultz.h"
 
 namespace adv {
 
 namespace {
 std::string errno_message(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
+}
+
+FileHandle::FileId id_from_stat(const struct stat& st) {
+  FileHandle::FileId id;
+  id.dev = static_cast<uint64_t>(st.st_dev);
+  id.ino = static_cast<uint64_t>(st.st_ino);
+  id.size = static_cast<uint64_t>(st.st_size);
+#ifdef __APPLE__
+  id.mtime_ns = static_cast<int64_t>(st.st_mtimespec.tv_sec) * 1000000000 +
+                st.st_mtimespec.tv_nsec;
+#else
+  id.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                st.st_mtim.tv_nsec;
+#endif
+  return id;
 }
 }  // namespace
 
@@ -27,9 +43,25 @@ IoMode resolve_io_mode(IoMode mode) {
   return v == "pread" ? IoMode::kPread : IoMode::kMmap;
 }
 
+FileHandle::FileId FileHandle::stat_id(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0)
+    throw IoError(errno_message("stat", path));
+  return id_from_stat(st);
+}
+
 FileHandle::FileHandle(const std::string& path) : path_(path) {
   fd_ = ::open(path.c_str(), O_RDONLY);
   if (fd_ < 0) throw IoError(errno_message("cannot open", path));
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw IoError(errno_message("fstat", path));
+  }
+  id_ = id_from_stat(st);
 }
 
 FileHandle::~FileHandle() {
@@ -40,6 +72,7 @@ FileHandle::~FileHandle() {
 FileHandle::FileHandle(FileHandle&& o) noexcept
     : fd_(std::exchange(o.fd_, -1)),
       path_(std::move(o.path_)),
+      id_(std::exchange(o.id_, FileId{})),
       map_(std::exchange(o.map_, nullptr)),
       map_size_(std::exchange(o.map_size_, 0)) {}
 
@@ -49,6 +82,7 @@ FileHandle& FileHandle::operator=(FileHandle&& o) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(o.fd_, -1);
     path_ = std::move(o.path_);
+    id_ = std::exchange(o.id_, FileId{});
     map_ = std::exchange(o.map_, nullptr);
     map_size_ = std::exchange(o.map_size_, 0);
   }
@@ -59,6 +93,9 @@ bool FileHandle::map() {
   if (map_) return true;
   uint64_t n = size();
   if (n == 0) return false;  // mmap(0) is invalid; empty files use pread
+  // An injected mapping refusal must take the same road as a real one:
+  // callers fall back to pread and the query still answers.
+  if (!faultz::inj_mmap_allowed()) return false;
   void* p = ::mmap(nullptr, n, PROT_READ, MAP_SHARED, fd_, 0);
   if (p == MAP_FAILED) return false;
   map_ = static_cast<unsigned char*>(p);
@@ -71,6 +108,13 @@ bool FileHandle::map() {
 
 const unsigned char* FileHandle::mapped_range(std::size_t n,
                                               uint64_t offset) const {
+  // Torn mapping: the file shrank under an established map and the next
+  // dereference would fault.  Injection surfaces it as the same IoError the
+  // bounds check below raises for a genuinely short mapping.
+  if (faultz::enabled()) {
+    faultz::maybe_throw_io(faultz::Site::kMmapTorn,
+                           ("mapped read from '" + path_ + "'").c_str());
+  }
   if (!map_ || offset + n > map_size_) {
     throw IoError("short mapped read from '" + path_ + "': wanted " +
                   std::to_string(n) + " bytes at offset " +
@@ -100,8 +144,8 @@ std::size_t FileHandle::pread_some(void* out, std::size_t n,
   unsigned char* p = static_cast<unsigned char*>(out);
   std::size_t total = 0;
   while (total < n) {
-    ssize_t r = ::pread(fd_, p + total, n - total,
-                        static_cast<off_t>(offset + total));
+    ssize_t r = faultz::inj_pread(fd_, p + total, n - total,
+                                  static_cast<off_t>(offset + total));
     if (r < 0) {
       if (errno == EINTR) continue;
       throw IoError(errno_message("pread", path_));
@@ -122,6 +166,23 @@ std::shared_ptr<const FileHandle> FileCache::open(const std::string& path,
   const bool want_map = resolve_io_mode(mode) == IoMode::kMmap;
   std::lock_guard<std::mutex> lk(mu_);
   auto it = cache_.find(path);
+  if (it != cache_.end()) {
+    // Serve the cached handle only while the on-disk file is still the one
+    // it was opened against.  Comparing dev/inode/size *and* nanosecond
+    // mtime catches in-place rewrites that keep the size and land within
+    // the same second — coarse whole-second mtimes would miss those.  A
+    // failed stat (file deleted) also drops the entry; reopening below then
+    // reports the real error.
+    bool fresh = false;
+    try {
+      fresh = FileHandle::stat_id(path) == it->second->id();
+    } catch (const IoError&) {
+    }
+    if (!fresh) {
+      cache_.erase(it);
+      it = cache_.end();
+    }
+  }
   if (it != cache_.end()) {
     // A handle is never mutated after insertion (mapping it in place would
     // race with lock-free readers); when a mapping is wanted but the cached

@@ -36,6 +36,23 @@ IoMode resolve_io_mode(IoMode mode);
 // Read-only file opened with open(2), optionally memory-mapped.  Move-only.
 class FileHandle {
  public:
+  // Identity + freshness of the file a handle was opened against.  mtime is
+  // kept at nanosecond resolution where the platform records it: a same-size
+  // rewrite within the same wall-clock second still changes mtime_ns, so
+  // FileCache staleness checks catch it (a whole-second mtime would not).
+  struct FileId {
+    uint64_t dev = 0;
+    uint64_t ino = 0;
+    uint64_t size = 0;
+    int64_t mtime_ns = 0;
+
+    bool operator==(const FileId&) const = default;
+  };
+
+  // FileId of the file currently at `path` (stat).  Throws IoError when the
+  // path cannot be stat'ed.
+  static FileId stat_id(const std::string& path);
+
   FileHandle() = default;
   // Opens `path` for reading; throws IoError on failure.
   explicit FileHandle(const std::string& path);
@@ -51,6 +68,10 @@ class FileHandle {
 
   // Size of the file in bytes (fstat).
   uint64_t size() const;
+
+  // Identity captured at open time (fstat on the descriptor), used by
+  // FileCache to detect in-place rewrites.
+  const FileId& id() const { return id_; }
 
   // Maps the whole file read-only with POSIX_MADV_SEQUENTIAL |
   // POSIX_MADV_WILLNEED readahead advice.  Returns true on success; false
@@ -80,6 +101,7 @@ class FileHandle {
  private:
   int fd_ = -1;
   std::string path_;
+  FileId id_{};
   unsigned char* map_ = nullptr;
   uint64_t map_size_ = 0;
 };
@@ -99,7 +121,10 @@ class FileCache {
 
   // Returns the cached handle for `path`, opening (and, when `mode`
   // resolves to kMmap, mapping) it on first use.  A handle opened without
-  // a mapping is upgraded in place when a kMmap request arrives later.
+  // a mapping is upgraded in place when a kMmap request arrives later.  A
+  // cache hit is revalidated against the file's current FileId
+  // (dev/inode/size/nanosecond mtime): a rewritten file — even same-size,
+  // same-second — gets a fresh handle instead of stale cached bytes.
   // Throws IoError when the file cannot be opened.
   std::shared_ptr<const FileHandle> open(const std::string& path,
                                          IoMode mode = IoMode::kAuto);

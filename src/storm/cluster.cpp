@@ -1,6 +1,7 @@
 #include "storm/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "faultz/faultz.h"
 
 namespace adv::storm {
 
@@ -22,7 +24,9 @@ struct WorkerStats {
   codegen::ExtractStats extract;
   uint64_t bytes_sent = 0;
   double transfer_seconds = 0;
+  uint64_t io_retries = 0;
   std::string error;
+  ErrorKind error_kind = ErrorKind::kNone;
 };
 
 // Sink that partitions matched rows into per-consumer pending batches and
@@ -47,8 +51,26 @@ class PartitionSink final : public codegen::RowSink {
     for (int c = 0; c < nconsumers; ++c) reset(c);
   }
 
-  // Scan-position sequence of the next AFC's first row.
-  void begin_afc(uint64_t base_seq) { base_seq_ = base_seq; }
+  // Scan-position sequence of the next AFC's first row.  Also marks the
+  // current pending-batch fill levels so a failed extraction of this AFC
+  // can be rolled back (see rollback_afc).
+  void begin_afc(uint64_t base_seq) {
+    base_seq_ = base_seq;
+    for (std::size_t c = 0; c < pending_.size(); ++c)
+      mark_[c] = pending_[c].data.size();
+    flushed_since_mark_ = false;
+  }
+
+  // Discards rows buffered since the last begin_afc, making an IoError
+  // retry of that AFC safe (re-extraction cannot duplicate rows).  Returns
+  // false when any batch was already shipped since the mark — those rows
+  // are beyond recall, so the caller must NOT retry and must fail instead.
+  bool rollback_afc() {
+    if (flushed_since_mark_) return false;
+    for (std::size_t c = 0; c < pending_.size(); ++c)
+      pending_[c].data.resize(mark_[c]);
+    return true;
+  }
 
   void on_row(const double* vals, uint64_t scan_index) override {
     int dest = partsvc_.destination(vals, base_seq_ + scan_index);
@@ -74,6 +96,7 @@ class PartitionSink final : public codegen::RowSink {
   void flush(int c) {
     RowBatch& b = pending_[static_cast<std::size_t>(c)];
     if (b.data.empty()) return;
+    flushed_since_mark_ = true;
     // The row-shipping poll: a cancelled query must not keep feeding the
     // data-mover channel (whose consumer may be about to stop draining).
     if (cancel_) cancel_->check();
@@ -90,6 +113,8 @@ class PartitionSink final : public codegen::RowSink {
   WorkerStats& ws_;
   const CancelToken* cancel_;
   std::vector<RowBatch> pending_;
+  std::vector<std::size_t> mark_ = std::vector<std::size_t>(pending_.size());
+  bool flushed_since_mark_ = false;
   uint64_t base_seq_ = 0;
 };
 
@@ -107,6 +132,10 @@ void run_node(int node, const codegen::DataServicePlan& plan,
   stats.node_id = node;
   Stopwatch busy;
   try {
+    // Node-death campaign: the whole virtual node dies before planning.
+    // The try below turns it into a typed per-node error; other nodes are
+    // unaffected (that is the graceful-degradation contract under test).
+    faultz::maybe_throw_io(faultz::Site::kNodeRun, "storm node worker died");
     afc::PlanResult planned;
     if (!preplanned) {
       afc::PlannerOptions popts;
@@ -150,14 +179,32 @@ void run_node(int node, const codegen::DataServicePlan& plan,
         for (std::size_t i = lo; i < hi; ++i) {
           if (cancel) cancel->check();
           const afc::Afc& a = pr.afcs[i];
-          sink.begin_afc(base[i]);
-          ws.extract += extractor.extract(
-              pr.groups[static_cast<std::size_t>(a.group)], a,
-              bindings[static_cast<std::size_t>(a.group)], q, sink);
+          // Bounded retry for transient read faults, valid only while no
+          // row of this AFC left the sink: begin_afc marks the pending
+          // batches and rollback_afc restores them, so a retried
+          // extraction re-emits the same rows at the same scan positions.
+          // Once a batch shipped, retrying would duplicate rows — the
+          // error propagates instead.
+          for (std::size_t attempt = 0;; ++attempt) {
+            sink.begin_afc(base[i]);
+            try {
+              ws.extract += extractor.extract(
+                  pr.groups[static_cast<std::size_t>(a.group)], a,
+                  bindings[static_cast<std::size_t>(a.group)], q, sink);
+              break;
+            } catch (const IoError&) {
+              if (attempt >= opts.io_retry_limit || !sink.rollback_afc())
+                throw;
+              ++ws.io_retries;
+              std::this_thread::sleep_for(std::chrono::microseconds(
+                  opts.io_retry_backoff_us << attempt));
+            }
+          }
         }
         sink.flush_all();
       } catch (const std::exception& e) {
         ws.error = e.what();
+        ws.error_kind = classify_error(e);
       }
     };
     auto merge = [&stats](const WorkerStats& ws) {
@@ -166,7 +213,11 @@ void run_node(int node, const codegen::DataServicePlan& plan,
       stats.rows_matched += ws.extract.rows_matched;
       stats.bytes_sent += ws.bytes_sent;
       stats.transfer_seconds += ws.transfer_seconds;
-      if (stats.error.empty() && !ws.error.empty()) stats.error = ws.error;
+      stats.io_retries += ws.io_retries;
+      if (stats.error.empty() && !ws.error.empty()) {
+        stats.error = ws.error;
+        stats.error_kind = ws.error_kind;
+      }
     };
 
     // The pool is shared by every node worker, so size this node's range
@@ -210,8 +261,10 @@ void run_node(int node, const codegen::DataServicePlan& plan,
     }
   } catch (const Error& e) {
     stats.error = e.what();
+    stats.error_kind = classify_error(e);
   } catch (const std::exception& e) {
     stats.error = e.what();
+    stats.error_kind = classify_error(e);
   }
   stats.busy_seconds = busy.elapsed_seconds();
 }
@@ -449,6 +502,12 @@ uint64_t QueryResult::total_bytes_skipped() const {
   return n;
 }
 
+uint64_t QueryResult::total_io_retries() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.io_retries;
+  return n;
+}
+
 expr::Table QueryResult::merged() const {
   expr::Table out = partitions.empty() ? expr::Table() : partitions[0];
   for (std::size_t i = 1; i < partitions.size(); ++i)
@@ -460,6 +519,19 @@ std::string QueryResult::first_error() const {
   for (const auto& s : node_stats)
     if (!s.error.empty()) return s.error;
   return "";
+}
+
+ErrorKind QueryResult::first_error_kind() const {
+  for (const auto& s : node_stats)
+    if (!s.error.empty()) return s.error_kind;
+  return ErrorKind::kNone;
+}
+
+std::vector<int> QueryResult::failed_nodes() const {
+  std::vector<int> out;
+  for (const auto& s : node_stats)
+    if (!s.error.empty()) out.push_back(s.node_id);
+  return out;
 }
 
 }  // namespace adv::storm

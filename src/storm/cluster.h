@@ -46,7 +46,14 @@ struct NodeStats {
   uint64_t afcs_pruned = 0;
   uint64_t rows_pruned = 0;
   uint64_t bytes_skipped = 0;
+  // Transient read faults healed by the bounded per-AFC retry (the node
+  // still succeeded; the count is how many extra attempts it took).
+  uint64_t io_retries = 0;
   std::string error;  // non-empty when the node failed
+  // Category of `error`, so callers can distinguish an I/O casualty (retry
+  // the query, fail over) from a cancelled query or a query-shape bug
+  // without parsing message text.
+  ErrorKind error_kind = ErrorKind::kNone;
 };
 
 struct QueryResult {
@@ -61,10 +68,15 @@ struct QueryResult {
   uint64_t total_afcs_pruned() const;
   uint64_t total_rows_pruned() const;
   uint64_t total_bytes_skipped() const;
+  uint64_t total_io_retries() const;
   // Concatenation of all partitions.
   expr::Table merged() const;
   // First error reported by any node ("" when none).
   std::string first_error() const;
+  // Kind of the first node error (kNone when every node succeeded).
+  ErrorKind first_error_kind() const;
+  // Node ids that reported an error, in node order.
+  std::vector<int> failed_nodes() const;
 };
 
 struct ClusterOptions {
@@ -77,6 +89,13 @@ struct ClusterOptions {
   std::size_t threads_per_node = 0;
   // kAuto honors env ADV_IO_MODE ("mmap"/"pread"), defaulting to mmap.
   IoMode io_mode = IoMode::kAuto;
+  // Transient-read recovery: an AFC whose extraction dies with an IoError
+  // is retried up to `io_retry_limit` more times (exponential backoff
+  // starting at `io_retry_backoff_us`), provided none of its rows were
+  // already shipped — a flaky pread heals invisibly, a hard fault still
+  // fails the node after the budget.  0 disables retry.
+  std::size_t io_retry_limit = 2;
+  uint64_t io_retry_backoff_us = 100;
 };
 
 class StormCluster {

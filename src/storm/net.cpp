@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "faultz/faultz.h"
 
 namespace adv::storm {
 
@@ -91,7 +92,7 @@ void write_all(int fd, const void* buf, std::size_t n) {
   const unsigned char* p = static_cast<const unsigned char*>(buf);
   std::size_t off = 0;
   while (off < n) {
-    ssize_t w = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    ssize_t w = faultz::inj_send(fd, p + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw IoError(std::string("socket send failed: ") + std::strerror(errno));
@@ -104,7 +105,7 @@ void read_all(int fd, void* buf, std::size_t n) {
   unsigned char* p = static_cast<unsigned char*>(buf);
   std::size_t off = 0;
   while (off < n) {
-    ssize_t r = ::recv(fd, p + off, n - off, 0);
+    ssize_t r = faultz::inj_recv(fd, p + off, n - off, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
       throw IoError(std::string("socket recv failed: ") + std::strerror(errno));
@@ -401,6 +402,12 @@ void QueryServer::serve_query(Connection* conn) {
       admitted.put<uint64_t>(ctx->id);
       admitted.put<double>(ctx->queue_wait_seconds);
       send_frame(fd, kAdmitted, admitted);
+
+      // A query-service worker dying right after admission must release the
+      // run slot (finish in the catch below) and answer with kError, never
+      // leave the client or the scheduler hanging.
+      faultz::maybe_throw_io(faultz::Site::kServeQuery,
+                             "query-service worker died");
 
       // Bind first: the schema frame goes out before execution so the
       // client can stream row batches straight into typed tables.

@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "faultz/faultz.h"
 #include "minidb/btree.h"
 #include "minidb/heap.h"
 
@@ -17,7 +18,22 @@ namespace adv::zonemap {
 
 namespace {
 
-constexpr const char* kManifestMagic = "ADVZM1";
+// ADVZM2 added content checksums of the heap/btree sidecars to the
+// manifest; an ADVZM1 sidecar (no checksums) is treated as absent, which
+// degrades to a full scan — never to trusting unverified bounds.
+constexpr const char* kManifestMagic = "ADVZM2";
+
+// FNV-1a over a whole file.  Not cryptographic — it guards against
+// truncation and bit rot, the failure modes of a torn sidecar write.
+uint64_t file_checksum(const std::string& path) {
+  std::string bytes = read_text_file(path);
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 // Chunk offsets ride in kFloat64 heap columns; past 2^53 a uint64 is no
 // longer exactly representable there.
@@ -238,9 +254,13 @@ void ZoneMap::save(const std::string& dir,
   heap.close();
   minidb::BTree::build(sp.btree, tree_entries);
 
-  // Manifest last: it is the commit point loaders look for.
+  // Manifest last: it is the commit point loaders look for.  Its checksums
+  // cover the heap/btree bytes just written, so a loader that sees the
+  // manifest can verify it is reading the matching sidecar generation.
   std::ostringstream m;
   m << kManifestMagic << "\n";
+  m << "sum " << file_checksum(sp.heap) << " " << file_checksum(sp.btree)
+    << "\n";
   m << "dataset " << plan.model().dataset_name() << "\n";
   for (int a : attrs_)
     m << "attr " << a << " "
@@ -250,6 +270,10 @@ void ZoneMap::save(const std::string& dir,
     m << "file " << id << " " << file_size(path) << " "
       << file_mtime_stamp(path) << " " << path << "\n";
   }
+  // Commit marker: a manifest truncated anywhere (torn write, clipped
+  // copy) is missing this line and the loader rejects the whole sidecar
+  // rather than trusting a partial file table.
+  m << "end\n";
   write_text_file(sp.manifest, m.str());
 }
 
@@ -269,7 +293,15 @@ std::optional<ZoneMap> ZoneMap::load(const std::string& dir,
   };
   std::vector<int> attrs;
   std::vector<FileEntry> files;
+  bool have_sums = false;
+  bool have_end = false;
+  uint64_t heap_sum = 0, btree_sum = 0;
   try {
+    // Injected sidecar-load failure: the catch below maps it to nullopt,
+    // i.e. the same conservative "no zone map, full scan" a real corrupt
+    // sidecar produces.  Wrong rows are never an option.
+    faultz::maybe_throw_io(faultz::Site::kZonemapLoad,
+                           "zone-map sidecar load failed");
     std::istringstream in(read_text_file(sp.manifest));
     std::string line;
     if (!std::getline(in, line) || line != kManifestMagic)
@@ -278,7 +310,10 @@ std::optional<ZoneMap> ZoneMap::load(const std::string& dir,
       std::istringstream ls(line);
       std::string tag;
       ls >> tag;
-      if (tag == "dataset") {
+      if (tag == "sum") {
+        ls >> heap_sum >> btree_sum;
+        have_sums = !ls.fail();
+      } else if (tag == "dataset") {
         std::string name;
         ls >> name;
         if (name != plan.model().dataset_name()) return std::nullopt;
@@ -298,15 +333,27 @@ std::optional<ZoneMap> ZoneMap::load(const std::string& dir,
         std::size_t i = f.path.find_first_not_of(' ');
         if (i != std::string::npos) f.path = f.path.substr(i);
         files.push_back(std::move(f));
+      } else if (tag == "end") {
+        have_end = true;
       }
     }
   } catch (const Error&) {
     return std::nullopt;
   }
-  if (attrs.empty()) return std::nullopt;
+  // No commit marker = truncated manifest; no checksums = pre-ADVZM2 or
+  // clipped header.  Either way: reject, full-scan.
+  if (attrs.empty() || !have_sums || !have_end) return std::nullopt;
 
   ZoneMap zm(std::move(attrs));
   try {
+    // Verify the heap/btree bytes against the manifest before decoding
+    // them: a bit-flipped page would otherwise parse into plausible but
+    // wrong bounds and prune chunks that actually match.  Truncation is
+    // caught here too (the checksum changes), as well as by the decoders'
+    // own bounds checks.
+    if (file_checksum(sp.heap) != heap_sum ||
+        file_checksum(sp.btree) != btree_sum)
+      return std::nullopt;
     minidb::HeapFileReader heap(sp.heap);
     heap.map();  // decode pages straight out of the mapping
     if (heap.columns().size() != 2 + 2 * zm.attrs_.size())

@@ -132,6 +132,55 @@ TEST(IoTest, DirectoryBytesSumsRecursively) {
 }
 
 // ---------------------------------------------------------------------------
+// FileCache staleness
+
+TEST(FileCacheTest, HitsShareOneHandle) {
+  TempDir tmp("fc");
+  std::string path = tmp.file("d.bin");
+  write_text_file(path, "0123456789");
+  FileCache cache(8);
+  auto a = cache.open(path, IoMode::kPread);
+  auto b = cache.open(path, IoMode::kPread);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FileCacheTest, SameSizeSameSecondRewriteGetsFreshHandle) {
+  TempDir tmp("fc");
+  std::string path = tmp.file("d.bin");
+  write_text_file(path, "old payload!");
+  FileCache cache(8);
+  auto stale = cache.open(path, IoMode::kMmap);
+  FileHandle::FileId before = stale->id();
+
+  // Rewrite in place: same path, same byte count, same wall-clock second.
+  // Whole-second mtime cannot tell the versions apart — only the
+  // nanosecond stamp (and on a rename-style rewrite, the inode) changes.
+  write_text_file(path, "new payload!");
+  EXPECT_NE(FileHandle::stat_id(path), before);
+
+  auto fresh = cache.open(path, IoMode::kMmap);
+  EXPECT_NE(fresh.get(), stale.get());
+  char buf[12];
+  fresh->pread_exact(buf, sizeof buf, 0);
+  EXPECT_EQ(std::string(buf, sizeof buf), "new payload!");
+}
+
+TEST(FileCacheTest, DeletedFileIsEvictedOnNextOpen) {
+  TempDir tmp("fc");
+  std::string path = tmp.file("gone.bin");
+  write_text_file(path, "x");
+  FileCache cache(8);
+  auto h = cache.open(path, IoMode::kPread);
+  EXPECT_TRUE(h->is_open());
+  std::filesystem::remove(path);
+  // The revalidating stat fails -> the cached entry is dropped and the
+  // reopen surfaces the real error instead of serving deleted bytes.
+  EXPECT_THROW(cache.open(path, IoMode::kPread), IoError);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Lexer
 
 TEST(LexerTest, TokenKindsAndPositions) {

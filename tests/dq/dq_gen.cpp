@@ -1,0 +1,264 @@
+#include "dq/dq_gen.h"
+
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dataset/layout_writer.h"
+
+namespace adv::dq {
+
+DqDataset make_dataset(uint64_t seed) {
+  SplitMix64 rng(mix64(seed ^ 0xd1f2fa57ULL));
+  DqDataset d;
+  d.seed = seed;
+  d.nodes = 1 + static_cast<int>(rng.next_below(3));
+  d.rels = 1 + static_cast<int>(rng.next_below(3));
+  d.timesteps = 2 + static_cast<int>(rng.next_below(10));
+  d.grid_per_node = 4 + static_cast<int>(rng.next_below(13));
+  d.payloads = 1 + static_cast<int>(rng.next_below(5));
+  d.rel_in_filename = rng.next_below(2) == 0;
+  d.time_in_filename = !d.rel_in_filename && rng.next_below(4) == 0;
+  d.time_outer = rng.next_below(2) == 0;
+  // TIME cannot be both the record loop and a file-name binding (the
+  // descriptor validator rejects the contradiction).
+  d.transposed = !d.time_in_filename && rng.next_below(5) == 0;
+  d.arrays = rng.next_below(2) == 0;
+  d.store_dims = !d.transposed && rng.next_below(3) == 0;
+  d.headers = rng.next_below(3) == 0;
+  d.num_leaves =
+      1 + static_cast<int>(rng.next_below(static_cast<uint64_t>(d.payloads)));
+  return d;
+}
+
+double DqDataset::value(const std::string& attr, int rel, int time,
+                        int gid) const {
+  if (attr == "REL") return rel;
+  if (attr == "TIME") return time;
+  uint64_t h = mix64(seed ^ 0xdadafeedULL);
+  h = hash_combine(h, std::hash<std::string>{}(attr));
+  h = hash_combine(h, static_cast<uint64_t>(rel));
+  h = hash_combine(h, static_cast<uint64_t>(time));
+  h = hash_combine(h, static_cast<uint64_t>(gid));
+  // Payloads are stored as float32; derive the value from a 24-bit mantissa
+  // so the double the oracle computes round-trips the file exactly.
+  uint32_t m = static_cast<uint32_t>(h >> 40);
+  return static_cast<double>(static_cast<float>(m) * (1.0f / 16777216.0f));
+}
+
+std::string DqDataset::descriptor() const {
+  std::ostringstream os;
+  os << "[DQT]\nREL = short int\nTIME = int\n";
+  for (int p = 1; p <= payloads; ++p) os << "P" << p << " = float\n";
+  os << "\n[DqData]\nDatasetDescription = DQT\n";
+  for (int n = 0; n < nodes; ++n)
+    os << "DIR[" << n << "] = node" << n << "/dq\n";
+  os << "\nDATASET \"DqData\" {\n  DATATYPE { DQT }\n"
+     << "  DATAINDEX { REL TIME }\n";
+
+  // Vertical partition: contiguous round-robin of payloads over leaves.
+  std::vector<std::vector<std::string>> leaf_attrs(
+      static_cast<std::size_t>(num_leaves));
+  for (int p = 0; p < payloads; ++p)
+    leaf_attrs[static_cast<std::size_t>(p * num_leaves / payloads)].push_back(
+        "P" + std::to_string(p + 1));
+
+  const std::string grid_range =
+      format("($DIRID*%d+1):(($DIRID+1)*%d):1", grid_per_node, grid_per_node);
+  const std::string time_range = format("1:%d:1", timesteps);
+  const std::string rel_range = format("0:%d:1", rels - 1);
+
+  for (std::size_t l = 0; l < leaf_attrs.size(); ++l) {
+    if (leaf_attrs[l].empty()) continue;
+    std::vector<std::string> fields = leaf_attrs[l];
+    if (store_dims) {
+      fields.insert(fields.begin(), "TIME");
+      fields.insert(fields.begin(), "REL");
+    }
+    os << "  DATASET \"leaf" << l << "\" {\n";
+    if (headers) os << "    DATATYPE { DQT HDR = long MARK = int }\n";
+    os << "    DATASPACE {\n";
+    if (headers) os << "      HDR\n";
+
+    // Structure loops for dimensions not bound in the file name, then the
+    // record loop.
+    std::vector<std::pair<std::string, std::string>> outer;
+    if (!rel_in_filename && !time_in_filename) {
+      if (time_outer) {
+        outer.push_back({"TIME", time_range});
+        outer.push_back({"REL", rel_range});
+      } else {
+        outer.push_back({"REL", rel_range});
+        outer.push_back({"TIME", time_range});
+      }
+    } else if (rel_in_filename) {
+      outer.push_back({"TIME", time_range});
+    } else {
+      outer.push_back({"REL", rel_range});
+    }
+
+    std::string record_ident = "GRID";
+    std::string record_range = grid_range;
+    if (transposed) {
+      record_ident = "TIME";
+      record_range = time_range;
+      for (auto& [ident, range] : outer)
+        if (ident == "TIME") {
+          ident = "GRID";
+          range = grid_range;
+        }
+    }
+
+    std::string pad = "      ";
+    for (const auto& [ident, range] : outer) {
+      os << pad << "LOOP " << ident << " " << range << " {\n";
+      pad += "  ";
+      if (headers) os << pad << "MARK\n";
+    }
+    if (arrays) {
+      for (const auto& f : fields)
+        os << pad << "LOOP " << record_ident << " " << record_range << " { "
+           << f << " }\n";
+    } else {
+      os << pad << "LOOP " << record_ident << " " << record_range << " { "
+         << join(fields, " ") << " }\n";
+    }
+    for (std::size_t k = 0; k < outer.size(); ++k) {
+      pad.resize(pad.size() - 2);
+      os << pad << "}\n";
+    }
+    os << "    }\n    DATA { \"DIR[$DIRID]/L" << l;
+    if (rel_in_filename) os << "R$REL";
+    if (time_in_filename) os << "T$TIME";
+    os << "\"";
+    if (rel_in_filename) os << " REL = " << rel_range;
+    if (time_in_filename) os << " TIME = " << time_range;
+    os << format(" DIRID = 0:%d:1", nodes - 1) << " }\n  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_files(const DqDataset& d, const afc::DatasetModel& model) {
+  dataset::ValueFn fn = [&d](const std::string& attr,
+                             const meta::VarEnv& vars) {
+    int rel = vars.has("REL") ? static_cast<int>(vars.get("REL")) : 0;
+    int time = vars.has("TIME") ? static_cast<int>(vars.get("TIME")) : 0;
+    int gid = vars.has("GRID") ? static_cast<int>(vars.get("GRID")) : 0;
+    return d.value(attr, rel, time, gid);
+  };
+  for (const auto& cf : model.files()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(cf.full_path).parent_path());
+    const auto& leaf = model.leaves()[static_cast<std::size_t>(cf.leaf)];
+    dataset::write_file_from_layout(*leaf.decl, model.schema(), cf.env,
+                                    cf.full_path, fn);
+  }
+}
+
+expr::Table oracle_rows(const DqDataset& d, const expr::BoundQuery& q) {
+  expr::Table out(q.result_columns());
+  const meta::Schema& s = q.schema();
+  const auto& needed = q.needed_attrs();
+  std::vector<double> buf(needed.size());
+  std::vector<double> sel(q.select_slots().size());
+  for (int rel = 0; rel < d.rels; ++rel)
+    for (int time = 1; time <= d.timesteps; ++time)
+      for (int gid = 1; gid <= d.nodes * d.grid_per_node; ++gid) {
+        for (std::size_t i = 0; i < needed.size(); ++i)
+          buf[i] = d.value(s.at(static_cast<std::size_t>(needed[i])).name,
+                           rel, time, gid);
+        if (!q.matches(buf.data())) continue;
+        for (std::size_t i = 0; i < sel.size(); ++i)
+          sel[i] = buf[static_cast<std::size_t>(q.select_slots()[i])];
+        out.append_row(sel.data());
+      }
+  return out;
+}
+
+namespace {
+
+// One atomic condition over the dimensions or payloads.
+std::string random_cond(const DqDataset& d, SplitMix64& rng) {
+  switch (rng.next_below(6)) {
+    case 0: {  // TIME range
+      int lo = 1 + static_cast<int>(
+                       rng.next_below(static_cast<uint64_t>(d.timesteps)));
+      int hi = lo + static_cast<int>(rng.next_below(
+                        static_cast<uint64_t>(d.timesteps - lo + 1)));
+      return rng.next_below(2) == 0
+                 ? format("TIME >= %d AND TIME <= %d", lo, hi)
+                 : format("TIME BETWEEN %d AND %d", lo, hi);
+    }
+    case 1: {  // TIME IN list
+      int k = 1 + static_cast<int>(rng.next_below(4));
+      std::vector<std::string> vals;
+      for (int i = 0; i < k; ++i)
+        vals.push_back(std::to_string(
+            1 + static_cast<int>(
+                    rng.next_below(static_cast<uint64_t>(d.timesteps)))));
+      return "TIME IN (" + join(vals, ", ") + ")";
+    }
+    case 2: {  // REL equality or IN
+      int r = static_cast<int>(rng.next_below(static_cast<uint64_t>(d.rels)));
+      if (d.rels > 1 && rng.next_below(2) == 0) {
+        int r2 =
+            static_cast<int>(rng.next_below(static_cast<uint64_t>(d.rels)));
+        return format("REL IN (%d, %d)", r, r2);
+      }
+      return format("REL = %d", r);
+    }
+    case 3: {  // payload comparison
+      int p = 1 + static_cast<int>(
+                      rng.next_below(static_cast<uint64_t>(d.payloads)));
+      return format("P%d %s 0.%d", p, rng.next_below(2) == 0 ? "<" : ">=",
+                    1 + static_cast<int>(rng.next_below(8)));
+    }
+    case 4: {  // filter function over payloads
+      int p = 1 + static_cast<int>(
+                      rng.next_below(static_cast<uint64_t>(d.payloads)));
+      int q = 1 + static_cast<int>(
+                      rng.next_below(static_cast<uint64_t>(d.payloads)));
+      switch (rng.next_below(3)) {
+        case 0:
+          return format("ABSV(P%d - 0.5) < 0.%d", p,
+                        1 + static_cast<int>(rng.next_below(5)));
+        case 1:
+          return format("MAG2(P%d, P%d) %s 0.%d", p, q,
+                        rng.next_below(2) == 0 ? "<" : ">=",
+                        2 + static_cast<int>(rng.next_below(7)));
+        default:
+          return format("SPEED(P%d, P%d, P%d) < 1.%d", p, q,
+                        1 + static_cast<int>(rng.next_below(
+                                static_cast<uint64_t>(d.payloads))),
+                        static_cast<int>(rng.next_below(10)));
+      }
+    }
+    default: {  // negated payload comparison
+      int p = 1 + static_cast<int>(
+                      rng.next_below(static_cast<uint64_t>(d.payloads)));
+      return format("NOT P%d < 0.%d", p,
+                    1 + static_cast<int>(rng.next_below(8)));
+    }
+  }
+}
+
+}  // namespace
+
+std::string random_query(const DqDataset& d, SplitMix64& rng) {
+  std::string sql = "SELECT * FROM DqData";
+  std::size_t nconds = rng.next_below(3);  // 0..2 top-level conjuncts
+  std::vector<std::string> conds;
+  for (std::size_t i = 0; i < nconds; ++i) {
+    std::string c = random_cond(d, rng);
+    // Sometimes widen a conjunct into a parenthesized disjunction.
+    if (rng.next_below(4) == 0)
+      c = "(" + c + " OR " + random_cond(d, rng) + ")";
+    conds.push_back(c);
+  }
+  if (!conds.empty()) sql += " WHERE " + join(conds, " AND ");
+  return sql;
+}
+
+}  // namespace adv::dq

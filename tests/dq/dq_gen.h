@@ -1,0 +1,68 @@
+// Random layout + query generator for the differential fuzz harness.
+//
+// Each seed deterministically produces one synthetic dataset — a random
+// layout descriptor (nested LOOPs, implicit file-name attributes, vertical
+// partitioning, transposed record loops, headers, multi-node distribution)
+// together with the matching data files and a per-cell value oracle — and a
+// stream of random SQL (ranges, BETWEEN, IN lists, OR/NOT combinations,
+// filter functions).  Everything is a pure function of the seed, so any
+// failure replays with `adv_fuzz --seed N`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "afc/dataset_model.h"
+#include "common/rng.h"
+#include "expr/predicate.h"
+#include "expr/table.h"
+
+namespace adv::dq {
+
+// The randomized layout shape.  Mirrors the paper's experiment axes: which
+// dimensions live in file names vs LOOPs, loop nesting order, records vs
+// per-variable arrays, vertical partitioning, header/marker fields.
+struct DqDataset {
+  int nodes = 1;
+  int rels = 1;       // REL in 0..rels-1
+  int timesteps = 1;  // TIME in 1..timesteps
+  int grid_per_node = 1;
+  int payloads = 1;  // P1..Pn (float32)
+
+  bool rel_in_filename = false;
+  bool time_in_filename = false;
+  bool time_outer = true;
+  bool transposed = false;  // TIME is the record loop, GRID enumerated
+  bool arrays = false;      // per-variable arrays vs records
+  bool store_dims = false;  // REL/TIME also stored in the records
+  bool headers = false;     // file header + per-chunk markers
+  int num_leaves = 1;       // vertical partition of the payloads
+
+  uint64_t seed = 0;
+
+  // The descriptor text for this shape (dataset name "DqData").
+  std::string descriptor() const;
+  // Ground-truth cell value, recomputable without touching any file.
+  double value(const std::string& attr, int rel, int time, int gid) const;
+  uint64_t total_rows() const {
+    return static_cast<uint64_t>(nodes) * rels * timesteps * grid_per_node;
+  }
+};
+
+// The dataset for `seed`.
+DqDataset make_dataset(uint64_t seed);
+
+// Writes every concrete file of `model` with the dataset's oracle values.
+void write_files(const DqDataset& d, const afc::DatasetModel& model);
+
+// Brute-force row oracle: enumerates the dimension space and evaluates the
+// bound predicate per row.  Independent of planner, extractor, and layout.
+expr::Table oracle_rows(const DqDataset& d, const expr::BoundQuery& q);
+
+// One random query (always SELECT * — row multiplicity over projected-away
+// dimensions is layout-defined, so only full rows compare meaningfully).
+// Draws from ranges, BETWEEN, IN lists, OR/NOT, and the built-in filter
+// functions (ABSV, MAG2, SPEED).
+std::string random_query(const DqDataset& d, SplitMix64& rng);
+
+}  // namespace adv::dq

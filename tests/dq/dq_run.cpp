@@ -1,0 +1,283 @@
+#include "dq/dq_run.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "afc/reference.h"
+#include "api/virtual_table.h"
+#include "codegen/plan.h"
+#include "common/cancel.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/tempdir.h"
+#include "dq/dq_gen.h"
+#include "faultz/faultz.h"
+#include "storm/net.h"
+
+namespace adv::dq {
+
+namespace {
+
+// Exact multiset key of one row: the raw bit patterns, so "byte-identical"
+// means exactly that (no tolerance).
+std::string row_key(const expr::Table& t, std::size_t r) {
+  std::string key(t.num_cols() * sizeof(double), '\0');
+  for (std::size_t c = 0; c < t.num_cols(); ++c) {
+    double v = t.at(r, c);
+    std::memcpy(key.data() + c * sizeof(double), &v, sizeof v);
+  }
+  return key;
+}
+
+std::map<std::string, int> row_multiset(const expr::Table& t) {
+  std::map<std::string, int> m;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) ++m[row_key(t, r)];
+  return m;
+}
+
+// Arms the process fault plan for the query phase and guarantees disarm on
+// every exit path (a leaked armed plan would poison later tests).
+class CampaignScope {
+ public:
+  CampaignScope(uint64_t seed, const std::string& spec) : armed_(!spec.empty()) {
+    if (armed_) {
+      faultz::FaultPlan::instance().arm(seed, spec);
+      // The reference run may have populated the process file cache with
+      // mapped handles; drop them so the campaign's I/O actually traverses
+      // the (hooked) open/map/pread path instead of cached mappings.
+      FileCache::instance().clear();
+    }
+  }
+  ~CampaignScope() {
+    if (armed_) faultz::FaultPlan::instance().disarm();
+  }
+  CampaignScope(const CampaignScope&) = delete;
+  CampaignScope& operator=(const CampaignScope&) = delete;
+
+ private:
+  bool armed_;
+};
+
+}  // namespace
+
+bool rows_equal_exact(const expr::Table& a, const expr::Table& b) {
+  return a.num_rows() == b.num_rows() && a.num_cols() == b.num_cols() &&
+         row_multiset(a) == row_multiset(b);
+}
+
+bool rows_subset(const expr::Table& a, const expr::Table& b) {
+  if (a.num_cols() != b.num_cols()) return false;
+  std::map<std::string, int> bm = row_multiset(b);
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    auto it = bm.find(row_key(a, r));
+    if (it == bm.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+void DqReport::merge(const DqReport& o) {
+  cases += o.cases;
+  passed += o.passed;
+  clean_errors += o.clean_errors;
+  partials += o.partials;
+  io_retries += o.io_retries;
+  afcs_pruned += o.afcs_pruned;
+  fault_fires += o.fault_fires;
+  failures.insert(failures.end(), o.failures.begin(), o.failures.end());
+}
+
+std::string DqReport::summary() const {
+  return format(
+      "%d cases: %d identical, %d clean errors, %d partial, "
+      "%llu retries healed, %llu afcs pruned, %llu faults fired, "
+      "%zu FAILURES",
+      cases, passed, clean_errors, partials,
+      static_cast<unsigned long long>(io_retries),
+      static_cast<unsigned long long>(afcs_pruned),
+      static_cast<unsigned long long>(fault_fires), failures.size());
+}
+
+std::string campaign_spec(const std::string& name) {
+  if (name == "io")
+    return "pread.eintr=0.05,pread.eio=0.01,pread.short=0.01,"
+           "mmap.fail=0.5,mmap.torn=0.005";
+  if (name == "net")
+    return "send.eintr=0.05,send.partial=0.10,send.reset=0.004,"
+           "recv.eintr=0.05,recv.reset=0.004";
+  if (name == "node") return "node.run=0.25";
+  if (name == "zm") return "zonemap.load=1";
+  if (name == "sched") return "serve.query=0.3";
+  if (name == "none") return "";
+  throw ValidationError("unknown fault campaign: " + name);
+}
+
+std::string replay_command(uint64_t seed, const DqOptions& opts) {
+  std::ostringstream os;
+  os << "adv_fuzz --seed " << seed;
+  if (opts.queries_per_seed != 5) os << " --queries " << opts.queries_per_seed;
+  if (!opts.fault_spec.empty())
+    os << " --fault-spec '" << opts.fault_spec << "' --fault-seed "
+       << opts.fault_seed;
+  if (opts.with_server) os << " --server";
+  if (opts.partial_results) os << " --partial";
+  if (opts.io_mode == IoMode::kPread) os << " --pread";
+  return os.str();
+}
+
+DqReport run_seed(uint64_t seed, const DqOptions& opts) {
+  DqReport rep;
+  const std::string replay = replay_command(seed, opts);
+  auto fail = [&](const std::string& query, const std::string& what) {
+    rep.failures.push_back(format("seed %llu",
+                                  static_cast<unsigned long long>(seed)) +
+                           " query \"" + query + "\": " + what +
+                           "  [replay: " + replay + "]");
+  };
+
+  // ---- Phase 1: generate (never under faults). --------------------------
+  DqDataset d = make_dataset(seed);
+  std::string text = d.descriptor();
+  TempDir tmp("dq");
+  meta::Descriptor desc = meta::parse_descriptor(text);
+  codegen::DataServicePlan refplan(desc, "DqData", tmp.str());
+  write_files(d, refplan.model());
+  {
+    auto problems = refplan.verify_files();
+    if (!problems.empty()) {
+      fail("<generate>", "generated files failed verify: " + problems[0]);
+      return rep;
+    }
+  }
+
+  const std::string zm_dir = tmp.str() + "/zm";
+  VirtualTable::Options vopts;
+  vopts.build_zonemap = true;
+  vopts.zonemap_dir = zm_dir;
+  vopts.plan_cache_capacity = 8;
+  vopts.partial_results = opts.partial_results;
+  vopts.cluster.io_mode = opts.io_mode;
+  VirtualTable vt = VirtualTable::open(text, "DqData", tmp.str(), vopts);
+
+  // The corpus is fixed by the seed alone — the same queries run under
+  // every campaign, so "correct rows or clean error" is judged against the
+  // exact corpus the fault-free run validated.
+  SplitMix64 qrng(mix64(seed ^ 0x5eed5));
+  std::vector<std::string> queries;
+  for (int i = 0; i < opts.queries_per_seed; ++i)
+    queries.push_back(random_query(d, qrng));
+
+  // ---- Phase 2: reference answers (never under faults). -----------------
+  std::vector<expr::Table> want;
+  for (const std::string& sql : queries) {
+    expr::BoundQuery q = refplan.bind(sql);
+    // Differential planner check: the optimized AFC planner must emit
+    // exactly the chunk sets the Figure 5 literal reference emits.
+    if (afc::reference::flatten(refplan.index_fn(q)) !=
+        afc::reference::plan_reference(refplan.model(), q))
+      fail(sql, "optimized planner diverged from Figure 5 reference");
+    expr::Table ref = refplan.execute(q);
+    // The naive executor itself is cross-checked against the generator's
+    // cell oracle, so "reference" is not circular.
+    expr::Table truth = oracle_rows(d, q);
+    if (!rows_equal_exact(ref, truth))
+      fail(sql, format("reference executor returned %zu rows, oracle %zu",
+                       ref.num_rows(), truth.num_rows()));
+    want.push_back(std::move(ref));
+  }
+  if (!rep.failures.empty()) return rep;
+
+  // Optional server endpoint (opened before arming: binding is not under
+  // test, the query path is).
+  std::unique_ptr<storm::QueryServer> server;
+  std::unique_ptr<storm::QueryClient> client;
+  if (opts.with_server) {
+    auto splan =
+        std::make_shared<codegen::DataServicePlan>(desc, "DqData", tmp.str());
+    storm::ClusterOptions copts;
+    copts.io_mode = opts.io_mode;
+    server = std::make_unique<storm::QueryServer>(splan, copts, 0,
+                                                  vt.chunk_filter());
+    client = std::make_unique<storm::QueryClient>("127.0.0.1", server->port());
+  }
+
+  // ---- Phase 3: the fast path, optionally under the campaign. -----------
+  {
+    CampaignScope campaign(opts.fault_seed, opts.fault_spec);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const std::string& sql = queries[i];
+      // Twice per query: the second run replays through the plan cache.
+      for (int round = 0; round < 2; ++round) {
+        ++rep.cases;
+        Stopwatch sw;
+        try {
+          CancelToken token;
+          token.set_deadline_after(opts.deadline_seconds);
+          storm::QueryResult r = vt.query_detailed(sql, {}, &token);
+          rep.io_retries += r.total_io_retries();
+          rep.afcs_pruned += r.total_afcs_pruned();
+          expr::Table got = r.merged();
+          if (rows_equal_exact(got, want[i])) {
+            ++rep.passed;
+          } else if (opts.partial_results && !r.failed_nodes().empty() &&
+                     rows_subset(got, want[i])) {
+            ++rep.partials;
+          } else {
+            fail(sql, format("fast path returned %zu rows, reference %zu "
+                             "(round %d)",
+                             got.num_rows(), want[i].num_rows(), round));
+          }
+        } catch (const Error& e) {
+          // Typed failure: acceptable only while a campaign is armed.
+          if (opts.fault_spec.empty())
+            fail(sql, std::string("unexpected error: ") + e.what());
+          else
+            ++rep.clean_errors;
+        } catch (const std::exception& e) {
+          fail(sql, std::string("untyped exception escaped: ") + e.what());
+        }
+        double elapsed = sw.elapsed_seconds();
+        if (elapsed > 2 * opts.deadline_seconds + 5)
+          fail(sql, format("hang: %.1fs wall against a %.1fs deadline",
+                           elapsed, opts.deadline_seconds));
+      }
+
+      if (client) {
+        ++rep.cases;
+        Stopwatch sw;
+        try {
+          storm::QueryOptions qopts;
+          qopts.deadline_seconds = opts.deadline_seconds;
+          storm::RemoteResult rr = client->execute(sql, {}, qopts);
+          if (rows_equal_exact(rr.merged(), want[i]))
+            ++rep.passed;
+          else
+            fail(sql, format("served query returned %llu rows, reference %zu",
+                             static_cast<unsigned long long>(rr.total_rows()),
+                             want[i].num_rows()));
+        } catch (const Error& e) {
+          if (opts.fault_spec.empty())
+            fail(sql, std::string("unexpected server error: ") + e.what());
+          else
+            ++rep.clean_errors;
+        } catch (const std::exception& e) {
+          fail(sql, std::string("untyped exception escaped: ") + e.what());
+        }
+        double elapsed = sw.elapsed_seconds();
+        if (elapsed > 2 * opts.deadline_seconds + 5)
+          fail(sql, format("served hang: %.1fs wall against a %.1fs deadline",
+                           elapsed, opts.deadline_seconds));
+      }
+    }
+    if (!opts.fault_spec.empty())
+      rep.fault_fires = faultz::FaultPlan::instance().total_fires();
+  }
+
+  // Teardown (server shutdown, VT destruction) runs disarmed.
+  return rep;
+}
+
+}  // namespace adv::dq

@@ -1,0 +1,76 @@
+// Differential query-fuzz runner.
+//
+// run_seed() drives one generated dataset (see dq_gen.h) through the whole
+// stack twice per query — the naive single-threaded reference executor
+// (DataServicePlan::execute, plus the Figure 5 reference planner and the
+// generator's own cell oracle) and the full fast path (VirtualTable:
+// parallel cluster + zone map + plan cache, optionally the v2 wire
+// protocol) — and demands exactly the same rows.  Under an armed fault
+// campaign the contract weakens to: correct rows, or a clean typed
+// adv::Error, within the deadline.  Never wrong rows, never a hang.
+//
+// Shared by tests/dq/dq_diff_test.cpp, tests/dq/dq_fault_test.cpp, and
+// tools/adv_fuzz.cpp (the replay CLI) so a CI failure reproduces exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "expr/table.h"
+
+namespace adv::dq {
+
+// Exact (bit-pattern, no tolerance) row-multiset comparison helpers.
+bool rows_equal_exact(const expr::Table& a, const expr::Table& b);
+// a ⊆ b as multisets: every row of `a` is a row of `b`, at most as often.
+bool rows_subset(const expr::Table& a, const expr::Table& b);
+
+struct DqOptions {
+  int queries_per_seed = 5;
+  // Also round-trip each query through QueryServer/QueryClient (protocol
+  // v2 on loopback).
+  bool with_server = false;
+  // Fault campaign: non-empty spec arms faultz::FaultPlan with
+  // {fault_seed, fault_spec} for the query phase (never for dataset
+  // generation or reference computation) and disarms afterwards.
+  std::string fault_spec;
+  uint64_t fault_seed = 0;
+  // Per-query deadline handed to the CancelToken; a query exceeding twice
+  // this wall-clock budget counts as a hang (= failure).
+  double deadline_seconds = 20.0;
+  // Run the fast path in partial-results mode: node casualties yield a
+  // subset of the reference rows instead of an error.
+  bool partial_results = false;
+  // I/O mode for the fast path's cluster (kAuto = env/mmap).
+  IoMode io_mode = IoMode::kAuto;
+};
+
+struct DqReport {
+  int cases = 0;         // query executions attempted
+  int passed = 0;        // byte-identical fast-vs-reference
+  int clean_errors = 0;  // typed adv::Error under faults (allowed)
+  int partials = 0;      // partial results accepted (subset of reference)
+  uint64_t io_retries = 0;     // transparent retry recoveries observed
+  uint64_t afcs_pruned = 0;    // zone-map pruning observed on the fast path
+  uint64_t fault_fires = 0;    // injections that actually fired
+  // Human-readable failures; each line embeds the one-line replay command.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  void merge(const DqReport& o);
+  std::string summary() const;
+};
+
+// The spec for a named campaign: "io", "net", "node", "zm", "sched".
+// Throws ValidationError for an unknown name.
+std::string campaign_spec(const std::string& name);
+
+// Runs the corpus for one seed.  Deterministic given {seed, opts}.
+DqReport run_seed(uint64_t seed, const DqOptions& opts);
+
+// The one-line replay command for a {seed, opts} combination.
+std::string replay_command(uint64_t seed, const DqOptions& opts);
+
+}  // namespace adv::dq

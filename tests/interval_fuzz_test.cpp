@@ -4,9 +4,15 @@
 // that each attribute value lies inside its extracted interval (and
 // IN-set).  A violation would silently drop matching rows.  Random
 // predicate trees and rows probe this; SQL text round-tripping rides along.
+//
+// Reproducing a failure: the trace names the seed; rerun just that seed
+// with ADV_FUZZ_SEED=<seed> ./interval_fuzz_test (ADV_FUZZ_ITERS=K resizes
+// the corpus, default 12 seeds).  See docs/TESTING.md.
 #include <gtest/gtest.h>
 
+#include "common/env.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "expr/predicate.h"
 #include "metadata/model.h"
 #include "sql/ast.h"
@@ -70,9 +76,21 @@ sql::BoolExprPtr random_bool(SplitMix64& rng, int depth) {
   }
 }
 
+uint64_t seed_base() {
+  return static_cast<uint64_t>(env_int("ADV_FUZZ_SEED", 0));
+}
+uint64_t seed_count() {
+  if (env_int("ADV_FUZZ_SEED", -1) >= 0) return 1;  // pinned: replay one
+  return static_cast<uint64_t>(env_int("ADV_FUZZ_ITERS", 12));
+}
+
 class IntervalFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(IntervalFuzz, PruningIsSoundForMatchingRows) {
+  SCOPED_TRACE(format("seed %llu  [replay: ADV_FUZZ_SEED=%llu "
+                      "./interval_fuzz_test]",
+                      static_cast<unsigned long long>(GetParam()),
+                      static_cast<unsigned long long>(GetParam())));
   SplitMix64 rng(mix64(GetParam() ^ 0x1f2e3d));
   meta::Schema schema = fuzz_schema();
 
@@ -115,7 +133,8 @@ TEST_P(IntervalFuzz, PruningIsSoundForMatchingRows) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalFuzz,
-                         ::testing::Range<uint64_t>(0, 12));
+                         ::testing::Range<uint64_t>(
+                             seed_base(), seed_base() + seed_count()));
 
 }  // namespace
 }  // namespace adv::expr

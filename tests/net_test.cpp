@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "common/tempdir.h"
@@ -412,6 +413,258 @@ TEST(QueryServerV2Test, V2TailIgnoredForDefaultOptions) {
   RemoteResult v2_style = client.execute(sql, {}, QueryOptions{});
   EXPECT_TRUE(v1_style.merged().same_rows(v2_style.merged()));
   EXPECT_EQ(f.server.queries_served(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// v1/v2 interop edge cases, spoken frame-by-frame over raw sockets.  Frame
+// layout: 4-byte little-endian payload length, 1-byte type, payload.
+
+int raw_connect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  return fd;
+}
+
+template <typename T>
+void raw_pod(std::vector<unsigned char>& buf, T v) {
+  std::size_t at = buf.size();
+  buf.resize(at + sizeof v);
+  std::memcpy(buf.data() + at, &v, sizeof v);
+}
+
+void raw_string(std::vector<unsigned char>& buf, const std::string& s) {
+  raw_pod<uint32_t>(buf, static_cast<uint32_t>(s.size()));
+  buf.insert(buf.end(), s.begin(), s.end());
+}
+
+void raw_write(int fd, const void* p, std::size_t n) {
+  const char* c = static_cast<const char*>(p);
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, c + off, n - off, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0);
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void raw_send_frame(int fd, uint8_t type,
+                    const std::vector<unsigned char>& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  unsigned char header[5];
+  std::memcpy(header, &len, 4);
+  header[4] = type;
+  raw_write(fd, header, 5);
+  if (len) raw_write(fd, payload.data(), len);
+}
+
+bool raw_recv_frame(int fd, uint8_t& type, std::vector<unsigned char>& out) {
+  unsigned char header[5];
+  std::size_t off = 0;
+  while (off < 5) {
+    ssize_t r = ::recv(fd, header + off, 5 - off, 0);
+    if (r <= 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  uint32_t len;
+  std::memcpy(&len, header, 4);
+  type = header[4];
+  out.resize(len);
+  off = 0;
+  while (off < len) {
+    ssize_t r = ::recv(fd, out.data() + off, len - off, 0);
+    if (r <= 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+// The v1 part of a kQuery payload: default single-consumer partition spec
+// plus the SQL text, and nothing after it.
+std::vector<unsigned char> v1_query_payload(const std::string& sql) {
+  std::vector<unsigned char> q;
+  raw_pod<uint16_t>(q, 1);   // num_consumers
+  raw_pod<uint8_t>(q, 0);    // Policy::kSingle
+  raw_pod<int32_t>(q, -1);   // select_index
+  raw_pod<double>(q, 0.0);   // range_lo
+  raw_pod<double>(q, 1.0);   // range_hi
+  raw_string(q, sql);
+  return q;
+}
+
+// Drives one hand-rolled query and tallies the reply stream.
+struct RawReply {
+  bool schema = false, stats = false, end = false;
+  uint8_t unexpected = 0;  // first frame type we did not recognize
+  std::string error;       // kError payload, if any
+  uint64_t rows = 0;
+};
+
+RawReply raw_roundtrip(int port, const std::vector<unsigned char>& query) {
+  int fd = raw_connect(port);
+  raw_send_frame(fd, 0x01, query);  // kQuery
+  RawReply rep;
+  uint8_t type = 0;
+  std::vector<unsigned char> payload;
+  while (raw_recv_frame(fd, type, payload)) {
+    if (type == 0x02) {  // kSchema
+      rep.schema = true;
+    } else if (type == 0x03) {  // kRowBatch: u16 consumer, u32 nrows, ...
+      if (payload.size() < 6) {
+        rep.error = "short row batch frame";
+        break;
+      }
+      uint32_t nrows;
+      std::memcpy(&nrows, payload.data() + 2, 4);
+      rep.rows += nrows;
+    } else if (type == 0x04) {  // kStats
+      rep.stats = true;
+    } else if (type == 0x05) {  // kEnd
+      rep.end = true;
+      break;
+    } else if (type == 0x06) {  // kError
+      uint32_t n;
+      std::memcpy(&n, payload.data(), 4);
+      rep.error.assign(reinterpret_cast<const char*>(payload.data() + 4), n);
+      break;
+    } else if (type != 0x08 && type != 0x09) {  // not kQueued/kAdmitted
+      rep.unexpected = type;
+      break;
+    }
+  }
+  ::close(fd);
+  return rep;
+}
+
+TEST(ProtocolInteropTest, V1ClientWithoutTailIsServed) {
+  // A v1 client stops after the SQL string — no deadline/priority tail.
+  // The v2 server must apply defaults and serve the query normally.
+  NetFixture f;
+  RawReply rep = raw_roundtrip(
+      f.server.port(),
+      v1_query_payload("SELECT REL FROM IparsData WHERE TIME = 1"));
+  EXPECT_TRUE(rep.error.empty()) << rep.error;
+  EXPECT_EQ(rep.unexpected, 0);
+  EXPECT_TRUE(rep.schema);
+  EXPECT_TRUE(rep.stats);
+  EXPECT_TRUE(rep.end);
+  EXPECT_EQ(rep.rows, f.cfg.total_rows() / f.cfg.timesteps);
+  EXPECT_EQ(f.server.scheduler_metrics().completed, 1u);
+}
+
+TEST(ProtocolInteropTest, UnknownTrailingQueryBytesAreIgnored) {
+  // A hypothetical v3 client appends fields this server has never heard
+  // of.  Positional parsing reads what it knows (v2 tail) and must ignore
+  // the rest instead of failing the query.
+  NetFixture f;
+  std::vector<unsigned char> q =
+      v1_query_payload("SELECT REL FROM IparsData WHERE TIME = 1");
+  raw_pod<double>(q, 30.0);  // v2: deadline_seconds
+  raw_pod<uint8_t>(q, 1);    // v2: priority
+  for (int i = 0; i < 32; ++i) raw_pod<uint8_t>(q, 0xAB);  // "v3 fields"
+  RawReply rep = raw_roundtrip(f.server.port(), q);
+  EXPECT_TRUE(rep.error.empty()) << rep.error;
+  EXPECT_TRUE(rep.end);
+  EXPECT_EQ(rep.rows, f.cfg.total_rows() / f.cfg.timesteps);
+}
+
+TEST(ProtocolInteropTest, V1ServerWithoutSchedTailYieldsInvalidSchedInfo) {
+  // A fake v1 server: schema, one row batch, kStats WITHOUT the v2 sched
+  // tail, end.  The real client must surface SchedInfo{valid = false}
+  // rather than misparse or reject the stream.
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  int port = ntohs(addr.sin_port);
+
+  std::thread srv([lfd] {
+    int c = ::accept(lfd, nullptr, nullptr);
+    if (c < 0) return;
+    uint8_t type = 0;
+    std::vector<unsigned char> payload;
+    if (!raw_recv_frame(c, type, payload) || type != 0x01) {
+      ::close(c);
+      return;
+    }
+    std::vector<unsigned char> schema;  // 1 column: X, float64
+    raw_pod<uint16_t>(schema, 1);
+    raw_pod<uint8_t>(schema, static_cast<uint8_t>(DataType::kFloat64));
+    raw_pod<uint16_t>(schema, 1);
+    schema.push_back('X');
+    raw_send_frame(c, 0x02, schema);
+    std::vector<unsigned char> batch;  // consumer 0, 1 row x 1 col: 42.0
+    raw_pod<uint16_t>(batch, 0);
+    raw_pod<uint32_t>(batch, 1);
+    raw_pod<uint16_t>(batch, 1);
+    raw_pod<double>(batch, 42.0);
+    raw_send_frame(c, 0x03, batch);
+    std::vector<unsigned char> stats;  // 1 node stat, NO sched tail
+    raw_pod<uint32_t>(stats, 1);
+    raw_pod<int32_t>(stats, 0);      // node_id
+    raw_pod<uint64_t>(stats, 1);     // afcs
+    raw_pod<uint64_t>(stats, 8);     // bytes_read
+    raw_pod<uint64_t>(stats, 1);     // rows_matched
+    raw_pod<double>(stats, 0.0);     // busy_seconds
+    raw_send_frame(c, 0x04, stats);
+    raw_send_frame(c, 0x05, {});     // kEnd
+    ::close(c);
+  });
+
+  QueryClient client("127.0.0.1", port);
+  RemoteResult r = client.execute("SELECT X FROM T");
+  srv.join();
+  ::close(lfd);
+
+  EXPECT_FALSE(r.sched.valid);
+  ASSERT_EQ(r.total_rows(), 1u);
+  EXPECT_EQ(r.partitions[0].at(0, 0), 42.0);
+  ASSERT_EQ(r.node_stats.size(), 1u);
+  EXPECT_EQ(r.node_stats[0].rows_matched, 1u);
+}
+
+TEST(ProtocolInteropTest, CancelRacingCompletionIsCleanEitherWay) {
+  // Fire the cancel token at staggered offsets around a short query's
+  // completion.  Whatever the interleaving, the outcome must be one of:
+  // the full correct result, or CancelledError — never a hang, a partial
+  // row set, or a poisoned connection/server.
+  NetFixture f;
+  const char* sql = "SELECT REL FROM IparsData WHERE TIME = 1";
+  const uint64_t want = f.cfg.total_rows() / f.cfg.timesteps;
+  for (int i = 0; i < 8; ++i) {
+    QueryClient client("127.0.0.1", f.server.port());
+    CancelToken token;
+    std::thread firer([&token, i] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * i));
+      token.cancel();
+    });
+    QueryOptions qopts;
+    qopts.cancel = &token;
+    try {
+      RemoteResult r = client.execute(sql, {}, qopts);
+      EXPECT_EQ(r.total_rows(), want) << "iteration " << i;
+    } catch (const CancelledError&) {
+      // Equally valid: the cancel won the race.
+    }
+    firer.join();
+  }
+  // The server took every outcome in stride and still answers.
+  QueryClient client("127.0.0.1", f.server.port());
+  EXPECT_EQ(client.execute(sql).total_rows(), want);
+  sched::SchedulerMetrics m = f.server.scheduler_metrics();
+  EXPECT_EQ(m.running, 0u);
+  EXPECT_EQ(m.completed + m.cancelled, m.admitted);
 }
 
 }  // namespace

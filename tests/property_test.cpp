@@ -8,6 +8,12 @@
 // implicit dimension storage — write matching data with the layout-driven
 // writer, run random queries, and require exact agreement with a
 // brute-force oracle.
+//
+// Reproducing a failure: every failing case's trace names its seed; rerun
+// just that seed with
+//   ADV_FUZZ_SEED=<seed> ./property_test
+// ADV_FUZZ_ITERS=K widens/narrows the corpus (default 64 seeds).  See
+// docs/TESTING.md.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -15,6 +21,7 @@
 
 #include "afc/reference.h"
 #include "codegen/plan.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/tempdir.h"
@@ -232,11 +239,23 @@ std::string random_query(const RandomDataset& d, SplitMix64& rng) {
   return sql;
 }
 
+uint64_t seed_base() {
+  return static_cast<uint64_t>(env_int("ADV_FUZZ_SEED", 0));
+}
+uint64_t seed_count() {
+  if (env_int("ADV_FUZZ_SEED", -1) >= 0) return 1;  // pinned: replay one
+  return static_cast<uint64_t>(env_int("ADV_FUZZ_ITERS", 64));
+}
+
 class RandomLayoutTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomLayoutTest, EngineMatchesOracle) {
   RandomDataset d = random_dataset(GetParam());
   std::string text = d.descriptor();
+  SCOPED_TRACE(format("seed %llu  [replay: ADV_FUZZ_SEED=%llu "
+                      "./property_test]",
+                      static_cast<unsigned long long>(GetParam()),
+                      static_cast<unsigned long long>(GetParam())));
   SCOPED_TRACE("descriptor:\n" + text);
 
   TempDir tmp("prop");
@@ -285,7 +304,8 @@ TEST_P(RandomLayoutTest, EngineMatchesOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLayoutTest,
-                         ::testing::Range<uint64_t>(0, 64));
+                         ::testing::Range<uint64_t>(
+                             seed_base(), seed_base() + seed_count()));
 
 }  // namespace
 }  // namespace adv

@@ -362,8 +362,8 @@ TEST(ClusterCancelTest, VirtualTableSurfacesCancellation) {
   token.cancel();
   try {
     vt.query("SELECT * FROM IparsData", &token);
-    FAIL() << "expected IoError";
-  } catch (const IoError& e) {
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
     EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
   }
   // Plan-cache fast path (second run replays cached node plans) honors the
@@ -373,7 +373,7 @@ TEST(ClusterCancelTest, VirtualTableSurfacesCancellation) {
   token2.cancel();
   EXPECT_THROW(
       vt.query("SELECT * FROM IparsData WHERE SOIL > 0.25", &token2),
-      IoError);
+      CancelledError);
   // And an untouched table still answers.
   EXPECT_GT(vt.query("SELECT * FROM IparsData WHERE SOIL > 0.25").num_rows(),
             0u);
