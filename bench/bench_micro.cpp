@@ -132,18 +132,32 @@ struct ScanConfig {
   const char* name;
   std::size_t threads_per_node;
   IoMode io_mode;
+  KernelMode kernel_mode;
 };
 
 std::size_t bench_threads() {
   return static_cast<std::size_t>(env_int("ADV_THREADS", 4));
 }
 
+// The four legacy names stay pinned to the interpreter so their committed
+// baselines keep meaning across the kernel-engine change; the vector and
+// jit tiers get their own entries.  Every par-* config has a seq-* twin —
+// scripts/bench_check.sh gates on the pairing (parallel must not lose to
+// sequential).
 std::vector<ScanConfig> scan_configs() {
   return {
-      {"seq-pread", 1, IoMode::kPread},  // the pre-pipeline baseline path
-      {"seq-mmap", 1, IoMode::kMmap},
-      {"par-pread", bench_threads(), IoMode::kPread},
-      {"par-mmap", bench_threads(), IoMode::kMmap},
+      // the pre-pipeline baseline path
+      {"seq-pread", 1, IoMode::kPread, KernelMode::kInterp},
+      {"seq-mmap", 1, IoMode::kMmap, KernelMode::kInterp},
+      {"par-pread", bench_threads(), IoMode::kPread, KernelMode::kInterp},
+      {"par-mmap", bench_threads(), IoMode::kMmap, KernelMode::kInterp},
+      {"seq-pread-vector", 1, IoMode::kPread, KernelMode::kVector},
+      {"seq-mmap-vector", 1, IoMode::kMmap, KernelMode::kVector},
+      {"par-pread-vector", bench_threads(), IoMode::kPread,
+       KernelMode::kVector},
+      {"par-mmap-vector", bench_threads(), IoMode::kMmap, KernelMode::kVector},
+      {"seq-mmap-jit", 1, IoMode::kMmap, KernelMode::kJit},
+      {"par-mmap-jit", bench_threads(), IoMode::kMmap, KernelMode::kJit},
   };
 }
 
@@ -168,6 +182,7 @@ void run_scan_throughput(const dataset::GeneratedIpars& gen,
       storm::ClusterOptions opts;
       opts.threads_per_node = c.threads_per_node;
       opts.io_mode = c.io_mode;
+      opts.kernel_mode = c.kernel_mode;
       storm::StormCluster cluster(plan, opts);
       cluster.execute(sql);  // warmup: populate handle cache + page cache
       double wall = 1e300;
@@ -195,6 +210,7 @@ void run_scan_throughput(const dataset::GeneratedIpars& gen,
           .field("config", c.name)
           .field("threads_per_node", static_cast<uint64_t>(c.threads_per_node))
           .field("io_mode", c.io_mode == IoMode::kMmap ? "mmap" : "pread")
+          .field("kernel_mode", to_string(c.kernel_mode))
           .field("rows", rows)
           .field("bytes_read", bytes)
           .field("wall_seconds", wall)
@@ -228,6 +244,7 @@ void run_zonemap_pruning(const dataset::GeneratedIpars& gen,
       VirtualTable::Options opt;
       opt.cluster.threads_per_node = c.threads_per_node;
       opt.cluster.io_mode = c.io_mode;
+      opt.cluster.kernel_mode = c.kernel_mode;
       opt.plan_cache_capacity = 0;  // measure planning every run
       if (indexed) {
         opt.zonemap_dir = zm_dir;   // first open builds + saves, rest load
@@ -258,6 +275,7 @@ void run_zonemap_pruning(const dataset::GeneratedIpars& gen,
           .field("config", name)
           .field("threads_per_node", static_cast<uint64_t>(c.threads_per_node))
           .field("io_mode", c.io_mode == IoMode::kMmap ? "mmap" : "pread")
+          .field("kernel_mode", to_string(c.kernel_mode))
           .field("zonemap", indexed)
           .field("rows", last.total_rows())
           .field("bytes_read", last.total_bytes_read())

@@ -5,9 +5,18 @@
 # Fails when
 #   * any matching (query, config) entry's rows_per_sec (or, for the
 #     served-query section, queries_per_sec) regresses by more than
-#     BENCH_CHECK_TOLERANCE (default 20%), or
+#     BENCH_CHECK_TOLERANCE (default 35% — consecutive best-of-10 runs
+#     of identical code were measured 21% apart on a 1-vCPU host, so
+#     the default must clear that noise floor; tighten via the env var
+#     on quiet dedicated hardware), or
 #   * identical_to_baseline is false anywhere in the fresh run (a
-#     correctness bug, not a perf one).
+#     correctness bug, not a perf one), or
+#   * a fresh par-X config is slower than its seq-X twin by more than
+#     BENCH_PAIR_TOLERANCE (default 10%) on the same query — parallel
+#     extraction losing to sequential is a pipeline regression even when
+#     both beat their committed baselines.  This rule only applies on
+#     multi-CPU hosts: with one CPU the parallel configs are pure thread
+#     overhead and par >= seq is not a meaningful invariant.
 #
 # Entries present in only one of the two files (new or retired
 # configurations) are skipped — the gate compares, it does not freeze the
@@ -17,7 +26,8 @@ cd "$(dirname "$0")/.."
 
 BENCH="${BENCH_CHECK_BINARY:-build/bench/bench_micro}"
 BASELINE="BENCH_micro.json"
-TOLERANCE="${BENCH_CHECK_TOLERANCE:-0.20}"
+TOLERANCE="${BENCH_CHECK_TOLERANCE:-0.35}"
+PAIR_TOLERANCE="${BENCH_PAIR_TOLERANCE:-0.10}"
 
 [[ -x "$BENCH" ]] || { echo "bench_check: $BENCH not built" >&2; exit 1; }
 # No committed baseline is a skip, not a failure: fresh checkouts and
@@ -31,16 +41,23 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 # The google-benchmark microbenches are not gated; skip them for speed.
-BENCH_JSON_DIR="$workdir" "$BENCH" --benchmark_filter=NONE >"$workdir/log" || {
+# The gated sections report best-of-N wall times; the fresh run gets a
+# couple of extra repeats (vs the default 3 used when committing the
+# baseline) so scheduler noise on short sections lands above the
+# tolerance floor instead of producing false regressions.
+BENCH_JSON_DIR="$workdir" ADV_REPEATS="${BENCH_CHECK_REPEATS:-5}" \
+  "$BENCH" --benchmark_filter=NONE >"$workdir/log" || {
   cat "$workdir/log" >&2
   echo "bench_check: bench_micro failed" >&2
   exit 1
 }
 
-python3 - "$BASELINE" "$workdir/BENCH_micro.json" "$TOLERANCE" <<'EOF'
+python3 - "$BASELINE" "$workdir/BENCH_micro.json" "$TOLERANCE" \
+  "$PAIR_TOLERANCE" <<'EOF'
 import json, sys
 
 baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+pair_tol = float(sys.argv[4])
 key = lambda r: (r.get("query"), r.get("config"))
 baseline = {key(r): r for r in json.load(open(baseline_path))}
 fresh = [r for r in json.load(open(fresh_path))]
@@ -63,8 +80,35 @@ for r in fresh:
             f"{floor:.0f} ({old[metric]:.0f} committed, "
             f"-{tol:.0%} tolerance)")
 
+# par/seq pairing within the fresh run: par-X must keep up with seq-X.
+# Only meaningful when the host can actually run threads in parallel —
+# on a single-CPU machine the par configs measure scheduler overhead.
+import os
+multi_cpu = (os.cpu_count() or 1) >= 2
+by_query = {}
+for r in fresh:
+    if "rows_per_sec" in r and r.get("config"):
+        by_query.setdefault(r.get("query"), {})[r["config"]] = r["rows_per_sec"]
+pairs = 0
+for query, configs in by_query.items():
+    if not multi_cpu:
+        break
+    for config, rps in configs.items():
+        if not config.startswith("par-"):
+            continue
+        seq = configs.get("seq-" + config[len("par-"):])
+        if seq is None:
+            continue
+        pairs += 1
+        if rps < seq * (1.0 - pair_tol):
+            failures.append(
+                f"({query!r}, {config!r}): rows_per_sec {rps:.0f} < "
+                f"sequential twin {seq:.0f} (-{pair_tol:.0%} tolerance)")
+
+pair_note = (f"{pairs} par/seq pairs, pair tolerance {pair_tol:.0%}"
+             if multi_cpu else "par/seq pairing skipped (single-CPU host)")
 print(f"bench_check: {compared} entries compared, {skipped} skipped "
-      f"(new/retired), tolerance {tol:.0%}")
+      f"(new/retired), tolerance {tol:.0%}; {pair_note}")
 if compared == 0 and not failures:
     print("bench_check: no overlapping baseline sections — nothing to gate")
 for f in failures:

@@ -2,16 +2,20 @@
 # Tier-1 verify plus race check for the intra-node parallel pipeline and
 # the admission scheduler / query server.
 #
-#   1. default build + full ctest suite (all tiers: fast, slow, fuzz, fault)
+#   1. default build + full ctest suite (all tiers: fast, slow, fuzz,
+#      fault), then the fast tier repeated under ADV_KERNEL_MODE=interp
+#      and =jit so every extraction kernel tier passes the same tests
 #   2. bounded fuzz + fault smoke with FIXED seeds (deterministic, a few
 #      seconds): the differential harness and the property suites invoked
-#      directly so the ADV_FUZZ_* overrides apply (see docs/TESTING.md)
+#      directly so the ADV_FUZZ_* overrides apply (see docs/TESTING.md),
+#      including a jit-tier differential run and the jit.compile fault
+#      campaign
 #   3. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
 #      sensitive test binaries — parallel pipeline, scheduler, networked
 #      server, and the dq differential/fault harness — run with
 #      halt_on_error so any data race fails the script
 #   4. bench_check.sh — scan/pruning/plan-cache/served-query throughput vs
-#      the committed BENCH_micro.json (>20% rows_per_sec or
+#      the committed BENCH_micro.json (a BENCH_CHECK_TOLERANCE rows_per_sec or
 #      queries_per_sec regression, or any identical_to_baseline=false,
 #      fails; skips cleanly when no baseline is committed)
 #
@@ -26,6 +30,16 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
+# The full suite above runs under the default kernel tier (vector); the
+# fast tier repeats under the other two so every extraction path keeps
+# passing the same tests (docs/KERNELS.md).  The jit pass exercises real
+# compile+dlopen on hosts with a compiler and the vector fallback on
+# hosts without one — both are supported configurations.
+for mode in interp jit; do
+  (cd build && ADV_KERNEL_MODE="$mode" ctest -L fast --output-on-failure \
+    -j"$JOBS")
+done
+
 # Bounded fuzz + fault smoke, fixed seeds so a failure here is always
 # reproducible with the printed replay command.
 ADV_FUZZ_SEED=97 ./build/tests/property_test >/dev/null
@@ -34,13 +48,15 @@ ADV_FUZZ_SEED=97 ./build/tests/interval_fuzz_test >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign io >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign net --server >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign node --partial >/dev/null
+./build/tools/adv_fuzz --seed 101 --seeds 3 --kernel jit >/dev/null
+./build/tools/adv_fuzz --seed 101 --campaign jit --kernel jit >/dev/null
 echo "fuzz/fault smoke OK"
 
 if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target storm_test storm_concurrency_test sched_test sched_stress_test \
-             net_test dq_diff_test dq_fault_test
+             net_test kernels_test dq_diff_test dq_fault_test
   # Exercise the parallel worker path even on single-core hosts.
   export ADV_THREADS_PER_NODE=4
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_test
@@ -48,6 +64,9 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_stress_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/net_test
+  # The kernel tiers share arenas/caches across extraction workers; the
+  # JIT cache in particular serializes concurrent compiles on one lock.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/kernels_test
   # Bounded corpora under tsan: the full wall clock stays in seconds.
   ADV_FUZZ_ITERS=6 TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/dq/dq_diff_test

@@ -6,6 +6,15 @@
 
 namespace adv::codegen {
 
+namespace {
+
+// Vector/jit batch cap in rows: the columnar working set (a few decoded
+// columns plus the row-major output block) stays inside L2 while still
+// amortizing the per-batch setup.
+constexpr uint64_t kKernelBatchRows = 4096;
+
+}  // namespace
+
 GroupBinding bind_group(const afc::GroupPlan& gp, const expr::BoundQuery& q,
                         const meta::Schema& schema) {
   GroupBinding b;
@@ -116,6 +125,10 @@ class TableSink final : public RowSink {
  public:
   explicit TableSink(expr::Table& t) : t_(t) {}
   void on_row(const double* vals, uint64_t) override { t_.append_row(vals); }
+  void on_rows(const double* rows, std::size_t, std::size_t nrows,
+               const uint64_t*) override {
+    t_.append_rows(rows, nrows);
+  }
 
  private:
   expr::Table& t_;
@@ -140,6 +153,17 @@ ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
 
   const std::vector<const FileHandle*>& handles = group_handles(gp);
 
+  // Effective tier for this AFC: jit needs a bound function for the group,
+  // otherwise it degrades to vector (same results, no specialization).
+  KernelMode mode = kernel_mode_;
+  if (mode == KernelMode::kJit && binding.jit_fn == nullptr)
+    mode = KernelMode::kVector;
+  switch (mode) {
+    case KernelMode::kInterp: ++stats.afcs_interp; break;
+    case KernelMode::kJit: ++stats.afcs_jit; break;
+    default: mode = KernelMode::kVector; ++stats.afcs_vector; break;
+  }
+
   // Mapped chunks decode in place; only unmapped ones need buffered
   // batching.  When every chunk is mapped the whole AFC is one batch.
   bool all_mapped = true;
@@ -161,28 +185,27 @@ ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
   // bounded row granularity even when a fully-mapped AFC would otherwise
   // decode in one pass.
   if (cancel_) batch_rows = std::min<uint64_t>(batch_rows, 1 << 16);
+  // The columnar tiers work in cache-sized batches regardless of mapping.
+  if (mode != KernelMode::kInterp)
+    batch_rows = std::min(batch_rows, kKernelBatchRows);
 
-  // Row buffer: one double per needed slot (scratch reused across AFCs;
-  // every slot has exactly one source, so no zero-fill is needed).
-  row_.resize(binding.slots.size());
-  double* row = row_.data();
-  const int row_slot = binding.row_slot;
-
-  // Constant and per-AFC loop-implicit slots fill once.
-  for (const auto& [s, v] : binding.const_fills) row[s] = v;
-  for (const auto& [s, k] : binding.loop_fills)
-    row[s] = static_cast<double>(
-        a.loop_values[static_cast<std::size_t>(k)]);
-
-  const auto& select_slots = q.select_slots();
-  // Fast path: SELECT list is exactly the slot buffer in order (true for
-  // SELECT * and any projection whose needed set equals its select set).
-  bool identity_select = select_slots.size() == binding.slots.size();
-  for (std::size_t i = 0; identity_select && i < select_slots.size(); ++i)
-    identity_select = select_slots[i] == static_cast<int>(i);
-  out_row_.resize(select_slots.size());
-  double* out_row = out_row_.data();
-  const bool has_predicate = q.has_predicate();
+  if (mode == KernelMode::kInterp) {
+    // Row buffer: one double per needed slot (scratch reused across AFCs;
+    // every slot has exactly one source, so no zero-fill is needed).
+    row_.resize(binding.slots.size());
+    double* row = row_.data();
+    // Constant and per-AFC loop-implicit slots fill once.
+    for (const auto& [s, v] : binding.const_fills) row[s] = v;
+    for (const auto& [s, k] : binding.loop_fills)
+      row[s] = static_cast<double>(
+          a.loop_values[static_cast<std::size_t>(k)]);
+    out_row_.resize(q.select_slots().size());
+  } else {
+    // Which slots the vector tier will have as decoded predicate columns.
+    slot_from_pred_col_.assign(binding.slots.size(), 0);
+    for (const auto& f : binding.pred_fetches) slot_from_pred_col_[f.slot] = 1;
+    colptrs_.assign(binding.slots.size(), nullptr);
+  }
 
   const unsigned char** srcs = srcs_.data();
   for (uint64_t done = 0; done < a.num_rows; done += batch_rows) {
@@ -205,32 +228,222 @@ ExtractStats Extractor::extract(const afc::GroupPlan& gp, const afc::Afc& a,
       }
       stats.bytes_read += bytes;
     }
-    // Zip rows: predicate inputs are materialized eagerly, the remaining
-    // fields only once a row passes the filter.
-    for (uint64_t r = 0; r < n; ++r) {
-      for (const GroupBinding::FieldFetch& f : binding.pred_fetches)
-        row[f.slot] = decode_double(f.type, srcs[f.chunk] + f.intra + r * f.bpr);
-      if (row_slot >= 0) {
-        row[static_cast<std::size_t>(row_slot)] = static_cast<double>(
-            a.row_first + static_cast<int64_t>(done + r) * gp.row_range.step);
-      }
-      stats.rows_scanned++;
-      if (!has_predicate || q.matches(row)) {
-        stats.rows_matched++;
-        for (const GroupBinding::FieldFetch& f : binding.post_fetches)
-          row[f.slot] =
-              decode_double(f.type, srcs[f.chunk] + f.intra + r * f.bpr);
-        if (identity_select) {
-          sink.on_row(row, done + r);
-        } else {
-          for (std::size_t i = 0; i < select_slots.size(); ++i)
-            out_row[i] = row[static_cast<std::size_t>(select_slots[i])];
-          sink.on_row(out_row, done + r);
-        }
-      }
+    switch (mode) {
+      case KernelMode::kInterp:
+        run_interp(gp, a, binding, q, sink, srcs, done, n, stats);
+        break;
+      case KernelMode::kJit:
+        run_jit(gp, a, binding, q, sink, srcs, done, n, stats);
+        break;
+      default:
+        run_vector(gp, a, binding, q, sink, srcs, done, n, stats);
+        break;
     }
   }
   return stats;
+}
+
+void Extractor::run_interp(const afc::GroupPlan& gp, const afc::Afc& a,
+                           const GroupBinding& binding,
+                           const expr::BoundQuery& q, RowSink& sink,
+                           const unsigned char** srcs, uint64_t done,
+                           uint64_t n, ExtractStats& stats) {
+  double* row = row_.data();
+  double* out_row = out_row_.data();
+  const int row_slot = binding.row_slot;
+  const auto& select_slots = q.select_slots();
+  // Fast path: SELECT list is exactly the slot buffer in order (true for
+  // SELECT * and any projection whose needed set equals its select set).
+  bool identity_select = select_slots.size() == binding.slots.size();
+  for (std::size_t i = 0; identity_select && i < select_slots.size(); ++i)
+    identity_select = select_slots[i] == static_cast<int>(i);
+  const bool has_predicate = q.has_predicate();
+
+  // Zip rows: predicate inputs are materialized eagerly, the remaining
+  // fields only once a row passes the filter.
+  for (uint64_t r = 0; r < n; ++r) {
+    for (const GroupBinding::FieldFetch& f : binding.pred_fetches)
+      row[f.slot] = decode_double(f.type, srcs[f.chunk] + f.intra + r * f.bpr);
+    if (row_slot >= 0) {
+      row[static_cast<std::size_t>(row_slot)] = static_cast<double>(
+          a.row_first + static_cast<int64_t>(done + r) * gp.row_range.step);
+    }
+    stats.rows_scanned++;
+    if (!has_predicate || q.matches(row)) {
+      stats.rows_matched++;
+      for (const GroupBinding::FieldFetch& f : binding.post_fetches)
+        row[f.slot] =
+            decode_double(f.type, srcs[f.chunk] + f.intra + r * f.bpr);
+      if (identity_select) {
+        sink.on_row(row, done + r);
+      } else {
+        for (std::size_t i = 0; i < select_slots.size(); ++i)
+          out_row[i] = row[static_cast<std::size_t>(select_slots[i])];
+        sink.on_row(out_row, done + r);
+      }
+    }
+  }
+}
+
+void Extractor::run_vector(const afc::GroupPlan& gp, const afc::Afc& a,
+                           const GroupBinding& binding,
+                           const expr::BoundQuery& q, RowSink& sink,
+                           const unsigned char** srcs, uint64_t done,
+                           uint64_t n, ExtractStats& stats) {
+  const auto& select_slots = q.select_slots();
+  const std::size_t ncols = select_slots.size();
+  const int64_t step = gp.row_range.step;
+  stats.rows_scanned += n;
+  arena_.reset_scratch();
+
+  if (!q.has_predicate()) {
+    // No filter: decode every selected field column straight into the
+    // row-major output block (out_stride = ncols), fill implicits, done.
+    double* out = arena_.out(n * ncols);
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const SlotSource& src =
+          binding.slots[static_cast<std::size_t>(select_slots[i])];
+      switch (src.kind) {
+        case SlotSource::Kind::kField: {
+          const afc::ChunkPlan& cp =
+              gp.chunks[static_cast<std::size_t>(src.chunk)];
+          kernels::decode_column(
+              src.type, srcs[src.chunk] + src.intra_offset, cp.bytes_per_row,
+              n, out + i, ncols);
+          break;
+        }
+        case SlotSource::Kind::kConst:
+          for (uint64_t r = 0; r < n; ++r) out[r * ncols + i] = src.const_value;
+          break;
+        case SlotSource::Kind::kLoop: {
+          double v = static_cast<double>(
+              a.loop_values[static_cast<std::size_t>(src.loop_index)]);
+          for (uint64_t r = 0; r < n; ++r) out[r * ncols + i] = v;
+          break;
+        }
+        case SlotSource::Kind::kRow:
+          for (uint64_t r = 0; r < n; ++r)
+            out[r * ncols + i] = static_cast<double>(
+                a.row_first + static_cast<int64_t>(done + r) * step);
+          break;
+      }
+    }
+    uint64_t* seq = arena_.seq(n);
+    for (uint64_t r = 0; r < n; ++r) seq[r] = done + r;
+    stats.rows_matched += n;
+    sink.on_rows(out, ncols, n, seq);
+    return;
+  }
+
+  // 1. Decode every predicate-read column into the arena.
+  for (const GroupBinding::FieldFetch& f : binding.pred_fetches) {
+    double* col = arena_.col(f.slot, n);
+    kernels::decode_column(f.type, srcs[f.chunk] + f.intra, f.bpr, n, col);
+    colptrs_[f.slot] = col;
+  }
+  for (int ps : q.predicate_slots()) {
+    const std::size_t s = static_cast<std::size_t>(ps);
+    const SlotSource& src = binding.slots[s];
+    switch (src.kind) {
+      case SlotSource::Kind::kField:
+        break;  // decoded above
+      case SlotSource::Kind::kConst: {
+        double* col = arena_.col(s, n);
+        for (uint64_t r = 0; r < n; ++r) col[r] = src.const_value;
+        colptrs_[s] = col;
+        break;
+      }
+      case SlotSource::Kind::kLoop: {
+        double* col = arena_.col(s, n);
+        double v = static_cast<double>(
+            a.loop_values[static_cast<std::size_t>(src.loop_index)]);
+        for (uint64_t r = 0; r < n; ++r) col[r] = v;
+        colptrs_[s] = col;
+        break;
+      }
+      case SlotSource::Kind::kRow: {
+        double* col = arena_.col(s, n);
+        for (uint64_t r = 0; r < n; ++r)
+          col[r] = static_cast<double>(
+              a.row_first + static_cast<int64_t>(done + r) * step);
+        colptrs_[s] = col;
+        break;
+      }
+    }
+  }
+
+  // 2. Predicate as mask passes, 3. compact survivors.
+  uint8_t* mask = arena_.mask(n);
+  kernels::eval_mask(q.predicate(), colptrs_.data(), n, mask, arena_);
+  uint32_t* sel = arena_.sel(n);
+  std::size_t nsel = kernels::gather_selected(mask, n, sel);
+  stats.rows_matched += nsel;
+  if (nsel == 0) return;
+
+  // 4. Materialize surviving rows: predicate columns gather from the arena,
+  // SELECT-only fields decode-gather straight from the chunk, implicits
+  // fill or compute.
+  double* out = arena_.out(nsel * ncols);
+  for (std::size_t i = 0; i < ncols; ++i) {
+    const std::size_t s = static_cast<std::size_t>(select_slots[i]);
+    const SlotSource& src = binding.slots[s];
+    if (colptrs_[s] != nullptr) {
+      const double* col = colptrs_[s];
+      for (std::size_t j = 0; j < nsel; ++j) out[j * ncols + i] = col[sel[j]];
+      continue;
+    }
+    switch (src.kind) {
+      case SlotSource::Kind::kField: {
+        const afc::ChunkPlan& cp =
+            gp.chunks[static_cast<std::size_t>(src.chunk)];
+        kernels::decode_gather(src.type, srcs[src.chunk] + src.intra_offset,
+                               cp.bytes_per_row, sel, nsel, out + i, ncols);
+        break;
+      }
+      case SlotSource::Kind::kConst:
+        for (std::size_t j = 0; j < nsel; ++j)
+          out[j * ncols + i] = src.const_value;
+        break;
+      case SlotSource::Kind::kLoop: {
+        double v = static_cast<double>(
+            a.loop_values[static_cast<std::size_t>(src.loop_index)]);
+        for (std::size_t j = 0; j < nsel; ++j) out[j * ncols + i] = v;
+        break;
+      }
+      case SlotSource::Kind::kRow:
+        for (std::size_t j = 0; j < nsel; ++j)
+          out[j * ncols + i] = static_cast<double>(
+              a.row_first + static_cast<int64_t>(done + sel[j]) * step);
+        break;
+    }
+  }
+  uint64_t* seq = arena_.seq(nsel);
+  for (std::size_t j = 0; j < nsel; ++j) seq[j] = done + sel[j];
+  sink.on_rows(out, ncols, nsel, seq);
+}
+
+void Extractor::run_jit(const afc::GroupPlan& gp, const afc::Afc& a,
+                        const GroupBinding& binding,
+                        const expr::BoundQuery& q, RowSink& sink,
+                        const unsigned char** srcs, uint64_t done, uint64_t n,
+                        ExtractStats& stats) {
+  const std::size_t ncols = q.select_slots().size();
+  stats.rows_scanned += n;
+  arena_.reset_scratch();
+  double* out = arena_.out(n * ncols);
+  uint32_t* sel = arena_.sel(n);
+  const long long row_base =
+      a.row_first + static_cast<int64_t>(done) * gp.row_range.step;
+  static_assert(sizeof(long long) == sizeof(int64_t));
+  long long cnt = binding.jit_fn(
+      srcs, n, reinterpret_cast<const long long*>(a.loop_values.data()),
+      row_base, out, sel);
+  const std::size_t nsel = static_cast<std::size_t>(cnt);
+  stats.rows_matched += nsel;
+  if (nsel == 0) return;
+  uint64_t* seq = arena_.seq(nsel);
+  for (std::size_t j = 0; j < nsel; ++j) seq[j] = done + sel[j];
+  sink.on_rows(out, ncols, nsel, seq);
 }
 
 }  // namespace adv::codegen

@@ -3,11 +3,22 @@
 // For each AFC, the extractor walks num_rows * bytes_per_row bytes of
 // every chunk — decoding directly out of the file's shared memory mapping
 // when available, otherwise preading bounded batches into per-extractor
-// buffers — zips the streams row by row, decodes the needed fields into a
-// dense double buffer, fills in implicit attributes, evaluates the
-// residual predicate (including user-defined filters), and hands each
-// matching row to a RowSink (zero-copy: the sink sees the decode buffer
-// itself).  A Table convenience overload appends to a result table.
+// buffers — and runs one of three kernel tiers over each batch (see
+// docs/KERNELS.md):
+//
+//   interp  row-at-a-time: decode the needed fields into a dense double
+//           buffer, evaluate the compiled predicate per row.  The reference
+//           engine; always available.
+//   vector  columnar: decode predicate columns into arena batch buffers,
+//           evaluate the predicate as branch-free mask passes, gather the
+//           survivors, materialize output rows batch-at-a-time.
+//   jit     a per-plan compiled function (src/kernels/jit.h) does decode,
+//           filter and projection in one specialized pass; falls back to
+//           vector when no function was bound.
+//
+// All tiers produce bit-identical rows in the same scan order and hand
+// them to a RowSink (zero-copy: the sink sees extractor-owned buffers).
+// A Table convenience overload appends to a result table.
 #pragma once
 
 #include <map>
@@ -18,8 +29,11 @@
 #include "afc/types.h"
 #include "common/cancel.h"
 #include "common/io.h"
+#include "common/kernel_mode.h"
 #include "expr/predicate.h"
 #include "expr/table.h"
+#include "kernels/batch.h"
+#include "kernels/jit.h"
 
 namespace adv::codegen {
 
@@ -33,6 +47,12 @@ struct ExtractStats {
   uint64_t afcs_pruned = 0;
   uint64_t rows_pruned = 0;
   uint64_t bytes_skipped = 0;
+  // Which kernel tier actually ran, one count per extracted AFC.  Lets
+  // callers (and tests) assert that e.g. a jit request really used the
+  // generated function rather than silently falling back.
+  uint64_t afcs_interp = 0;
+  uint64_t afcs_vector = 0;
+  uint64_t afcs_jit = 0;
 
   ExtractStats& operator+=(const ExtractStats& o) {
     bytes_read += o.bytes_read;
@@ -41,6 +61,9 @@ struct ExtractStats {
     afcs_pruned += o.afcs_pruned;
     rows_pruned += o.rows_pruned;
     bytes_skipped += o.bytes_skipped;
+    afcs_interp += o.afcs_interp;
+    afcs_vector += o.afcs_vector;
+    afcs_jit += o.afcs_jit;
     return *this;
   }
 };
@@ -77,6 +100,11 @@ struct GroupBinding {
   std::vector<std::pair<std::size_t, double>> const_fills;  // (slot, value)
   std::vector<std::pair<std::size_t, int>> loop_fills;  // (slot, loop index)
   int row_slot = -1;
+
+  // Generated extract+filter function for this group, bound by the caller
+  // when a JIT module is available (storm's run_node, the plan cache).
+  // Null means the jit tier falls back to vector for this group.
+  kernels::JitExtractFn jit_fn = nullptr;
 };
 
 // Builds the binding; throws InternalError when a needed attribute has no
@@ -94,6 +122,16 @@ class RowSink {
  public:
   virtual ~RowSink() = default;
   virtual void on_row(const double* vals, uint64_t scan_index) = 0;
+
+  // Batch delivery: `rows` holds nrows * ncols doubles row-major,
+  // scan_index[i] is row i's scan position.  The vector and jit tiers call
+  // this once per batch; sinks that can ingest in bulk override it, the
+  // default preserves per-row semantics exactly.
+  virtual void on_rows(const double* rows, std::size_t ncols,
+                       std::size_t nrows, const uint64_t* scan_index) {
+    for (std::size_t i = 0; i < nrows; ++i)
+      on_row(rows + i * ncols, scan_index[i]);
+  }
 };
 
 struct ExtractorOptions {
@@ -105,6 +143,8 @@ struct ExtractorOptions {
   // capped when a token is present so even a fully-mapped AFC polls every
   // ~64Ki rows); a fired token aborts with CancelledError.
   const CancelToken* cancel = nullptr;
+  // Kernel tier; kAuto resolves via ADV_KERNEL_MODE (default vector).
+  KernelMode kernel_mode = KernelMode::kAuto;
 };
 
 // Streaming extractor.  File handles come from the process-wide FileCache
@@ -118,7 +158,10 @@ class Extractor {
   explicit Extractor(const ExtractorOptions& opts = {})
       : batch_bytes_(opts.batch_bytes),
         io_mode_(resolve_io_mode(opts.io_mode)),
-        cancel_(opts.cancel) {}
+        cancel_(opts.cancel),
+        kernel_mode_(resolve_kernel_mode(opts.kernel_mode)) {}
+
+  KernelMode kernel_mode() const { return kernel_mode_; }
 
   // Extracts one AFC.  `binding` must come from bind_group() of the AFC's
   // group.  Hands each matching row to `sink`.
@@ -145,9 +188,26 @@ class Extractor {
   const std::vector<const FileHandle*>& group_handles(
       const afc::GroupPlan& gp);
 
+  // One kernel tier per batch; all share the chunk-cursor setup in
+  // extract().  `srcs` point at the batch base of every chunk, `done` is
+  // the batch's first in-AFC row index, `n` its row count.
+  void run_interp(const afc::GroupPlan& gp, const afc::Afc& a,
+                  const GroupBinding& binding, const expr::BoundQuery& q,
+                  RowSink& sink, const unsigned char** srcs, uint64_t done,
+                  uint64_t n, ExtractStats& stats);
+  void run_vector(const afc::GroupPlan& gp, const afc::Afc& a,
+                  const GroupBinding& binding, const expr::BoundQuery& q,
+                  RowSink& sink, const unsigned char** srcs, uint64_t done,
+                  uint64_t n, ExtractStats& stats);
+  void run_jit(const afc::GroupPlan& gp, const afc::Afc& a,
+               const GroupBinding& binding, const expr::BoundQuery& q,
+               RowSink& sink, const unsigned char** srcs, uint64_t done,
+               uint64_t n, ExtractStats& stats);
+
   std::size_t batch_bytes_;
   IoMode io_mode_;
   const CancelToken* cancel_ = nullptr;
+  KernelMode kernel_mode_ = KernelMode::kVector;
   // Shared handles pinned for this extractor's lifetime.
   std::map<std::string, std::shared_ptr<const FileHandle>> handles_;
   // Resolved handles per group (keyed by GroupPlan address; valid while the
@@ -160,6 +220,10 @@ class Extractor {
   std::vector<const unsigned char*> srcs_;
   std::vector<double> row_;
   std::vector<double> out_row_;
+  // Columnar scratch for the vector/jit tiers, grow-only across batches.
+  kernels::BatchArena arena_;
+  std::vector<const double*> colptrs_;
+  std::vector<uint8_t> slot_from_pred_col_;
 };
 
 }  // namespace adv::codegen

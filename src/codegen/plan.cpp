@@ -46,7 +46,12 @@ expr::Table DataServicePlan::execute(const expr::BoundQuery& q,
                                      ExtractStats* stats) const {
   afc::PlanResult pr = index_fn(q, opts);
   expr::Table out(q.result_columns());
-  Extractor ex;
+  // The naive executors stay on the interp tier regardless of
+  // ADV_KERNEL_MODE: they are the reference the differential harness
+  // compares the kernel engines against.
+  ExtractorOptions xopts;
+  xopts.kernel_mode = KernelMode::kInterp;
+  Extractor ex(xopts);
   std::vector<GroupBinding> bindings;
   bindings.reserve(pr.groups.size());
   for (const auto& g : pr.groups)
@@ -78,7 +83,9 @@ expr::Table DataServicePlan::execute_parallel(
   std::vector<ExtractStats> part_stats(static_cast<std::size_t>(threads));
   ThreadPool pool(static_cast<std::size_t>(threads));
   pool.parallel_for(static_cast<std::size_t>(threads), [&](std::size_t w) {
-    Extractor ex;
+    ExtractorOptions xopts;
+    xopts.kernel_mode = KernelMode::kInterp;
+    Extractor ex(xopts);
     for (std::size_t i = w; i < pr.afcs.size();
          i += static_cast<std::size_t>(threads)) {
       const afc::Afc& a = pr.afcs[i];

@@ -1,0 +1,31 @@
+// Kernel-engine selection for the extraction hot path.
+//
+// The extractor runs one of three inner-loop engines per AFC (see
+// docs/KERNELS.md):
+//   interp  row-at-a-time interpreted decode + predicate eval (the
+//           original engine; also the dq differential reference)
+//   vector  columnar batch decode + branch-free mask predicate passes
+//   jit     per-plan C++ emitted, compiled, dlopen'ed extract+filter
+//           kernels, falling back to `vector` when no compiler is
+//           available, compilation fails, or the predicate uses a UDF
+// kAuto resolves through the ADV_KERNEL_MODE environment variable
+// ("interp" | "vector" | "jit"), defaulting to vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adv {
+
+enum class KernelMode : uint8_t { kAuto, kInterp, kVector, kJit };
+
+// Resolves kAuto via ADV_KERNEL_MODE; any explicit mode passes through.
+KernelMode resolve_kernel_mode(KernelMode configured = KernelMode::kAuto);
+
+// Spec name ("auto" | "interp" | "vector" | "jit").
+const char* to_string(KernelMode m);
+
+// Parses a spec name; returns false (out untouched) on an unknown name.
+bool kernel_mode_from_name(const std::string& name, KernelMode& out);
+
+}  // namespace adv

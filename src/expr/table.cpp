@@ -18,6 +18,24 @@ void Table::append_row(const double* vals) {
   ++rows_;
 }
 
+void Table::append_rows(const double* rows, std::size_t nrows) {
+  const std::size_t nc = cols_.size();
+  for (std::size_t c = 0; c < nc; ++c) {
+    auto& col = data_[c];
+    const std::size_t old = col.size();
+    // Geometric growth: reserving exactly old+nrows would reallocate (and
+    // copy the whole column) once per appended batch — quadratic over a
+    // long stream of batches.
+    if (col.capacity() < old + nrows)
+      col.reserve(std::max(old + nrows, 2 * col.capacity()));
+    col.resize(old + nrows);
+    double* dst = col.data() + old;
+    const double* p = rows + c;
+    for (std::size_t r = 0; r < nrows; ++r, p += nc) dst[r] = *p;
+  }
+  rows_ += nrows;
+}
+
 void Table::append_table(const Table& other) {
   if (other.num_cols() != num_cols())
     throw InternalError("Table::append_table: column count mismatch");

@@ -31,6 +31,10 @@ class Table {
   // Appends one row; `vals` must hold num_cols() values.
   void append_row(const double* vals);
 
+  // Appends `nrows` row-major rows in one pass: one strided copy per column
+  // instead of nrows * num_cols() scattered push_backs.
+  void append_rows(const double* rows, std::size_t nrows);
+
   double at(std::size_t row, std::size_t col) const {
     return data_[col][row];
   }

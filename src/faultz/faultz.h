@@ -47,6 +47,7 @@ enum class Site : uint8_t {
   kZonemapLoad,     // sidecar load aborts (must fall back to full scan)
   kNodeRun,         // a STORM node worker dies at query start
   kServeQuery,      // the query-service worker dies after admission
+  kJitCompile,      // JIT kernel compilation fails (must fall back to vector)
   kCount,
 };
 

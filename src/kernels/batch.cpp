@@ -1,0 +1,197 @@
+#include "kernels/batch.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace adv::kernels {
+
+namespace {
+
+template <typename T>
+void decode_typed(const unsigned char* base, std::size_t stride,
+                  std::size_t n, double* out, std::size_t out_stride) {
+  for (std::size_t i = 0; i < n; ++i) {
+    T v;
+    std::memcpy(&v, base + i * stride, sizeof v);
+    out[i * out_stride] = static_cast<double>(v);
+  }
+}
+
+template <typename T>
+void gather_typed(const unsigned char* base, std::size_t stride,
+                  const uint32_t* sel, std::size_t nsel, double* out,
+                  std::size_t out_stride) {
+  for (std::size_t j = 0; j < nsel; ++j) {
+    T v;
+    std::memcpy(&v, base + sel[j] * stride, sizeof v);
+    out[j * out_stride] = static_cast<double>(v);
+  }
+}
+
+}  // namespace
+
+void decode_column(DataType t, const unsigned char* base, std::size_t stride,
+                   std::size_t n, double* out, std::size_t out_stride) {
+  switch (t) {
+    case DataType::kInt8:
+      return decode_typed<int8_t>(base, stride, n, out, out_stride);
+    case DataType::kInt16:
+      return decode_typed<int16_t>(base, stride, n, out, out_stride);
+    case DataType::kInt32:
+      return decode_typed<int32_t>(base, stride, n, out, out_stride);
+    case DataType::kInt64:
+      return decode_typed<int64_t>(base, stride, n, out, out_stride);
+    case DataType::kFloat32:
+      return decode_typed<float>(base, stride, n, out, out_stride);
+    case DataType::kFloat64:
+      return decode_typed<double>(base, stride, n, out, out_stride);
+  }
+}
+
+void decode_gather(DataType t, const unsigned char* base, std::size_t stride,
+                   const uint32_t* sel, std::size_t nsel, double* out,
+                   std::size_t out_stride) {
+  switch (t) {
+    case DataType::kInt8:
+      return gather_typed<int8_t>(base, stride, sel, nsel, out, out_stride);
+    case DataType::kInt16:
+      return gather_typed<int16_t>(base, stride, sel, nsel, out, out_stride);
+    case DataType::kInt32:
+      return gather_typed<int32_t>(base, stride, sel, nsel, out, out_stride);
+    case DataType::kInt64:
+      return gather_typed<int64_t>(base, stride, sel, nsel, out, out_stride);
+    case DataType::kFloat32:
+      return gather_typed<float>(base, stride, sel, nsel, out, out_stride);
+    case DataType::kFloat64:
+      return gather_typed<double>(base, stride, sel, nsel, out, out_stride);
+  }
+}
+
+const double* eval_scalar_batch(const expr::CompiledScalar& s,
+                                const double* const* cols, std::size_t n,
+                                BatchArena& arena) {
+  using K = expr::CompiledScalar::Kind;
+  switch (s.kind) {
+    case K::kSlot:
+      return cols[static_cast<std::size_t>(s.slot)];
+    case K::kConst: {
+      double* o = arena.scratch_col(n);
+      for (std::size_t i = 0; i < n; ++i) o[i] = s.cval;
+      return o;
+    }
+    case K::kArith: {
+      const double* a = eval_scalar_batch(s.args[0], cols, n, arena);
+      const double* b = eval_scalar_batch(s.args[1], cols, n, arena);
+      double* o = arena.scratch_col(n);
+      switch (s.op) {
+        case '+': for (std::size_t i = 0; i < n; ++i) o[i] = a[i] + b[i]; break;
+        case '-': for (std::size_t i = 0; i < n; ++i) o[i] = a[i] - b[i]; break;
+        case '*': for (std::size_t i = 0; i < n; ++i) o[i] = a[i] * b[i]; break;
+        case '/': for (std::size_t i = 0; i < n; ++i) o[i] = a[i] / b[i]; break;
+        default:
+          throw InternalError("eval_scalar_batch: unknown arith op");
+      }
+      return o;
+    }
+    case K::kCall: {
+      // UDF fallback: opaque function pointer, so the call stays scalar —
+      // argument columns are batched, the function runs once per row with
+      // the same argv the interpreter would pass (bit-identical results).
+      const std::size_t na = s.args.size();
+      const double* argcols[16];
+      for (std::size_t j = 0; j < na; ++j)
+        argcols[j] = eval_scalar_batch(s.args[j], cols, n, arena);
+      double* o = arena.scratch_col(n);
+      double argv[16];
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < na; ++j) argv[j] = argcols[j][i];
+        o[i] = s.udf->fn(argv, na);
+      }
+      return o;
+    }
+  }
+  throw InternalError("eval_scalar_batch: unknown scalar kind");
+}
+
+void eval_mask(const expr::CompiledBool& p, const double* const* cols,
+               std::size_t n, uint8_t* out, BatchArena& arena) {
+  using K = expr::CompiledBool::Kind;
+  switch (p.kind) {
+    case K::kTrue:
+      std::memset(out, 1, n);
+      return;
+    case K::kCmp: {
+      const double* a = eval_scalar_batch(p.lhs, cols, n, arena);
+      const double* b = eval_scalar_batch(p.rhs, cols, n, arena);
+      switch (p.cmp) {
+        case sql::CmpOp::kLt:
+          for (std::size_t i = 0; i < n; ++i) out[i] = a[i] < b[i];
+          break;
+        case sql::CmpOp::kLe:
+          for (std::size_t i = 0; i < n; ++i) out[i] = a[i] <= b[i];
+          break;
+        case sql::CmpOp::kGt:
+          for (std::size_t i = 0; i < n; ++i) out[i] = a[i] > b[i];
+          break;
+        case sql::CmpOp::kGe:
+          for (std::size_t i = 0; i < n; ++i) out[i] = a[i] >= b[i];
+          break;
+        case sql::CmpOp::kEq:
+          for (std::size_t i = 0; i < n; ++i) out[i] = a[i] == b[i];
+          break;
+        case sql::CmpOp::kNe:
+          for (std::size_t i = 0; i < n; ++i) out[i] = a[i] != b[i];
+          break;
+      }
+      return;
+    }
+    case K::kIn: {
+      // IN lowers to one equality-mask pass per set member, OR-combined.
+      // in_set is small (SQL literal lists), so value-outer keeps the inner
+      // loop a vectorizable compare-accumulate over the column.
+      const double* c = cols[static_cast<std::size_t>(p.slot)];
+      std::memset(out, 0, n);
+      for (double v : p.in_set)
+        for (std::size_t i = 0; i < n; ++i)
+          out[i] |= static_cast<uint8_t>(c[i] == v);
+      return;
+    }
+    case K::kAnd: {
+      eval_mask(p.kids[0], cols, n, out, arena);
+      uint8_t* tmp = arena.scratch_mask(n);
+      for (std::size_t k = 1; k < p.kids.size(); ++k) {
+        eval_mask(p.kids[k], cols, n, tmp, arena);
+        for (std::size_t i = 0; i < n; ++i) out[i] &= tmp[i];
+      }
+      return;
+    }
+    case K::kOr: {
+      eval_mask(p.kids[0], cols, n, out, arena);
+      uint8_t* tmp = arena.scratch_mask(n);
+      for (std::size_t k = 1; k < p.kids.size(); ++k) {
+        eval_mask(p.kids[k], cols, n, tmp, arena);
+        for (std::size_t i = 0; i < n; ++i) out[i] |= tmp[i];
+      }
+      return;
+    }
+    case K::kNot: {
+      eval_mask(p.kids[0], cols, n, out, arena);
+      for (std::size_t i = 0; i < n; ++i) out[i] ^= 1;
+      return;
+    }
+  }
+  throw InternalError("eval_mask: unknown predicate kind");
+}
+
+std::size_t gather_selected(const uint8_t* mask, std::size_t n,
+                            uint32_t* sel) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += (mask[i] != 0);
+  }
+  return k;
+}
+
+}  // namespace adv::kernels

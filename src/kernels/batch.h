@@ -1,0 +1,119 @@
+// Columnar batch kernels: the `vector` tier of the extraction engine.
+//
+// The extractor decodes one AFC batch into column-major buffers (one
+// contiguous double array per predicate-read slot), evaluates the compiled
+// predicate as branch-free column passes — each comparison produces a
+// byte mask, AND/OR/NOT combine masks, IN lowers to equality-mask ORs —
+// gathers the surviving row indices, and materializes output rows
+// batch-at-a-time.  Every loop here is a tight, branch-free pass the
+// compiler can auto-vectorize; the only scalar escape hatch is a UDF call,
+// which runs per-row inside the batch (UDFs are opaque function pointers).
+//
+// Bit-exactness contract: for every row, the mask the passes compute is
+// exactly CompiledBool::eval of that row.  And/Or short-circuit in the
+// interpreter, but every subexpression is pure (IEEE arithmetic and pure
+// UDFs — no traps, no side effects), so evaluating all branches for all
+// rows cannot change any row's decision or its bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "expr/predicate.h"
+
+namespace adv::kernels {
+
+// Grow-only buffer arena reused across batches and AFCs by one extraction
+// worker.  Named buffers (per-slot columns, mask, selection vector, scan
+// sequence, row-major output staging) keep their capacity for the worker's
+// lifetime; scratch buffers back intermediate expression columns and are
+// recycled per batch via reset_scratch() without freeing.
+class BatchArena {
+ public:
+  // Per-slot decode column (slot-indexed, grows on demand).
+  double* col(std::size_t slot, std::size_t n) {
+    if (cols_.size() <= slot) cols_.resize(slot + 1);
+    if (cols_[slot].size() < n) cols_[slot].resize(n);
+    return cols_[slot].data();
+  }
+  uint8_t* mask(std::size_t n) {
+    if (mask_.size() < n) mask_.resize(n);
+    return mask_.data();
+  }
+  uint32_t* sel(std::size_t n) {
+    if (sel_.size() < n) sel_.resize(n);
+    return sel_.data();
+  }
+  uint64_t* seq(std::size_t n) {
+    if (seq_.size() < n) seq_.resize(n);
+    return seq_.data();
+  }
+  double* out(std::size_t n) {
+    if (out_.size() < n) out_.resize(n);
+    return out_.data();
+  }
+
+  // Scratch columns/masks for expression evaluation.  reset_scratch() makes
+  // all of them reusable without releasing memory, so a steady-state batch
+  // allocates nothing.
+  void reset_scratch() { dused_ = 0; mused_ = 0; }
+  double* scratch_col(std::size_t n) {
+    if (dscratch_.size() <= dused_) dscratch_.resize(dused_ + 1);
+    auto& v = dscratch_[dused_++];
+    if (v.size() < n) v.resize(n);
+    return v.data();
+  }
+  uint8_t* scratch_mask(std::size_t n) {
+    if (mscratch_.size() <= mused_) mscratch_.resize(mused_ + 1);
+    auto& v = mscratch_[mused_++];
+    if (v.size() < n) v.resize(n);
+    return v.data();
+  }
+
+ private:
+  std::vector<std::vector<double>> cols_;
+  std::vector<uint8_t> mask_;
+  std::vector<uint32_t> sel_;
+  std::vector<uint64_t> seq_;
+  std::vector<double> out_;
+  std::vector<std::vector<double>> dscratch_;
+  std::size_t dused_ = 0;
+  std::vector<std::vector<uint8_t>> mscratch_;
+  std::size_t mused_ = 0;
+};
+
+// Decodes n consecutive fixed-stride fields of type `t` starting at `base`
+// into out[0], out[out_stride], ... — the type switch sits outside the
+// loop, so each instantiation is a tight memcpy-and-widen pass.
+void decode_column(DataType t, const unsigned char* base, std::size_t stride,
+                   std::size_t n, double* out, std::size_t out_stride = 1);
+
+// Gathering variant: decodes the fields at row indices sel[0..nsel) only.
+// Used to materialize SELECT-only fields for surviving rows straight into
+// the row-major output block (out_stride = number of output columns).
+void decode_gather(DataType t, const unsigned char* base, std::size_t stride,
+                   const uint32_t* sel, std::size_t nsel, double* out,
+                   std::size_t out_stride);
+
+// Evaluates a compiled scalar over the batch.  `cols[slot]` must hold the
+// decoded column for every slot the expression reads.  Returns a pointer
+// to n doubles — cols[slot] itself for a plain slot reference (zero-copy),
+// an arena scratch column otherwise.  kCall (UDF) is the scalar fallback:
+// argument columns are batched, the call itself runs per row.
+const double* eval_scalar_batch(const expr::CompiledScalar& s,
+                                const double* const* cols, std::size_t n,
+                                BatchArena& arena);
+
+// Evaluates a compiled predicate over the batch into out[0..n) (1 = row
+// matches).  Must agree bit-exactly with CompiledBool::eval per row.
+void eval_mask(const expr::CompiledBool& p, const double* const* cols,
+               std::size_t n, uint8_t* out, BatchArena& arena);
+
+// Compacts the mask into row indices; returns the survivor count.  The
+// loop is branch-free (the store always happens; the cursor advances
+// conditionally), so selectivity does not cost mispredictions.
+std::size_t gather_selected(const uint8_t* mask, std::size_t n,
+                            uint32_t* sel);
+
+}  // namespace adv::kernels

@@ -1,0 +1,207 @@
+#include "kernels/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "common/env.h"
+#include "faultz/faultz.h"
+
+namespace adv::kernels {
+
+namespace fs = std::filesystem;
+
+uint64_t jit_source_hash(const std::string& source) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : source) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+JitExtractFn JitModule::group_fn(int g) const {
+  if (g < 0 || g >= num_groups_ || group_fn_ == nullptr) return nullptr;
+  return group_fn_(g);
+}
+
+std::shared_ptr<const JitModule> JitModule::open(const std::string& so_path,
+                                                 std::string& error) {
+  void* h = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (h == nullptr) {
+    const char* e = ::dlerror();
+    error = e != nullptr ? e : "dlopen failed";
+    return nullptr;
+  }
+  auto ngroups = reinterpret_cast<int (*)()>(::dlsym(h, "advjit_num_groups"));
+  auto groupfn = reinterpret_cast<JitExtractFn (*)(int)>(
+      ::dlsym(h, "advjit_group_fn"));
+  if (ngroups == nullptr || groupfn == nullptr) {
+    error = "missing advjit entry points in " + so_path;
+    ::dlclose(h);
+    return nullptr;
+  }
+  auto mod = std::shared_ptr<JitModule>(new JitModule());
+  mod->handle_ = h;
+  mod->num_groups_ = ngroups();
+  mod->group_fn_ = groupfn;
+  return mod;
+}
+
+namespace {
+
+std::string cache_dir() {
+  std::string dir = env_str("ADV_JIT_CACHE_DIR", "");
+  if (dir.empty()) {
+    dir = (fs::temp_directory_path() /
+           ("advjit-cache-" + std::to_string(::getuid())))
+              .string();
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  return dir;
+}
+
+std::string compiler() { return env_str("ADV_JIT_CXX", "c++"); }
+
+bool probe_compiler(const std::string& cxx) {
+  std::string cmd = cxx + " --version >/dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+}  // namespace
+
+struct JitCache::Impl {
+  mutable std::mutex mu;
+  std::map<uint64_t, std::shared_ptr<const JitModule>> modules;
+  JitStats stats;
+  std::atomic<uint64_t> tmp_counter{0};
+};
+
+JitCache::Impl& JitCache::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+JitCache& JitCache::instance() {
+  static JitCache cache;
+  return cache;
+}
+
+bool JitCache::compiler_available() {
+  // Probe once per compiler string: the answer cannot change mid-process
+  // unless the environment does, and tests flip ADV_JIT_CXX to simulate a
+  // compiler-less machine.
+  static std::mutex mu;
+  static std::map<std::string, bool> probed;
+  std::string cxx = compiler();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = probed.find(cxx);
+  if (it == probed.end()) it = probed.emplace(cxx, probe_compiler(cxx)).first;
+  return it->second;
+}
+
+JitStats JitCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  return impl().stats;
+}
+
+void JitCache::clear_memory() {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  impl().modules.clear();
+}
+
+std::shared_ptr<const JitModule> JitCache::get_or_compile(
+    const std::string& source) {
+  Impl& im = impl();
+  uint64_t key = jit_source_hash(source);
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.modules.find(key);
+  if (it != im.modules.end()) {
+    ++im.stats.memory_hits;
+    return it->second;
+  }
+
+  // The fault check sits before the disk lookup so an armed jit.compile
+  // campaign forces the fallback even when a cached .so already exists.
+  if (faultz::FaultPlan::instance().should_fire(faultz::Site::kJitCompile)) {
+    ++im.stats.failures;
+    return nullptr;
+  }
+
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(key));
+  std::string dir = cache_dir();
+  std::string so_path = dir + "/advjit-" + hex + ".so";
+
+  std::string error;
+  std::error_code ec;
+  if (fs::exists(so_path, ec)) {
+    auto mod = JitModule::open(so_path, error);
+    if (mod != nullptr) {
+      ++im.stats.disk_hits;
+      im.modules.emplace(key, mod);
+      return mod;
+    }
+    // A stale or truncated .so falls through to recompilation.
+    fs::remove(so_path, ec);
+  }
+
+  if (!compiler_available()) {
+    ++im.stats.failures;
+    return nullptr;
+  }
+
+  uint64_t uniq = im.tmp_counter.fetch_add(1);
+  std::string stem = dir + "/advjit-" + hex + "-" +
+                     std::to_string(::getpid()) + "-" + std::to_string(uniq);
+  std::string cpp_path = stem + ".cpp";
+  std::string tmp_so = stem + ".so";
+  {
+    std::ofstream out(cpp_path, std::ios::trunc);
+    out << source;
+    if (!out.good()) {
+      ++im.stats.failures;
+      return nullptr;
+    }
+  }
+  std::string cmd = compiler() + " -std=c++17 -O2 -shared -fPIC -o '" +
+                    tmp_so + "' '" + cpp_path + "' >/dev/null 2>&1";
+  int rc = std::system(cmd.c_str());
+  fs::remove(cpp_path, ec);
+  if (rc != 0) {
+    fs::remove(tmp_so, ec);
+    ++im.stats.failures;
+    return nullptr;
+  }
+  // rename() is atomic within the directory, so concurrent processes racing
+  // on the same key each publish a complete .so.
+  fs::rename(tmp_so, so_path, ec);
+  if (ec) {
+    fs::remove(tmp_so, ec);
+    ++im.stats.failures;
+    return nullptr;
+  }
+  auto mod = JitModule::open(so_path, error);
+  if (mod == nullptr) {
+    ++im.stats.failures;
+    return nullptr;
+  }
+  ++im.stats.compiles;
+  im.modules.emplace(key, mod);
+  return mod;
+}
+
+}  // namespace adv::kernels

@@ -1,0 +1,104 @@
+// Per-plan JIT kernels: the `jit` tier of the extraction engine.
+//
+// The codegen layer (src/codegen/emit.cpp) emits one specialized C++
+// translation unit per (descriptor hash, canonical SQL, chunk layout) —
+// constants folded, field offsets hard-coded, the predicate inlined as a
+// plain C++ expression.  This module owns everything after that string
+// exists: hashing it, compiling it with the system compiler into a shared
+// object, dlopen-ing the result, and caching the loaded module both
+// in-memory (per process) and on disk (across processes, keyed by source
+// hash so identical layouts dedupe across datasets).
+//
+// Compilation failure is never an error for the query: get_or_compile
+// returns nullptr and the extractor falls back to the vector tier.  The
+// faultz site `jit.compile` forces that path deterministically, and
+// ADV_JIT_CXX=/nonexistent simulates a machine with no compiler.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace adv::kernels {
+
+// ABI of a generated per-group extract+filter function.  One call processes
+// `nrows` consecutive rows of an AFC batch: `srcs[c]` points at the batch
+// base of chunk c, `loop_values` are the AFC's enumeration-loop values,
+// `row_first` is the row-attribute value of the batch's first row.  Matching
+// rows are written in SELECT order to out[m*ncols] (ncols is baked into the
+// generated code) with their in-batch row index in sel[m]; returns the
+// match count.
+using JitExtractFn = long long (*)(const unsigned char* const* srcs,
+                                   unsigned long long nrows,
+                                   const long long* loop_values,
+                                   long long row_first, double* out,
+                                   unsigned int* sel);
+
+// A loaded shared object holding one generated function per plan group.
+// Immutable; shared_ptr ownership keeps the dlopen handle alive for as long
+// as any query still holds extraction bindings into it.
+class JitModule {
+ public:
+  ~JitModule();
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  int num_groups() const { return num_groups_; }
+  // Generated function for plan group `g` (0-based), or nullptr when out of
+  // range.
+  JitExtractFn group_fn(int g) const;
+
+  // dlopens `so_path` and resolves the advjit entry points.  Returns
+  // nullptr (with `error` set) on any failure.
+  static std::shared_ptr<const JitModule> open(const std::string& so_path,
+                                               std::string& error);
+
+ private:
+  JitModule() = default;
+  void* handle_ = nullptr;
+  int num_groups_ = 0;
+  JitExtractFn (*group_fn_)(int) = nullptr;
+};
+
+struct JitStats {
+  uint64_t memory_hits = 0;  // served from the in-process module map
+  uint64_t disk_hits = 0;    // dlopen-ed a previously compiled .so
+  uint64_t compiles = 0;     // invoked the system compiler successfully
+  uint64_t failures = 0;     // compile/load failed (callers fell back)
+};
+
+// Process-wide cache of compiled modules, keyed by a hash of the generated
+// source.  Thread-safe; concurrent requests for the same source serialize on
+// the cache lock, so a module is compiled at most once per process.
+class JitCache {
+ public:
+  static JitCache& instance();
+
+  // Returns the module for `source`, compiling and/or loading as needed.
+  // Lookup order: in-memory map, then the on-disk cache directory
+  // (ADV_JIT_CACHE_DIR, default a per-uid directory under /tmp), then a
+  // fresh compile with ADV_JIT_CXX (default "c++").  Returns nullptr when
+  // the compiler is unavailable or compilation fails — never throws for
+  // those; the caller must fall back to the vector tier.
+  std::shared_ptr<const JitModule> get_or_compile(const std::string& source);
+
+  // True when the configured compiler responds to --version.  Cached per
+  // compiler string; used by tests to skip compile-dependent assertions.
+  static bool compiler_available();
+
+  JitStats stats() const;
+  // Drops the in-memory module map (disk cache untouched).  Lets tests
+  // prove the disk-reload path; live shared_ptrs keep their modules valid.
+  void clear_memory();
+
+ private:
+  JitCache() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// FNV-1a over the generated source; also the on-disk cache key
+// (advjit-<hex>.so).  Exposed for tests.
+uint64_t jit_source_hash(const std::string& source);
+
+}  // namespace adv::kernels

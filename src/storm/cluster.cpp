@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "codegen/emit.h"
 #include "common/env.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -79,6 +80,23 @@ class PartitionSink final : public codegen::RowSink {
     if (b.num_rows() >= batch_rows_) flush(dest);
   }
 
+  // Bulk path for the vector/jit kernels.  With a single consumer every
+  // row has destination 0, so the whole batch lands in one insert; with
+  // multiple consumers rows route individually (destinations depend on row
+  // content / sequence), preserving on_row semantics exactly.
+  void on_rows(const double* rows, std::size_t ncols, std::size_t nrows,
+               const uint64_t* scan_index) override {
+    if (pending_.size() == 1 &&
+        partsvc_.spec().policy == PartitionSpec::Policy::kSingle) {
+      RowBatch& b = pending_[0];
+      b.data.insert(b.data.end(), rows, rows + nrows * ncols);
+      if (b.num_rows() >= batch_rows_) flush(0);
+      return;
+    }
+    for (std::size_t i = 0; i < nrows; ++i)
+      on_row(rows + i * ncols, scan_index[i]);
+  }
+
   void flush_all() {
     for (std::size_t c = 0; c < pending_.size(); ++c)
       flush(static_cast<int>(c));
@@ -128,7 +146,9 @@ void run_node(int node, const codegen::DataServicePlan& plan,
               DataMoverService& mover, const ClusterOptions& opts,
               ThreadPool* pool, NodeStats& stats,
               const afc::PlanResult* preplanned = nullptr,
-              const CancelToken* cancel = nullptr) {
+              const CancelToken* cancel = nullptr,
+              const std::shared_ptr<const kernels::JitModule>* premodule =
+                  nullptr) {
   stats.node_id = node;
   Stopwatch busy;
   try {
@@ -156,6 +176,28 @@ void run_node(int node, const codegen::DataServicePlan& plan,
     for (const auto& g : pr.groups)
       bindings.push_back(codegen::bind_group(g, q, plan.schema()));
 
+    // jit tier: bind the per-group generated functions.  A precompiled
+    // module (plan-cache warm path) is used as-is; otherwise emit+compile
+    // through the process-wide cache.  Any failure — no compiler, UDF in
+    // the predicate, an armed jit.compile fault — leaves jit_fn null and
+    // the extractor runs the vector tier instead.
+    const KernelMode mode = resolve_kernel_mode(opts.kernel_mode);
+    std::shared_ptr<const kernels::JitModule> jit_mod;
+    if (mode == KernelMode::kJit && !pr.groups.empty() &&
+        codegen::can_jit_query(q)) {
+      if (premodule != nullptr && *premodule != nullptr) {
+        jit_mod = *premodule;
+      } else {
+        jit_mod = kernels::JitCache::instance().get_or_compile(
+            codegen::emit_extract_cpp(pr, q));
+      }
+      if (jit_mod &&
+          jit_mod->num_groups() == static_cast<int>(pr.groups.size())) {
+        for (std::size_t g = 0; g < bindings.size(); ++g)
+          bindings[g].jit_fn = jit_mod->group_fn(static_cast<int>(g));
+      }
+    }
+
     // Ordering contract: rows are numbered by scan position.  AFC i's rows
     // start at the prefix sum of earlier AFCs' row counts — a numbering
     // that is a function of the plan alone, so kRoundRobin/kBlockCyclic
@@ -170,6 +212,7 @@ void run_node(int node, const codegen::DataServicePlan& plan,
     codegen::ExtractorOptions xopts;
     xopts.io_mode = opts.io_mode;
     xopts.cancel = cancel;
+    xopts.kernel_mode = mode;
 
     auto scan_range = [&](std::size_t lo, std::size_t hi, WorkerStats& ws) {
       try {
@@ -214,6 +257,9 @@ void run_node(int node, const codegen::DataServicePlan& plan,
       stats.bytes_sent += ws.bytes_sent;
       stats.transfer_seconds += ws.transfer_seconds;
       stats.io_retries += ws.io_retries;
+      stats.afcs_interp += ws.extract.afcs_interp;
+      stats.afcs_vector += ws.extract.afcs_vector;
+      stats.afcs_jit += ws.extract.afcs_jit;
       if (stats.error.empty() && !ws.error.empty()) {
         stats.error = ws.error;
         stats.error_kind = ws.error_kind;
@@ -230,10 +276,20 @@ void run_node(int node, const codegen::DataServicePlan& plan,
         opts.parallel_nodes
             ? static_cast<std::size_t>(plan.model().num_nodes())
             : 1;
-    const std::size_t ntasks =
+    std::size_t ntasks =
         pool ? std::min(nafcs,
                         std::max<std::size_t>(1, pool->size() * 4 / sharing))
              : 1;
+    // Admission heuristic: don't split below ~min_rows_per_worker rows per
+    // range — on small post-pruning scans the per-range setup cost exceeds
+    // the parallel win and par-* configs lose to seq-* (docs/PIPELINE.md).
+    uint64_t min_rows = opts.min_rows_per_worker;
+    if (min_rows == 0)
+      min_rows = static_cast<uint64_t>(
+          std::max<int64_t>(1, env_int("ADV_MIN_ROWS_PER_WORKER", 64 * 1024)));
+    ntasks = std::min<std::size_t>(
+        ntasks,
+        std::max<uint64_t>(1, base[nafcs] / min_rows));
     if (!pool || pool->size() <= 1 || ntasks <= 1) {
       WorkerStats ws;
       scan_range(0, nafcs, ws);
@@ -342,9 +398,8 @@ QueryResult StormCluster::execute(const expr::BoundQuery& q,
   QueryResult result = execute_streaming(
       q,
       [&](const RowBatch& batch) {
-        expr::Table& t = tables[static_cast<std::size_t>(batch.consumer)];
-        for (std::size_t r = 0; r < batch.num_rows(); ++r)
-          t.append_row(batch.data.data() + r * batch.num_cols);
+        tables[static_cast<std::size_t>(batch.consumer)].append_rows(
+            batch.data.data(), batch.num_rows());
       },
       partition, filter, nullptr, cancel);
   result.partitions = std::move(tables);
@@ -367,7 +422,9 @@ std::vector<afc::PlanResult> StormCluster::plan_nodes(
 
 QueryResult StormCluster::execute_planned(
     const expr::BoundQuery& q, const std::vector<afc::PlanResult>& node_plans,
-    const PartitionSpec& partition, CancelToken* cancel) {
+    const PartitionSpec& partition, CancelToken* cancel,
+    const std::vector<std::shared_ptr<const kernels::JitModule>>*
+        node_modules) {
   if (node_plans.size() != static_cast<std::size_t>(num_nodes()))
     throw QueryError("execute_planned: expected one plan per node");
   std::vector<expr::Table> tables;
@@ -376,11 +433,10 @@ QueryResult StormCluster::execute_planned(
   QueryResult result = execute_streaming(
       q,
       [&](const RowBatch& batch) {
-        expr::Table& t = tables[static_cast<std::size_t>(batch.consumer)];
-        for (std::size_t r = 0; r < batch.num_rows(); ++r)
-          t.append_row(batch.data.data() + r * batch.num_cols);
+        tables[static_cast<std::size_t>(batch.consumer)].append_rows(
+            batch.data.data(), batch.num_rows());
       },
-      partition, nullptr, &node_plans, cancel);
+      partition, nullptr, &node_plans, cancel, node_modules);
   result.partitions = std::move(tables);
   return result;
 }
@@ -388,7 +444,9 @@ QueryResult StormCluster::execute_planned(
 QueryResult StormCluster::execute_streaming(
     const expr::BoundQuery& q, const BatchSink& sink,
     const PartitionSpec& partition, const afc::ChunkFilter* filter,
-    const std::vector<afc::PlanResult>* node_plans, CancelToken* cancel) {
+    const std::vector<afc::PlanResult>* node_plans, CancelToken* cancel,
+    const std::vector<std::shared_ptr<const kernels::JitModule>>*
+        node_modules) {
   if (partition.num_consumers < 1)
     throw QueryError("PartitionSpec.num_consumers must be >= 1");
   if ((partition.policy == PartitionSpec::Policy::kHashAttr ||
@@ -410,12 +468,17 @@ QueryResult StormCluster::execute_streaming(
 
   if (node_plans && node_plans->size() != static_cast<std::size_t>(nodes))
     throw QueryError("execute_streaming: expected one plan per node");
+  if (node_modules &&
+      node_modules->size() != static_cast<std::size_t>(nodes))
+    throw QueryError("execute_streaming: expected one jit module per node");
   auto node_body = [&](int n) {
     run_node(n, *plan_, q, filter, partsvc, mover, opts_, pool,
              result.node_stats[static_cast<std::size_t>(n)],
              node_plans ? &(*node_plans)[static_cast<std::size_t>(n)]
                         : nullptr,
-             cancel);
+             cancel,
+             node_modules ? &(*node_modules)[static_cast<std::size_t>(n)]
+                          : nullptr);
   };
 
   // A sink that throws (a remote consumer hung up mid-stream) must not
@@ -458,7 +521,9 @@ QueryResult StormCluster::execute_streaming(
                result.node_stats[static_cast<std::size_t>(n)],
                node_plans ? &(*node_plans)[static_cast<std::size_t>(n)]
                           : nullptr,
-               cancel);
+               cancel,
+               node_modules ? &(*node_modules)[static_cast<std::size_t>(n)]
+                            : nullptr);
       ch->close();
       while (auto batch = ch->pop()) guarded_sink(*batch);
     }
@@ -505,6 +570,24 @@ uint64_t QueryResult::total_bytes_skipped() const {
 uint64_t QueryResult::total_io_retries() const {
   uint64_t n = 0;
   for (const auto& s : node_stats) n += s.io_retries;
+  return n;
+}
+
+uint64_t QueryResult::total_afcs_interp() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.afcs_interp;
+  return n;
+}
+
+uint64_t QueryResult::total_afcs_vector() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.afcs_vector;
+  return n;
+}
+
+uint64_t QueryResult::total_afcs_jit() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.afcs_jit;
   return n;
 }
 

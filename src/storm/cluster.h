@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "common/io.h"
+#include "common/kernel_mode.h"
 #include "common/thread_pool.h"
+#include "kernels/jit.h"
 #include "storm/services.h"
 
 namespace adv::storm {
@@ -49,6 +51,11 @@ struct NodeStats {
   // Transient read faults healed by the bounded per-AFC retry (the node
   // still succeeded; the count is how many extra attempts it took).
   uint64_t io_retries = 0;
+  // Which kernel tier extracted this node's AFCs (one count per AFC); a
+  // jit request that fell back shows up as afcs_vector > 0, afcs_jit == 0.
+  uint64_t afcs_interp = 0;
+  uint64_t afcs_vector = 0;
+  uint64_t afcs_jit = 0;
   std::string error;  // non-empty when the node failed
   // Category of `error`, so callers can distinguish an I/O casualty (retry
   // the query, fail over) from a cancelled query or a query-shape bug
@@ -69,6 +76,9 @@ struct QueryResult {
   uint64_t total_rows_pruned() const;
   uint64_t total_bytes_skipped() const;
   uint64_t total_io_retries() const;
+  uint64_t total_afcs_interp() const;
+  uint64_t total_afcs_vector() const;
+  uint64_t total_afcs_jit() const;
   // Concatenation of all partitions.
   expr::Table merged() const;
   // First error reported by any node ("" when none).
@@ -96,6 +106,18 @@ struct ClusterOptions {
   // fails the node after the budget.  0 disables retry.
   std::size_t io_retry_limit = 2;
   uint64_t io_retry_backoff_us = 100;
+  // Extraction kernel tier; kAuto honors env ADV_KERNEL_MODE ("interp" /
+  // "vector" / "jit"), defaulting to vector.  jit compiles one specialized
+  // module per (plan, query) and falls back to vector when the system
+  // compiler is unavailable or the predicate calls a UDF.
+  KernelMode kernel_mode = KernelMode::kAuto;
+  // Admission heuristic: a node splits its AFC list into at most
+  // total_rows / min_rows_per_worker parallel ranges, so each range worker
+  // amortizes its setup (extractor scratch, pread buffers, per-consumer
+  // pending batches) over a meaningful row count and par-* configs never
+  // lose to seq-* on small post-pruning scans.  0 = env
+  // ADV_MIN_ROWS_PER_WORKER, defaulting to 64Ki rows.
+  uint64_t min_rows_per_worker = 0;
 };
 
 class StormCluster {
@@ -134,6 +156,10 @@ class StormCluster {
   // returned QueryResult carries stats only — its partitions are empty.
   // A sink exception cancels the query (when it has a token), drains the
   // remaining batches, and is rethrown once every node worker joined.
+  // `node_modules` (optional, one entry per node, null entries allowed)
+  // supplies precompiled jit modules matching `node_plans` — the plan
+  // cache's warm path.  Without it, jit mode compiles per node on first
+  // use (served by the process-wide JitCache afterwards).
   using BatchSink = std::function<void(const RowBatch&)>;
   QueryResult execute_streaming(const expr::BoundQuery& q,
                                 const BatchSink& sink,
@@ -141,7 +167,10 @@ class StormCluster {
                                 const afc::ChunkFilter* filter = nullptr,
                                 const std::vector<afc::PlanResult>*
                                     node_plans = nullptr,
-                                CancelToken* cancel = nullptr);
+                                CancelToken* cancel = nullptr,
+                                const std::vector<std::shared_ptr<
+                                    const kernels::JitModule>>*
+                                    node_modules = nullptr);
 
   // Executes against precomputed per-node plans (node_plans[n] is the
   // index-function result for node n, with any chunk filter already
@@ -151,7 +180,10 @@ class StormCluster {
   QueryResult execute_planned(const expr::BoundQuery& q,
                               const std::vector<afc::PlanResult>& node_plans,
                               const PartitionSpec& partition = {},
-                              CancelToken* cancel = nullptr);
+                              CancelToken* cancel = nullptr,
+                              const std::vector<std::shared_ptr<
+                                  const kernels::JitModule>>*
+                                  node_modules = nullptr);
 
   // Runs the per-node index function for every node (as execute() would)
   // and returns the plans, one per node.

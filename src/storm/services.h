@@ -120,6 +120,7 @@ class PartitionGenerationService {
   int destination(const double* row, uint64_t row_seq) const;
 
   int num_consumers() const { return spec_.num_consumers; }
+  const PartitionSpec& spec() const { return spec_; }
 
  private:
   PartitionSpec spec_;

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <tuple>
 
 #include "common/env.h"
 #include "dq/dq_run.h"
@@ -27,22 +29,37 @@ uint64_t seed_count() {
   return static_cast<uint64_t>(env_int("ADV_FUZZ_ITERS", 22));
 }
 
-class DqDiffTest : public ::testing::TestWithParam<uint64_t> {};
+// Every seed runs under all three kernel tiers: the reference executor is
+// pinned to the interpreter inside run_seed, so the interp leg checks the
+// extractor's row-at-a-time path against the naive executor while the
+// vector and jit legs are genuine cross-tier differentials over the exact
+// same corpus.
+class DqDiffTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, KernelMode>> {};
 
 TEST_P(DqDiffTest, FastPathMatchesReference) {
   DqOptions opts;
   opts.queries_per_seed =
       static_cast<int>(env_int("ADV_DQ_QUERIES", 5));
-  DqReport rep = run_seed(GetParam(), opts);
+  opts.kernel_mode = std::get<1>(GetParam());
+  DqReport rep = run_seed(std::get<0>(GetParam()), opts);
   for (const std::string& f : rep.failures) ADD_FAILURE() << f;
   EXPECT_EQ(rep.passed, rep.cases) << rep.summary();
   // Clean path: no query may end in an error of any kind.
   EXPECT_EQ(rep.clean_errors, 0) << rep.summary();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DqDiffTest,
-                         ::testing::Range<uint64_t>(
-                             seed_base(), seed_base() + seed_count()));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DqDiffTest,
+    ::testing::Combine(::testing::Range<uint64_t>(seed_base(),
+                                                  seed_base() + seed_count()),
+                       ::testing::Values(KernelMode::kInterp,
+                                         KernelMode::kVector,
+                                         KernelMode::kJit)),
+    [](const ::testing::TestParamInfo<DqDiffTest::ParamType>& info) {
+      return std::to_string(std::get<0>(info.param)) + "_" +
+             to_string(std::get<1>(info.param));
+    });
 
 // A smaller corpus round-trips through the v2 wire protocol as well: the
 // served rows must match the same reference.

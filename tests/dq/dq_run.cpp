@@ -111,6 +111,7 @@ std::string campaign_spec(const std::string& name) {
   if (name == "node") return "node.run=0.25";
   if (name == "zm") return "zonemap.load=1";
   if (name == "sched") return "serve.query=0.3";
+  if (name == "jit") return "jit.compile=1";
   if (name == "none") return "";
   throw ValidationError("unknown fault campaign: " + name);
 }
@@ -125,6 +126,8 @@ std::string replay_command(uint64_t seed, const DqOptions& opts) {
   if (opts.with_server) os << " --server";
   if (opts.partial_results) os << " --partial";
   if (opts.io_mode == IoMode::kPread) os << " --pread";
+  if (opts.kernel_mode != KernelMode::kAuto)
+    os << " --kernel " << to_string(opts.kernel_mode);
   return os.str();
 }
 
@@ -160,6 +163,7 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
   vopts.plan_cache_capacity = 8;
   vopts.partial_results = opts.partial_results;
   vopts.cluster.io_mode = opts.io_mode;
+  vopts.cluster.kernel_mode = opts.kernel_mode;
   VirtualTable vt = VirtualTable::open(text, "DqData", tmp.str(), vopts);
 
   // The corpus is fixed by the seed alone — the same queries run under
@@ -199,6 +203,7 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
         std::make_shared<codegen::DataServicePlan>(desc, "DqData", tmp.str());
     storm::ClusterOptions copts;
     copts.io_mode = opts.io_mode;
+    copts.kernel_mode = opts.kernel_mode;
     server = std::make_unique<storm::QueryServer>(splan, copts, 0,
                                                   vt.chunk_filter());
     client = std::make_unique<storm::QueryClient>("127.0.0.1", server->port());

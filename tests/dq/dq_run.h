@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/io.h"
+#include "common/kernel_mode.h"
 #include "expr/table.h"
 
 namespace adv::dq {
@@ -45,6 +46,10 @@ struct DqOptions {
   bool partial_results = false;
   // I/O mode for the fast path's cluster (kAuto = env/mmap).
   IoMode io_mode = IoMode::kAuto;
+  // Kernel tier for the fast path (kAuto = env/vector).  The reference
+  // executor is pinned to the interpreter regardless, so vector and jit
+  // runs are genuine cross-tier differentials.
+  KernelMode kernel_mode = KernelMode::kAuto;
 };
 
 struct DqReport {
@@ -63,8 +68,8 @@ struct DqReport {
   std::string summary() const;
 };
 
-// The spec for a named campaign: "io", "net", "node", "zm", "sched".
-// Throws ValidationError for an unknown name.
+// The spec for a named campaign: "io", "net", "node", "zm", "sched",
+// "jit".  Throws ValidationError for an unknown name.
 std::string campaign_spec(const std::string& name);
 
 // Runs the corpus for one seed.  Deterministic given {seed, opts}.

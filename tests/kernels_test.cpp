@@ -1,0 +1,424 @@
+// Tests for the kernel engine tiers: BatchArena buffer reuse, mask-pass
+// lowering (IN / BETWEEN / OR / NOT) against the per-row interpreter, the
+// scalar UDF fallback inside batches, cross-tier row equivalence on a real
+// dataset, the JIT module cache (memory hit / disk reload / compile), and
+// graceful degradation to the vector tier when the compiler is missing or
+// the jit.compile fault site fires.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "advirt.h"
+#include "common/tempdir.h"
+#include "dataset/layout_writer.h"
+#include "faultz/faultz.h"
+#include "kernels/batch.h"
+#include "kernels/jit.h"
+
+namespace adv {
+namespace {
+
+using expr::CompiledBool;
+using expr::CompiledScalar;
+using kernels::BatchArena;
+
+// Sets an environment variable for one scope and restores the previous
+// state on exit (tests flip ADV_JIT_CXX / ADV_JIT_CACHE_DIR).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = ::getenv(name);
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_, old_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+// ---------------------------------------------------------------------------
+// BatchArena: grow-only buffers, scratch recycling without reallocation.
+
+TEST(BatchArenaTest, ScratchBuffersAreReusedAcrossBatches) {
+  BatchArena a;
+  double* c1 = a.scratch_col(100);
+  double* c2 = a.scratch_col(100);
+  EXPECT_NE(c1, c2);
+  uint8_t* m1 = a.scratch_mask(100);
+
+  // Next batch: reset hands back the same backing stores in order, even for
+  // smaller requests — a steady-state batch allocates nothing.
+  a.reset_scratch();
+  EXPECT_EQ(a.scratch_col(60), c1);
+  EXPECT_EQ(a.scratch_col(100), c2);
+  EXPECT_EQ(a.scratch_mask(40), m1);
+}
+
+TEST(BatchArenaTest, NamedBuffersNeverShrink) {
+  BatchArena a;
+  double* col = a.col(3, 256);
+  uint8_t* mask = a.mask(256);
+  uint32_t* sel = a.sel(256);
+  uint64_t* seq = a.seq(256);
+  double* out = a.out(1024);
+  // Smaller and equal requests keep the same storage.
+  EXPECT_EQ(a.col(3, 64), col);
+  EXPECT_EQ(a.mask(256), mask);
+  EXPECT_EQ(a.sel(1), sel);
+  EXPECT_EQ(a.seq(100), seq);
+  EXPECT_EQ(a.out(512), out);
+  // A different slot is a different column.
+  EXPECT_NE(a.col(0, 64), col);
+}
+
+// ---------------------------------------------------------------------------
+// Mask lowering: every pass must agree bit-exactly with CompiledBool::eval.
+
+CompiledScalar slot_ref(int s) {
+  CompiledScalar x;
+  x.kind = CompiledScalar::Kind::kSlot;
+  x.slot = s;
+  return x;
+}
+
+CompiledScalar lit(double v) {
+  CompiledScalar x;
+  x.kind = CompiledScalar::Kind::kConst;
+  x.cval = v;
+  return x;
+}
+
+CompiledBool cmp(sql::CmpOp op, CompiledScalar l, CompiledScalar r) {
+  CompiledBool b;
+  b.kind = CompiledBool::Kind::kCmp;
+  b.cmp = op;
+  b.lhs = std::move(l);
+  b.rhs = std::move(r);
+  return b;
+}
+
+// Two columns of awkward values: exact halves so ==/<= boundaries are hit,
+// repeated values so IN matches multiple rows.
+struct MaskFixture {
+  static constexpr std::size_t kN = 1000;
+  std::vector<double> c0, c1;
+  std::vector<const double*> cols;
+
+  MaskFixture() {
+    uint64_t s = 42;
+    auto next = [&s]() {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<double>((s >> 33) % 41) / 2.0 - 5.0;
+    };
+    for (std::size_t i = 0; i < kN; ++i) {
+      c0.push_back(next());
+      c1.push_back(next());
+    }
+    cols = {c0.data(), c1.data()};
+  }
+
+  void expect_mask_matches_eval(const CompiledBool& p) {
+    BatchArena arena;
+    arena.reset_scratch();
+    uint8_t* mask = arena.mask(kN);
+    kernels::eval_mask(p, cols.data(), kN, mask, arena);
+    for (std::size_t i = 0; i < kN; ++i) {
+      double row[2] = {c0[i], c1[i]};
+      ASSERT_EQ(mask[i] != 0, p.eval(row)) << "row " << i;
+    }
+  }
+};
+
+TEST(MaskLoweringTest, InLowersToEqualityMaskOrs) {
+  MaskFixture f;
+  CompiledBool p;
+  p.kind = CompiledBool::Kind::kIn;
+  p.slot = 0;
+  p.in_set = {-5.0, -0.5, 2.5, 99.0};  // 99 matches nothing
+  f.expect_mask_matches_eval(p);
+}
+
+TEST(MaskLoweringTest, BetweenLowersToAndOfComparisons) {
+  MaskFixture f;
+  // The parser rewrites A BETWEEN x AND y to A >= x AND A <= y; the mask
+  // path sees exactly this tree.
+  CompiledBool p;
+  p.kind = CompiledBool::Kind::kAnd;
+  p.kids.push_back(cmp(sql::CmpOp::kGe, slot_ref(0), lit(-2.0)));
+  p.kids.push_back(cmp(sql::CmpOp::kLe, slot_ref(0), lit(2.0)));
+  f.expect_mask_matches_eval(p);
+}
+
+TEST(MaskLoweringTest, OrAndNotCombineMasks) {
+  MaskFixture f;
+  CompiledBool inner;
+  inner.kind = CompiledBool::Kind::kOr;
+  inner.kids.push_back(cmp(sql::CmpOp::kLt, slot_ref(0), lit(-3.0)));
+  inner.kids.push_back(cmp(sql::CmpOp::kGt, slot_ref(1), lit(3.0)));
+  inner.kids.push_back(cmp(sql::CmpOp::kEq, slot_ref(0), slot_ref(1)));
+  CompiledBool p;
+  p.kind = CompiledBool::Kind::kNot;
+  p.kids.push_back(std::move(inner));
+  f.expect_mask_matches_eval(p);
+}
+
+TEST(MaskLoweringTest, ArithmeticComparisonsMatchInterpreter) {
+  MaskFixture f;
+  CompiledScalar sum;
+  sum.kind = CompiledScalar::Kind::kArith;
+  sum.op = '+';
+  sum.args = {slot_ref(0), slot_ref(1)};
+  CompiledScalar prod;
+  prod.kind = CompiledScalar::Kind::kArith;
+  prod.op = '*';
+  prod.args = {slot_ref(1), lit(0.5)};
+  f.expect_mask_matches_eval(cmp(sql::CmpOp::kNe, sum, prod));
+}
+
+TEST(MaskLoweringTest, UdfCallFallsBackToScalarPerRow) {
+  MaskFixture f;
+  expr::UdfRegistry::ensure_builtins();
+  CompiledScalar call;
+  call.kind = CompiledScalar::Kind::kCall;
+  call.udf = expr::UdfRegistry::find("MAG2");
+  ASSERT_NE(call.udf, nullptr);
+  call.args = {slot_ref(0), slot_ref(1)};
+  f.expect_mask_matches_eval(cmp(sql::CmpOp::kGt, call, lit(10.0)));
+}
+
+TEST(MaskLoweringTest, GatherSelectedCompactsMask) {
+  std::vector<uint8_t> mask = {1, 0, 0, 1, 1, 0, 1, 0};
+  std::vector<uint32_t> sel(mask.size());
+  std::size_t k = kernels::gather_selected(mask.data(), mask.size(),
+                                           sel.data());
+  ASSERT_EQ(k, 4u);
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 3u);
+  EXPECT_EQ(sel[2], 4u);
+  EXPECT_EQ(sel[3], 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tier equivalence on a real (small, mixed-type) dataset.  The
+// reference rows come from the naive executor, which is pinned to the
+// interpreter; the fast path runs each tier in turn.
+
+struct TierFixture {
+  TempDir tmp{"kerntier"};
+  std::string text;
+  std::unique_ptr<codegen::DataServicePlan> plan;
+
+  TierFixture() {
+    // 60 * 80 = 4800 rows: crosses the 4096-row kernel batch boundary, with
+    // narrow integer and float32 fields so widening runs too.
+    text = R"(
+[S]
+T = int
+K = short int
+V = float
+W = double
+[DS]
+DatasetDescription = S
+DIR[0] = n0/d
+DATASET "DS" {
+  DATASPACE { LOOP T 1:60:1 { LOOP G 1:80:1 { K V W } } }
+  DATA { "DIR[0]/f" DIRID = 0:0:1 }
+}
+)";
+    meta::Descriptor d = meta::parse_descriptor(text);
+    plan = std::make_unique<codegen::DataServicePlan>(d, "DS", tmp.str());
+    const afc::DatasetModel& model = plan->model();
+    dataset::ValueFn fn = [](const std::string& attr, const meta::VarEnv& v) {
+      double t = v.get("T"), g = v.get("G");
+      if (attr == "K") return static_cast<double>(static_cast<int>(t + g) % 7);
+      if (attr == "V") return static_cast<double>(static_cast<float>(
+          (t * 37 + g * 11) / 97.0 - 10.0));
+      return t * 1000 + g;
+    };
+    std::filesystem::create_directories(tmp.str() + "/n0/d");
+    dataset::write_file_from_layout(*model.leaves()[0].decl, model.schema(),
+                                    model.files()[0].env,
+                                    model.files()[0].full_path, fn);
+  }
+
+  storm::QueryResult run(const std::string& sql, KernelMode mode) const {
+    VirtualTable::Options vopts;
+    vopts.cluster.kernel_mode = mode;
+    VirtualTable vt = VirtualTable::open(text, "DS", tmp.str(), vopts);
+    return vt.query_detailed(sql);
+  }
+};
+
+const char* const kTierQueries[] = {
+    "SELECT * FROM DS",
+    "SELECT T, W FROM DS WHERE V BETWEEN -4 AND 4 AND K IN (1, 3, 6)",
+    "SELECT W FROM DS WHERE NOT (T < 30 OR V > 0)",
+    "SELECT K, V FROM DS WHERE MAG2(V, K) > 9 AND T <= 50",
+};
+
+TEST(KernelTierTest, VectorMatchesInterpReference) {
+  TierFixture f;
+  for (const char* sql : kTierQueries) {
+    expr::Table want = f.plan->execute(f.plan->bind(sql));
+    storm::QueryResult r = f.run(sql, KernelMode::kVector);
+    EXPECT_TRUE(r.merged().same_rows(want)) << sql;
+    EXPECT_GT(r.total_afcs_vector(), 0u) << sql;
+    EXPECT_EQ(r.total_afcs_interp(), 0u) << sql;
+  }
+}
+
+TEST(KernelTierTest, InterpModeRunsTheInterpreter) {
+  TierFixture f;
+  const char* sql = kTierQueries[1];
+  expr::Table want = f.plan->execute(f.plan->bind(sql));
+  storm::QueryResult r = f.run(sql, KernelMode::kInterp);
+  EXPECT_TRUE(r.merged().same_rows(want));
+  EXPECT_GT(r.total_afcs_interp(), 0u);
+  EXPECT_EQ(r.total_afcs_vector() + r.total_afcs_jit(), 0u);
+}
+
+TEST(KernelTierTest, JitMatchesInterpReference) {
+  if (!kernels::JitCache::instance().compiler_available())
+    GTEST_SKIP() << "no system compiler";
+  TierFixture f;
+  TempDir cache("kernjitcache");
+  ScopedEnv env("ADV_JIT_CACHE_DIR", cache.str());
+  for (const char* sql : kTierQueries) {
+    expr::Table want = f.plan->execute(f.plan->bind(sql));
+    storm::QueryResult r = f.run(sql, KernelMode::kJit);
+    EXPECT_TRUE(r.merged().same_rows(want)) << sql;
+  }
+  // The UDF query cannot be jitted (opaque function pointer) and must have
+  // fallen back to vector; the pure queries must have run the generated
+  // kernels.
+  storm::QueryResult pure = f.run(kTierQueries[1], KernelMode::kJit);
+  EXPECT_GT(pure.total_afcs_jit(), 0u);
+  EXPECT_EQ(pure.total_afcs_interp(), 0u);
+  storm::QueryResult udf = f.run(kTierQueries[3], KernelMode::kJit);
+  EXPECT_EQ(udf.total_afcs_jit(), 0u);
+  EXPECT_GT(udf.total_afcs_vector(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JitCache mechanics on a synthetic module (no planner involved).
+
+const char* const kSyntheticSource = R"(// advjit-abi-v1 kernels_test synthetic
+typedef long long (*advjit_fn_t)(const unsigned char* const*,
+                                 unsigned long long, const long long*,
+                                 long long, double*, unsigned int*);
+extern "C" long long advjit_g0(const unsigned char* const* srcs,
+                               unsigned long long nrows,
+                               const long long* loops, long long row_first,
+                               double* out, unsigned int* sel) {
+  (void)srcs; (void)loops;
+  long long m = 0;
+  for (unsigned long long r = 0; r < nrows; ++r) {
+    if ((row_first + (long long)r) % 2 != 0) continue;
+    out[m] = (double)(row_first + (long long)r) * 10.0;
+    sel[m] = (unsigned int)r;
+    ++m;
+  }
+  return m;
+}
+extern "C" int advjit_num_groups(void) { return 1; }
+extern "C" advjit_fn_t advjit_group_fn(int g) {
+  return g == 0 ? &advjit_g0 : (advjit_fn_t)0;
+}
+)";
+
+TEST(JitCacheTest, CompileMemoryHitAndDiskReload) {
+  auto& cache = kernels::JitCache::instance();
+  if (!cache.compiler_available()) GTEST_SKIP() << "no system compiler";
+  TempDir dir("jitcache");
+  ScopedEnv env("ADV_JIT_CACHE_DIR", dir.str());
+
+  kernels::JitStats before = cache.stats();
+  auto mod = cache.get_or_compile(kSyntheticSource);
+  ASSERT_NE(mod, nullptr);
+  EXPECT_EQ(cache.stats().compiles, before.compiles + 1);
+  ASSERT_EQ(mod->num_groups(), 1);
+  EXPECT_EQ(mod->group_fn(1), nullptr);
+  EXPECT_EQ(mod->group_fn(-1), nullptr);
+
+  // The generated function actually runs.
+  double out[8];
+  unsigned int sel[8];
+  kernels::JitExtractFn fn = mod->group_fn(0);
+  ASSERT_NE(fn, nullptr);
+  long long m = fn(nullptr, 5, nullptr, 3, out, sel);  // rows 3..7, evens
+  ASSERT_EQ(m, 2);
+  EXPECT_EQ(out[0], 40.0);
+  EXPECT_EQ(sel[0], 1u);
+  EXPECT_EQ(out[1], 60.0);
+  EXPECT_EQ(sel[1], 3u);
+
+  // Second request: served from the in-process map, same module.
+  auto mod2 = cache.get_or_compile(kSyntheticSource);
+  EXPECT_EQ(mod2.get(), mod.get());
+  EXPECT_EQ(cache.stats().memory_hits, before.memory_hits + 1);
+
+  // Drop the memory map: the .so on disk is dlopen-ed instead of recompiled.
+  cache.clear_memory();
+  auto mod3 = cache.get_or_compile(kSyntheticSource);
+  ASSERT_NE(mod3, nullptr);
+  EXPECT_EQ(cache.stats().disk_hits, before.disk_hits + 1);
+  EXPECT_EQ(cache.stats().compiles, before.compiles + 1);  // no recompile
+  EXPECT_EQ(mod3->num_groups(), 1);
+}
+
+TEST(JitCacheTest, SourceHashIsStableAndDiscriminates) {
+  EXPECT_EQ(kernels::jit_source_hash("abc"),
+            kernels::jit_source_hash("abc"));
+  EXPECT_NE(kernels::jit_source_hash("abc"),
+            kernels::jit_source_hash("abd"));
+}
+
+// ---------------------------------------------------------------------------
+// Degradation: jit mode must never fail a query — it falls back to vector.
+
+TEST(JitFallbackTest, MissingCompilerFallsBackToVector) {
+  TierFixture f;
+  TempDir dir("jitnocc");
+  ScopedEnv cxx("ADV_JIT_CXX", "/nonexistent/advjit-no-such-compiler");
+  ScopedEnv cachedir("ADV_JIT_CACHE_DIR", dir.str());
+  // A query constant unique to this test keeps the generated source out of
+  // the in-process module map (which is consulted before the compiler).
+  const char* sql = "SELECT T, W FROM DS WHERE V BETWEEN -3.125 AND 3.125";
+  expr::Table want = f.plan->execute(f.plan->bind(sql));
+  storm::QueryResult r = f.run(sql, KernelMode::kJit);
+  EXPECT_TRUE(r.merged().same_rows(want));
+  EXPECT_EQ(r.total_afcs_jit(), 0u);
+  EXPECT_GT(r.total_afcs_vector(), 0u);
+}
+
+TEST(JitFallbackTest, InjectedCompileFaultFallsBackToVector) {
+  TierFixture f;
+  TempDir dir("jitfault");
+  ScopedEnv cachedir("ADV_JIT_CACHE_DIR", dir.str());
+  faultz::ScopedFaultPlan scope(21, "jit.compile=1");
+  const char* sql = "SELECT T, W FROM DS WHERE V BETWEEN -1.0625 AND 5.25";
+  expr::Table want = f.plan->execute(f.plan->bind(sql));
+  storm::QueryResult r = f.run(sql, KernelMode::kJit);
+  EXPECT_TRUE(r.merged().same_rows(want));
+  EXPECT_EQ(r.total_afcs_jit(), 0u);
+  EXPECT_GT(r.total_afcs_vector(), 0u);
+  EXPECT_GT(faultz::FaultPlan::instance().stats(
+                faultz::Site::kJitCompile).fires, 0u);
+}
+
+}  // namespace
+}  // namespace adv

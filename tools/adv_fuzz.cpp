@@ -28,12 +28,15 @@ int usage(const char* argv0) {
       "  --seed N          corpus seed (dataset layout + queries)\n"
       "  --seeds K         run K consecutive seeds starting at N (default 1)\n"
       "  --queries M       queries per seed (default 5)\n"
-      "  --campaign NAME   named fault campaign: io, net, node, zm, sched\n"
+      "  --campaign NAME   named fault campaign: io, net, node, zm, sched,\n"
+      "                    jit\n"
       "  --fault-spec S    explicit fault spec, e.g. 'pread.eio=0.01:3'\n"
       "  --fault-seed N    fault-plan seed (default: the corpus seed)\n"
       "  --server          also round-trip queries through the v2 protocol\n"
       "  --partial         run the fast path in partial-results mode\n"
       "  --pread           force pread I/O (no mmap) on the fast path\n"
+      "  --kernel MODE     kernel tier for the fast path: interp, vector,\n"
+      "                    jit (default: auto = env/vector)\n"
       "  --deadline SECS   per-query deadline (default 20)\n",
       argv0);
   return 2;
@@ -78,6 +81,13 @@ int main(int argc, char** argv) {
       opts.partial_results = true;
     } else if (arg == "--pread") {
       opts.io_mode = adv::IoMode::kPread;
+    } else if (arg == "--kernel") {
+      std::string name = next();
+      if (!adv::kernel_mode_from_name(name, opts.kernel_mode)) {
+        std::fprintf(stderr, "%s: unknown kernel mode %s\n", argv[0],
+                     name.c_str());
+        return usage(argv[0]);
+      }
     } else if (arg == "--deadline") {
       opts.deadline_seconds = std::atof(next());
     } else if (arg == "--help" || arg == "-h") {
