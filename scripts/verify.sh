@@ -3,13 +3,15 @@
 # the admission scheduler / query server.
 #
 #   1. default build + full ctest suite (all tiers: fast, slow, fuzz,
-#      fault), then the fast tier repeated under ADV_KERNEL_MODE=interp
+#      fault, dist — dist spawns real adv_node daemons and kill -9s them),
+#      then the fast tier repeated under ADV_KERNEL_MODE=interp
 #      and =jit so every extraction kernel tier passes the same tests
 #   2. bounded fuzz + fault smoke with FIXED seeds (deterministic, a few
 #      seconds): the differential harness and the property suites invoked
 #      directly so the ADV_FUZZ_* overrides apply (see docs/TESTING.md),
-#      including a jit-tier differential run and the jit.compile fault
-#      campaign
+#      including a jit-tier differential run, the jit.compile fault
+#      campaign, and the scatter/gather dist backend (clean and under the
+#      node-death campaign)
 #   3. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
 #      sensitive test binaries — parallel pipeline, scheduler, networked
 #      server, and the dq differential/fault harness — run with
@@ -50,13 +52,28 @@ ADV_FUZZ_SEED=97 ./build/tests/interval_fuzz_test >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign node --partial >/dev/null
 ./build/tools/adv_fuzz --seed 101 --seeds 3 --kernel jit >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign jit --kernel jit >/dev/null
+# Distribution backend: every query also scattered through per-node
+# daemons behind a DistCoordinator; the node campaign exercises the
+# coordinator's typed-failure retry path under deterministic injection.
+./build/tools/adv_fuzz --seed 101 --seeds 2 --dist >/dev/null
+./build/tools/adv_fuzz --seed 101 --campaign node --dist >/dev/null
 echo "fuzz/fault smoke OK"
+
+# Multi-process distribution smoke: the dist label spawns real adv_node
+# processes, kill -9s primaries mid-stream (fixed commit-point triggers),
+# and demands byte-identical rows via replica failover.  Repeated under
+# the interp tier so daemon-side kernel dispatch is covered too.
+(cd build && ctest -L dist --output-on-failure -j"$JOBS")
+(cd build && ADV_KERNEL_MODE=interp ctest -L dist --output-on-failure \
+  -j"$JOBS")
+echo "dist chaos smoke OK"
 
 if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target storm_test storm_concurrency_test sched_test sched_stress_test \
-             net_test kernels_test dq_diff_test dq_fault_test
+             net_test kernels_test dq_diff_test dq_fault_test \
+             dist_chaos_test adv_node
   # Exercise the parallel worker path even on single-core hosts.
   export ADV_THREADS_PER_NODE=4
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_test
@@ -71,6 +88,10 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   ADV_FUZZ_ITERS=6 TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/dq/dq_diff_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/dq/dq_fault_test
+  # Distribution layer under tsan: daemon heartbeat/scan/control threads,
+  # coordinator gather threads, and real tsan-built adv_node processes.
+  ADV_NODE_BIN=./build-tsan/tools/adv_node TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/dist_chaos_test
 fi
 
 if [[ "${VERIFY_SKIP_BENCH:-0}" != "1" ]]; then

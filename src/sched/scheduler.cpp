@@ -51,6 +51,16 @@ double QueryScheduler::retry_after_locked() const {
   return std::max(1e-3, per_query * backlog / static_cast<double>(conc));
 }
 
+double QueryScheduler::retry_after_hint() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // With a free run slot there is nothing to wait for: a submission now
+  // would be admitted immediately, so the polite-backoff hint is zero.
+  if (opts_.max_concurrent_queries == 0 ||
+      (running_ < opts_.max_concurrent_queries && queued_locked() == 0))
+    return 0;
+  return retry_after_locked();
+}
+
 void QueryScheduler::admit_next_locked() {
   while (opts_.max_concurrent_queries == 0 ||
          running_ < opts_.max_concurrent_queries) {

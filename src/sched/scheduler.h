@@ -144,6 +144,12 @@ class QueryScheduler {
   SchedulerMetrics metrics() const;
   const SchedulerOptions& options() const { return opts_; }
 
+  // The current EWMA-derived retry-after estimate — what a rejected
+  // submission would be told right now.  Surfaced to clients in the kStats
+  // v2.1 tail so they can pace politely instead of hot-looping into
+  // kRejected; 0 when a new arrival would run immediately.
+  double retry_after_hint() const;
+
  private:
   static constexpr std::size_t kPriorities = 3;
   using Queue = std::deque<std::shared_ptr<QueryContext>>;

@@ -2,8 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,159 +9,16 @@
 
 #include "common/error.h"
 #include "faultz/faultz.h"
+#include "storm/wire.h"
 
 namespace adv::storm {
 
+// The frame codec (Payload, send_frame/recv_frame, MsgType, Socket) is
+// shared with the node daemon and the distribution coordinator — see
+// storm/wire.h.
+using namespace wire;
+
 namespace {
-
-enum MsgType : uint8_t {
-  kQuery = 0x01,
-  kSchema = 0x02,
-  kRowBatch = 0x03,
-  kStats = 0x04,
-  kEnd = 0x05,
-  kError = 0x06,
-  kCancel = 0x07,
-  kQueued = 0x08,
-  kAdmitted = 0x09,
-  kRejected = 0x0A,
-};
-
-// Byte-buffer writer/reader for frame payloads.
-class Payload {
- public:
-  Payload() = default;
-  explicit Payload(std::vector<unsigned char> data) : data_(std::move(data)) {}
-
-  template <typename T>
-  void put(T v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::size_t at = data_.size();
-    data_.resize(at + sizeof v);
-    std::memcpy(data_.data() + at, &v, sizeof v);
-  }
-  void put_bytes(const void* p, std::size_t n) {
-    std::size_t at = data_.size();
-    data_.resize(at + n);
-    std::memcpy(data_.data() + at, p, n);
-  }
-  void put_string(const std::string& s) {
-    put<uint32_t>(static_cast<uint32_t>(s.size()));
-    put_bytes(s.data(), s.size());
-  }
-
-  template <typename T>
-  T get() {
-    T v;
-    if (pos_ + sizeof v > data_.size())
-      throw IoError("malformed network frame (truncated payload)");
-    std::memcpy(&v, data_.data() + pos_, sizeof v);
-    pos_ += sizeof v;
-    return v;
-  }
-  std::string get_string() {
-    uint32_t n = get<uint32_t>();
-    if (pos_ + n > data_.size())
-      throw IoError("malformed network frame (truncated string)");
-    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
-    pos_ += n;
-    return s;
-  }
-  const unsigned char* raw(std::size_t n) {
-    if (pos_ + n > data_.size())
-      throw IoError("malformed network frame (truncated block)");
-    const unsigned char* p = data_.data() + pos_;
-    pos_ += n;
-    return p;
-  }
-
-  // Unread bytes left in the payload — how optional protocol-v2 tails are
-  // detected (a v1 peer simply stops before them).
-  std::size_t remaining() const { return data_.size() - pos_; }
-
-  const std::vector<unsigned char>& data() const { return data_; }
-
- private:
-  std::vector<unsigned char> data_;
-  std::size_t pos_ = 0;
-};
-
-void write_all(int fd, const void* buf, std::size_t n) {
-  const unsigned char* p = static_cast<const unsigned char*>(buf);
-  std::size_t off = 0;
-  while (off < n) {
-    ssize_t w = faultz::inj_send(fd, p + off, n - off, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      throw IoError(std::string("socket send failed: ") + std::strerror(errno));
-    }
-    off += static_cast<std::size_t>(w);
-  }
-}
-
-void read_all(int fd, void* buf, std::size_t n) {
-  unsigned char* p = static_cast<unsigned char*>(buf);
-  std::size_t off = 0;
-  while (off < n) {
-    ssize_t r = faultz::inj_recv(fd, p + off, n - off, 0);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw IoError(std::string("socket recv failed: ") + std::strerror(errno));
-    }
-    if (r == 0) throw IoError("connection closed mid-frame");
-    off += static_cast<std::size_t>(r);
-  }
-}
-
-void send_frame(int fd, MsgType type, const Payload& payload) {
-  uint32_t len = static_cast<uint32_t>(payload.data().size());
-  unsigned char header[5];
-  std::memcpy(header, &len, 4);
-  header[4] = static_cast<unsigned char>(type);
-  write_all(fd, header, 5);
-  if (len) write_all(fd, payload.data().data(), len);
-}
-
-std::pair<MsgType, Payload> recv_frame(int fd) {
-  unsigned char header[5];
-  read_all(fd, header, 5);
-  uint32_t len;
-  std::memcpy(&len, header, 4);
-  if (len > (64u << 20))
-    throw IoError("oversized network frame (" + std::to_string(len) + " bytes)");
-  std::vector<unsigned char> data(len);
-  if (len) read_all(fd, data.data(), len);
-  return {static_cast<MsgType>(header[4]), Payload(std::move(data))};
-}
-
-// Client-side receive that watches a CancelToken while blocked: polls the
-// socket in 20 ms ticks, and when the token fires sends one kCancel frame,
-// then keeps receiving — the server terminates the stream with kError.
-std::pair<MsgType, Payload> recv_frame_cancellable(int fd,
-                                                   const CancelToken* cancel,
-                                                   bool& cancel_sent) {
-  if (!cancel) return recv_frame(fd);
-  for (;;) {
-    if (!cancel_sent && cancel->cancelled()) {
-      cancel_sent = true;
-      send_frame(fd, kCancel, Payload());
-    }
-    pollfd p{};
-    p.fd = fd;
-    p.events = POLLIN;
-    int rc = ::poll(&p, 1, 20);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      throw IoError(std::string("socket poll failed: ") + std::strerror(errno));
-    }
-    if (rc > 0) return recv_frame(fd);
-  }
-}
-
-void set_nodelay(int fd) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-}
 
 // Why a running query ended, judged from its token: an explicit cancel
 // (client kCancel, disconnect, server drain) wins over an expired
@@ -174,19 +29,9 @@ sched::Outcome classify_failure(const CancelToken& token) {
   return sched::Outcome::kFailed;
 }
 
-// RAII socket.
-struct Socket {
-  int fd = -1;
-  explicit Socket(int f) : fd(f) {}
-  ~Socket() {
-    if (fd >= 0) ::close(fd);
-  }
-  Socket(const Socket&) = delete;
-  Socket& operator=(const Socket&) = delete;
-};
-
 // Fixed-size kStats v2 tail: query_id + queue_wait + run_seconds + 7
-// outcome counters + 4 gauges, 8 bytes each.
+// outcome counters + 4 gauges, 8 bytes each.  The v2.1 retry-after hint
+// rides after it as its own optional tail so a v2 peer parses unchanged.
 constexpr std::size_t kSchedTailBytes = 14 * 8;
 
 }  // namespace
@@ -202,6 +47,7 @@ QueryServer::QueryServer(std::shared_ptr<codegen::DataServicePlan> plan,
       filter_(filter),
       cluster_(plan_, opts),
       scheduler_(sched_opts) {
+  ignore_sigpipe();
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw IoError("cannot create server socket");
   int one = 1;
@@ -313,9 +159,11 @@ void QueryServer::serve_query(Connection* conn) {
     auto [type, payload] = recv_frame(fd);
     conn->busy.store(true);
     if (type != kQuery) {
-      Payload err;
-      err.put_string("expected a query frame");
-      send_frame(fd, kError, err);
+      // Covers v1 garbage and the v2.1 distribution frames alike: a
+      // DistCoordinator that scatters kNodeQuery at a plain query server
+      // gets an immediate typed error (kQuery = non-retryable, so it does
+      // not burn its failover budget reconnecting here) instead of a hang.
+      send_error(fd, "expected a query frame (node scatter frames belong to adv_node daemons, not the query service)", ErrorKind::kQuery);
       return;
     }
     PartitionSpec part;
@@ -481,6 +329,9 @@ void QueryServer::serve_query(Connection* conn) {
         stats.put<uint64_t>(m.running);
         stats.put<uint64_t>(m.peak_running);
         stats.put<uint64_t>(m.peak_queue_depth);
+        // v2.1 tail: the EWMA pacing hint, so well-behaved clients slow
+        // down before the queue fills instead of discovering kRejected.
+        stats.put<double>(scheduler_.retry_after_hint());
         send_frame(fd, kStats, stats);
       }
       send_frame(fd, kEnd, Payload());
@@ -514,22 +365,7 @@ expr::Table RemoteResult::merged() const {
 RemoteResult QueryClient::execute(const std::string& sql,
                                   const PartitionSpec& partition,
                                   const QueryOptions& opts) const {
-  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (raw < 0) throw IoError("cannot create client socket");
-  Socket sock(raw);
-  set_nodelay(sock.fd);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port_));
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
-    throw IoError("bad host address '" + host_ + "'");
-  int rc;
-  do {
-    rc = ::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0)
-    throw IoError("cannot connect to " + host_ + ":" + std::to_string(port_) +
-                  ": " + std::strerror(errno));
+  Socket sock(connect_with_timeout(host_, port_, connect_timeout_seconds_));
 
   Payload q;
   q.put<uint16_t>(static_cast<uint16_t>(partition.num_consumers));
@@ -629,6 +465,9 @@ RemoteResult QueryClient::execute(const std::string& sql,
           s.running = payload.get<uint64_t>();
           s.peak_running = payload.get<uint64_t>();
           s.peak_queue_depth = payload.get<uint64_t>();
+          // v2.1: optional pacing hint (absent from v2 servers).
+          if (payload.remaining() >= sizeof(double))
+            s.retry_after_hint_seconds = payload.get<double>();
         }
         break;
       }

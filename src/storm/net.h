@@ -33,6 +33,9 @@
 //                                u64 cancelled, u64 deadline_exceeded,
 //                                u64 queue_depth, u64 running,
 //                                u64 peak_running, u64 peak_queue_depth]
+//                               [v2.1 tail: f64 retry_after_hint_seconds —
+//                                the scheduler's EWMA-derived pacing hint,
+//                                so clients back off before being rejected]
 //     0x05 kEnd       payload = empty
 //     0x06 kError     payload = u32 length, message bytes
 //     0x07 kCancel    client -> server: abandon the in-flight query
@@ -41,9 +44,11 @@
 //     0x0A kRejected  payload = f64 retry_after_seconds,
 //                               u32 length, message bytes
 //
-// v1 interop: the kQuery tail and the kStats tail are optional — a v1
+// v1 interop: the kQuery tail and the kStats tails are optional — an older
 // peer simply never sends or reads them (payload parsing is positional,
-// trailing bytes are ignored).
+// trailing bytes are ignored).  The distribution frames (0x10+, node
+// daemons and the scatter/gather coordinator) are documented in
+// storm/wire.h and docs/DISTRIBUTION.md.
 #pragma once
 
 #include <atomic>
@@ -141,6 +146,11 @@ struct SchedInfo {
   uint64_t running = 0;
   uint64_t peak_running = 0;
   uint64_t peak_queue_depth = 0;
+  // The scheduler's current EWMA retry-after estimate (seconds a new
+  // submission would be told to wait if rejected right now).  Callers use
+  // it to pace their next query instead of hot-looping into kRejected;
+  // 0 when the server has free capacity or predates the v2.1 tail.
+  double retry_after_hint_seconds = 0;
 };
 
 // Result of a remote query.
@@ -190,8 +200,13 @@ struct QueryOptions {
 // per query (the paper's clients are batch analysis programs).
 class QueryClient {
  public:
-  QueryClient(std::string host, int port)
-      : host_(std::move(host)), port_(port) {}
+  // `connect_timeout_seconds` bounds the TCP connect (a dead or
+  // blackholed server fails with IoError instead of hanging in the
+  // kernel's SYN retries); <= 0 keeps the OS default blocking connect.
+  QueryClient(std::string host, int port, double connect_timeout_seconds = 0)
+      : host_(std::move(host)),
+        port_(port),
+        connect_timeout_seconds_(connect_timeout_seconds) {}
 
   // Throws QueryError with the server's message on query failure,
   // QueueFullError when admission rejected it, CancelledError when
@@ -203,6 +218,7 @@ class QueryClient {
  private:
   std::string host_;
   int port_;
+  double connect_timeout_seconds_ = 0;
 };
 
 }  // namespace adv::storm

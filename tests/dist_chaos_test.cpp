@@ -1,0 +1,456 @@
+// Multi-process chaos harness for the distribution layer.
+//
+// Spawns real adv_node daemons (one OS process per shard replica, found
+// via the ADV_NODE_BIN environment variable that CMake injects), drives
+// them through a DistCoordinator, and then does its best to break them:
+// kill -9 mid-stream, stalled-but-alive stragglers, fault campaigns armed
+// inside a single daemon.  The contract under test is the one
+// docs/DISTRIBUTION.md states: with a replica available the result is
+// byte-identical to the in-process cluster's (exactly-once rows across
+// failover); with no replica the query ends in a typed error or a typed
+// partial-results casualty — never a hang, never a duplicated or dropped
+// row, never a coordinator crash.
+//
+// The in-process StormCluster is the differential reference throughout,
+// and the row comparison is the dq harness's bit-exact multiset equality.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+#include "dq/dq_run.h"
+#include "storm/cluster.h"
+#include "storm/dist.h"
+#include "storm/node_daemon.h"
+
+namespace adv::storm {
+namespace {
+
+const char* kSql = "SELECT * FROM IparsData WHERE SOIL > 0.1";
+
+struct SpawnedDaemon {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+struct ChaosFixture {
+  TempDir tmp{"chaos"};
+  dataset::IparsConfig cfg;
+  dataset::GeneratedIpars gen;
+  std::string desc_path;
+  std::shared_ptr<codegen::DataServicePlan> plan;
+  std::vector<pid_t> pids;
+
+  static dataset::IparsConfig make_cfg() {
+    dataset::IparsConfig c;
+    c.nodes = 2;
+    c.rels = 2;
+    c.timesteps = 8;  // enough AFCs per node for several commit points
+    c.grid_per_node = 16;
+    c.pad_vars = 0;
+    return c;
+  }
+
+  ChaosFixture()
+      : cfg(make_cfg()),
+        gen(dataset::generate_ipars(cfg, dataset::IparsLayout::kV,
+                                    tmp.str())),
+        desc_path(tmp.str() + "/descriptor.adv"),
+        plan(std::make_shared<codegen::DataServicePlan>(
+            meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
+            gen.root)) {
+    write_text_file(desc_path, gen.descriptor_text);
+  }
+
+  ~ChaosFixture() {
+    // Belt-and-braces reaping: kill anything still alive (already-dead
+    // pids fail harmlessly) and wait every child so nothing outlives the
+    // test — the daemon's own PR_SET_PDEATHSIG covers the crashed-parent
+    // case.
+    for (pid_t p : pids) {
+      ::kill(p, SIGKILL);
+      int status = 0;
+      ::waitpid(p, &status, 0);
+    }
+  }
+
+  static const char* node_bin() { return std::getenv("ADV_NODE_BIN"); }
+
+  // Fork+exec one adv_node and parse its READY line for the ephemeral
+  // port.  `env` entries are set only in the child, which is how a fault
+  // campaign is aimed at exactly one replica.
+  SpawnedDaemon spawn(
+      int node, const std::vector<std::string>& extra_args = {},
+      const std::vector<std::pair<std::string, std::string>>& env = {}) {
+    SpawnedDaemon d;
+    const char* bin = node_bin();
+    if (!bin) return d;
+    int pfd[2];
+    if (::pipe(pfd) != 0) return d;
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      ::dup2(pfd[1], 1);
+      ::close(pfd[0]);
+      ::close(pfd[1]);
+      for (const auto& kv : env)
+        ::setenv(kv.first.c_str(), kv.second.c_str(), 1);
+      std::vector<std::string> args = {bin,
+                                       desc_path,
+                                       gen.dataset_name,
+                                       "--root",
+                                       gen.root,
+                                       "--node",
+                                       std::to_string(node),
+                                       "--heartbeat-ms",
+                                       "20"};
+      for (const auto& e : extra_args) args.push_back(e);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      ::execv(bin, argv.data());
+      ::_exit(127);
+    }
+    ::close(pfd[1]);
+    std::string line;
+    char ch;
+    while (::read(pfd[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+    ::close(pfd[0]);
+    pids.push_back(pid);
+    d.pid = pid;
+    if (std::sscanf(line.c_str(), "READY %d", &d.port) != 1) d.port = 0;
+    return d;
+  }
+
+  QueryResult reference(const std::string& sql,
+                        const PartitionSpec& part = {}) {
+    StormCluster cluster(plan, {});
+    return cluster.execute(sql, part);
+  }
+
+  DistOptions base_opts() {
+    DistOptions o;
+    o.connect_timeout_seconds = 3.0;
+    o.liveness_timeout_seconds = 3.0;
+    o.heartbeat_interval_seconds = 0.02;
+    o.checkpoint_afcs = 1;
+    return o;
+  }
+};
+
+#define REQUIRE_DAEMON_BIN()                                             \
+  if (!ChaosFixture::node_bin())                                         \
+  GTEST_SKIP() << "ADV_NODE_BIN not set; multi-process tests need the "  \
+                  "adv_node binary"
+
+// ---------------------------------------------------------------------
+// In-process daemons: the same scatter/gather path without fork, so this
+// part runs everywhere (including tsan builds) and pins down the protocol
+// before the chaos starts.
+
+TEST(DistInProcessTest, ScatterGatherMatchesCluster) {
+  ChaosFixture f;
+  NodeDaemonOptions n0, n1;
+  n0.node_id = 0;
+  n1.node_id = 1;
+  NodeDaemon d0(f.plan, n0), d1(f.plan, n1);
+  ASSERT_GT(d0.port(), 0);
+  ASSERT_GT(d1.port(), 0);
+
+  DistOptions opts = f.base_opts();
+  opts.partition.policy = PartitionSpec::Policy::kRoundRobin;
+  opts.partition.num_consumers = 3;
+  DistCoordinator coord({{0, {{"127.0.0.1", d0.port()}}},
+                         {1, {{"127.0.0.1", d1.port()}}}},
+                        opts);
+
+  QueryResult want = f.reference(kSql, opts.partition);
+  DistResult got = coord.run(kSql);
+  EXPECT_TRUE(got.casualties.empty());
+  ASSERT_EQ(got.partitions.size(), 3u);
+  ASSERT_EQ(want.partitions.size(), 3u);
+  // Partition destinations are scan-position based, so each consumer's
+  // rows must match the in-process cluster's exactly — not just the union.
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_TRUE(dq::rows_equal_exact(got.partitions[c], want.partitions[c]))
+        << "partition " << c;
+  EXPECT_EQ(got.node_stats.size(), 2u);
+  EXPECT_GT(got.commits, 0u);
+  EXPECT_EQ(got.failovers, 0u);
+
+  // Daemons serve repeat queries (fresh connection per query).
+  DistResult again = coord.run(kSql);
+  EXPECT_TRUE(dq::rows_equal_exact(again.merged(), want.merged()));
+  EXPECT_EQ(d0.queries_served(), 2u);
+  EXPECT_EQ(d1.queries_served(), 2u);
+}
+
+TEST(DistInProcessTest, MisconfiguredShardMapFailsTyped) {
+  ChaosFixture f;
+  NodeDaemonOptions n1;
+  n1.node_id = 1;
+  NodeDaemon d1(f.plan, n1);
+
+  // The shard map claims this daemon serves node 0; the daemon's
+  // kNodeHello says otherwise.  kQuery is deterministic, so no retry
+  // storm — one attempt, one typed casualty.
+  DistOptions opts = f.base_opts();
+  opts.allow_partial_results = true;
+  DistCoordinator coord({{0, {{"127.0.0.1", d1.port()}}}}, opts);
+  DistResult r = coord.run(kSql);
+  ASSERT_EQ(r.casualties.size(), 1u);
+  EXPECT_EQ(r.casualties[0].node_id, 0);
+  EXPECT_EQ(r.casualties[0].kind, ErrorKind::kQuery);
+  EXPECT_EQ(r.failovers, 0u);
+
+  DistOptions strict = f.base_opts();
+  DistCoordinator coord2({{0, {{"127.0.0.1", d1.port()}}}}, strict);
+  EXPECT_THROW(coord2.run(kSql), QueryError);
+}
+
+TEST(DistInProcessTest, UnreachableShardBecomesIoCasualty) {
+  ChaosFixture f;
+  NodeDaemonOptions n1;
+  n1.node_id = 1;
+  NodeDaemon d1(f.plan, n1);
+
+  DistOptions opts = f.base_opts();
+  opts.allow_partial_results = true;
+  opts.connect_timeout_seconds = 0.5;
+  // Port 1 on loopback: nothing listens there.
+  DistCoordinator coord({{0, {{"127.0.0.1", 1}}},
+                         {1, {{"127.0.0.1", d1.port()}}}},
+                        opts);
+  QueryResult want = f.reference(kSql);
+  DistResult r = coord.run(kSql);
+  ASSERT_EQ(r.casualties.size(), 1u);
+  EXPECT_EQ(r.casualties[0].kind, ErrorKind::kIo);
+  EXPECT_EQ(r.failed_nodes(), std::vector<int>{0});
+  // The surviving node's rows still arrive, and only its rows.
+  EXPECT_TRUE(dq::rows_subset(r.merged(), want.merged()));
+  EXPECT_GT(r.total_rows(), 0u);
+  EXPECT_LT(r.total_rows(), want.total_rows());
+}
+
+// ---------------------------------------------------------------------
+// Real processes from here on.
+
+TEST(DistChaosTest, MultiProcessSmoke) {
+  REQUIRE_DAEMON_BIN();
+  ChaosFixture f;
+  SpawnedDaemon d0 = f.spawn(0), d1 = f.spawn(1);
+  ASSERT_GT(d0.port, 0);
+  ASSERT_GT(d1.port, 0);
+
+  DistOptions opts = f.base_opts();
+  DistCoordinator coord({{0, {{"127.0.0.1", d0.port}}},
+                         {1, {{"127.0.0.1", d1.port}}}},
+                        opts);
+  DistResult r = coord.run(kSql);
+  EXPECT_TRUE(r.casualties.empty());
+  EXPECT_TRUE(dq::rows_equal_exact(r.merged(), f.reference(kSql).merged()));
+  EXPECT_EQ(r.node_stats.size(), 2u);
+}
+
+TEST(DistChaosTest, KillNinePrimaryFailsOverByteIdentical) {
+  REQUIRE_DAEMON_BIN();
+  ChaosFixture f;
+  // Node 0 runs two replicas; node 1 one.  The primary of node 0 is shot
+  // with SIGKILL mid-stream, triggered deterministically off the
+  // coordinator's own commit hook.
+  SpawnedDaemon primary = f.spawn(0), replica = f.spawn(0);
+  SpawnedDaemon d1 = f.spawn(1);
+  ASSERT_GT(primary.port, 0);
+  ASSERT_GT(replica.port, 0);
+  ASSERT_GT(d1.port, 0);
+
+  std::atomic<bool> killed{false};
+  DistOptions opts = f.base_opts();
+  opts.on_commit = [&](int node, uint64_t committed) {
+    if (node == 0 && committed >= 2 && !killed.exchange(true))
+      ::kill(primary.pid, SIGKILL);
+  };
+  DistCoordinator coord(
+      {{0,
+        {{"127.0.0.1", primary.port}, {"127.0.0.1", replica.port}}},
+       {1, {{"127.0.0.1", d1.port}}}},
+      opts);
+
+  QueryResult want = f.reference(kSql);
+  DistResult r = coord.run(kSql);
+  EXPECT_TRUE(killed.load());
+  EXPECT_TRUE(r.casualties.empty());
+  EXPECT_GE(r.failovers, 1u);
+  // The heart of the failover contract: committed prefix + replica resume
+  // re-creates the exact row multiset — nothing duplicated at the commit
+  // boundary, nothing dropped from the staged-then-discarded tail.
+  EXPECT_TRUE(dq::rows_equal_exact(r.merged(), want.merged()));
+}
+
+TEST(DistChaosTest, KillNineWithoutReplicaIsTypedPartial) {
+  REQUIRE_DAEMON_BIN();
+  ChaosFixture f;
+  SpawnedDaemon d0 = f.spawn(0), d1 = f.spawn(1);
+  ASSERT_GT(d0.port, 0);
+  ASSERT_GT(d1.port, 0);
+
+  std::atomic<bool> killed{false};
+  DistOptions opts = f.base_opts();
+  opts.allow_partial_results = true;
+  opts.on_commit = [&](int node, uint64_t committed) {
+    if (node == 0 && committed >= 1 && !killed.exchange(true))
+      ::kill(d0.pid, SIGKILL);
+  };
+  DistCoordinator coord({{0, {{"127.0.0.1", d0.port}}},
+                         {1, {{"127.0.0.1", d1.port}}}},
+                        opts);
+
+  QueryResult want = f.reference(kSql);
+  DistResult r = coord.run(kSql);
+  EXPECT_TRUE(killed.load());
+  ASSERT_EQ(r.casualties.size(), 1u);
+  EXPECT_EQ(r.casualties[0].node_id, 0);
+  EXPECT_EQ(r.casualties[0].kind, ErrorKind::kIo);
+  EXPECT_GE(r.casualties[0].attempts, 2u);  // reconnect was attempted
+  EXPECT_EQ(r.failed_nodes(), std::vector<int>{0});
+  EXPECT_TRUE(dq::rows_subset(r.merged(), want.merged()));
+  EXPECT_LT(r.total_rows(), want.total_rows());
+
+  // Same kill without partial-results opt-in: a typed throw, not a hang
+  // and not a truncated "success".
+  SpawnedDaemon d0b = f.spawn(0);
+  ASSERT_GT(d0b.port, 0);
+  std::atomic<bool> killed2{false};
+  DistOptions strict = f.base_opts();
+  strict.on_commit = [&](int node, uint64_t committed) {
+    if (node == 0 && committed >= 1 && !killed2.exchange(true))
+      ::kill(d0b.pid, SIGKILL);
+  };
+  DistCoordinator coord2({{0, {{"127.0.0.1", d0b.port}}},
+                          {1, {{"127.0.0.1", d1.port}}}},
+                         strict);
+  EXPECT_THROW(coord2.run(kSql), IoError);
+  EXPECT_TRUE(killed2.load());
+}
+
+TEST(DistChaosTest, StragglerReissuesOnReplica) {
+  REQUIRE_DAEMON_BIN();
+  ChaosFixture f;
+  // The primary freezes (alive, heartbeating, zero progress) after two
+  // AFCs; the coordinator must cut it on the straggler clock — well
+  // before any liveness/deadline machinery — and finish on the replica.
+  SpawnedDaemon primary =
+      f.spawn(0, {"--stall-after", "2", "--stall-seconds", "60"});
+  SpawnedDaemon replica = f.spawn(0);
+  SpawnedDaemon d1 = f.spawn(1);
+  ASSERT_GT(primary.port, 0);
+  ASSERT_GT(replica.port, 0);
+  ASSERT_GT(d1.port, 0);
+
+  DistOptions opts = f.base_opts();
+  opts.straggler_timeout_seconds = 0.3;
+  DistCoordinator coord(
+      {{0,
+        {{"127.0.0.1", primary.port}, {"127.0.0.1", replica.port}}},
+       {1, {{"127.0.0.1", d1.port}}}},
+      opts);
+
+  QueryResult want = f.reference(kSql);
+  DistResult r = coord.run(kSql);
+  EXPECT_TRUE(r.casualties.empty());
+  EXPECT_GE(r.straggler_reissues, 1u);
+  EXPECT_TRUE(dq::rows_equal_exact(r.merged(), want.merged()));
+}
+
+TEST(DistChaosTest, FaultCampaignArmsInOneDaemonOnly) {
+  REQUIRE_DAEMON_BIN();
+  ChaosFixture f;
+  // A node-death campaign armed in the primary's environment: every query
+  // against it dies at start with a typed retryable error, while the
+  // replica (clean environment) is untouched.  Exercises in-daemon faultz
+  // arming plus the typed-error failover path — no process death needed.
+  SpawnedDaemon primary = f.spawn(
+      0, {}, {{"ADV_FAULT_SEED", "7"}, {"ADV_FAULT_SPEC", "node.run=1"}});
+  SpawnedDaemon replica = f.spawn(0);
+  SpawnedDaemon d1 = f.spawn(1);
+  ASSERT_GT(primary.port, 0);
+  ASSERT_GT(replica.port, 0);
+  ASSERT_GT(d1.port, 0);
+
+  DistOptions opts = f.base_opts();
+  DistCoordinator coord(
+      {{0,
+        {{"127.0.0.1", primary.port}, {"127.0.0.1", replica.port}}},
+       {1, {{"127.0.0.1", d1.port}}}},
+      opts);
+
+  QueryResult want = f.reference(kSql);
+  DistResult r = coord.run(kSql);
+  EXPECT_TRUE(r.casualties.empty());
+  EXPECT_GE(r.failovers, 1u);
+  EXPECT_TRUE(dq::rows_equal_exact(r.merged(), want.merged()));
+
+  // The armed daemon is still alive and still failing typed — repeatable.
+  DistResult again = coord.run(kSql);
+  EXPECT_TRUE(again.casualties.empty());
+  EXPECT_GE(again.failovers, 1u);
+  EXPECT_TRUE(dq::rows_equal_exact(again.merged(), want.merged()));
+}
+
+TEST(DistChaosTest, SeededKillCampaignUnderPartition) {
+  REQUIRE_DAEMON_BIN();
+  ChaosFixture f;
+  // Bounded fixed-seed chaos sweep: kill the node-0 primary at a
+  // different commit point each round, with a partitioned gather, and
+  // demand per-partition byte-identity every time.  The commit points are
+  // the campaign's "seed": deterministic trigger placement, not wall
+  // clock.
+  SpawnedDaemon d1 = f.spawn(1);
+  ASSERT_GT(d1.port, 0);
+
+  DistOptions base = f.base_opts();
+  base.partition.policy = PartitionSpec::Policy::kRoundRobin;
+  base.partition.num_consumers = 2;
+  QueryResult want = f.reference(kSql, base.partition);
+
+  for (uint64_t kill_at : {1u, 3u, 5u}) {
+    SpawnedDaemon primary = f.spawn(0);
+    SpawnedDaemon replica = f.spawn(0);
+    ASSERT_GT(primary.port, 0);
+    ASSERT_GT(replica.port, 0);
+    std::atomic<bool> killed{false};
+    DistOptions opts = base;
+    opts.on_commit = [&](int node, uint64_t committed) {
+      if (node == 0 && committed >= kill_at && !killed.exchange(true))
+        ::kill(primary.pid, SIGKILL);
+    };
+    DistCoordinator coord(
+        {{0,
+          {{"127.0.0.1", primary.port}, {"127.0.0.1", replica.port}}},
+         {1, {{"127.0.0.1", d1.port}}}},
+        opts);
+    DistResult r = coord.run(kSql);
+    EXPECT_TRUE(r.casualties.empty()) << "kill_at=" << kill_at;
+    for (std::size_t c = 0; c < want.partitions.size(); ++c)
+      EXPECT_TRUE(
+          dq::rows_equal_exact(r.partitions[c], want.partitions[c]))
+          << "kill_at=" << kill_at << " partition " << c;
+    // The replica stays usable for the next round; only the primary died.
+    ::kill(replica.pid, SIGKILL);
+  }
+}
+
+}  // namespace
+}  // namespace adv::storm

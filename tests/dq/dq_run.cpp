@@ -15,7 +15,9 @@
 #include "common/tempdir.h"
 #include "dq/dq_gen.h"
 #include "faultz/faultz.h"
+#include "storm/dist.h"
 #include "storm/net.h"
+#include "storm/node_daemon.h"
 
 namespace adv::dq {
 
@@ -124,6 +126,7 @@ std::string replay_command(uint64_t seed, const DqOptions& opts) {
     os << " --fault-spec '" << opts.fault_spec << "' --fault-seed "
        << opts.fault_seed;
   if (opts.with_server) os << " --server";
+  if (opts.with_dist) os << " --dist";
   if (opts.partial_results) os << " --partial";
   if (opts.io_mode == IoMode::kPread) os << " --pread";
   if (opts.kernel_mode != KernelMode::kAuto)
@@ -209,6 +212,34 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
     client = std::make_unique<storm::QueryClient>("127.0.0.1", server->port());
   }
 
+  // Optional distribution backend: one in-process NodeDaemon per virtual
+  // node behind a DistCoordinator, pruning with the same zone map as the
+  // fast path.  Also opened before arming; under a campaign the armed
+  // plan is process-wide, so daemon-side injections exercise the
+  // coordinator's typed-failure and bounded-retry paths.
+  std::vector<std::unique_ptr<storm::NodeDaemon>> daemons;
+  std::unique_ptr<storm::DistCoordinator> dist;
+  if (opts.with_dist) {
+    auto dplan =
+        std::make_shared<codegen::DataServicePlan>(desc, "DqData", tmp.str());
+    std::vector<storm::ShardConfig> shards;
+    for (int n = 0; n < dplan->model().num_nodes(); ++n) {
+      storm::NodeDaemonOptions nopts;
+      nopts.node_id = n;
+      nopts.cluster.io_mode = opts.io_mode;
+      nopts.cluster.kernel_mode = opts.kernel_mode;
+      nopts.filter = vt.chunk_filter();
+      daemons.push_back(std::make_unique<storm::NodeDaemon>(dplan, nopts));
+      shards.push_back(
+          {n, {{"127.0.0.1", daemons.back()->port()}}});
+    }
+    storm::DistOptions dopts;
+    dopts.deadline_seconds = opts.deadline_seconds;
+    dopts.liveness_timeout_seconds = std::max(5.0, opts.deadline_seconds);
+    dopts.allow_partial_results = opts.partial_results;
+    dist = std::make_unique<storm::DistCoordinator>(std::move(shards), dopts);
+  }
+
   // ---- Phase 3: the fast path, optionally under the campaign. -----------
   {
     CampaignScope campaign(opts.fault_seed, opts.fault_spec);
@@ -274,6 +305,36 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
         double elapsed = sw.elapsed_seconds();
         if (elapsed > 2 * opts.deadline_seconds + 5)
           fail(sql, format("served hang: %.1fs wall against a %.1fs deadline",
+                           elapsed, opts.deadline_seconds));
+      }
+
+      if (dist) {
+        ++rep.cases;
+        Stopwatch sw;
+        try {
+          storm::DistResult dr = dist->run(sql);
+          expr::Table got = dr.merged();
+          if (rows_equal_exact(got, want[i]))
+            ++rep.passed;
+          else if (opts.partial_results && dr.partial() &&
+                   rows_subset(got, want[i]))
+            ++rep.partials;
+          else
+            fail(sql,
+                 format("dist backend returned %llu rows, reference %zu",
+                        static_cast<unsigned long long>(dr.total_rows()),
+                        want[i].num_rows()));
+        } catch (const Error& e) {
+          if (opts.fault_spec.empty())
+            fail(sql, std::string("unexpected dist error: ") + e.what());
+          else
+            ++rep.clean_errors;
+        } catch (const std::exception& e) {
+          fail(sql, std::string("untyped exception escaped: ") + e.what());
+        }
+        double elapsed = sw.elapsed_seconds();
+        if (elapsed > 2 * opts.deadline_seconds + 5)
+          fail(sql, format("dist hang: %.1fs wall against a %.1fs deadline",
                            elapsed, opts.deadline_seconds));
       }
     }

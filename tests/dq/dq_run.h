@@ -33,6 +33,10 @@ struct DqOptions {
   // Also round-trip each query through QueryServer/QueryClient (protocol
   // v2 on loopback).
   bool with_server = false;
+  // Also scatter/gather each query through per-node NodeDaemons and a
+  // DistCoordinator (the distribution frames on loopback; daemons run
+  // in-process, one per virtual node).
+  bool with_dist = false;
   // Fault campaign: non-empty spec arms faultz::FaultPlan with
   // {fault_seed, fault_spec} for the query phase (never for dataset
   // generation or reference computation) and disarms afterwards.

@@ -17,6 +17,7 @@
 #include "common/tempdir.h"
 #include "dataset/ipars.h"
 #include "storm/net.h"
+#include "storm/node_daemon.h"
 
 namespace adv::storm {
 namespace {
@@ -665,6 +666,112 @@ TEST(ProtocolInteropTest, CancelRacingCompletionIsCleanEitherWay) {
   sched::SchedulerMetrics m = f.server.scheduler_metrics();
   EXPECT_EQ(m.running, 0u);
   EXPECT_EQ(m.completed + m.cancelled, m.admitted);
+}
+
+// Forward-compat across the v2.1 distribution frames: a peer speaking the
+// scatter dialect at a peer that does not (and vice versa) must get an
+// immediate typed error, never a hang.
+
+TEST(ProtocolInteropTest, DistributionFramesAtQueryServerDegradeTyped) {
+  NetFixture f;
+  // kNodeQuery (0x10) and a bare kHeartbeat (0x13) — frame types this
+  // server has no handler for.  Expected on both: one kError whose
+  // trailing kind byte says kQuery (deterministic, don't-retry), then EOF.
+  for (uint8_t type : {uint8_t{0x10}, uint8_t{0x13}}) {
+    int fd = raw_connect(f.server.port());
+    std::vector<unsigned char> payload;
+    if (type == 0x10) {  // a well-formed scatter request, wrong endpoint
+      raw_pod<uint32_t>(payload, 0);   // node_id
+      raw_pod<uint64_t>(payload, 0);   // start_afc
+      raw_pod<uint16_t>(payload, 1);   // num_consumers
+      raw_pod<uint8_t>(payload, 0);    // policy
+      raw_pod<int32_t>(payload, -1);
+      raw_pod<double>(payload, 0.0);
+      raw_pod<double>(payload, 1.0);
+      raw_pod<uint64_t>(payload, 0);   // block_size
+      raw_string(payload, "SELECT * FROM IparsData");
+      raw_pod<double>(payload, 0.0);   // deadline
+      raw_pod<double>(payload, 0.0);   // heartbeat interval
+      raw_pod<uint32_t>(payload, 1);   // checkpoint_afcs
+    }
+    raw_send_frame(fd, type, payload);
+    uint8_t rtype = 0;
+    std::vector<unsigned char> reply;
+    ASSERT_TRUE(raw_recv_frame(fd, rtype, reply)) << "hung on type "
+                                                  << int(type);
+    EXPECT_EQ(rtype, 0x06);  // kError
+    uint32_t n;
+    ASSERT_GE(reply.size(), 4u);
+    std::memcpy(&n, reply.data(), 4);
+    std::string msg(reinterpret_cast<const char*>(reply.data() + 4), n);
+    EXPECT_NE(msg.find("query frame"), std::string::npos) << msg;
+    // v2.1 kError tail: the ErrorKind byte, kQuery = non-retryable.
+    ASSERT_EQ(reply.size(), 4u + n + 1);
+    EXPECT_EQ(reply[4 + n], static_cast<uint8_t>(ErrorKind::kQuery));
+    ::close(fd);
+  }
+  // The server survived both and still serves real clients.
+  QueryClient client("127.0.0.1", f.server.port());
+  EXPECT_GT(client.execute("SELECT * FROM IparsData").total_rows(), 0u);
+}
+
+TEST(ProtocolInteropTest, QueryClientAgainstNodeDaemonFailsTyped) {
+  // The reverse direction: an old-style client's kQuery at a node daemon.
+  // The daemon must answer a typed QueryError pointing at the right
+  // endpoint, and survive to serve scatter traffic afterwards.
+  NetFixture f;
+  NodeDaemonOptions nopts;
+  nopts.node_id = 0;
+  NodeDaemon daemon(f.plan, nopts);
+  QueryClient client("127.0.0.1", daemon.port());
+  try {
+    client.execute("SELECT * FROM IparsData");
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_NE(std::string(e.what()).find("DistCoordinator"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(daemon.queries_served(), 0u);
+}
+
+TEST(ProtocolInteropTest, ConnectTimeoutRefusesFastAndServesNormally) {
+  NetFixture f;
+  // A bounded connect against a dead port fails typed and fast (refused,
+  // not a timeout wait)...
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  int dead_port = ntohs(addr.sin_port);
+  ::close(lfd);  // bound then closed: nothing listens here
+  QueryClient dead("127.0.0.1", dead_port, /*connect_timeout_seconds=*/1.0);
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(dead.execute("SELECT * FROM IparsData"), IoError);
+  double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 5.0);
+  // ...and the same bounded-connect client works against a live server.
+  QueryClient live("127.0.0.1", f.server.port(),
+                   /*connect_timeout_seconds=*/5.0);
+  EXPECT_GT(live.execute("SELECT * FROM IparsData").total_rows(), 0u);
+}
+
+TEST(ProtocolInteropTest, RetryAfterHintTravelsInStatsTail) {
+  // v2.1 kStats tail: an idle server's hint is zero but present (the
+  // sched block itself is valid), so polite clients can pace off it
+  // without version sniffing.
+  NetFixture f;
+  QueryClient client("127.0.0.1", f.server.port());
+  RemoteResult r = client.execute("SELECT REL FROM IparsData WHERE TIME = 1");
+  EXPECT_TRUE(r.sched.valid);
+  EXPECT_EQ(r.sched.retry_after_hint_seconds, 0.0);
 }
 
 }  // namespace

@@ -125,6 +125,32 @@ TEST(QuerySchedulerTest, RejectsWhenQueueFull) {
   s.finish(a.ctx, Outcome::kCompleted);
 }
 
+TEST(QuerySchedulerTest, RetryAfterHintTracksBacklog) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.max_queue_depth = 4;
+  QueryScheduler s(opts);
+  // Idle: a submission now would run immediately — nothing to wait for.
+  EXPECT_EQ(s.retry_after_hint(), 0.0);
+  auto a = s.submit();  // takes the only slot
+  double full = s.retry_after_hint();
+  EXPECT_GT(full, 0.0);
+  auto b = s.submit();  // queued behind it
+  // More backlog, longer hint (same EWMA basis, bigger queue).
+  EXPECT_GT(s.retry_after_hint(), full);
+  s.finish(a.ctx, Outcome::kCompleted);
+  ASSERT_TRUE(s.wait_admitted(b.ctx));
+  s.finish(b.ctx, Outcome::kCompleted);
+  EXPECT_EQ(s.retry_after_hint(), 0.0);
+  // Unlimited concurrency never asks anyone to back off.
+  SchedulerOptions uopts;
+  uopts.max_concurrent_queries = 0;
+  QueryScheduler u(uopts);
+  auto c = u.submit();
+  EXPECT_EQ(u.retry_after_hint(), 0.0);
+  u.finish(c.ctx, Outcome::kCompleted);
+}
+
 TEST(QuerySchedulerTest, CancelWhileQueued) {
   SchedulerOptions opts;
   opts.max_concurrent_queries = 1;

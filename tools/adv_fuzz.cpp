@@ -33,6 +33,8 @@ int usage(const char* argv0) {
       "  --fault-spec S    explicit fault spec, e.g. 'pread.eio=0.01:3'\n"
       "  --fault-seed N    fault-plan seed (default: the corpus seed)\n"
       "  --server          also round-trip queries through the v2 protocol\n"
+      "  --dist            also scatter/gather through per-node daemons\n"
+      "                    behind a DistCoordinator (in-process)\n"
       "  --partial         run the fast path in partial-results mode\n"
       "  --pread           force pread I/O (no mmap) on the fast path\n"
       "  --kernel MODE     kernel tier for the fast path: interp, vector,\n"
@@ -77,6 +79,8 @@ int main(int argc, char** argv) {
       have_fault_seed = true;
     } else if (arg == "--server") {
       opts.with_server = true;
+    } else if (arg == "--dist") {
+      opts.with_dist = true;
     } else if (arg == "--partial") {
       opts.partial_results = true;
     } else if (arg == "--pread") {
