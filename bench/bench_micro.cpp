@@ -351,6 +351,137 @@ void run_plan_cache(const dataset::GeneratedIpars& gen,
 }
 
 // ---------------------------------------------------------------------------
+// Aggregation pushdown (docs/AGGREGATION.md): GROUP BY / top-k evaluated
+// inside the extraction workers, with only aggregate state crossing the
+// node boundary.  One query per adaptive strategy — dense (loop-attr key),
+// radix (high-cardinality payload key), grouped top-k, and the plain
+// bounded-heap top-k — each across sequential/parallel and kernel tiers.
+// bytes_shipped is what actually crossed the node boundary; ship_reduction
+// compares it against the row bytes a scan-then-aggregate-client would
+// have shipped for the same matched rows.
+
+void run_agg_pushdown(const dataset::GeneratedIpars& gen,
+                      bench::JsonRecords& json) {
+  std::printf("\n=== aggregation pushdown (BENCH_micro.json) ===\n");
+  auto plan = std::make_shared<codegen::DataServicePlan>(
+      meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
+      gen.root);
+
+  struct AggBench {
+    const char* label;
+    const char* sql;
+  };
+  const AggBench benches[] = {
+      {"dense-group",
+       "SELECT TIME, COUNT(*), SUM(SOIL), AVG(SGAS) FROM IparsData "
+       "GROUP BY TIME"},
+      {"high-cardinality",
+       "SELECT SOIL, COUNT(*), MAX(SGAS) FROM IparsData WHERE TIME <= 100 "
+       "GROUP BY SOIL"},
+      {"grouped-topk",
+       "SELECT TIME, SUM(SOIL) FROM IparsData GROUP BY TIME "
+       "ORDER BY SUM(SOIL) DESC LIMIT 10"},
+      {"plain-topk",
+       "SELECT * FROM IparsData ORDER BY SGAS DESC LIMIT 100"},
+  };
+  const std::vector<ScanConfig> configs = {
+      {"seq-mmap", 1, IoMode::kMmap, KernelMode::kInterp},
+      {"par-mmap", bench_threads(), IoMode::kMmap, KernelMode::kInterp},
+      {"par-mmap-vector", bench_threads(), IoMode::kMmap,
+       KernelMode::kVector},
+      {"par-mmap-jit", bench_threads(), IoMode::kMmap, KernelMode::kJit},
+  };
+
+  bench::ResultTable table({"query", "config", "threads", "wall (s)",
+                            "rows/s", "groups", "shipped", "reduction",
+                            "strategy", "identical"});
+  for (const AggBench& b : benches) {
+    expr::Table reference;
+    bool first = true;
+    for (const ScanConfig& c : configs) {
+      storm::ClusterOptions opts;
+      opts.threads_per_node = c.threads_per_node;
+      opts.io_mode = c.io_mode;
+      opts.kernel_mode = c.kernel_mode;
+      storm::StormCluster cluster(plan, opts);
+      cluster.execute(b.sql);  // warmup
+      double wall = 1e300;
+      storm::QueryResult last;
+      for (int i = 0; i < bench::repeats(); ++i) {
+        Stopwatch sw;
+        storm::QueryResult r = cluster.execute(b.sql);
+        double t = sw.elapsed_seconds();
+        if (t < wall) wall = t;
+        last = std::move(r);
+      }
+      expr::Table merged = last.merged();
+      // The engine's own backends are bit-identical for aggregates, so
+      // every config must reproduce the first config's table exactly.
+      bool identical = true;
+      if (first) reference = merged, first = false;
+      else identical = merged.same_rows(reference);
+
+      uint64_t rows_scanned = 0, rows_matched = 0, shipped = 0;
+      uint64_t dense = 0, hash = 0, radix = 0;
+      for (const auto& ns : last.node_stats) {
+        rows_scanned += ns.rows_scanned;
+        rows_matched += ns.rows_matched;
+        shipped += ns.bytes_sent;
+        dense += ns.agg_dense;
+        hash += ns.agg_hash;
+        radix += ns.agg_radix;
+      }
+      const uint64_t groups = last.total_groups_emitted();
+      // What a scan-then-aggregate-at-client design ships for the same
+      // matched rows (the scan columns the workers folded from).
+      const uint64_t scan_cols =
+          plan->bind(b.sql).select_slots().size();
+      const uint64_t row_bytes = rows_matched * scan_cols * sizeof(double);
+      const double reduction =
+          shipped ? static_cast<double>(row_bytes) /
+                        static_cast<double>(shipped)
+                  : 0.0;
+      std::string strategy;
+      if (dense) strategy += format("dense:%llu ",
+                                    static_cast<unsigned long long>(dense));
+      if (hash) strategy += format("hash:%llu ",
+                                   static_cast<unsigned long long>(hash));
+      if (radix) strategy += format("radix:%llu ",
+                                    static_cast<unsigned long long>(radix));
+      if (strategy.empty()) strategy = "topk ";
+      strategy.pop_back();
+
+      double rows_per_sec = static_cast<double>(rows_scanned) / wall;
+      json.add()
+          .field("query", b.sql)
+          .field("config", std::string("agg-") + b.label + "-" + c.name)
+          .field("threads_per_node",
+                 static_cast<uint64_t>(c.threads_per_node))
+          .field("kernel_mode", to_string(c.kernel_mode))
+          .field("rows_scanned", rows_scanned)
+          .field("rows_matched", rows_matched)
+          .field("groups_emitted", groups)
+          .field("bytes_shipped", shipped)
+          .field("agg_bytes_shipped", last.total_agg_bytes_shipped())
+          .field("row_bytes_equivalent", row_bytes)
+          .field("ship_reduction", reduction)
+          .field("agg_dense", dense)
+          .field("agg_hash", hash)
+          .field("agg_radix", radix)
+          .field("wall_seconds", wall)
+          .field("rows_per_sec", rows_per_sec)
+          .field("identical_to_baseline", identical);
+      table.add_row({b.label, c.name, std::to_string(c.threads_per_node),
+                     bench::secs(wall), format("%.0f", rows_per_sec),
+                     std::to_string(groups), human_bytes(shipped),
+                     format("%.0fx", reduction), strategy,
+                     identical ? "yes" : "no"});
+    }
+  }
+  table.print();
+}
+
+// ---------------------------------------------------------------------------
 // Served queries per second: the full TCP + admission-scheduler path.
 // Closed-loop clients hammer one QueryServer; every response is checked
 // against a direct cluster execution of the same query.
@@ -437,6 +568,7 @@ int main(int argc, char** argv) {
   run_scan_throughput(gen, json);
   run_zonemap_pruning(gen, zm_dir, json);
   run_plan_cache(gen, zm_dir, json);
+  run_agg_pushdown(gen, json);
   run_served_qps(gen, json);
   json.write("micro");
   return 0;

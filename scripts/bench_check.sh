@@ -5,8 +5,9 @@
 # Fails when
 #   * any matching (query, config) entry's rows_per_sec (or, for the
 #     served-query section, queries_per_sec) regresses by more than
-#     BENCH_CHECK_TOLERANCE (default 35% — consecutive best-of-10 runs
-#     of identical code were measured 21% apart on a 1-vCPU host, so
+#     BENCH_CHECK_TOLERANCE (default 45% — consecutive best-of-N runs
+#     of identical code have been measured up to ~40% apart on shared
+#     1-vCPU hosts whose effective CPU speed drifts over minutes, so
 #     the default must clear that noise floor; tighten via the env var
 #     on quiet dedicated hardware), or
 #   * identical_to_baseline is false anywhere in the fresh run (a
@@ -26,7 +27,7 @@ cd "$(dirname "$0")/.."
 
 BENCH="${BENCH_CHECK_BINARY:-build/bench/bench_micro}"
 BASELINE="BENCH_micro.json"
-TOLERANCE="${BENCH_CHECK_TOLERANCE:-0.35}"
+TOLERANCE="${BENCH_CHECK_TOLERANCE:-0.45}"
 PAIR_TOLERANCE="${BENCH_PAIR_TOLERANCE:-0.10}"
 
 [[ -x "$BENCH" ]] || { echo "bench_check: $BENCH not built" >&2; exit 1; }

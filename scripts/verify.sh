@@ -9,9 +9,10 @@
 #   2. bounded fuzz + fault smoke with FIXED seeds (deterministic, a few
 #      seconds): the differential harness and the property suites invoked
 #      directly so the ADV_FUZZ_* overrides apply (see docs/TESTING.md),
-#      including a jit-tier differential run, the jit.compile fault
-#      campaign, and the scatter/gather dist backend (clean and under the
-#      node-death campaign)
+#      including jit- and interp-tier differential runs, the jit.compile
+#      and agg.merge fault campaigns, and the scatter/gather dist backend
+#      (clean, under the node-death campaign, and under the
+#      partial-aggregate-merge campaign)
 #   3. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
 #      sensitive test binaries — parallel pipeline, scheduler, networked
 #      server, and the dq differential/fault harness — run with
@@ -52,11 +53,18 @@ ADV_FUZZ_SEED=97 ./build/tests/interval_fuzz_test >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign node --partial >/dev/null
 ./build/tools/adv_fuzz --seed 101 --seeds 3 --kernel jit >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign jit --kernel jit >/dev/null
+# Aggregation pushdown: the corpus includes GROUP BY/aggregate/top-k
+# shapes, so the interp run covers the fold under a second kernel tier
+# and the agg campaign injects faults into the partial-aggregate merge.
+./build/tools/adv_fuzz --seed 101 --seeds 3 --kernel interp >/dev/null
+./build/tools/adv_fuzz --seed 101 --campaign agg >/dev/null
 # Distribution backend: every query also scattered through per-node
 # daemons behind a DistCoordinator; the node campaign exercises the
-# coordinator's typed-failure retry path under deterministic injection.
+# coordinator's typed-failure retry path under deterministic injection,
+# the agg campaign the kAggBatch delta/commit no-double-count contract.
 ./build/tools/adv_fuzz --seed 101 --seeds 2 --dist >/dev/null
 ./build/tools/adv_fuzz --seed 101 --campaign node --dist >/dev/null
+./build/tools/adv_fuzz --seed 101 --campaign agg --dist >/dev/null
 echo "fuzz/fault smoke OK"
 
 # Multi-process distribution smoke: the dist label spawns real adv_node
@@ -72,7 +80,7 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target storm_test storm_concurrency_test sched_test sched_stress_test \
-             net_test kernels_test dq_diff_test dq_fault_test \
+             net_test kernels_test agg_test dq_diff_test dq_fault_test \
              dist_chaos_test adv_node
   # Exercise the parallel worker path even on single-core hosts.
   export ADV_THREADS_PER_NODE=4
@@ -84,6 +92,9 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   # The kernel tiers share arenas/caches across extraction workers; the
   # JIT cache in particular serializes concurrent compiles on one lock.
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/kernels_test
+  # Aggregation pushdown: per-worker sinks folding concurrently, then
+  # the two-phase merge across worker and node boundaries.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/agg_test
   # Bounded corpora under tsan: the full wall clock stays in seconds.
   ADV_FUZZ_ITERS=6 TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/dq/dq_diff_test

@@ -1,0 +1,57 @@
+// Exact (error-free) accumulation of IEEE-754 doubles.
+//
+// SUM and AVG results must be byte-identical no matter how the scan is
+// split across workers, nodes, or replica failovers (docs/AGGREGATION.md).
+// Plain double accumulation cannot give that — float addition is not
+// associative — so partial aggregates carry a fixed-point superaccumulator
+// wide enough to hold any sum of doubles exactly:
+//
+//   value = sum_i limb[i] * 2^(32*i - 1074)
+//
+// 67 signed 64-bit limbs cover the full double range (2^-1074 .. 2^1024)
+// with headroom for 2^53-and-more addends.  Addition of accumulators is
+// limb-wise integer addition, hence associative and commutative: merging
+// partial states in any grouping yields the same bits, and the final
+// rounding to double (round-to-nearest-even) is performed exactly once.
+//
+// -0.0 contributes nothing, so a sum that is exactly zero finalizes to
+// +0.0 even when every addend was -0.0.  Non-finite addends are tracked in
+// flags: any NaN, or both +inf and -inf, finalizes to NaN; else +inf or
+// -inf wins.  This matches left-to-right double accumulation on the same
+// multiset of inputs except for the rounding of finite sums, which the
+// superaccumulator performs exactly instead of per-step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adv::agg {
+
+struct ExactSum {
+  static constexpr int kLimbs = 67;
+
+  int64_t limb[kLimbs] = {};
+  // Adds since the last carry normalization.  Each add perturbs at most
+  // three limbs by < 2^32, so 2^30 adds stay well inside int64.
+  uint32_t pending = 0;
+  bool saw_nan = false;
+  bool saw_pinf = false;
+  bool saw_ninf = false;
+
+  // Folds one value into the accumulator.  Exact for all finite inputs.
+  void add(double v);
+
+  // Limb-wise addition of another accumulator (exact, associative).
+  void merge(const ExactSum& o);
+
+  // Propagates carries so limbs 0..kLimbs-2 land in [0, 2^32).  The top
+  // limb stays signed and carries the overall sign.
+  void normalize();
+
+  // Rounds the exact value to the nearest double (ties to even).
+  double finalize() const;
+
+  bool is_zero() const;
+};
+
+}  // namespace adv::agg

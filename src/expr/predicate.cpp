@@ -321,8 +321,61 @@ BoundQuery::BoundQuery(sql::SelectQuery query, const meta::Schema& schema)
     : query_(std::move(query)),
       schema_(schema),
       intervals_(schema.size()) {
-  // Resolve the select list.
-  if (query_.select_all()) {
+  has_agg_ = query_.has_aggregates();
+  limit_ = query_.limit;
+
+  // Resolve the select list.  For aggregate queries the "select" columns
+  // the pipeline materializes are the SCAN columns: group keys first
+  // (GROUP BY order), then aggregate-input attributes in first-use order.
+  if (has_agg_) {
+    if (query_.select_all())
+      throw QueryError(
+          "SELECT * cannot be combined with GROUP BY or aggregates");
+    for (const auto& name : query_.group_by) {
+      int idx = schema.find(name);
+      if (idx < 0)
+        throw QueryError("unknown attribute '" + name + "' in GROUP BY");
+      for (int a : group_key_attrs_)
+        if (a == idx)
+          throw QueryError("duplicate GROUP BY attribute '" + name + "'");
+      group_key_attrs_.push_back(idx);
+    }
+    select_attrs_ = group_key_attrs_;
+    auto ensure_scanned = [&](int attr) {
+      for (int a : select_attrs_)
+        if (a == attr) return;
+      select_attrs_.push_back(attr);
+    };
+    int agg_idx = 0;
+    for (const auto& it : query_.items) {
+      if (it.fn == sql::AggFn::kNone) {
+        int idx = schema.find(it.attr);
+        if (idx < 0)
+          throw QueryError("unknown attribute '" + it.attr +
+                           "' in SELECT list");
+        int key = -1;
+        for (std::size_t j = 0; j < group_key_attrs_.size(); ++j)
+          if (group_key_attrs_[j] == idx) key = static_cast<int>(j);
+        if (key < 0)
+          throw QueryError("select item '" + it.attr +
+                           "' must appear in GROUP BY or be aggregated");
+        output_cols_.push_back({false, key});
+      } else {
+        if (!it.star) {
+          std::set<int> arg_attrs;
+          collect_attrs(*it.arg, schema, arg_attrs);
+          for (int a : arg_attrs) ensure_scanned(a);
+        }
+        BoundAggItem b;
+        b.fn = it.fn;
+        b.star = it.star;
+        agg_items_.push_back(std::move(b));
+        output_cols_.push_back({true, agg_idx++});
+      }
+    }
+    for (std::size_t j = 0; j < group_key_attrs_.size(); ++j)
+      group_key_cols_.push_back(static_cast<int>(j));
+  } else if (query_.select_all()) {
     for (std::size_t i = 0; i < schema.size(); ++i)
       select_attrs_.push_back(static_cast<int>(i));
   } else {
@@ -354,10 +407,74 @@ BoundQuery::BoundQuery(sql::SelectQuery query, const meta::Schema& schema)
     collect_attrs(*query_.where, schema, pred_attrs);
     for (int a : pred_attrs) predicate_slots_.push_back(attr_slot_[a]);
   }
+
+  // Compile aggregate inputs against SCAN-ROW positions (the row the
+  // kernels hand a RowSink is select_slots-ordered, not the needed-attr
+  // buffer), now that the scan column list is final.
+  if (has_agg_) {
+    std::vector<int> scan_col(schema.size(), -1);
+    for (std::size_t i = 0; i < select_attrs_.size(); ++i)
+      scan_col[static_cast<std::size_t>(select_attrs_[i])] =
+          static_cast<int>(i);
+    std::size_t m = 0;
+    for (const auto& it : query_.items) {
+      if (it.fn == sql::AggFn::kNone) continue;
+      if (!it.star)
+        agg_items_[m].input = compile_scalar(*it.arg, schema, scan_col);
+      ++m;
+    }
+  }
+
+  // Resolve ORDER BY keys against the output columns by canonical
+  // spelling; every key must name a select item (or, for SELECT *, a
+  // schema attribute).
+  if (!query_.order_by.empty()) {
+    std::vector<std::string> out_names;
+    if (has_agg_) {
+      for (const auto& it : query_.items) out_names.push_back(it.to_string());
+    } else if (query_.select_all()) {
+      for (std::size_t i = 0; i < schema.size(); ++i)
+        out_names.push_back(schema.at(i).name);
+    } else {
+      out_names = query_.select_attrs;
+    }
+    for (const auto& o : query_.order_by) {
+      std::string want = o.key.to_string();
+      int col = -1;
+      for (std::size_t i = 0; i < out_names.size(); ++i)
+        if (out_names[i] == want) {
+          col = static_cast<int>(i);
+          break;
+        }
+      if (col < 0)
+        throw QueryError("ORDER BY key '" + want +
+                         "' must appear in the select list");
+      order_keys_.push_back({col, o.desc});
+    }
+  }
 }
 
 std::vector<Table::Column> BoundQuery::result_columns() const {
   std::vector<Table::Column> cols;
+  if (has_agg_) {
+    for (const auto& it : query_.items) {
+      if (it.fn == sql::AggFn::kNone) {
+        const auto& attr =
+            schema_.at(static_cast<std::size_t>(schema_.find(it.attr)));
+        cols.push_back({attr.name, attr.type});
+      } else if (it.fn == sql::AggFn::kCount) {
+        cols.push_back({it.to_string(), DataType::kInt64});
+      } else if ((it.fn == sql::AggFn::kMin || it.fn == sql::AggFn::kMax) &&
+                 it.arg && it.arg->kind == sql::Scalar::Kind::kAttr) {
+        const auto& attr =
+            schema_.at(static_cast<std::size_t>(schema_.find(it.arg->name)));
+        cols.push_back({it.to_string(), attr.type});
+      } else {
+        cols.push_back({it.to_string(), DataType::kFloat64});
+      }
+    }
+    return cols;
+  }
   for (int a : select_attrs_) {
     const auto& attr = schema_.at(static_cast<std::size_t>(a));
     cols.push_back({attr.name, attr.type});

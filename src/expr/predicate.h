@@ -45,8 +45,36 @@ struct CompiledBool {
   bool eval(const double* row) const;
 };
 
+// One aggregate select item bound against the scan row.  `input` evaluates
+// the aggregate argument against the row the extraction kernels materialize
+// (select_slots order), not the wider needed-attr buffer.
+struct BoundAggItem {
+  sql::AggFn fn = sql::AggFn::kCount;
+  bool star = false;       // COUNT(*)
+  CompiledScalar input;    // unused when star
+};
+
+// Output column of an aggregate query: a group key or an aggregate value.
+struct OutputColRef {
+  bool is_agg = false;
+  int index = 0;  // into group keys (is_agg false) or agg items (true)
+};
+
+// One resolved ORDER BY key: an output-column position plus direction.
+struct OrderKeyRef {
+  int col = 0;
+  bool desc = false;
+};
+
 // A SELECT query bound against a schema.  Immutable after construction.
 // Owns a copy of the schema, so it outlives the object it was bound from.
+//
+// Aggregation pushdown (docs/AGGREGATION.md): for queries with aggregates
+// the *scan* columns (group keys ∪ aggregate-input attributes, first-use
+// order) take the place of the select list everywhere the extraction
+// pipeline looks — select_attrs() / select_slots() describe what the
+// kernels materialize per row, so interp, vector, and jit tiers work
+// unchanged.  result_columns() describes the final (post-merge) output.
 class BoundQuery {
  public:
   // Throws QueryError on unknown attributes / functions or arity mismatch.
@@ -81,8 +109,31 @@ class BoundQuery {
   // Conservative per-attribute intervals implied by the WHERE clause.
   const QueryIntervals& intervals() const { return intervals_; }
 
-  // Column descriptors of the result table.
+  // Column descriptors of the result table.  For aggregate queries these
+  // are the final output columns (select-list order), not the scan columns.
   std::vector<Table::Column> result_columns() const;
+
+  // --- Aggregation / top-k pushdown plan -----------------------------------
+
+  // True when the query aggregates (any aggregate item or GROUP BY).
+  bool has_aggregates() const { return has_agg_; }
+  // True when results are produced by the pushdown merge path instead of
+  // row shipping: aggregates, ORDER BY, or LIMIT.
+  bool is_pushdown() const {
+    return has_agg_ || !order_keys_.empty() || limit_ >= 0;
+  }
+
+  // Positions of the group keys in the scan row (GROUP BY order).
+  const std::vector<int>& group_key_cols() const { return group_key_cols_; }
+  // Schema attribute indices of the group keys (GROUP BY order).
+  const std::vector<int>& group_key_attrs() const { return group_key_attrs_; }
+  // Aggregate select items (select-list order).
+  const std::vector<BoundAggItem>& agg_items() const { return agg_items_; }
+  // Output columns of an aggregate query (select-list order).
+  const std::vector<OutputColRef>& output_cols() const { return output_cols_; }
+  // Resolved ORDER BY keys (output-column positions) and the LIMIT.
+  const std::vector<OrderKeyRef>& order_keys() const { return order_keys_; }
+  int64_t limit() const { return limit_; }
 
  private:
   sql::SelectQuery query_;
@@ -94,6 +145,13 @@ class BoundQuery {
   CompiledBool predicate_;
   std::vector<int> predicate_slots_;
   QueryIntervals intervals_{0};
+  bool has_agg_ = false;
+  std::vector<int> group_key_cols_;
+  std::vector<int> group_key_attrs_;
+  std::vector<BoundAggItem> agg_items_;
+  std::vector<OutputColRef> output_cols_;
+  std::vector<OrderKeyRef> order_keys_;
+  int64_t limit_ = -1;
 };
 
 }  // namespace adv::expr

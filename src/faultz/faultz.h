@@ -48,6 +48,7 @@ enum class Site : uint8_t {
   kNodeRun,         // a STORM node worker dies at query start
   kServeQuery,      // the query-service worker dies after admission
   kJitCompile,      // JIT kernel compilation fails (must fall back to vector)
+  kAggMerge,        // partial-aggregate worker->node merge dies mid-query
   kCount,
 };
 

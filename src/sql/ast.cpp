@@ -130,11 +130,43 @@ std::string BoolExpr::to_string() const {
   return "?";
 }
 
+const char* to_string(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone: return "";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+    case AggFn::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string SelectItem::to_string() const {
+  if (fn == AggFn::kNone) return attr;
+  std::string out = sql::to_string(fn);
+  out += "(";
+  out += star ? "*" : arg->to_string();
+  return out + ")";
+}
+
+bool SelectQuery::has_aggregates() const {
+  if (!group_by.empty()) return true;
+  for (const auto& it : items)
+    if (it.fn != AggFn::kNone) return true;
+  return false;
+}
+
 std::string SelectQuery::to_string() const {
   std::ostringstream os;
   os << "SELECT ";
   if (select_all()) {
     os << "*";
+  } else if (!items.empty()) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) os << ", ";
+      os << items[i].to_string();
+    }
   } else {
     for (std::size_t i = 0; i < select_attrs.size(); ++i) {
       if (i) os << ", ";
@@ -143,6 +175,22 @@ std::string SelectQuery::to_string() const {
   }
   os << " FROM " << table;
   if (where) os << " WHERE " << where->to_string();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (std::size_t i = 0; i < group_by.size(); ++i) {
+      if (i) os << ", ";
+      os << group_by[i];
+    }
+  }
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (std::size_t i = 0; i < order_by.size(); ++i) {
+      if (i) os << ", ";
+      os << order_by[i].key.to_string();
+      if (order_by[i].desc) os << " DESC";
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
   return os.str();
 }
 

@@ -6,8 +6,10 @@
 //
 // Supported WHERE forms: comparisons between scalar expressions (attributes,
 // numeric literals, arithmetic, user-defined function calls), IN lists,
-// BETWEEN, AND / OR / NOT.  Joins, aggregates and GROUP BY are intentionally
-// not supported — the tool provides subsetting only (paper §2.1).
+// BETWEEN, AND / OR / NOT.  Beyond the paper's subsetting-only surface
+// (§2.1), the select list also accepts aggregates (COUNT/SUM/MIN/MAX/AVG)
+// with GROUP BY, and ORDER BY ... LIMIT top-k — evaluated inside the
+// extraction workers (docs/AGGREGATION.md).  Joins remain unsupported.
 #pragma once
 
 #include <memory>
@@ -67,13 +69,46 @@ struct BoolExpr {
   std::string to_string() const;
 };
 
+enum class AggFn : uint8_t { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+const char* to_string(AggFn fn);
+
+// One SELECT-list entry: a plain attribute (fn == kNone) or an aggregate
+// over a scalar expression.  COUNT(*) has star == true and a null arg.
+struct SelectItem {
+  AggFn fn = AggFn::kNone;
+  std::string attr;  // fn == kNone: the attribute name
+  ScalarPtr arg;     // aggregate argument (null for COUNT(*))
+  bool star = false;
+
+  std::string to_string() const;
+};
+
+// One ORDER BY entry: a plain attribute or an aggregate that must match a
+// select-list item (matched by canonical spelling at bind time).
+struct OrderItem {
+  SelectItem key;
+  bool desc = false;
+};
+
 // A parsed SELECT statement.
 struct SelectQuery {
   std::vector<std::string> select_attrs;  // empty means SELECT *
+  // Full select list when the query spells one out (parallel to
+  // select_attrs for plain lists; select_attrs stays empty when any item
+  // is an aggregate).
+  std::vector<SelectItem> items;
   std::string table;
   BoolExprPtr where;  // null when there is no WHERE clause
+  std::vector<std::string> group_by;  // empty when there is no GROUP BY
+  std::vector<OrderItem> order_by;    // empty when there is no ORDER BY
+  int64_t limit = -1;                 // -1 when there is no LIMIT
 
-  bool select_all() const { return select_attrs.empty(); }
+  bool select_all() const { return select_attrs.empty() && items.empty(); }
+
+  // True when the query aggregates: any aggregate select item or a GROUP BY
+  // clause (GROUP BY over plain attributes is distinct-style grouping).
+  bool has_aggregates() const;
 
   std::string to_string() const;
 };

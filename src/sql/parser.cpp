@@ -1,8 +1,14 @@
 // Recursive-descent parser for the SQL subset.
 //
 // Grammar (keywords case-insensitive):
-//   select    := SELECT select_list FROM IDENT [WHERE or_expr] [';']
-//   select_list := '*' | IDENT (',' IDENT)*
+//   select    := SELECT select_list FROM IDENT [WHERE or_expr]
+//                [GROUP BY IDENT (',' IDENT)*]
+//                [ORDER BY order_item (',' order_item)*]
+//                [LIMIT INT] [';']
+//   select_list := '*' | select_item (',' select_item)*
+//   select_item := AGG '(' '*' ')' | AGG '(' scalar ')' | IDENT
+//   order_item := select_item [ASC | DESC]
+//   AGG       := COUNT | SUM | MIN | MAX | AVG   ('*' only under COUNT)
 //   or_expr   := and_expr (OR and_expr)*
 //   and_expr  := not_expr (AND not_expr)*
 //   not_expr  := NOT not_expr | primary
@@ -23,12 +29,24 @@ namespace adv::sql {
 namespace {
 
 bool is_keyword(const Token& t) {
-  static const char* kw[] = {"select", "from",    "where", "and", "or",
-                             "not",    "between", "in",    "asc", "desc"};
+  static const char* kw[] = {"select", "from", "where", "and",   "or",
+                             "not",    "between", "in", "asc",   "desc",
+                             "group",  "by",      "order", "limit"};
   if (t.kind != TokKind::kIdent) return false;
   for (const char* k : kw)
     if (iequals(t.text, k)) return true;
   return false;
+}
+
+// Aggregate function names are not reserved: "MIN" is an attribute unless
+// followed by '(' in a select / ORDER BY item.
+AggFn agg_fn_from_name(const std::string& name) {
+  if (iequals(name, "count")) return AggFn::kCount;
+  if (iequals(name, "sum")) return AggFn::kSum;
+  if (iequals(name, "min")) return AggFn::kMin;
+  if (iequals(name, "max")) return AggFn::kMax;
+  if (iequals(name, "avg")) return AggFn::kAvg;
+  return AggFn::kNone;
 }
 
 class Parser {
@@ -39,13 +57,35 @@ class Parser {
     SelectQuery q;
     cur_.expect_ident("SELECT");
     if (!cur_.accept_punct("*")) {
-      q.select_attrs.push_back(parse_attr_name());
-      while (cur_.accept_punct(","))
-        q.select_attrs.push_back(parse_attr_name());
+      q.items.push_back(parse_select_item());
+      while (cur_.accept_punct(",")) q.items.push_back(parse_select_item());
+      bool any_agg = false;
+      for (const auto& it : q.items) any_agg = any_agg || it.fn != AggFn::kNone;
+      // Plain lists keep select_attrs populated for existing callers.
+      if (!any_agg)
+        for (const auto& it : q.items) q.select_attrs.push_back(it.attr);
     }
     cur_.expect_ident("FROM");
     q.table = cur_.expect_any_ident("dataset name after FROM").text;
     if (cur_.accept_ident("WHERE")) q.where = parse_or();
+    if (cur_.accept_ident("GROUP")) {
+      cur_.expect_ident("BY");
+      q.group_by.push_back(parse_attr_name());
+      while (cur_.accept_punct(",")) q.group_by.push_back(parse_attr_name());
+    }
+    if (cur_.accept_ident("ORDER")) {
+      cur_.expect_ident("BY");
+      q.order_by.push_back(parse_order_item());
+      while (cur_.accept_punct(",")) q.order_by.push_back(parse_order_item());
+    }
+    if (cur_.accept_ident("LIMIT")) {
+      const Token& t = cur_.peek();
+      if (t.kind != TokKind::kInt || t.int_value < 0)
+        cur_.fail("expected non-negative integer after LIMIT, found '" +
+                  t.text + "'");
+      q.limit = t.int_value;
+      cur_.next();
+    }
     cur_.accept_punct(";");
     if (!cur_.at_end())
       cur_.fail("unexpected trailing input after query: '" +
@@ -54,6 +94,40 @@ class Parser {
   }
 
  private:
+  SelectItem parse_select_item() {
+    SelectItem it;
+    const Token t = cur_.peek();
+    if (t.kind == TokKind::kIdent && !is_keyword(t) &&
+        agg_fn_from_name(t.text) != AggFn::kNone) {
+      std::size_t save = cur_.pos();
+      cur_.next();
+      if (cur_.accept_punct("(")) {
+        it.fn = agg_fn_from_name(t.text);
+        if (cur_.accept_punct("*")) {
+          if (it.fn != AggFn::kCount)
+            cur_.fail(std::string(sql::to_string(it.fn)) +
+                      "(*) is not valid — only COUNT(*) takes '*'");
+          it.star = true;
+        } else {
+          it.arg = parse_scalar();
+        }
+        cur_.expect_punct(")");
+        return it;
+      }
+      cur_.set_pos(save);
+    }
+    it.attr = parse_attr_name();
+    return it;
+  }
+
+  OrderItem parse_order_item() {
+    OrderItem o;
+    o.key = parse_select_item();
+    if (cur_.accept_ident("DESC")) o.desc = true;
+    else cur_.accept_ident("ASC");
+    return o;
+  }
+
   std::string parse_attr_name() {
     const Token& t = cur_.peek();
     if (t.kind != TokKind::kIdent || is_keyword(t))

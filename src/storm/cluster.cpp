@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <thread>
 
+#include "agg/agg.h"
 #include "codegen/emit.h"
 #include "common/env.h"
 #include "common/error.h"
@@ -140,6 +142,8 @@ class PartitionSink final : public codegen::RowSink {
 // When `pool` is non-null the AFC list is split into contiguous ranges
 // (balanced by row count, ~4 per pool thread) and scanned concurrently;
 // each range worker owns its Extractor and PartitionSink.
+// For pushdown queries `agg_out` (required then) receives the node's
+// serialized partial-aggregate state; no row batches are shipped.
 void run_node(int node, const codegen::DataServicePlan& plan,
               const expr::BoundQuery& q, const afc::ChunkFilter* filter,
               const PartitionGenerationService& partsvc,
@@ -148,7 +152,8 @@ void run_node(int node, const codegen::DataServicePlan& plan,
               const afc::PlanResult* preplanned = nullptr,
               const CancelToken* cancel = nullptr,
               const std::shared_ptr<const kernels::JitModule>* premodule =
-                  nullptr) {
+                  nullptr,
+              std::string* agg_out = nullptr) {
   stats.node_id = node;
   Stopwatch busy;
   try {
@@ -214,11 +219,28 @@ void run_node(int node, const codegen::DataServicePlan& plan,
     xopts.cancel = cancel;
     xopts.kernel_mode = mode;
 
-    auto scan_range = [&](std::size_t lo, std::size_t hi, WorkerStats& ws) {
+    // Aggregation / top-k pushdown: workers fold rows into local aggregate
+    // state (one PushdownSink per range worker, merged below) instead of
+    // partitioning and shipping them.  The strategy is chosen once from
+    // the plan's cardinality hints so every worker of this query agrees.
+    const bool pushdown = q.is_pushdown();
+    agg::StrategyChoice agg_choice;
+    if (pushdown && q.has_aggregates())
+      agg_choice = agg::choose_strategy(
+          q, pr, dynamic_cast<const afc::ChunkBoundsSource*>(filter));
+    std::vector<std::unique_ptr<agg::PushdownSink>> psinks;
+
+    auto scan_range = [&](std::size_t lo, std::size_t hi, WorkerStats& ws,
+                          agg::PushdownSink* psink) {
       try {
         codegen::Extractor extractor(xopts);
-        PartitionSink sink(node, ncols, nconsumers, partsvc, mover,
-                           opts.batch_rows, ws, cancel);
+        std::optional<PartitionSink> part;
+        if (!psink)
+          part.emplace(node, ncols, nconsumers, partsvc, mover,
+                       opts.batch_rows, ws, cancel);
+        codegen::RowSink& sink =
+            psink ? static_cast<codegen::RowSink&>(*psink)
+                  : static_cast<codegen::RowSink&>(*part);
         for (std::size_t i = lo; i < hi; ++i) {
           if (cancel) cancel->check();
           const afc::Afc& a = pr.afcs[i];
@@ -227,24 +249,28 @@ void run_node(int node, const codegen::DataServicePlan& plan,
           // batches and rollback_afc restores them, so a retried
           // extraction re-emits the same rows at the same scan positions.
           // Once a batch shipped, retrying would duplicate rows — the
-          // error propagates instead.
+          // error propagates instead.  (The pushdown sink buffers the AFC
+          // as an uncommitted delta, so its rollback always succeeds.)
           for (std::size_t attempt = 0;; ++attempt) {
-            sink.begin_afc(base[i]);
+            if (psink) psink->begin_afc();
+            else part->begin_afc(base[i]);
             try {
               ws.extract += extractor.extract(
                   pr.groups[static_cast<std::size_t>(a.group)], a,
                   bindings[static_cast<std::size_t>(a.group)], q, sink);
               break;
             } catch (const IoError&) {
-              if (attempt >= opts.io_retry_limit || !sink.rollback_afc())
-                throw;
+              const bool rolled =
+                  psink ? psink->rollback_afc() : part->rollback_afc();
+              if (attempt >= opts.io_retry_limit || !rolled) throw;
               ++ws.io_retries;
               std::this_thread::sleep_for(std::chrono::microseconds(
                   opts.io_retry_backoff_us << attempt));
             }
           }
         }
-        sink.flush_all();
+        if (psink) psink->finish();
+        else part->flush_all();
       } catch (const std::exception& e) {
         ws.error = e.what();
         ws.error_kind = classify_error(e);
@@ -290,9 +316,13 @@ void run_node(int node, const codegen::DataServicePlan& plan,
     ntasks = std::min<std::size_t>(
         ntasks,
         std::max<uint64_t>(1, base[nafcs] / min_rows));
-    if (!pool || pool->size() <= 1 || ntasks <= 1) {
+    if (!pool || pool->size() <= 1 || ntasks <= 1) ntasks = 1;
+    if (pushdown)
+      for (std::size_t k = 0; k < ntasks; ++k)
+        psinks.push_back(std::make_unique<agg::PushdownSink>(q, agg_choice));
+    if (ntasks <= 1) {
       WorkerStats ws;
-      scan_range(0, nafcs, ws);
+      scan_range(0, nafcs, ws, pushdown ? psinks[0].get() : nullptr);
       merge(ws);
     } else {
       // Contiguous ranges cut at balanced row counts, so one heavyweight
@@ -311,9 +341,39 @@ void run_node(int node, const codegen::DataServicePlan& plan,
       // themselves poll per AFC and per batch once running).
       pool->parallel_for(
           ntasks,
-          [&](std::size_t k) { scan_range(cuts[k], cuts[k + 1], wstats[k]); },
+          [&](std::size_t k) {
+            scan_range(cuts[k], cuts[k + 1], wstats[k],
+                       pushdown ? psinks[k].get() : nullptr);
+          },
           cancel);
       for (const WorkerStats& ws : wstats) merge(ws);
+    }
+
+    // Two-phase merge, phase one: fold every range worker's aggregate
+    // state into one per-node state and serialize it — the only bytes
+    // that cross the node boundary.  Merging is exact, so the worker
+    // order is irrelevant to the final result.
+    if (pushdown && stats.error.empty()) {
+      faultz::maybe_throw_io(faultz::Site::kAggMerge,
+                             "partial-aggregate merge failed");
+      for (const auto& ps : psinks) {
+        if (!ps->table()) continue;
+        switch (ps->table()->strategy()) {
+          case agg::Strategy::kDense: ++stats.agg_dense; break;
+          case agg::Strategy::kHash: ++stats.agg_hash; break;
+          case agg::Strategy::kRadix: ++stats.agg_radix; break;
+        }
+      }
+      agg::PushdownSink& node_sink = *psinks[0];
+      for (std::size_t k = 1; k < psinks.size(); ++k)
+        psinks[k]->merge_into(node_sink);
+      std::string enc;
+      node_sink.encode(enc);
+      stats.groups_emitted = node_sink.table() ? node_sink.table()->ngroups()
+                                               : node_sink.topk()->nrows();
+      stats.agg_bytes_shipped = enc.size();
+      stats.bytes_sent += enc.size();
+      if (agg_out) *agg_out = std::move(enc);
     }
   } catch (const Error& e) {
     stats.error = e.what();
@@ -449,11 +509,15 @@ QueryResult StormCluster::execute_streaming(
         node_modules) {
   if (partition.num_consumers < 1)
     throw QueryError("PartitionSpec.num_consumers must be >= 1");
+  // Pushdown queries partition *final* rows (result-column order); plain
+  // queries partition scan rows (select-slot order).
+  const bool pushdown = q.is_pushdown();
+  const std::size_t part_width =
+      pushdown ? q.result_columns().size() : q.select_slots().size();
   if ((partition.policy == PartitionSpec::Policy::kHashAttr ||
        partition.policy == PartitionSpec::Policy::kRangeAttr) &&
       (partition.select_index < 0 ||
-       static_cast<std::size_t>(partition.select_index) >=
-           q.select_slots().size()))
+       static_cast<std::size_t>(partition.select_index) >= part_width))
     throw QueryError("PartitionSpec.select_index out of range");
 
   Stopwatch wall;
@@ -471,6 +535,7 @@ QueryResult StormCluster::execute_streaming(
   if (node_modules &&
       node_modules->size() != static_cast<std::size_t>(nodes))
     throw QueryError("execute_streaming: expected one jit module per node");
+  std::vector<std::string> agg_states(static_cast<std::size_t>(nodes));
   auto node_body = [&](int n) {
     run_node(n, *plan_, q, filter, partsvc, mover, opts_, pool,
              result.node_stats[static_cast<std::size_t>(n)],
@@ -478,7 +543,8 @@ QueryResult StormCluster::execute_streaming(
                         : nullptr,
              cancel,
              node_modules ? &(*node_modules)[static_cast<std::size_t>(n)]
-                          : nullptr);
+                          : nullptr,
+             &agg_states[static_cast<std::size_t>(n)]);
   };
 
   // A sink that throws (a remote consumer hung up mid-stream) must not
@@ -523,10 +589,44 @@ QueryResult StormCluster::execute_streaming(
                           : nullptr,
                cancel,
                node_modules ? &(*node_modules)[static_cast<std::size_t>(n)]
-                            : nullptr);
+                            : nullptr,
+               &agg_states[static_cast<std::size_t>(n)]);
       ch->close();
       while (auto batch = ch->pop()) guarded_sink(*batch);
     }
+  }
+  // Two-phase merge, phase two: fold the surviving nodes' serialized
+  // states (exact — node order is immaterial), materialize the final
+  // deterministically-ordered rows, and hand them to the sink as synthetic
+  // batches partitioned by *final* row index.  Failed nodes contribute
+  // nothing: partial results for a pushdown query are aggregates over the
+  // surviving nodes' data.
+  if (pushdown && !sink_error) {
+    agg::MergeAcc acc(agg::finalize_spec(q));
+    for (int n = 0; n < nodes; ++n)
+      if (result.node_stats[static_cast<std::size_t>(n)].error.empty())
+        acc.merge_encoded(agg_states[static_cast<std::size_t>(n)]);
+    const std::vector<double> rows = acc.finalize_rows();
+    const std::size_t out_cols = static_cast<std::size_t>(acc.spec().ncols);
+    std::vector<RowBatch> out(
+        static_cast<std::size_t>(partition.num_consumers));
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      out[c].consumer = static_cast<int>(c);
+      out[c].num_cols = out_cols;
+    }
+    const std::size_t nrows = out_cols ? rows.size() / out_cols : 0;
+    for (std::size_t i = 0; i < nrows; ++i) {
+      const double* row = rows.data() + i * out_cols;
+      const int dest = partsvc.destination(row, i);
+      RowBatch& b = out[static_cast<std::size_t>(dest)];
+      b.data.insert(b.data.end(), row, row + out_cols);
+      if (b.num_rows() >= opts_.batch_rows) {
+        guarded_sink(b);
+        b.data.clear();
+      }
+    }
+    for (RowBatch& b : out)
+      if (!b.data.empty()) guarded_sink(b);
   }
   if (sink_error) std::rethrow_exception(sink_error);
 
@@ -588,6 +688,18 @@ uint64_t QueryResult::total_afcs_vector() const {
 uint64_t QueryResult::total_afcs_jit() const {
   uint64_t n = 0;
   for (const auto& s : node_stats) n += s.afcs_jit;
+  return n;
+}
+
+uint64_t QueryResult::total_groups_emitted() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.groups_emitted;
+  return n;
+}
+
+uint64_t QueryResult::total_agg_bytes_shipped() const {
+  uint64_t n = 0;
+  for (const auto& s : node_stats) n += s.agg_bytes_shipped;
   return n;
 }
 

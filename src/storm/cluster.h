@@ -12,6 +12,14 @@
 // 1 thread or 64 (see docs/PIPELINE.md for the ordering contract).  The
 // client (the caller) assembles per-consumer tables.
 //
+// Aggregation / top-k pushdown (docs/AGGREGATION.md): for queries where
+// BoundQuery::is_pushdown() holds, workers fold matched rows into local
+// aggregate state instead of shipping them.  Worker states merge into one
+// per-node state, the serialized node states merge at the client (exactly —
+// results are byte-identical for any thread count or merge order), and the
+// *final* rows are partitioned by their output row index and handed to the
+// sink, so every consumer-facing path works unchanged.
+//
 // Timing: the host may have fewer cores than the virtual cluster has
 // nodes, so per-node *busy time* is measured around each node's compute,
 // and the reported `makespan_seconds` = max over nodes (what wall-clock
@@ -56,6 +64,16 @@ struct NodeStats {
   uint64_t afcs_interp = 0;
   uint64_t afcs_vector = 0;
   uint64_t afcs_jit = 0;
+  // Aggregation pushdown (docs/AGGREGATION.md): groups (or buffered top-k
+  // rows) this node emitted, the serialized partial-aggregate state size
+  // that crossed the node boundary in place of rows, and how many range
+  // workers ended on each physical aggregation strategy (a hash worker
+  // that upgraded itself mid-scan counts as radix).
+  uint64_t groups_emitted = 0;
+  uint64_t agg_bytes_shipped = 0;
+  uint64_t agg_dense = 0;
+  uint64_t agg_hash = 0;
+  uint64_t agg_radix = 0;
   std::string error;  // non-empty when the node failed
   // Category of `error`, so callers can distinguish an I/O casualty (retry
   // the query, fail over) from a cancelled query or a query-shape bug
@@ -79,6 +97,8 @@ struct QueryResult {
   uint64_t total_afcs_interp() const;
   uint64_t total_afcs_vector() const;
   uint64_t total_afcs_jit() const;
+  uint64_t total_groups_emitted() const;
+  uint64_t total_agg_bytes_shipped() const;
   // Concatenation of all partitions.
   expr::Table merged() const;
   // First error reported by any node ("" when none).

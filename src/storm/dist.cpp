@@ -6,7 +6,9 @@
 #include <chrono>
 #include <thread>
 
+#include "agg/agg.h"
 #include "common/stopwatch.h"
+#include "sql/ast.h"
 #include "storm/wire.h"
 
 namespace adv::storm {
@@ -44,7 +46,16 @@ struct DistCoordinator::ShardOutcome {
   // Rows committed at kProgress checkpoints, raw row-major doubles per
   // consumer; turned into expr::Tables only at the final node-order merge.
   std::vector<std::vector<double>> committed;
+  // Pushdown queries ship partial-aggregate deltas (kAggBatch) instead of
+  // rows; deltas follow the same stage-then-commit protocol, keyed to the
+  // kProgress that follows each one.  Merged (exactly, in node order) only
+  // at the final gather.
+  std::vector<std::string> agg_committed;
+  std::vector<std::string> agg_staged;
   std::size_t ncols = 0;
+  // Output column names from kNodeHello's optional tail (empty when the
+  // daemon predates it); lets the coordinator resolve SELECT * ORDER BY.
+  std::vector<std::string> col_names;
   NodeStats stats;
   bool have_stats = false;
   bool failed = false;
@@ -107,6 +118,7 @@ void DistCoordinator::run_shard(const std::string& sql,
         opts_.on_failover(shard.node_id, attempt, last_error);
     }
     for (auto& s : staged) s.clear();
+    out.agg_staged.clear();
     bool straggler = false;
     bool fatal = false;
     try {
@@ -128,6 +140,7 @@ void DistCoordinator::run_shard(const std::string& sql,
       req.put<double>(opts_.deadline_seconds);
       req.put<double>(opts_.heartbeat_interval_seconds);
       req.put<uint32_t>(opts_.checkpoint_afcs);
+      req.put<uint32_t>(opts_.agg_checkpoint_afcs);  // optional tail
       send_frame(sock.fd, kNodeQuery, req);
 
       auto [htype, hp] =
@@ -146,6 +159,13 @@ void DistCoordinator::run_shard(const std::string& sql,
       hp.get<uint64_t>();  // total AFCs (informational)
       const uint64_t fp = hp.get<uint64_t>();
       const std::size_t ncols = hp.get<uint16_t>();
+      std::vector<std::string> hello_names;
+      if (hp.remaining() >= sizeof(uint16_t)) {
+        const uint16_t nnames = hp.get<uint16_t>();
+        hello_names.reserve(nnames);
+        for (uint16_t c = 0; c < nnames; ++c)
+          hello_names.push_back(hp.get_string());
+      }
       if (hello_node != static_cast<uint32_t>(shard.node_id)) {
         last_error = "endpoint " + ep.host + ":" + std::to_string(ep.port) +
                      " serves node " + std::to_string(hello_node) +
@@ -159,6 +179,7 @@ void DistCoordinator::run_shard(const std::string& sql,
         fingerprint = fp;
         have_fingerprint = true;
         out.ncols = ncols;
+        if (hello_names.size() == ncols) out.col_names = hello_names;
       } else if (fp != fingerprint) {
         // Resuming at committed > 0 against a plan that is not the one
         // the committed prefix came from would silently duplicate or drop
@@ -196,6 +217,11 @@ void DistCoordinator::run_shard(const std::string& sql,
           const std::size_t at = dst.size();
           dst.resize(at + nrows * nc);
           std::memcpy(dst.data() + at, raw, nrows * nc * sizeof(double));
+        } else if (type == kAggBatch) {
+          const std::size_t n =
+              static_cast<std::size_t>(p.get<uint64_t>());
+          const unsigned char* raw = p.raw(n);
+          out.agg_staged.emplace_back(reinterpret_cast<const char*>(raw), n);
         } else if (type == kProgress) {
           const uint64_t done = p.get<uint64_t>();
           for (std::size_t c = 0; c < staged.size(); ++c) {
@@ -203,6 +229,9 @@ void DistCoordinator::run_shard(const std::string& sql,
             dst.insert(dst.end(), staged[c].begin(), staged[c].end());
             staged[c].clear();
           }
+          for (auto& d : out.agg_staged)
+            out.agg_committed.push_back(std::move(d));
+          out.agg_staged.clear();
           committed = done;
           out.committed_afcs = done;
           out.commits++;
@@ -243,6 +272,14 @@ void DistCoordinator::run_shard(const std::string& sql,
           ns.afcs_interp = p.get<uint64_t>();
           ns.afcs_vector = p.get<uint64_t>();
           ns.afcs_jit = p.get<uint64_t>();
+          // Aggregation tail, absent from pre-pushdown daemons.
+          if (p.remaining() >= 5 * sizeof(uint64_t)) {
+            ns.groups_emitted = p.get<uint64_t>();
+            ns.agg_bytes_shipped = p.get<uint64_t>();
+            ns.agg_dense = p.get<uint64_t>();
+            ns.agg_hash = p.get<uint64_t>();
+            ns.agg_radix = p.get<uint64_t>();
+          }
           out.have_stats = true;
         } else if (type == kEnd) {
           // Defensive: the daemon checkpoints its final AFC before kEnd,
@@ -253,6 +290,9 @@ void DistCoordinator::run_shard(const std::string& sql,
             dst.insert(dst.end(), staged[c].begin(), staged[c].end());
             staged[c].clear();
           }
+          for (auto& d : out.agg_staged)
+            out.agg_committed.push_back(std::move(d));
+          out.agg_staged.clear();
           return;
         } else if (type == kError) {
           // The daemon's own verdict on the query.  Retryable kinds
@@ -291,6 +331,12 @@ void DistCoordinator::run_shard(const std::string& sql,
 
 DistResult DistCoordinator::run(const std::string& sql) const {
   Stopwatch sw;
+  // Parse once up front: a malformed query fails here, typed, instead of
+  // as N identical daemon errors — and the parse decides whether the
+  // gather merges rows (kRowBatch) or aggregate state (kAggBatch).
+  const sql::SelectQuery sq = sql::parse_select(sql);
+  const bool pushdown =
+      sq.has_aggregates() || !sq.order_by.empty() || sq.limit >= 0;
   std::vector<ShardOutcome> outs(shards_.size());
   std::vector<std::thread> gather;
   gather.reserve(shards_.size());
@@ -308,6 +354,16 @@ DistResult DistCoordinator::run(const std::string& sql) const {
     if (!o.failed && ncols == 0) ncols = o.ncols;
   }
   std::vector<expr::Table::Column> cols = opts_.result_columns;
+  if (cols.empty()) {
+    // Prefer the daemon-announced names (kNodeHello tail): SELECT *
+    // top-k needs real attribute names to resolve its ORDER BY keys.
+    for (const auto& o : outs)
+      if (!o.failed && o.col_names.size() == ncols) {
+        for (const auto& n : o.col_names)
+          cols.push_back({n, DataType::kFloat64});
+        break;
+      }
+  }
   if (cols.empty())
     for (std::size_t c = 0; c < ncols; ++c)
       cols.push_back({"c" + std::to_string(c), DataType::kFloat64});
@@ -315,18 +371,64 @@ DistResult DistCoordinator::run(const std::string& sql) const {
   // Merge in shard-map (node) order, so the gathered tables are a
   // deterministic function of the per-node row streams — independent of
   // gather-thread timing and of which replica ultimately served a shard.
-  r.partitions.assign(static_cast<std::size_t>(opts_.partition.num_consumers),
-                      expr::Table(cols));
-  for (auto& o : outs) {
-    if (o.failed) {
-      r.casualties.push_back(o.casualty);
-      continue;
+  if (pushdown) {
+    // What arrived was partial-aggregate state.  Merging is exact and
+    // grouping-independent (docs/AGGREGATION.md), so node order here is a
+    // convention, not a correctness requirement; casualties simply drop
+    // out (partial results = aggregates over the surviving shards).  The
+    // final rows are partitioned by output row index, matching the
+    // in-process cluster bit for bit.
+    std::vector<std::string> names;
+    names.reserve(cols.size());
+    for (const auto& c : cols) names.push_back(c.name);
+    agg::MergeAcc acc(agg::finalize_spec(sq, names));
+    for (auto& o : outs) {
+      if (o.failed) {
+        r.casualties.push_back(o.casualty);
+        continue;
+      }
+      for (const auto& d : o.agg_committed) acc.merge_encoded(d);
+      if (o.have_stats) r.node_stats.push_back(o.stats);
     }
-    for (std::size_t c = 0; c < o.committed.size(); ++c)
-      if (!o.committed[c].empty())
-        r.partitions[c].append_rows(o.committed[c].data(),
-                                    o.committed[c].size() / o.ncols);
-    if (o.have_stats) r.node_stats.push_back(o.stats);
+    const std::size_t fncols = static_cast<std::size_t>(acc.spec().ncols);
+    if (cols.size() != fncols) {
+      cols.clear();
+      for (std::size_t c = 0; c < fncols; ++c)
+        cols.push_back({"c" + std::to_string(c), DataType::kFloat64});
+    }
+    if ((opts_.partition.policy == PartitionSpec::Policy::kHashAttr ||
+         opts_.partition.policy == PartitionSpec::Policy::kRangeAttr) &&
+        (opts_.partition.select_index < 0 ||
+         static_cast<std::size_t>(opts_.partition.select_index) >= fncols))
+      throw ValidationError(
+          "partition select_index out of range for the query's " +
+          std::to_string(fncols) + " output columns");
+    r.partitions.assign(
+        static_cast<std::size_t>(opts_.partition.num_consumers),
+        expr::Table(cols));
+    const std::vector<double> rows = acc.finalize_rows();
+    const PartitionGenerationService partsvc(opts_.partition);
+    const std::size_t nrows = fncols ? rows.size() / fncols : 0;
+    for (std::size_t i = 0; i < nrows; ++i) {
+      const double* row = rows.data() + i * fncols;
+      const int dest = partsvc.destination(row, i);
+      r.partitions[static_cast<std::size_t>(dest)].append_rows(row, 1);
+    }
+  } else {
+    r.partitions.assign(
+        static_cast<std::size_t>(opts_.partition.num_consumers),
+        expr::Table(cols));
+    for (auto& o : outs) {
+      if (o.failed) {
+        r.casualties.push_back(o.casualty);
+        continue;
+      }
+      for (std::size_t c = 0; c < o.committed.size(); ++c)
+        if (!o.committed[c].empty())
+          r.partitions[c].append_rows(o.committed[c].data(),
+                                      o.committed[c].size() / o.ncols);
+      if (o.have_stats) r.node_stats.push_back(o.stats);
+    }
   }
   r.wall_seconds = sw.elapsed_seconds();
 

@@ -72,6 +72,12 @@ struct DistOptions {
   double straggler_timeout_seconds = 0;
   // kProgress commit granularity requested of the daemon (in AFCs).
   uint32_t checkpoint_afcs = 1;
+  // Checkpoint cadence for aggregation-pushdown queries, where what ships
+  // at each checkpoint is a partial-aggregate DELTA (kAggBatch) instead of
+  // row batches.  0 = one delta at the end of the scan (aggregate state is
+  // tiny, so fine-grained checkpoints buy failover granularity, not
+  // bandwidth).  See docs/AGGREGATION.md.
+  uint32_t agg_checkpoint_afcs = 0;
   // Endpoint connections tried per shard before it becomes a casualty.
   // 0 = one attempt per configured replica, minimum 2 (a lone replica is
   // still allowed one reconnect — kill -9 mid-stream with no standby

@@ -8,8 +8,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <thread>
 
+#include "agg/agg.h"
 #include "codegen/emit.h"
 #include "common/env.h"
 #include "common/error.h"
@@ -161,6 +164,12 @@ void put_node_stats(Payload& p, const NodeStats& ns) {
   p.put<uint64_t>(ns.afcs_interp);
   p.put<uint64_t>(ns.afcs_vector);
   p.put<uint64_t>(ns.afcs_jit);
+  // Aggregation tail (optional for older coordinators).
+  p.put<uint64_t>(ns.groups_emitted);
+  p.put<uint64_t>(ns.agg_bytes_shipped);
+  p.put<uint64_t>(ns.agg_dense);
+  p.put<uint64_t>(ns.agg_hash);
+  p.put<uint64_t>(ns.agg_radix);
 }
 
 }  // namespace
@@ -300,6 +309,10 @@ void NodeDaemon::serve_scatter(Connection* conn) {
     const double deadline_seconds = payload.get<double>();
     double hb_interval = payload.get<double>();
     uint32_t checkpoint_afcs = payload.get<uint32_t>();
+    // Optional tail: pushdown checkpoint cadence (0 / absent = one final
+    // checkpoint — aggregate state is tiny, so per-AFC deltas are waste).
+    const uint32_t agg_checkpoint_afcs =
+        payload.remaining() >= sizeof(uint32_t) ? payload.get<uint32_t>() : 0;
     if (want_node != opts_.node_id) {
       send_error(fd,
                  "daemon serves node " + std::to_string(opts_.node_id) +
@@ -383,12 +396,25 @@ void NodeDaemon::serve_scatter(Connection* conn) {
       if (part.num_consumers < 1)
         throw QueryError("PartitionSpec.num_consumers must be >= 1");
 
-      const std::size_t ncols = q.select_slots().size();
+      // Pushdown queries announce the *final output* width: the coordinator
+      // merges aggregate state, not rows, and its gathered tables have the
+      // result schema (docs/AGGREGATION.md).
+      const bool pushdown = q.is_pushdown();
+      const std::size_t ncols =
+          pushdown ? q.result_columns().size() : q.select_slots().size();
       Payload hello;
       hello.put<uint32_t>(static_cast<uint32_t>(opts_.node_id));
       hello.put<uint64_t>(nafcs);
       hello.put<uint64_t>(plan_fingerprint(pr));
       hello.put<uint16_t>(static_cast<uint16_t>(ncols));
+      // Optional tail: the output column names, so a schema-less
+      // coordinator can name its gathered tables and resolve ORDER BY
+      // for SELECT * top-k queries (older coordinators ignore it).
+      const std::vector<expr::Table::Column> rcols = q.result_columns();
+      if (rcols.size() == ncols) {
+        hello.put<uint16_t>(static_cast<uint16_t>(ncols));
+        for (const auto& c : rcols) hello.put_string(c.name);
+      }
       {
         std::lock_guard<std::mutex> lk(send_mu);
         send_frame(fd, kNodeHello, hello);
@@ -445,12 +471,59 @@ void NodeDaemon::serve_scatter(Connection* conn) {
       PartitionGenerationService partsvc(part);
       WireSink sink(fd, send_mu, ncols, part.num_consumers, partsvc,
                     opts_.cluster.batch_rows, rows_shipped, &token);
+      std::optional<agg::StrategyChoice> agg_choice;
+      std::unique_ptr<agg::PushdownSink> psink;
+      if (pushdown) {
+        agg_choice = agg::choose_strategy(
+            q, pr, dynamic_cast<const afc::ChunkBoundsSource*>(opts_.filter));
+        psink = std::make_unique<agg::PushdownSink>(q, *agg_choice);
+      }
+      // Pushdown checkpoint cadence: aggregate state is O(groups), so the
+      // default is a single delta at the end; a coordinator that wants
+      // finer failover granularity requests it via the kNodeQuery tail.
+      const uint64_t ckpt_window =
+          pushdown ? (agg_checkpoint_afcs > 0
+                          ? agg_checkpoint_afcs
+                          : (nafcs > 0 ? static_cast<uint64_t>(nafcs) : 1))
+                   : checkpoint_afcs;
+      uint64_t agg_bytes = 0, agg_groups = 0;
+      agg::Strategy agg_strat = agg::Strategy::kDense;
+      bool agg_strat_seen = false;
 
       codegen::ExtractStats xstats;
       auto checkpoint = [&](std::size_t done_afcs) {
-        sink.flush_all();
         Payload prog;
         prog.put<uint64_t>(done_afcs);
+        if (psink) {
+          // The dist tier's partial-aggregate hand-off; kAggMerge makes a
+          // daemon dying right here reproducible (the chaos harness
+          // asserts the failover replica never double-counts the window).
+          faultz::maybe_throw_io(faultz::Site::kAggMerge,
+                                 "partial-aggregate merge failed");
+          psink->finish();
+          if (const agg::AggTable* t = psink->table()) {
+            agg_groups += t->ngroups();
+            if (!agg_strat_seen || t->strategy() > agg_strat)
+              agg_strat = t->strategy();
+            agg_strat_seen = true;
+          } else {
+            agg_groups += psink->topk()->nrows();
+          }
+          std::string delta;
+          psink->encode(delta);
+          // Fresh sink: the next window's state is a pure delta, so the
+          // coordinator's commit-or-discard staging is exact.
+          psink = std::make_unique<agg::PushdownSink>(q, *agg_choice);
+          agg_bytes += delta.size();
+          Payload ab;
+          ab.put<uint64_t>(delta.size());
+          ab.put_bytes(delta.data(), delta.size());
+          std::lock_guard<std::mutex> lk(send_mu);
+          send_frame(fd, kAggBatch, ab);
+          send_frame(fd, kProgress, prog);
+          return;
+        }
+        sink.flush_all();
         std::lock_guard<std::mutex> lk(send_mu);
         send_frame(fd, kProgress, prog);
       };
@@ -475,22 +548,26 @@ void NodeDaemon::serve_scatter(Connection* conn) {
         // Same bounded transient-read retry as the in-process node runner,
         // valid only while no row of this AFC left for the socket.
         for (std::size_t attempt = 0;; ++attempt) {
-          sink.begin_afc(base[i]);
+          if (psink)
+            psink->begin_afc();
+          else
+            sink.begin_afc(base[i]);
           try {
             xstats += extractor.extract(
                 pr.groups[static_cast<std::size_t>(a.group)], a,
-                bindings[static_cast<std::size_t>(a.group)], q, sink);
+                bindings[static_cast<std::size_t>(a.group)], q,
+                psink ? static_cast<codegen::RowSink&>(*psink) : sink);
             break;
           } catch (const IoError&) {
             if (attempt >= opts_.cluster.io_retry_limit ||
-                !sink.rollback_afc())
+                !(psink ? psink->rollback_afc() : sink.rollback_afc()))
               throw;
             ++stats.io_retries;
             std::this_thread::sleep_for(std::chrono::microseconds(
                 opts_.cluster.io_retry_backoff_us << attempt));
           }
         }
-        if ((i + 1 - start_afc) % checkpoint_afcs == 0 || i + 1 == nafcs)
+        if ((i + 1 - start_afc) % ckpt_window == 0 || i + 1 == nafcs)
           checkpoint(i + 1);
       }
       if (start_afc == nafcs) checkpoint(nafcs);  // nothing left to ship
@@ -501,7 +578,17 @@ void NodeDaemon::serve_scatter(Connection* conn) {
       stats.afcs_interp = xstats.afcs_interp;
       stats.afcs_vector = xstats.afcs_vector;
       stats.afcs_jit = xstats.afcs_jit;
-      stats.bytes_sent = sink.bytes_sent();
+      stats.bytes_sent = pushdown ? agg_bytes : sink.bytes_sent();
+      stats.groups_emitted = agg_groups;
+      stats.agg_bytes_shipped = agg_bytes;
+      if (pushdown && agg_strat_seen) {
+        if (agg_strat == agg::Strategy::kDense)
+          ++stats.agg_dense;
+        else if (agg_strat == agg::Strategy::kHash)
+          ++stats.agg_hash;
+        else
+          ++stats.agg_radix;
+      }
       stats.busy_seconds = busy.elapsed_seconds();
 
       stop_heartbeat();

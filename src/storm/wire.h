@@ -25,7 +25,10 @@
 //                              u32 checkpoint_afcs
 //   0x11 kNodeHello  daemon -> coordinator: the node-local plan is built.
 //                    payload = u32 node_id, u64 total_afcs,
-//                              u64 plan_fingerprint, u16 ncols
+//                              u64 plan_fingerprint, u16 ncols,
+//                    + optional tail: u16 nnames, nnames × (u32 len,
+//                    bytes) — the output column names, so a schema-less
+//                    coordinator can resolve SELECT * ORDER BY keys
 //   0x12 kProgress   daemon -> coordinator: every row of the AFC prefix
 //                    [0, afcs_done) has been flushed to the socket.  The
 //                    coordinator's commit point: rows received since the
@@ -37,8 +40,22 @@
 //                    payload = u64 afcs_started, u64 rows_shipped,
 //                              u64 beat_index
 //   0x14 kNodeStats  daemon -> coordinator: the node's full NodeStats,
-//                    sent once before kEnd.
+//                    sent once before kEnd.  Aggregation counters
+//                    (groups_emitted, agg_bytes_shipped, strategy counts)
+//                    ride as an optional 5×u64 tail.
+//   0x15 kAggBatch   daemon -> coordinator: serialized partial-aggregate
+//                    DELTA state (agg::encode format) covering the rows of
+//                    the AFC window since the previous checkpoint, sent in
+//                    place of kRowBatch frames for pushdown queries
+//                    (docs/AGGREGATION.md).  The kProgress that follows is
+//                    its commit point: a staged delta whose kProgress never
+//                    arrives is discarded, and the failover replica
+//                    regenerates exactly that window — aggregate state is
+//                    never double-counted.
+//                    payload = u64 nbytes, state bytes
 //
+// kNodeQuery payloads optionally carry a trailing u32 agg_checkpoint_afcs
+// (pushdown checkpoint cadence; 0 or missing = one final checkpoint).
 // kError payloads optionally carry a trailing u8 ErrorKind after the
 // message string (daemons always send it; older peers ignore it, and a
 // missing tail parses as ErrorKind::kOther).
@@ -73,6 +90,7 @@ enum MsgType : uint8_t {
   kProgress = 0x12,
   kHeartbeat = 0x13,
   kNodeStats = 0x14,
+  kAggBatch = 0x15,
 };
 
 // Byte-buffer writer/reader for frame payloads.  Reads are positional and

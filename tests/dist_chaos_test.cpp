@@ -197,6 +197,49 @@ TEST(DistInProcessTest, ScatterGatherMatchesCluster) {
   EXPECT_EQ(d1.queries_served(), 2u);
 }
 
+TEST(DistInProcessTest, AggregatePushdownMatchesCluster) {
+  ChaosFixture f;
+  NodeDaemonOptions n0, n1;
+  n0.node_id = 0;
+  n1.node_id = 1;
+  NodeDaemon d0(f.plan, n0), d1(f.plan, n1);
+  ASSERT_GT(d0.port(), 0);
+  ASSERT_GT(d1.port(), 0);
+
+  DistOptions opts = f.base_opts();
+  opts.agg_checkpoint_afcs = 2;  // several partial-aggregate deltas per node
+  DistCoordinator coord({{0, {{"127.0.0.1", d0.port()}}},
+                         {1, {{"127.0.0.1", d1.port()}}}},
+                        opts);
+
+  // The determinism contract spans backends: the dist gather merges the
+  // same exact aggregate state the in-process cluster does, so results are
+  // bit-identical — including SUM/AVG (docs/AGGREGATION.md).
+  const char* agg_sql =
+      "SELECT TIME, COUNT(*), SUM(SOIL), AVG(SGAS) FROM IparsData "
+      "WHERE SOIL > 0.1 GROUP BY TIME";
+  QueryResult want = f.reference(agg_sql);
+  DistResult r = coord.run(agg_sql);
+  EXPECT_TRUE(r.casualties.empty());
+  EXPECT_TRUE(dq::rows_equal_exact(r.merged(), want.merged()));
+  EXPECT_GT(r.commits, 0u);
+  uint64_t groups = 0, agg_bytes = 0, rows_bytes = 0;
+  for (const auto& ns : r.node_stats) {
+    groups += ns.groups_emitted;
+    agg_bytes += ns.agg_bytes_shipped;
+    rows_bytes += ns.bytes_sent;
+  }
+  EXPECT_GT(groups, 0u);       // stats tail survived the wire round-trip
+  EXPECT_EQ(agg_bytes, rows_bytes);  // only aggregate state was shipped
+
+  // Grouped top-k: the LIMIT is applied only at the final merge.
+  const char* topk_sql =
+      "SELECT TIME, SUM(SOIL) FROM IparsData GROUP BY TIME "
+      "ORDER BY SUM(SOIL) DESC LIMIT 3";
+  EXPECT_TRUE(dq::rows_equal_exact(coord.run(topk_sql).merged(),
+                                   f.reference(topk_sql).merged()));
+}
+
 TEST(DistInProcessTest, MisconfiguredShardMapFailsTyped) {
   ChaosFixture f;
   NodeDaemonOptions n1;
@@ -296,6 +339,44 @@ TEST(DistChaosTest, KillNinePrimaryFailsOverByteIdentical) {
   // The heart of the failover contract: committed prefix + replica resume
   // re-creates the exact row multiset — nothing duplicated at the commit
   // boundary, nothing dropped from the staged-then-discarded tail.
+  EXPECT_TRUE(dq::rows_equal_exact(r.merged(), want.merged()));
+}
+
+TEST(DistChaosTest, KillNineAggregateFailsOverNoDoubleCount) {
+  REQUIRE_DAEMON_BIN();
+  ChaosFixture f;
+  // Aggregation pushdown under process death: partial-aggregate deltas
+  // are committed per AFC, the primary is shot after two commits, and the
+  // replica resumes at the committed prefix.  Any double-counted (or
+  // dropped) window shows up immediately as a COUNT/SUM mismatch against
+  // the in-process reference — the comparison is bit-exact.
+  SpawnedDaemon primary = f.spawn(0), replica = f.spawn(0);
+  SpawnedDaemon d1 = f.spawn(1);
+  ASSERT_GT(primary.port, 0);
+  ASSERT_GT(replica.port, 0);
+  ASSERT_GT(d1.port, 0);
+
+  std::atomic<bool> killed{false};
+  DistOptions opts = f.base_opts();
+  opts.agg_checkpoint_afcs = 1;  // a commit point at every AFC
+  opts.on_commit = [&](int node, uint64_t committed) {
+    if (node == 0 && committed >= 2 && !killed.exchange(true))
+      ::kill(primary.pid, SIGKILL);
+  };
+  DistCoordinator coord(
+      {{0,
+        {{"127.0.0.1", primary.port}, {"127.0.0.1", replica.port}}},
+       {1, {{"127.0.0.1", d1.port}}}},
+      opts);
+
+  const char* sql =
+      "SELECT TIME, COUNT(*), SUM(SOIL), MIN(SGAS), MAX(SGAS) "
+      "FROM IparsData WHERE SOIL > 0.1 GROUP BY TIME";
+  QueryResult want = f.reference(sql);
+  DistResult r = coord.run(sql);
+  EXPECT_TRUE(killed.load());
+  EXPECT_TRUE(r.casualties.empty());
+  EXPECT_GE(r.failovers, 1u);
   EXPECT_TRUE(dq::rows_equal_exact(r.merged(), want.merged()));
 }
 

@@ -56,6 +56,22 @@ TEST_P(CampaignTest, NetworkFaults) {
   EXPECT_EQ(rep.cases, rep.passed + rep.clean_errors) << rep.summary();
 }
 
+// Partial-aggregate merges fail with probability 0.2 at the agg.merge
+// site — in the in-process cluster's per-node merge and in the dist
+// daemons' checkpoint path, where the coordinator's failover must re-issue
+// the shard and still produce exactly the right aggregates (a retry that
+// double-counted committed partial state would fail the differential).
+TEST_P(CampaignTest, AggregateMergeFaults) {
+  DqOptions opts;
+  opts.with_dist = true;
+  opts.queries_per_seed = 3;
+  opts.fault_spec = campaign_spec("agg");
+  opts.fault_seed = GetParam() ^ 0xa66;
+  DqReport rep = run_seed(GetParam(), opts);
+  for (const std::string& f : rep.failures) ADD_FAILURE() << f;
+  EXPECT_EQ(rep.cases, rep.passed + rep.clean_errors) << rep.summary();
+}
+
 TEST_P(CampaignTest, SchedulerWorkerFaults) {
   DqOptions opts;
   opts.with_server = true;

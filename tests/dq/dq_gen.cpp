@@ -1,6 +1,11 @@
 #include "dq/dq_gen.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <limits>
+#include <numeric>
 #include <sstream>
 #include <vector>
 
@@ -157,9 +162,165 @@ void write_files(const DqDataset& d, const afc::DatasetModel& model) {
   }
 }
 
+namespace {
+
+// IEEE total order as an unsigned compare — the documented contract for
+// group-key identity and ORDER BY (docs/AGGREGATION.md).
+uint64_t oracle_obits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return (b >> 63) ? ~b : b | (uint64_t{1} << 63);
+}
+
+// Third, independent aggregation / top-k implementation over the oracle's
+// scan rows (the engine lives in src/agg, the naive reference in
+// codegen/plan.cpp).  Structured differently from both on purpose:
+// sort-based run grouping instead of a map or hash table, and long-double
+// SUM/AVG accumulation — so its SUM/AVG values match the other two only
+// within float tolerance, which is exactly what the harness's tolerant
+// comparison demands of those columns.
+expr::Table oracle_pushdown(const expr::BoundQuery& q,
+                            const expr::Table& scan) {
+  const std::vector<expr::Table::Column> out_schema = q.result_columns();
+  const std::size_t width = out_schema.size();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+
+  std::vector<double> rows;  // final rows, row-major `width` wide
+  if (q.has_aggregates()) {
+    const auto& key_cols = q.group_key_cols();
+    const auto& items = q.agg_items();
+    const std::size_t n = scan.num_rows();
+    const std::size_t ncols = scan.columns().size();
+    std::vector<double> cells(n * ncols);
+    std::vector<std::vector<uint64_t>> kb(
+        n, std::vector<uint64_t>(key_cols.size()));
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < ncols; ++c)
+        cells[r * ncols + c] = scan.at(r, c);
+      for (std::size_t k = 0; k < key_cols.size(); ++k) {
+        double v = cells[r * ncols + static_cast<std::size_t>(key_cols[k])];
+        if (std::isnan(v)) v = qnan;
+        if (v == 0) v = 0.0;
+        kb[r][k] = oracle_obits(v);
+      }
+    }
+    std::vector<std::size_t> ord(n);
+    std::iota(ord.begin(), ord.end(), std::size_t{0});
+    std::sort(ord.begin(), ord.end(),
+              [&](std::size_t x, std::size_t y) { return kb[x] < kb[y]; });
+
+    auto emit_group = [&](const std::vector<std::size_t>& members) {
+      std::vector<double> keyvals(key_cols.size());
+      for (std::size_t k = 0; k < key_cols.size(); ++k) {
+        double v = members.empty()
+                       ? qnan
+                       : cells[members[0] * ncols +
+                               static_cast<std::size_t>(key_cols[k])];
+        if (std::isnan(v)) v = qnan;
+        if (v == 0) v = 0.0;
+        keyvals[k] = v;
+      }
+      for (const auto& o : q.output_cols()) {
+        if (!o.is_agg) {
+          rows.push_back(keyvals[static_cast<std::size_t>(o.index)]);
+          continue;
+        }
+        const auto& item = items[static_cast<std::size_t>(o.index)];
+        const uint64_t count = members.size();
+        if (item.fn == sql::AggFn::kCount) {
+          rows.push_back(static_cast<double>(count));
+          continue;
+        }
+        long double sum = 0.0L;
+        double mn = 0, mx = 0;
+        bool seen = false;
+        for (std::size_t m : members) {
+          const double v = item.input.eval(cells.data() + m * ncols);
+          sum += v;
+          if (!std::isnan(v)) {
+            if (!seen || v < mn) mn = v;
+            if (!seen || v > mx) mx = v;
+            seen = true;
+          }
+        }
+        switch (item.fn) {
+          case sql::AggFn::kSum:
+            rows.push_back(count ? static_cast<double>(sum) : 0.0);
+            break;
+          case sql::AggFn::kAvg:
+            rows.push_back(count ? static_cast<double>(
+                                       sum / static_cast<long double>(count))
+                                 : qnan);
+            break;
+          case sql::AggFn::kMin:
+            rows.push_back(seen ? mn : qnan);
+            break;
+          default:
+            rows.push_back(seen ? mx : qnan);
+            break;
+        }
+      }
+    };
+
+    // Global aggregate over empty input still yields its one row.
+    if (n == 0 && key_cols.empty()) emit_group({});
+    std::vector<std::size_t> run;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!run.empty() && kb[ord[i]] != kb[run[0]]) {
+        emit_group(run);
+        run.clear();
+      }
+      run.push_back(ord[i]);
+    }
+    if (!run.empty()) emit_group(run);
+  } else {
+    // Plain top-k: scan rows already have the final schema.
+    rows.reserve(scan.num_rows() * width);
+    for (std::size_t r = 0; r < scan.num_rows(); ++r)
+      for (std::size_t c = 0; c < width; ++c) rows.push_back(scan.at(r, c));
+  }
+
+  // ORDER BY keys, then whole-row lexicographic tie-break — the same total
+  // order the engine and the naive reference use, so a LIMIT cuts all
+  // three at the same rows (the generated grammar keeps ORDER BY and the
+  // leading columns exact, see random_query).
+  const std::size_t nrows = width ? rows.size() / width : 0;
+  std::vector<std::size_t> perm(nrows);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t x, std::size_t y) {
+    const double* a = rows.data() + x * width;
+    const double* b = rows.data() + y * width;
+    for (const auto& k : q.order_keys()) {
+      const uint64_t u = oracle_obits(a[k.col]), v = oracle_obits(b[k.col]);
+      if (u != v) return k.desc ? u > v : u < v;
+    }
+    for (std::size_t c = 0; c < width; ++c) {
+      const uint64_t u = oracle_obits(a[c]), v = oracle_obits(b[c]);
+      if (u != v) return u < v;
+    }
+    return false;
+  });
+  std::size_t keep = nrows;
+  if (q.limit() >= 0)
+    keep = std::min<std::size_t>(keep, static_cast<std::size_t>(q.limit()));
+  expr::Table out(out_schema);
+  for (std::size_t i = 0; i < keep; ++i)
+    out.append_rows(rows.data() + perm[i] * width, 1);
+  return out;
+}
+
+}  // namespace
+
 expr::Table oracle_rows(const DqDataset& d, const expr::BoundQuery& q) {
-  expr::Table out(q.result_columns());
   const meta::Schema& s = q.schema();
+  // Pushdown queries aggregate scan rows (select-slot order); plain
+  // queries emit them directly (same shape either way).
+  std::vector<expr::Table::Column> scan_cols;
+  for (int a : q.select_attrs()) {
+    const auto& attr = s.at(static_cast<std::size_t>(a));
+    scan_cols.push_back({attr.name, attr.type});
+  }
+  expr::Table out(scan_cols);
   const auto& needed = q.needed_attrs();
   std::vector<double> buf(needed.size());
   std::vector<double> sel(q.select_slots().size());
@@ -174,6 +335,7 @@ expr::Table oracle_rows(const DqDataset& d, const expr::BoundQuery& q) {
           sel[i] = buf[static_cast<std::size_t>(q.select_slots()[i])];
         out.append_row(sel.data());
       }
+  if (q.is_pushdown()) return oracle_pushdown(q, out);
   return out;
 }
 
@@ -247,7 +409,6 @@ std::string random_cond(const DqDataset& d, SplitMix64& rng) {
 }  // namespace
 
 std::string random_query(const DqDataset& d, SplitMix64& rng) {
-  std::string sql = "SELECT * FROM DqData";
   std::size_t nconds = rng.next_below(3);  // 0..2 top-level conjuncts
   std::vector<std::string> conds;
   for (std::size_t i = 0; i < nconds; ++i) {
@@ -257,8 +418,85 @@ std::string random_query(const DqDataset& d, SplitMix64& rng) {
       c = "(" + c + " OR " + random_cond(d, rng) + ")";
     conds.push_back(c);
   }
-  if (!conds.empty()) sql += " WHERE " + join(conds, " AND ");
-  return sql;
+  const std::string where =
+      conds.empty() ? "" : " WHERE " + join(conds, " AND ");
+
+  const uint64_t shape = rng.next_below(4);
+  if (shape == 0) {
+    // Aggregation pushdown: GROUP BY over the dimension attrs (or a global
+    // aggregate) with COUNT/SUM/AVG/MIN/MAX over the payloads.  Group keys
+    // lead the select list so the whole-row tie-break that every executor
+    // shares resolves on exact columns, and ORDER BY sticks to the exact
+    // outputs (keys, COUNT, MIN, MAX) — SUM/AVG compare only within float
+    // tolerance, so ordering by them could cut a LIMIT at different rows.
+    std::vector<std::string> keys;
+    switch (rng.next_below(4)) {
+      case 0: break;  // global aggregate
+      case 1: keys = {"REL"}; break;
+      case 2: keys = {"TIME"}; break;
+      default: keys = {"REL", "TIME"}; break;
+    }
+    std::vector<std::string> items;
+    std::vector<std::string> orderable = keys;
+    const int nitems = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < nitems; ++i) {
+      const std::string p =
+          format("P%d", 1 + static_cast<int>(rng.next_below(
+                                static_cast<uint64_t>(d.payloads))));
+      switch (rng.next_below(5)) {
+        case 0:
+          items.push_back("COUNT(*)");
+          orderable.push_back(items.back());
+          break;
+        case 1:
+          items.push_back("SUM(" + p + ")");
+          break;
+        case 2:
+          items.push_back("AVG(" + p + ")");
+          break;
+        case 3:
+          items.push_back("MIN(" + p + ")");
+          orderable.push_back(items.back());
+          break;
+        default:
+          items.push_back("MAX(" + p + ")");
+          orderable.push_back(items.back());
+          break;
+      }
+    }
+    std::vector<std::string> select = keys;
+    select.insert(select.end(), items.begin(), items.end());
+    std::string sql = "SELECT " + join(select, ", ") + " FROM DqData" + where;
+    if (!keys.empty()) sql += " GROUP BY " + join(keys, ", ");
+    if (!orderable.empty() && rng.next_below(2) == 0) {
+      sql += " ORDER BY " +
+             orderable[rng.next_below(orderable.size())] +
+             (rng.next_below(2) == 0 ? " DESC" : "");
+      if (rng.next_below(4) != 0)
+        sql += format(" LIMIT %d", 1 + static_cast<int>(rng.next_below(8)));
+    } else if (rng.next_below(4) == 0) {
+      sql += format(" LIMIT %d", 1 + static_cast<int>(rng.next_below(8)));
+    }
+    return sql;
+  }
+  if (shape == 1) {
+    // Plain top-k: full rows through the bounded per-worker heap.  Rows
+    // are exact, and ties break on the shared whole-row total order, so
+    // the LIMIT cut is byte-identical everywhere.
+    std::string attr;
+    switch (rng.next_below(3)) {
+      case 0: attr = "REL"; break;
+      case 1: attr = "TIME"; break;
+      default:
+        attr = format("P%d", 1 + static_cast<int>(rng.next_below(
+                                     static_cast<uint64_t>(d.payloads))));
+        break;
+    }
+    return "SELECT * FROM DqData" + where + " ORDER BY " + attr +
+           (rng.next_below(2) == 0 ? " DESC" : "") +
+           format(" LIMIT %d", 1 + static_cast<int>(rng.next_below(12)));
+  }
+  return "SELECT * FROM DqData" + where;
 }
 
 }  // namespace adv::dq

@@ -5,8 +5,9 @@
 // partitioning, transposed record loops, headers, multi-node distribution)
 // together with the matching data files and a per-cell value oracle — and a
 // stream of random SQL (ranges, BETWEEN, IN lists, OR/NOT combinations,
-// filter functions).  Everything is a pure function of the seed, so any
-// failure replays with `adv_fuzz --seed N`.
+// filter functions, GROUP BY aggregates, ORDER BY ... LIMIT top-k).
+// Everything is a pure function of the seed, so any failure replays with
+// `adv_fuzz --seed N`.
 #pragma once
 
 #include <cstdint>
@@ -57,12 +58,22 @@ void write_files(const DqDataset& d, const afc::DatasetModel& model);
 
 // Brute-force row oracle: enumerates the dimension space and evaluates the
 // bound predicate per row.  Independent of planner, extractor, and layout.
+// For pushdown queries (aggregates / ORDER BY ... LIMIT) it then applies
+// its own aggregation and top-k — a third implementation, independent of
+// both src/agg and the naive reference in codegen/plan.cpp, with
+// long-double SUM/AVG accumulation (compare those columns with tolerance;
+// keys, COUNT, MIN/MAX, and the LIMIT cut are exact).
 expr::Table oracle_rows(const DqDataset& d, const expr::BoundQuery& q);
 
-// One random query (always SELECT * — row multiplicity over projected-away
-// dimensions is layout-defined, so only full rows compare meaningfully).
-// Draws from ranges, BETWEEN, IN lists, OR/NOT, and the built-in filter
-// functions (ABSV, MAG2, SPEED).
+// One random query.  Row-shaped queries are always SELECT * (row
+// multiplicity over projected-away dimensions is layout-defined, so only
+// full rows compare meaningfully); aggregate shapes collapse multiplicity
+// deterministically, so they project GROUP BY keys plus
+// COUNT/SUM/AVG/MIN/MAX items, optionally ordered and limited.  ORDER BY
+// only ever names exact outputs (keys, COUNT, MIN, MAX): SUM/AVG carry a
+// float tolerance across implementations, and a LIMIT cut on a tolerant
+// column could keep different rows.  Predicates draw from ranges, BETWEEN,
+// IN lists, OR/NOT, and the built-in filter functions (ABSV, MAG2, SPEED).
 std::string random_query(const DqDataset& d, SplitMix64& rng);
 
 }  // namespace adv::dq

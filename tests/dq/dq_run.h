@@ -5,7 +5,13 @@
 // (DataServicePlan::execute, plus the Figure 5 reference planner and the
 // generator's own cell oracle) and the full fast path (VirtualTable:
 // parallel cluster + zone map + plan cache, optionally the v2 wire
-// protocol) — and demands exactly the same rows.  Under an armed fault
+// protocol) — and demands exactly the same rows.  For aggregate queries
+// the SUM/AVG columns compare within a small relative tolerance against
+// the *independent* implementations (naive reference, cell oracle) — their
+// plain/long-double folds legitimately differ from the engine's exact
+// superaccumulator — while keys, COUNT, MIN/MAX, and the LIMIT cut stay
+// bit-exact, and the engine's own backends (cluster, server, dist, plan
+// cache) must agree bit for bit with each other.  Under an armed fault
 // campaign the contract weakens to: correct rows, or a clean typed
 // adv::Error, within the deadline.  Never wrong rows, never a hang.
 //
@@ -72,8 +78,8 @@ struct DqReport {
   std::string summary() const;
 };
 
-// The spec for a named campaign: "io", "net", "node", "zm", "sched",
-// "jit".  Throws ValidationError for an unknown name.
+// The spec for a named campaign: "io", "net", "node", "agg", "zm",
+// "sched", "jit".  Throws ValidationError for an unknown name.
 std::string campaign_spec(const std::string& name);
 
 // Runs the corpus for one seed.  Deterministic given {seed, opts}.

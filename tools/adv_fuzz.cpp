@@ -28,8 +28,8 @@ int usage(const char* argv0) {
       "  --seed N          corpus seed (dataset layout + queries)\n"
       "  --seeds K         run K consecutive seeds starting at N (default 1)\n"
       "  --queries M       queries per seed (default 5)\n"
-      "  --campaign NAME   named fault campaign: io, net, node, zm, sched,\n"
-      "                    jit\n"
+      "  --campaign NAME   named fault campaign: io, net, node, agg, zm,\n"
+      "                    sched, jit\n"
       "  --fault-spec S    explicit fault spec, e.g. 'pread.eio=0.01:3'\n"
       "  --fault-seed N    fault-plan seed (default: the corpus seed)\n"
       "  --server          also round-trip queries through the v2 protocol\n"
