@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Perf regression gate: re-runs the bench_micro scan/pruning/plan-cache
-# sections and compares them against the committed BENCH_micro.json.
+# Perf regression gate: re-runs the bench_micro scan/pruning/plan-cache/
+# aggregation/serving sections and compares them against the committed
+# BENCH_micro.json.
 #
 # Fails when
 #   * any matching (query, config) entry's rows_per_sec (or, for the
-#     served-query section, queries_per_sec) regresses by more than
+#     served-query and serving-cache sections, queries_per_sec) regresses
+#     by more than
 #     BENCH_CHECK_TOLERANCE (default 45% — consecutive best-of-N runs
 #     of identical code have been measured up to ~40% apart on shared
 #     1-vCPU hosts whose effective CPU speed drifts over minutes, so

@@ -13,16 +13,20 @@
 #      and agg.merge fault campaigns, and the scatter/gather dist backend
 #      (clean, under the node-death campaign, and under the
 #      partial-aggregate-merge campaign)
-#   3. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
-#      sensitive test binaries — parallel pipeline, scheduler, networked
-#      server, and the dq differential/fault harness — run with
-#      halt_on_error so any data race fails the script
-#   4. bench_check.sh — scan/pruning/plan-cache/served-query throughput vs
-#      the committed BENCH_micro.json (a BENCH_CHECK_TOLERANCE rows_per_sec or
-#      queries_per_sec regression, or any identical_to_baseline=false,
-#      fails; skips cleanly when no baseline is committed)
+#   3. serving-layer smoke: tools/adv_load closed loop with two
+#      equal-weight tenants gating fair-share deviation and result-cache
+#      hits
+#   4. ThreadSanitizer build (cmake --preset tsan) of the concurrency-
+#      sensitive test binaries — parallel pipeline, scheduler, serving
+#      layer, networked server, and the dq differential/fault harness —
+#      run with halt_on_error so any data race fails the script
+#   5. bench_check.sh — scan/pruning/plan-cache/served-query/serving-cache
+#      throughput vs the committed BENCH_micro.json (a BENCH_CHECK_TOLERANCE
+#      rows_per_sec or queries_per_sec regression, or any
+#      identical_to_baseline=false, fails; skips cleanly when no baseline
+#      is committed)
 #
-# Set VERIFY_SKIP_TSAN=1 to skip step 3 (e.g. on hosts without tsan);
+# Set VERIFY_SKIP_TSAN=1 to skip step 4 (e.g. on hosts without tsan);
 # VERIFY_SKIP_BENCH=1 skips the perf gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -76,12 +80,22 @@ echo "fuzz/fault smoke OK"
   -j"$JOBS")
 echo "dist chaos smoke OK"
 
+# Serving-layer smoke: the closed-loop load generator against a selfhosted
+# server with the result cache on — two equal-weight tenants on one run
+# slot must each get ~half the completions (fairness gate) and the hot set
+# must produce result-cache hits (docs/SERVING.md §6–7).  Exit 1 = broken
+# run, exit 2 = a gate failed; either fails verify.
+./build/tools/adv_load --selfhost --duration 2 --seed 11 \
+  --tenants a:1:3,b:1:3 --hot-ratio 0.8 --think-ms 0 --max-concurrent 1 \
+  --check-fairness 0.15 --check-cache-hits 1 --quiet
+echo "adv_load serving smoke OK"
+
 if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --preset tsan >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target storm_test storm_concurrency_test sched_test sched_stress_test \
-             net_test kernels_test agg_test dq_diff_test dq_fault_test \
-             dist_chaos_test adv_node
+             net_test serve_test kernels_test agg_test dq_diff_test \
+             dq_fault_test dist_chaos_test adv_node
   # Exercise the parallel worker path even on single-core hosts.
   export ADV_THREADS_PER_NODE=4
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/storm_test
@@ -89,6 +103,9 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sched_stress_test
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/net_test
+  # Serving layer: result-cache single-flight (leader/follower latch),
+  # LRU under concurrent inserts, and the tenant-quota client burst.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/serve_test
   # The kernel tiers share arenas/caches across extraction workers; the
   # JIT cache in particular serializes concurrent compiles on one lock.
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/kernels_test

@@ -17,7 +17,7 @@
 #include <optional>
 #include <string>
 
-#include "api/plan_cache.h"
+#include "serve/plan_cache.h"
 #include "codegen/plan.h"
 #include "index/minmax.h"
 #include "storm/cluster.h"

@@ -49,6 +49,10 @@ enum class Site : uint8_t {
   kServeQuery,      // the query-service worker dies after admission
   kJitCompile,      // JIT kernel compilation fails (must fall back to vector)
   kAggMerge,        // partial-aggregate worker->node merge dies mid-query
+  kServeCache,      // result cache misbehaves: a lookup hit is poisoned
+                    // (entry evicted, treated as a miss, no single-flight
+                    // join) and an insert is dropped — served rows must be
+                    // byte-identical to uncached execution either way
   kCount,
 };
 

@@ -32,12 +32,42 @@ void LatencyHistogram::add(double seconds) {
   buckets[b]++;
 }
 
+double LatencyHistogram::quantile_seconds(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t want = static_cast<uint64_t>(std::ceil(q * count));
+  if (want == 0) want = 1;
+  uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= want) return std::ldexp(1e-3, static_cast<int>(b));
+  }
+  return std::ldexp(1e-3, static_cast<int>(kBuckets));
+}
+
 QueryScheduler::QueryScheduler(SchedulerOptions opts) : opts_(opts) {}
 
-std::size_t QueryScheduler::queued_locked() const {
-  std::size_t n = 0;
-  for (const Queue& q : queues_) n += q.size();
-  return n;
+QueryScheduler::TenantState& QueryScheduler::tenant_locked(
+    const std::string& id) {
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return it->second;
+  TenantState st;
+  auto oit = opts_.tenants.find(id);
+  st.opts = oit != opts_.tenants.end() ? oit->second : opts_.default_tenant;
+  if (st.opts.weight <= 0) st.opts.weight = 1.0;
+  st.metrics.weight = st.opts.weight;
+  return tenants_.emplace(id, std::move(st)).first->second;
+}
+
+std::size_t QueryScheduler::queued_locked() const { return queued_total_; }
+
+double QueryScheduler::decayed_ewma_locked() const {
+  if (ewma_run_seconds_ <= 0) return 0;
+  double hl = opts_.retry_hint_halflife_seconds;
+  if (hl <= 0 || last_finish_ == Clock::time_point{}) return ewma_run_seconds_;
+  // Halve per half-life of finish-free idleness: a hint computed right
+  // after a burst matches the burst, one computed minutes later is ~0.
+  return ewma_run_seconds_ * std::exp2(-seconds_since(last_finish_) / hl);
 }
 
 double QueryScheduler::retry_after_locked() const {
@@ -45,7 +75,8 @@ double QueryScheduler::retry_after_locked() const {
   // hypothetical new arrival, paced by the average observed run time
   // spread over the concurrency.  Before any query finished, fall back to
   // a nominal 50 ms per backlogged query.
-  double per_query = ewma_run_seconds_ > 0 ? ewma_run_seconds_ : 0.05;
+  double ewma = decayed_ewma_locked();
+  double per_query = ewma > 0 ? ewma : 0.05;
   std::size_t conc = std::max<std::size_t>(1, opts_.max_concurrent_queries);
   double backlog = static_cast<double>(queued_locked() + 1);
   return std::max(1e-3, per_query * backlog / static_cast<double>(conc));
@@ -64,15 +95,28 @@ double QueryScheduler::retry_after_hint() const {
 void QueryScheduler::admit_next_locked() {
   while (opts_.max_concurrent_queries == 0 ||
          running_ < opts_.max_concurrent_queries) {
-    std::shared_ptr<QueryContext> next;
-    for (std::size_t p = kPriorities; p-- > 0;) {
-      if (!queues_[p].empty()) {
-        next = std::move(queues_[p].front());
-        queues_[p].pop_front();
-        break;
+    // Strict priority first: only the highest non-empty level competes.
+    // Within the level, weighted fair share picks the eligible tenant
+    // (under its running cap) with the least virtual time; ties break on
+    // tenant id so the order is deterministic.
+    TenantState* best = nullptr;
+    std::size_t best_level = 0;
+    for (std::size_t p = kPriorities; p-- > 0 && !best;) {
+      for (auto& [id, st] : tenants_) {
+        if (st.queues[p].empty()) continue;
+        if (st.opts.max_running > 0 && st.running >= st.opts.max_running)
+          continue;  // quota-capped: its backlog must not block this level
+        if (!best || st.vtime < best->vtime) {
+          best = &st;
+          best_level = p;
+        }
       }
     }
-    if (!next) break;
+    if (!best) break;
+    std::shared_ptr<QueryContext> next = std::move(best->queues[best_level].front());
+    best->queues[best_level].pop_front();
+    best->queued--;
+    queued_total_--;
     // A query cancelled (or deadlined) while queued that nobody is
     // waiting on any more: account for it and skip the slot.
     if (next->token.cancelled()) {
@@ -85,6 +129,11 @@ void QueryScheduler::admit_next_locked() {
     next->queue_wait_seconds = seconds_since(next->enqueued_at);
     metrics_.admitted++;
     metrics_.queue_wait.add(next->queue_wait_seconds);
+    best->metrics.admitted++;
+    best->metrics.queue_wait.add(next->queue_wait_seconds);
+    best->running++;
+    best->vtime += 1.0 / best->opts.weight;
+    vclock_ = std::max(vclock_, best->vtime);
     running_++;
     metrics_.peak_running = std::max(metrics_.peak_running, running_);
   }
@@ -95,42 +144,72 @@ void QueryScheduler::admit_next_locked() {
 
 bool QueryScheduler::remove_queued_locked(
     const std::shared_ptr<QueryContext>& ctx) {
-  Queue& q = queues_[level(ctx->priority)];
+  TenantState& st = tenant_locked(ctx->tenant);
+  Queue& q = st.queues[level(ctx->priority)];
   auto it = std::find(q.begin(), q.end(), ctx);
   if (it == q.end()) return false;
   q.erase(it);
+  st.queued--;
+  queued_total_--;
   metrics_.queue_depth = queued_locked();
   return true;
 }
 
 void QueryScheduler::record_abandoned_locked(const QueryContext& ctx) {
-  if (ctx.token.cancel_requested())
+  TenantState& st = tenant_locked(ctx.tenant);
+  if (ctx.token.cancel_requested()) {
     metrics_.cancelled++;
-  else
+    st.metrics.cancelled++;
+  } else {
     metrics_.deadline_exceeded++;
+    st.metrics.deadline_exceeded++;
+  }
 }
 
 QueryScheduler::Admission QueryScheduler::submit(uint8_t priority,
-                                                 double deadline_seconds) {
+                                                 double deadline_seconds,
+                                                 const std::string& tenant) {
   std::lock_guard<std::mutex> lk(mu_);
   metrics_.submitted++;
+  TenantState& st = tenant_locked(tenant);
+  st.metrics.submitted++;
   Admission adm;
   if (draining_) {
     metrics_.rejected++;
+    st.metrics.rejected++;
     adm.reject_reason = "server is draining";
+    adm.reject_kind = RejectKind::kDraining;
     adm.retry_after_seconds = retry_after_locked();
     return adm;
   }
   // Reject only when the query would actually have to wait: a free run
-  // slot admits immediately regardless of max_queue_depth (notably
-  // max_queue_depth = 0, "never queue").  The queue is non-empty only
-  // while every slot is taken — admit_next_locked() drains it whenever
-  // one frees — so slot_free implies the queue check is moot.
+  // slot admits a quota-eligible query immediately regardless of
+  // max_queue_depth (notably max_queue_depth = 0, "never queue").  With
+  // fair share the queue can be non-empty while slots are free — every
+  // queued tenant at its running cap — and an eligible arrival still runs
+  // straight away.
   bool slot_free = opts_.max_concurrent_queries == 0 ||
                    running_ < opts_.max_concurrent_queries;
-  if (!slot_free && queued_locked() >= opts_.max_queue_depth) {
+  bool tenant_eligible =
+      st.opts.max_running == 0 || st.running < st.opts.max_running;
+  bool would_wait = !slot_free || !tenant_eligible;
+  if (would_wait && st.opts.max_queued > 0 && st.queued >= st.opts.max_queued) {
     metrics_.rejected++;
+    st.metrics.rejected++;
+    adm.reject_reason = "tenant quota exceeded (" +
+                        (tenant.empty() ? std::string("default tenant")
+                                        : "tenant " + tenant) +
+                        ": max_queued=" + std::to_string(st.opts.max_queued) +
+                        ")";
+    adm.reject_kind = RejectKind::kTenantQuota;
+    adm.retry_after_seconds = retry_after_locked();
+    return adm;
+  }
+  if (would_wait && queued_locked() >= opts_.max_queue_depth) {
+    metrics_.rejected++;
+    st.metrics.rejected++;
     adm.reject_reason = "admission queue full";
+    adm.reject_kind = RejectKind::kQueueFull;
     adm.retry_after_seconds = retry_after_locked();
     return adm;
   }
@@ -138,17 +217,29 @@ QueryScheduler::Admission QueryScheduler::submit(uint8_t priority,
   auto ctx = std::make_shared<QueryContext>();
   ctx->id = next_id_++;
   ctx->priority = priority;
+  ctx->tenant = tenant;
   double deadline =
       deadline_seconds > 0 ? deadline_seconds : opts_.default_deadline_seconds;
   ctx->token.set_deadline_after(deadline);
   ctx->enqueued_at = Clock::now();
 
+  // Fair-share clock catch-up: a tenant going active after an idle spell
+  // resumes at the current clock, not at its stale vtime, so it competes
+  // fairly from now on instead of winning every slot until it "caught up".
+  if (!st.active()) st.vtime = std::max(st.vtime, vclock_);
+
   // Queue position: everything at a strictly higher level plus the FIFO
-  // tail of its own level runs first.
-  std::size_t ahead = queues_[level(priority)].size();
-  for (std::size_t p = level(priority) + 1; p < kPriorities; ++p)
-    ahead += queues_[p].size();
-  queues_[level(priority)].push_back(ctx);
+  // tail of its own level runs first (fair-share interleaving within the
+  // level makes this an estimate, as the protocol documents).
+  std::size_t ahead = 0;
+  for (const auto& [id, t] : tenants_) {
+    ahead += t.queues[level(priority)].size();
+    for (std::size_t p = level(priority) + 1; p < kPriorities; ++p)
+      ahead += t.queues[p].size();
+  }
+  st.queues[level(priority)].push_back(ctx);
+  st.queued++;
+  queued_total_++;
   metrics_.queue_depth = queued_locked();
   metrics_.peak_queue_depth =
       std::max(metrics_.peak_queue_depth, metrics_.queue_depth);
@@ -188,15 +279,31 @@ void QueryScheduler::finish(const std::shared_ptr<QueryContext>& ctx,
   ctx->state = QueryContext::State::kDequeued;
   ctx->run_seconds = seconds_since(ctx->admitted_at);
   running_--;
+  TenantState& st = tenant_locked(ctx->tenant);
+  st.running--;
   metrics_.run_time.add(ctx->run_seconds);
+  st.metrics.run_time.add(ctx->run_seconds);
   ewma_run_seconds_ = ewma_run_seconds_ == 0
                           ? ctx->run_seconds
                           : 0.8 * ewma_run_seconds_ + 0.2 * ctx->run_seconds;
+  last_finish_ = Clock::now();
   switch (outcome) {
-    case Outcome::kCompleted: metrics_.completed++; break;
-    case Outcome::kFailed: metrics_.failed++; break;
-    case Outcome::kCancelled: metrics_.cancelled++; break;
-    case Outcome::kDeadlineExceeded: metrics_.deadline_exceeded++; break;
+    case Outcome::kCompleted:
+      metrics_.completed++;
+      st.metrics.completed++;
+      break;
+    case Outcome::kFailed:
+      metrics_.failed++;
+      st.metrics.failed++;
+      break;
+    case Outcome::kCancelled:
+      metrics_.cancelled++;
+      st.metrics.cancelled++;
+      break;
+    case Outcome::kDeadlineExceeded:
+      metrics_.deadline_exceeded++;
+      st.metrics.deadline_exceeded++;
+      break;
   }
   admit_next_locked();
 }
@@ -206,14 +313,18 @@ void QueryScheduler::drain() {
   draining_ = true;
   // Dequeue everything still waiting; their wait_admitted() (if anyone is
   // in it) observes kDequeued and returns false.
-  for (Queue& q : queues_) {
-    for (auto& ctx : q) {
-      ctx->token.cancel();
-      record_abandoned_locked(*ctx);
-      ctx->state = QueryContext::State::kDequeued;
+  for (auto& [id, st] : tenants_) {
+    for (Queue& q : st.queues) {
+      for (auto& ctx : q) {
+        ctx->token.cancel();
+        record_abandoned_locked(*ctx);
+        ctx->state = QueryContext::State::kDequeued;
+      }
+      q.clear();
     }
-    q.clear();
+    st.queued = 0;
   }
+  queued_total_ = 0;
   metrics_.queue_depth = 0;
   cv_.notify_all();
   cv_.wait(lk, [this] { return running_ == 0; });
@@ -224,6 +335,12 @@ SchedulerMetrics QueryScheduler::metrics() const {
   SchedulerMetrics m = metrics_;
   m.queue_depth = queued_locked();
   m.running = running_;
+  for (const auto& [id, st] : tenants_) {
+    TenantMetrics tm = st.metrics;
+    tm.queued = st.queued;
+    tm.running = st.running;
+    m.tenants[id] = std::move(tm);
+  }
   return m;
 }
 

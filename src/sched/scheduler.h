@@ -16,14 +16,27 @@
 //   drain()          graceful shutdown: stop admitting, cancel the queue,
 //                    wait for running queries to finish
 //
-// Ordering is FIFO within a priority level; levels (0 = low, 1 = normal,
-// 2 = high) are served strictly highest-first.  Each admitted query gets
-// a QueryContext carrying its CancelToken (threaded down through the AFC
-// planner, the extraction workers, and the row-shipping path) and its
-// per-query timings.  Aggregate metrics — admitted/rejected/cancelled/
-// deadline-exceeded counts, peak concurrency, queue-wait and run-time
-// histograms — are served by metrics() and surfaced to remote clients in
-// the wire protocol's kStats frame (see docs/SERVING.md).
+// Multi-tenant QoS (docs/SERVING.md §7): every query carries a tenant id
+// (the default tenant "" when the client sends none).  Run slots are
+// shared across tenants by *weighted fair share*: each tenant accrues
+// virtual time 1/weight per admitted query, and a freed slot goes to the
+// eligible tenant with the least virtual time, so under saturation tenant
+// throughput converges to the weight ratio regardless of how many
+// connections each tenant opens.  Strict priority (0 = low, 1 = normal,
+// 2 = high; FIFO within a level) still applies *above* fairness: a level
+// is only considered once every higher level is empty, and fair share
+// picks among the tenants queued at that level.  Per-tenant quotas bound
+// concurrently running queries (max_running) and queued backlog
+// (max_queued); exceeding one rejects with RejectKind::kTenantQuota so a
+// greedy tenant is told apart from a genuinely full server.
+//
+// Each admitted query gets a QueryContext carrying its CancelToken
+// (threaded down through the AFC planner, the extraction workers, and the
+// row-shipping path) and its per-query timings.  Aggregate metrics —
+// admitted/rejected/cancelled/deadline-exceeded counts, peak concurrency,
+// queue-wait and run-time histograms, and the same broken out per tenant
+// — are served by metrics() and surfaced to remote clients in the wire
+// protocol's kStats frame (see docs/SERVING.md).
 #pragma once
 
 #include <array>
@@ -31,6 +44,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +52,21 @@
 #include "common/cancel.h"
 
 namespace adv::sched {
+
+// Per-tenant fair-share weight and quotas.  A tenant without an explicit
+// entry in SchedulerOptions::tenants uses default_tenant.
+struct TenantOptions {
+  // Fair-share weight: under saturation a tenant's completed-query share
+  // converges to weight / (sum of active tenants' weights).  Values <= 0
+  // are treated as 1.
+  double weight = 1.0;
+  // Queries of this tenant executing at once; 0 = no per-tenant cap (the
+  // global max_concurrent_queries still applies).
+  std::size_t max_running = 0;
+  // Queries of this tenant waiting in the queue; submissions past this are
+  // rejected with RejectKind::kTenantQuota.  0 = no per-tenant bound.
+  std::size_t max_queued = 0;
+};
 
 struct SchedulerOptions {
   // Queries executing at once; 0 = unlimited (admission never queues).
@@ -47,6 +76,15 @@ struct SchedulerOptions {
   std::size_t max_queue_depth = 16;
   // Deadline applied to queries that arrive without one; 0 = none.
   double default_deadline_seconds = 0;
+  // Per-tenant overrides, keyed by tenant id; tenants not listed here get
+  // `default_tenant`.
+  std::map<std::string, TenantOptions> tenants;
+  TenantOptions default_tenant;
+  // Half-life of the retry-after hint while the scheduler sits idle: the
+  // EWMA run time behind the hint halves every this-many seconds without a
+  // finish, so clients polling kStats after a burst ends are not told to
+  // back off against an idle server.  <= 0 disables the decay.
+  double retry_hint_halflife_seconds = 5.0;
 };
 
 // How a query's lifecycle ended, for the outcome counters.
@@ -55,6 +93,15 @@ enum class Outcome : uint8_t {
   kFailed,            // node or connection error
   kCancelled,         // client kCancel / disconnect
   kDeadlineExceeded,
+};
+
+// Why a submission was rejected (wire kRejected carries it as a tail byte
+// so clients can throw a typed error).
+enum class RejectKind : uint8_t {
+  kNone = 0,
+  kQueueFull = 1,     // global admission queue full
+  kDraining = 2,      // server shutting down
+  kTenantQuota = 3,   // per-tenant max_running/max_queued exceeded
 };
 
 // Log-scale latency histogram: bucket k counts samples in
@@ -68,6 +115,25 @@ struct LatencyHistogram {
 
   void add(double seconds);
   double mean_seconds() const { return count ? sum_seconds / count : 0; }
+  // Approximate quantile (0 <= q <= 1) in seconds: the upper edge of the
+  // bucket holding the q-th sample — an upper bound within a factor of 2,
+  // good enough for operator-facing p50/p99 readouts.
+  double quantile_seconds(double q) const;
+};
+
+struct TenantMetrics {
+  double weight = 1.0;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;           // queue full, quota, or draining
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  std::size_t queued = 0;          // current
+  std::size_t running = 0;         // current
+  LatencyHistogram queue_wait;
+  LatencyHistogram run_time;
 };
 
 struct SchedulerMetrics {
@@ -84,6 +150,8 @@ struct SchedulerMetrics {
   std::size_t peak_queue_depth = 0;
   LatencyHistogram queue_wait;     // admitted queries only
   LatencyHistogram run_time;       // finished queries only
+  // Per-tenant breakdown, keyed by tenant id ("" = the default tenant).
+  std::map<std::string, TenantMetrics> tenants;
 };
 
 class QueryScheduler;
@@ -95,10 +163,10 @@ class QueryScheduler;
 struct QueryContext {
   uint64_t id = 0;
   uint8_t priority = 1;
+  std::string tenant;             // "" = default tenant
   CancelToken token;
   double queue_wait_seconds = 0;  // set at admission
   double run_seconds = 0;         // set at finish
-
  private:
   friend class QueryScheduler;
   enum class State : uint8_t { kQueued, kRunning, kDequeued };
@@ -118,13 +186,16 @@ class QueryScheduler {
     std::size_t queue_depth = 0;        // total queued at submit time
     double retry_after_seconds = 0;     // rejection hint
     std::string reject_reason;          // non-empty when rejected
+    RejectKind reject_kind = RejectKind::kNone;
   };
 
   // Admission decision.  A rejected submission carries a retry-after hint
   // derived from the average run time of recently finished queries and
   // the current backlog.  `deadline_seconds` <= 0 falls back to
-  // SchedulerOptions::default_deadline_seconds.
-  Admission submit(uint8_t priority = 1, double deadline_seconds = 0);
+  // SchedulerOptions::default_deadline_seconds.  `tenant` selects the
+  // fair-share account and quota set ("" = default tenant).
+  Admission submit(uint8_t priority = 1, double deadline_seconds = 0,
+                   const std::string& tenant = std::string());
 
   // Blocks until `ctx` is admitted (true) or leaves the queue without
   // running (false: token cancelled, deadline expired, or drain()).  A
@@ -147,30 +218,55 @@ class QueryScheduler {
   // The current EWMA-derived retry-after estimate — what a rejected
   // submission would be told right now.  Surfaced to clients in the kStats
   // v2.1 tail so they can pace politely instead of hot-looping into
-  // kRejected; 0 when a new arrival would run immediately.
+  // kRejected; 0 when a new arrival would run immediately.  The EWMA basis
+  // halves every retry_hint_halflife_seconds without a finish, so the
+  // hint decays toward zero once the queue drains instead of freezing at
+  // the last burst's run times.
   double retry_after_hint() const;
 
  private:
   static constexpr std::size_t kPriorities = 3;
   using Queue = std::deque<std::shared_ptr<QueryContext>>;
 
+  // All mutable per-tenant state, created lazily on first submit.
+  struct TenantState {
+    TenantOptions opts;
+    double vtime = 0;  // accrued 1/weight per admission (fair-share clock)
+    std::size_t running = 0;
+    std::size_t queued = 0;
+    std::array<Queue, kPriorities> queues;
+    TenantMetrics metrics;
+
+    bool active() const { return running > 0 || queued > 0; }
+  };
+
   static std::size_t level(uint8_t priority) {
     return priority >= kPriorities ? kPriorities - 1 : priority;
   }
+  TenantState& tenant_locked(const std::string& id);
   std::size_t queued_locked() const;
   void admit_next_locked();
   bool remove_queued_locked(const std::shared_ptr<QueryContext>& ctx);
   void record_abandoned_locked(const QueryContext& ctx);
   double retry_after_locked() const;
+  double decayed_ewma_locked() const;
 
   const SchedulerOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::array<Queue, kPriorities> queues_;
+  std::map<std::string, TenantState> tenants_;
   std::size_t running_ = 0;
+  std::size_t queued_total_ = 0;
   bool draining_ = false;
   uint64_t next_id_ = 1;
   double ewma_run_seconds_ = 0;  // retry-after hint basis
+  // Fair-share clock floor: the vtime of the most recent admission.  A
+  // tenant going active after an idle spell starts here instead of at its
+  // stale (possibly zero) vtime, so it cannot monopolize the slots to
+  // "catch up" on time it spent away.
+  double vclock_ = 0;
+  // When the EWMA was last refreshed by a finish — the decay anchor.
+  std::chrono::steady_clock::time_point last_finish_{};
   SchedulerMetrics metrics_;
 };
 

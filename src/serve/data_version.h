@@ -1,0 +1,46 @@
+// Data version: the cache-invalidation half of the serving layer's result
+// cache key (docs/SERVING.md §6).
+//
+// A cached query result is only reusable while the bytes it was computed
+// from are still the bytes on disk.  DataVersion captures that as one
+// 64-bit FNV-1a hash over the identity of every data file of the dataset
+// — FileCache's FileId (dev, inode, size, nanosecond mtime), the same
+// identity the handle cache revalidates against, so a same-size rewrite
+// within the same wall-clock second still changes the version — plus,
+// when a zone-map sidecar directory is known, the identity of the three
+// sidecar files (<dataset>.zm.{heap,idx,meta}).  A missing file hashes as
+// an explicit "absent" marker, so creating or deleting a sidecar changes
+// the version too.
+//
+// The version is a *key component*, not a validation step: entries of a
+// superseded version are simply never looked up again and age out of the
+// LRU.  Computing it is one stat(2) per file — microseconds against the
+// dentry cache, amortized over a whole served query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codegen/plan.h"
+
+namespace adv::serve {
+
+struct DataVersion {
+  uint64_t hash = 0;
+  uint64_t files_seen = 0;  // files stat'ed (diagnostics only)
+
+  bool operator==(const DataVersion& o) const { return hash == o.hash; }
+  bool operator!=(const DataVersion& o) const { return hash != o.hash; }
+
+  // 16-hex-digit form, used in cache keys and logs.
+  std::string hex() const;
+
+  // Stats every data file of `plan`'s dataset model (in model order) and,
+  // when `sidecar_dir` is non-empty, the zone-map sidecar triplet for the
+  // dataset under that directory.  Never throws: an unstatable file hashes
+  // as absent (a vanished file must invalidate, not crash the server).
+  static DataVersion compute(const codegen::DataServicePlan& plan,
+                             const std::string& sidecar_dir = std::string());
+};
+
+}  // namespace adv::serve

@@ -1,4 +1,4 @@
-#include "api/plan_cache.h"
+#include "serve/plan_cache.h"
 
 namespace adv {
 

@@ -2,12 +2,14 @@
 //
 // Planning a query — bind + one index-function run per virtual node, each
 // walking the dataset's file groups and consulting the chunk filter — is
-// pure: it depends only on the compiled descriptor and the query text.  A
-// VirtualTable therefore caches the result keyed by (descriptor hash,
-// normalized query shape), where the shape is the parsed query printed
-// back to canonical SQL so formatting differences ("select *" vs
-// "SELECT  *") share one entry.  A hit replays the exact per-node AFC
-// lists of the cold run through StormCluster::execute_planned.
+// pure: it depends only on the compiled descriptor and the query text.
+// Both front ends cache the result — VirtualTable keyed by (descriptor
+// hash, normalized query shape), QueryServer additionally folding the
+// serve::DataVersion in so a data rewrite retires the plan (its AFC lists
+// embed file paths).  The shape is the parsed query printed back to
+// canonical SQL so formatting differences ("select *" vs "SELECT  *")
+// share one entry.  A hit replays the exact per-node AFC lists of the
+// cold run through StormCluster::execute_planned / execute_streaming.
 #pragma once
 
 #include <cstdint>

@@ -20,6 +20,9 @@
 //                               i32 select_index, f64 range_lo, f64 range_hi,
 //                               u32 sql_length, sql bytes,
 //                               [v2 tail: f64 deadline_seconds, u8 priority]
+//                               [v2.2 tail: u32 tenant_length, tenant bytes —
+//                                the fair-share account; absent = the
+//                                default tenant]
 //     0x02 kSchema    payload = u16 ncols, then per column:
 //                               u8 type, u16 name_length, name bytes
 //     0x03 kRowBatch  payload = u16 consumer, u32 nrows, u16 ncols,
@@ -36,6 +39,18 @@
 //                               [v2.1 tail: f64 retry_after_hint_seconds —
 //                                the scheduler's EWMA-derived pacing hint,
 //                                so clients back off before being rejected]
+//                               [v2.2 tail: u8 served_from_cache,
+//                                10 x u64 result-cache counters (lookups,
+//                                hits, misses, coalesced, inserts,
+//                                evictions, too_large, poisoned, entries,
+//                                bytes), 4 x u64 plan-cache counters (hits,
+//                                misses, entries, capacity), two latency
+//                                histograms (queue wait, run time; each =
+//                                u64 count, f64 sum_seconds, u16 nbuckets,
+//                                nbuckets x u64), u16 ntenants, per tenant:
+//                                u32 id_length, id bytes, f64 weight,
+//                                u64 submitted, admitted, rejected,
+//                                completed, queued, running]
 //     0x05 kEnd       payload = empty
 //     0x06 kError     payload = u32 length, message bytes
 //     0x07 kCancel    client -> server: abandon the in-flight query
@@ -43,6 +58,9 @@
 //     0x09 kAdmitted  payload = u64 query_id, f64 queue_wait_seconds
 //     0x0A kRejected  payload = f64 retry_after_seconds,
 //                               u32 length, message bytes
+//                               [v2.2 tail: u8 reject_kind
+//                                (sched::RejectKind) — tells a quota'd
+//                                tenant apart from a genuinely full server]
 //
 // v1 interop: the kQuery tail and the kStats tails are optional — an older
 // peer simply never sends or reads them (payload parsing is positional,
@@ -61,9 +79,16 @@
 
 #include "common/cancel.h"
 #include "sched/scheduler.h"
+#include "serve/data_version.h"
+#include "serve/plan_cache.h"
+#include "serve/result_cache.h"
 #include "storm/cluster.h"
 
 namespace adv::storm {
+
+namespace wire {
+class Payload;
+}
 
 // Serves one dataset on a TCP port.  Each connection is handled on its own
 // thread; queries on different connections pass through one shared
@@ -74,7 +99,8 @@ class QueryServer {
   QueryServer(std::shared_ptr<codegen::DataServicePlan> plan,
               ClusterOptions opts = {}, int port = 0,
               const afc::ChunkFilter* filter = nullptr,
-              sched::SchedulerOptions sched_opts = {});
+              sched::SchedulerOptions sched_opts = {},
+              serve::ServeOptions serve_opts = serve::ServeOptions{});
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -85,6 +111,19 @@ class QueryServer {
   uint64_t queries_served() const { return queries_served_.load(); }
   sched::SchedulerMetrics scheduler_metrics() const {
     return scheduler_.metrics();
+  }
+  // Zero-value stats when the respective cache is disabled.
+  serve::ResultCache::Stats result_cache_stats() const {
+    return result_cache_ ? result_cache_->stats()
+                         : serve::ResultCache::Stats{};
+  }
+  PlanCache::Stats plan_cache_stats() const {
+    return plan_cache_ ? plan_cache_->stats() : PlanCache::Stats{};
+  }
+  // The dataset's current version as the server computes it (tests use it
+  // to prove that an in-place rewrite changes the cache key).
+  serve::DataVersion data_version() const {
+    return serve::DataVersion::compute(*plan_, serve_opts_.version_sidecar_dir);
   }
 
   // Deterministic graceful drain (also done by the destructor):
@@ -111,11 +150,18 @@ class QueryServer {
   void serve_connection(Connection* conn);
   void serve_query(Connection* conn);
   void reap_finished_locked();
+  // Appends the kStats v2 sched tail + v2.1 hint + v2.2 serving tail.
+  void append_stats_tails(wire::Payload& stats, uint64_t query_id,
+                          double queue_wait_seconds, double run_seconds,
+                          bool served_from_cache) const;
 
   std::shared_ptr<codegen::DataServicePlan> plan_;
   const afc::ChunkFilter* filter_;
   StormCluster cluster_;
   sched::QueryScheduler scheduler_;
+  const serve::ServeOptions serve_opts_;
+  std::unique_ptr<serve::ResultCache> result_cache_;  // null = disabled
+  std::unique_ptr<PlanCache> plan_cache_;             // null = disabled
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
@@ -151,6 +197,33 @@ struct SchedInfo {
   // it to pace their next query instead of hot-looping into kRejected;
   // 0 when the server has free capacity or predates the v2.1 tail.
   double retry_after_hint_seconds = 0;
+
+  // --- v2.2 serving tail (serving_valid = false on older servers) ---
+  bool serving_valid = false;
+  // This query's rows came out of the server's result cache (no
+  // extraction ran).
+  bool served_from_cache = false;
+  serve::ResultCache::Stats result_cache;
+  PlanCache::Stats plan_cache;
+  // Server-wide scheduler latency distributions (all queries, all
+  // tenants), for p50/p99/p999 readouts on the client side.
+  sched::LatencyHistogram queue_wait_hist;
+  sched::LatencyHistogram run_time_hist;
+  // Per-tenant counters, keyed by tenant id ("" = default tenant).
+  struct TenantCounters {
+    double weight = 1.0;
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t queued = 0;
+    uint64_t running = 0;
+  };
+  std::map<std::string, TenantCounters> tenants;
+
+  // One-screen operator summary of the serving tail (cache hit rates,
+  // latency quantiles, per-tenant shares); "" when serving_valid is false.
+  std::string pretty() const;
 };
 
 // Result of a remote query.
@@ -168,13 +241,23 @@ struct RemoteResult {
 };
 
 // The server's admission queue was full (or it is draining).  Carries the
-// server's retry-after hint.
+// server's retry-after hint and, from v2.2 servers, the typed reject kind.
 class QueueFullError : public QueryError {
  public:
-  QueueFullError(const std::string& msg, double retry_after)
-      : QueryError(msg), retry_after_seconds(retry_after) {}
+  QueueFullError(const std::string& msg, double retry_after,
+                 sched::RejectKind kind = sched::RejectKind::kQueueFull)
+      : QueryError(msg), retry_after_seconds(retry_after), kind(kind) {}
 
   double retry_after_seconds = 0;
+  sched::RejectKind kind = sched::RejectKind::kQueueFull;
+};
+
+// The submission tripped a per-tenant quota (max_running / max_queued),
+// not global capacity: retrying elsewhere won't help, pacing will.
+class TenantQuotaError : public QueueFullError {
+ public:
+  TenantQuotaError(const std::string& msg, double retry_after)
+      : QueueFullError(msg, retry_after, sched::RejectKind::kTenantQuota) {}
 };
 
 // Per-query client-side options.
@@ -183,6 +266,9 @@ struct QueryOptions {
   double deadline_seconds = 0;
   // 0 = low, 1 = normal, 2 = high (clamped server-side).
   uint8_t priority = 1;
+  // Fair-share tenant id; "" = the default tenant.  A v1/v2 server ignores
+  // it (the field rides in the kQuery v2.2 tail).
+  std::string tenant;
   // Client-side cancellation: when this token fires while the query is in
   // flight, the client sends one kCancel frame and keeps reading until the
   // server terminates the stream; execute() then throws CancelledError.

@@ -83,6 +83,22 @@ TEST_P(CampaignTest, SchedulerWorkerFaults) {
   EXPECT_EQ(rep.cases, rep.passed + rep.clean_errors) << rep.summary();
 }
 
+// The "serve" campaign poisons the server's result cache (lookup hits
+// evicted, inserts dropped).  The dq harness runs every served query twice,
+// so round two would normally replay from the cache; under poisoning it
+// must fall through to a fresh execution and still match the engine
+// bit-for-bit — a stale or corrupt cached frame would fail the differential.
+TEST_P(CampaignTest, ResultCacheFaults) {
+  DqOptions opts;
+  opts.with_server = true;
+  opts.queries_per_seed = 3;
+  opts.fault_spec = campaign_spec("serve");
+  opts.fault_seed = GetParam() ^ 0x5e47e;
+  DqReport rep = run_seed(GetParam(), opts);
+  for (const std::string& f : rep.failures) ADD_FAILURE() << f;
+  EXPECT_EQ(rep.cases, rep.passed + rep.clean_errors) << rep.summary();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CampaignTest,
                          ::testing::Range<uint64_t>(1, 5));
 

@@ -191,6 +191,7 @@ std::string campaign_spec(const std::string& name) {
   if (name == "agg") return "agg.merge=0.2";
   if (name == "zm") return "zonemap.load=1";
   if (name == "sched") return "serve.query=0.3";
+  if (name == "serve") return "serve.cache=0.5";
   if (name == "jit") return "jit.compile=1";
   if (name == "none") return "";
   throw ValidationError("unknown fault campaign: " + name);
@@ -299,8 +300,14 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
     storm::ClusterOptions copts;
     copts.io_mode = opts.io_mode;
     copts.kernel_mode = opts.kernel_mode;
-    server = std::make_unique<storm::QueryServer>(splan, copts, 0,
-                                                  vt.chunk_filter());
+    // Result cache on: the second served round below replays each query
+    // from the cache, so the differential also proves cached rows are
+    // bit-identical to a live execution — including under the serve.cache
+    // poisoning campaign.
+    serve::ServeOptions vsopts;
+    vsopts.enable_result_cache = true;
+    server = std::make_unique<storm::QueryServer>(
+        splan, copts, 0, vt.chunk_filter(), sched::SchedulerOptions{}, vsopts);
     client = std::make_unique<storm::QueryClient>("127.0.0.1", server->port());
   }
 
@@ -388,36 +395,46 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
                            elapsed, opts.deadline_seconds));
       }
 
+      // Twice per query: the second round is served from the result cache
+      // (or re-executed when the campaign poisoned the entry) and must be
+      // bit-identical either way.
       if (client) {
-        ++rep.cases;
-        Stopwatch sw;
-        try {
-          storm::QueryOptions qopts;
-          qopts.deadline_seconds = opts.deadline_seconds;
-          storm::RemoteResult rr = client->execute(sql, {}, qopts);
-          expr::Table got = rr.merged();
-          if (matches_ref(got, i)) {
-            ++rep.passed;
-            if (have_engine && !rows_equal_exact(got, engine_got))
-              fail(sql, "served rows differ bit-for-bit from the in-process "
-                        "engine");
-          } else {
-            fail(sql, format("served query returned %llu rows, reference %zu",
-                             static_cast<unsigned long long>(rr.total_rows()),
-                             want[i].num_rows()));
+        for (int round = 0; round < 2; ++round) {
+          ++rep.cases;
+          Stopwatch sw;
+          try {
+            storm::QueryOptions qopts;
+            qopts.deadline_seconds = opts.deadline_seconds;
+            storm::RemoteResult rr = client->execute(sql, {}, qopts);
+            expr::Table got = rr.merged();
+            if (matches_ref(got, i)) {
+              ++rep.passed;
+              if (have_engine && !rows_equal_exact(got, engine_got))
+                fail(sql, format("served rows differ bit-for-bit from the "
+                                 "in-process engine (round %d%s)",
+                                 round,
+                                 rr.sched.served_from_cache ? ", cached" : ""));
+            } else {
+              fail(sql,
+                   format("served query returned %llu rows, reference %zu "
+                          "(round %d)",
+                          static_cast<unsigned long long>(rr.total_rows()),
+                          want[i].num_rows(), round));
+            }
+          } catch (const Error& e) {
+            if (opts.fault_spec.empty())
+              fail(sql, std::string("unexpected server error: ") + e.what());
+            else
+              ++rep.clean_errors;
+          } catch (const std::exception& e) {
+            fail(sql, std::string("untyped exception escaped: ") + e.what());
           }
-        } catch (const Error& e) {
-          if (opts.fault_spec.empty())
-            fail(sql, std::string("unexpected server error: ") + e.what());
-          else
-            ++rep.clean_errors;
-        } catch (const std::exception& e) {
-          fail(sql, std::string("untyped exception escaped: ") + e.what());
+          double elapsed = sw.elapsed_seconds();
+          if (elapsed > 2 * opts.deadline_seconds + 5)
+            fail(sql,
+                 format("served hang: %.1fs wall against a %.1fs deadline",
+                        elapsed, opts.deadline_seconds));
         }
-        double elapsed = sw.elapsed_seconds();
-        if (elapsed > 2 * opts.deadline_seconds + 5)
-          fail(sql, format("served hang: %.1fs wall against a %.1fs deadline",
-                           elapsed, opts.deadline_seconds));
       }
 
       if (dist) {

@@ -250,6 +250,185 @@ TEST(QuerySchedulerTest, ConcurrencyBoundHoldsUnderThreads) {
   EXPECT_EQ(m.queue_depth, 0u);
 }
 
+TEST(QuerySchedulerTest, EqualWeightTenantsAlternate) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  QueryScheduler s(opts);
+  auto running = s.submit(1, 0, "a");
+  auto a1 = s.submit(1, 0, "a");
+  auto a2 = s.submit(1, 0, "a");
+  auto b1 = s.submit(1, 0, "b");
+  auto b2 = s.submit(1, 0, "b");
+  ASSERT_TRUE(a1.queued && a2.queued && b1.queued && b2.queued);
+
+  // Fair share interleaves the tenants even though a queued first: a
+  // plain FIFO would run a1, a2, b1, b2.
+  s.finish(running.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(a1.ctx));
+  s.finish(a1.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(b1.ctx));
+  s.finish(b1.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(a2.ctx));
+  s.finish(a2.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(b2.ctx));
+  s.finish(b2.ctx, Outcome::kCompleted);
+
+  SchedulerMetrics m = s.metrics();
+  EXPECT_EQ(m.tenants.at("a").completed, 3u);
+  EXPECT_EQ(m.tenants.at("b").completed, 2u);
+}
+
+TEST(QuerySchedulerTest, WeightedFairShareFollowsWeights) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  TenantOptions heavy;
+  heavy.weight = 2.0;
+  opts.tenants["a"] = heavy;  // b keeps the default weight 1
+  QueryScheduler s(opts);
+
+  auto running = s.submit(1, 0, "a");
+  std::vector<QueryScheduler::Admission> as, bs;
+  for (int i = 0; i < 4; ++i) as.push_back(s.submit(1, 0, "a"));
+  for (int i = 0; i < 4; ++i) bs.push_back(s.submit(1, 0, "b"));
+
+  // Virtual time advances 1/weight per admission, so a 2:1 weight ratio
+  // admits a twice as often: a1 b1 a2 a3 b2 a4 …
+  const std::vector<std::shared_ptr<QueryContext>> want = {
+      as[0].ctx, bs[0].ctx, as[1].ctx, as[2].ctx, bs[1].ctx, as[3].ctx,
+      bs[2].ctx, bs[3].ctx,  // only b's backlog is left at the end
+  };
+  s.finish(running.ctx, Outcome::kCompleted);
+  for (const auto& ctx : want) {
+    ASSERT_TRUE(s.wait_admitted(ctx));
+    s.finish(ctx, Outcome::kCompleted);
+  }
+  SchedulerMetrics m = s.metrics();
+  EXPECT_EQ(m.tenants.at("a").completed, 5u);
+  EXPECT_EQ(m.tenants.at("b").completed, 4u);
+  EXPECT_DOUBLE_EQ(m.tenants.at("a").weight, 2.0);
+}
+
+TEST(QuerySchedulerTest, PerTenantRunningCapLeavesGlobalSlotsFree) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 4;
+  TenantOptions capped;
+  capped.max_running = 1;
+  opts.tenants["a"] = capped;
+  QueryScheduler s(opts);
+
+  auto a0 = s.submit(1, 0, "a");
+  ASSERT_FALSE(a0.queued);
+  // a is at its cap: the next a waits even though 3 global slots are free…
+  auto a1 = s.submit(1, 0, "a");
+  EXPECT_TRUE(a1.queued);
+  // …while another tenant sails through.
+  auto b0 = s.submit(1, 0, "b");
+  EXPECT_FALSE(b0.queued);
+  EXPECT_EQ(s.metrics().tenants.at("a").running, 1u);
+
+  s.finish(a0.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(a1.ctx));
+  s.finish(a1.ctx, Outcome::kCompleted);
+  s.finish(b0.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, TenantQueueQuotaRejectsWithTypedKind) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.max_queue_depth = 16;
+  TenantOptions metered;
+  metered.max_queued = 1;
+  opts.tenants["a"] = metered;
+  QueryScheduler s(opts);
+
+  auto a0 = s.submit(1, 0, "a");  // runs
+  auto a1 = s.submit(1, 0, "a");  // fills the tenant queue
+  ASSERT_TRUE(a1.queued);
+  auto a2 = s.submit(1, 0, "a");  // over quota
+  EXPECT_FALSE(a2.ctx);
+  EXPECT_EQ(a2.reject_kind, RejectKind::kTenantQuota);
+  EXPECT_NE(a2.reject_reason.find("quota"), std::string::npos);
+  EXPECT_GT(a2.retry_after_seconds, 0.0);
+  // Other tenants are untouched by a's quota.
+  auto b0 = s.submit(1, 0, "b");
+  EXPECT_TRUE(b0.queued);
+  EXPECT_EQ(s.metrics().tenants.at("a").rejected, 1u);
+
+  s.finish(a0.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(a1.ctx));
+  s.finish(a1.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(b0.ctx));
+  s.finish(b0.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, GlobalQueueFullCarriesQueueFullKind) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.max_queue_depth = 1;
+  QueryScheduler s(opts);
+  auto a = s.submit();
+  s.submit();
+  auto rejected = s.submit();
+  EXPECT_FALSE(rejected.ctx);
+  EXPECT_EQ(rejected.reject_kind, RejectKind::kQueueFull);
+  s.finish(a.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, IdleTenantVtimeCatchesUpOnReturn) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  QueryScheduler s(opts);
+  // a runs alone for a while, racking up virtual time.
+  for (int i = 0; i < 8; ++i) {
+    auto adm = s.submit(1, 0, "a");
+    ASSERT_FALSE(adm.queued);
+    s.finish(adm.ctx, Outcome::kCompleted);
+  }
+  // Now b shows up while a keeps a backlog.  Without the clock catch-up
+  // b's vtime would be 0 and it would win every slot until it "repaid"
+  // a's history; with it, the two interleave from here on.
+  auto running = s.submit(1, 0, "a");
+  auto a1 = s.submit(1, 0, "a");
+  auto a2 = s.submit(1, 0, "a");
+  auto b1 = s.submit(1, 0, "b");
+  auto b2 = s.submit(1, 0, "b");
+
+  s.finish(running.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(a1.ctx));
+  s.finish(a1.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(b1.ctx));
+  s.finish(b1.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(a2.ctx));
+  s.finish(a2.ctx, Outcome::kCompleted);
+  EXPECT_TRUE(s.wait_admitted(b2.ctx));
+  s.finish(b2.ctx, Outcome::kCompleted);
+}
+
+TEST(QuerySchedulerTest, RetryHintDecaysWhenIdle) {
+  SchedulerOptions opts;
+  opts.max_concurrent_queries = 1;
+  opts.retry_hint_halflife_seconds = 0.05;
+  QueryScheduler s(opts);
+
+  // Seed the EWMA with one real ~60 ms query.
+  auto seed = s.submit();
+  std::this_thread::sleep_for(60ms);
+  s.finish(seed.ctx, Outcome::kCompleted);
+
+  // Occupy the slot so the hint is nonzero, then let the scheduler sit
+  // with no finishes: the EWMA basis must halve every 50 ms instead of
+  // freezing at the burst's run time.
+  auto busy = s.submit();
+  double fresh = s.retry_after_hint();
+  EXPECT_GT(fresh, 0.01);
+  std::this_thread::sleep_for(300ms);  // six half-lives ≈ ÷64
+  double decayed = s.retry_after_hint();
+  EXPECT_LT(decayed, fresh * 0.3);
+  EXPECT_GE(decayed, 1e-3);  // floor: "retry soon", never "retry never"
+  s.finish(busy.ctx, Outcome::kCompleted);
+  EXPECT_EQ(s.retry_after_hint(), 0.0);
+}
+
 TEST(LatencyHistogramTest, BucketsByLog2Milliseconds) {
   LatencyHistogram h;
   h.add(0.0001);  // < 1 ms -> bucket 0

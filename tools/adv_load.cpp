@@ -1,0 +1,394 @@
+// adv_load — closed-loop load generator for the serving layer.
+//
+// Drives a QueryServer the way a fleet of analysis clients would: N
+// concurrent closed-loop clients per tenant, each submitting a query,
+// waiting for the full result, thinking for a moment, and going again.
+// The query mix is split into a small *hot set* (repeated queries that
+// should ride the server's result cache) and a large *cold set* (distinct
+// predicates that always miss), selected per draw with --hot-ratio.
+//
+// Two modes:
+//   --selfhost            generate a small ipars dataset in a temp dir and
+//                         serve it in-process (CI smoke, no setup)
+//   --host H --port P     aim at an already-running server
+//
+// Usage:
+//   adv_load [--selfhost | --host H --port P]
+//            [--duration S] [--tenants name:weight:clients,...]
+//            [--hot-ratio R] [--hot-set N] [--cold-set N] [--think-ms M]
+//            [--max-concurrent N] [--max-queue N] [--no-result-cache]
+//            [--timesteps T] [--seed S] [--json] [--quiet]
+//            [--check-fairness TOL] [--check-cache-hits N]
+//
+// Prints per-tenant completed shares, latency quantiles (p50/p99/p999),
+// qps, and the server's own serving-tail summary; --json emits one JSON
+// object instead.  --check-fairness TOL exits nonzero when any tenant's
+// completed share deviates from its weight share by more than TOL
+// (absolute); --check-cache-hits N exits nonzero when the server reports
+// fewer than N result-cache hits.  Exit: 0 ok, 1 a check failed, 2 usage.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+#include "metadata/xml.h"
+#include "serve/result_cache.h"
+#include "storm/net.h"
+
+using namespace adv;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(
+      stderr,
+      "adv_load — closed-loop load generator for the serving layer\n\n"
+      "usage: adv_load [--selfhost | --host H --port P]\n"
+      "                [--duration S] [--tenants name:weight:clients,...]\n"
+      "                [--hot-ratio R] [--hot-set N] [--cold-set N]\n"
+      "                [--think-ms M] [--max-concurrent N] [--max-queue N]\n"
+      "                [--no-result-cache] [--timesteps T] [--seed S]\n"
+      "                [--json] [--quiet]\n"
+      "                [--check-fairness TOL] [--check-cache-hits N]\n");
+  std::exit(2);
+}
+
+struct TenantSpec {
+  std::string name;
+  double weight = 1.0;
+  int clients = 4;
+};
+
+// "alice:2:8,bob:1:8" -> two tenants.  Weight and client count optional:
+// "alice,bob" means weight 1, 4 clients each.
+std::vector<TenantSpec> parse_tenants(const std::string& spec) {
+  std::vector<TenantSpec> out;
+  std::size_t at = 0;
+  while (at <= spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    std::string entry = spec.substr(
+        at, comma == std::string::npos ? std::string::npos : comma - at);
+    if (!entry.empty()) {
+      TenantSpec t;
+      std::size_t c1 = entry.find(':');
+      t.name = entry.substr(0, c1);
+      if (c1 != std::string::npos) {
+        std::size_t c2 = entry.find(':', c1 + 1);
+        t.weight = std::stod(entry.substr(
+            c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1));
+        if (c2 != std::string::npos) t.clients = std::stoi(entry.substr(c2 + 1));
+      }
+      out.push_back(std::move(t));
+    }
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+// Small deterministic PRNG per client (no shared state, reproducible).
+struct Lcg {
+  uint64_t s;
+  explicit Lcg(uint64_t seed) : s(seed * 2862933555777941757ull + 3037000493ull) {}
+  uint64_t next() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s >> 17;
+  }
+  double unit() { return static_cast<double>(next() % (1u << 24)) / (1u << 24); }
+};
+
+struct ClientStats {
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;  // served_from_cache per the kStats v2.2 tail
+  std::vector<double> latencies_ms;
+};
+
+double quantile_ms(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  std::size_t i = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  if (i >= sorted.size()) i = sorted.size() - 1;
+  return sorted[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) usage("unexpected positional argument");
+    std::string key = a.substr(2);
+    if (key == "selfhost" || key == "json" || key == "quiet" ||
+        key == "no-result-cache") {
+      flags[key] = "1";
+    } else {
+      if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
+      flags[key] = argv[++i];
+    }
+  }
+  auto flag = [&](const std::string& k, const std::string& def) {
+    auto it = flags.find(k);
+    return it == flags.end() ? def : it->second;
+  };
+  const bool selfhost = flags.count("selfhost") > 0;
+  const bool json = flags.count("json") > 0;
+  const bool quiet = flags.count("quiet") > 0;
+  const double duration_s = std::stod(flag("duration", "5"));
+  const double hot_ratio = std::stod(flag("hot-ratio", "0.9"));
+  const int hot_set = std::stoi(flag("hot-set", "4"));
+  const int cold_set = std::stoi(flag("cold-set", "64"));
+  const double think_ms = std::stod(flag("think-ms", "0"));
+  const uint64_t seed = std::stoull(flag("seed", "42"));
+  const int timesteps = std::stoi(flag("timesteps", "8"));
+  std::vector<TenantSpec> tenants = parse_tenants(flag("tenants", "a:1:4,b:1:4"));
+  if (tenants.empty()) usage("no tenants");
+  if (!selfhost && flags.count("port") == 0)
+    usage("need --selfhost or --host/--port");
+
+  try {
+    // Self-hosted server over a freshly generated dataset.
+    std::unique_ptr<TempDir> tmp;
+    std::unique_ptr<storm::QueryServer> server;
+    std::string host = flag("host", "127.0.0.1");
+    int port = std::stoi(flag("port", "0"));
+    if (selfhost) {
+      tmp = std::make_unique<TempDir>("advload");
+      dataset::IparsConfig cfg;
+      cfg.nodes = 2;
+      cfg.rels = 2;
+      cfg.timesteps = timesteps;
+      cfg.grid_per_node = 32;
+      cfg.pad_vars = 0;
+      auto gen = dataset::generate_ipars(cfg, dataset::IparsLayout::kV,
+                                         tmp->str());
+      auto plan = std::make_shared<codegen::DataServicePlan>(
+          meta::parse_descriptor(gen.descriptor_text), gen.dataset_name,
+          gen.root);
+      sched::SchedulerOptions sopts;
+      sopts.max_concurrent_queries =
+          static_cast<std::size_t>(std::stoi(flag("max-concurrent", "2")));
+      sopts.max_queue_depth =
+          static_cast<std::size_t>(std::stoi(flag("max-queue", "64")));
+      for (const auto& t : tenants) sopts.tenants[t.name].weight = t.weight;
+      serve::ServeOptions vopts;
+      vopts.enable_result_cache = flags.count("no-result-cache") == 0;
+      server = std::make_unique<storm::QueryServer>(plan, storm::ClusterOptions{},
+                                                    0, nullptr, sopts, vopts);
+      host = "127.0.0.1";
+      port = server->port();
+    }
+
+    // Query mix.  Hot queries repeat verbatim (result-cache food); cold
+    // queries vary a float threshold so every draw is a new cache key.
+    std::vector<std::string> hot;
+    for (int i = 0; i < hot_set; ++i) {
+      hot.push_back("SELECT REL, TIME, SOIL FROM IparsData WHERE TIME = " +
+                    std::to_string(1 + i % timesteps));
+    }
+    std::vector<std::string> cold;
+    for (int i = 0; i < cold_set; ++i) {
+      char pred[96];
+      std::snprintf(pred, sizeof pred, " AND SOIL < %.6f",
+                    0.10 + 0.80 * static_cast<double>(i) /
+                               std::max(1, cold_set - 1));
+      cold.push_back("SELECT REL, TIME, SOIL FROM IparsData WHERE TIME = " +
+                     std::to_string(1 + i % timesteps) + pred);
+    }
+
+    // Launch one closed loop per client.
+    struct Worker {
+      std::thread thread;
+      ClientStats stats;
+      std::string tenant;
+    };
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::atomic<bool> stop{false};
+    storm::SchedInfo last_sched;
+    std::mutex sched_mu;
+    const auto deadline = Clock::now() + std::chrono::duration<double>(duration_s);
+    int client_idx = 0;
+    for (const auto& t : tenants) {
+      for (int c = 0; c < t.clients; ++c, ++client_idx) {
+        auto w = std::make_unique<Worker>();
+        w->tenant = t.name;
+        Worker* wp = w.get();
+        uint64_t cseed = seed * 1000003ull + static_cast<uint64_t>(client_idx);
+        wp->thread = std::thread([&, wp, cseed] {
+          Lcg rng(cseed);
+          storm::QueryClient client(host, port, 5.0);
+          while (!stop.load(std::memory_order_relaxed) &&
+                 Clock::now() < deadline) {
+            const bool is_hot = rng.unit() < hot_ratio;
+            const std::string& sql =
+                is_hot ? hot[rng.next() % hot.size()]
+                       : cold[rng.next() % cold.size()];
+            storm::QueryOptions qo;
+            qo.tenant = wp->tenant;
+            auto t0 = Clock::now();
+            try {
+              storm::RemoteResult r = client.execute(sql, {}, qo);
+              double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - t0)
+                              .count();
+              ++wp->stats.completed;
+              wp->stats.latencies_ms.push_back(ms);
+              if (r.sched.serving_valid && r.sched.served_from_cache)
+                ++wp->stats.cache_hits;
+              if (r.sched.valid) {
+                std::lock_guard<std::mutex> lk(sched_mu);
+                last_sched = r.sched;
+              }
+            } catch (const storm::TenantQuotaError&) {
+              ++wp->stats.rejected;
+              ++wp->stats.quota_rejected;
+            } catch (const storm::QueueFullError& e) {
+              ++wp->stats.rejected;
+              double backoff =
+                  std::min(0.05, std::max(0.001, e.retry_after_seconds));
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(backoff));
+            } catch (const Error&) {
+              ++wp->stats.errors;
+            }
+            if (think_ms > 0) {
+              // Exponential think time with the configured mean.
+              double u = std::max(1e-9, rng.unit());
+              std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+                  -think_ms * std::log(u)));
+            }
+          }
+        });
+        workers.push_back(std::move(w));
+      }
+    }
+    for (auto& w : workers) w->thread.join();
+    stop.store(true);
+
+    // Aggregate.
+    uint64_t completed = 0, rejected = 0, errors = 0, cache_hits = 0;
+    std::vector<double> lat;
+    std::map<std::string, uint64_t> per_tenant;
+    std::map<std::string, double> weight_of;
+    for (const auto& t : tenants) {
+      per_tenant[t.name] = 0;
+      weight_of[t.name] = t.weight;
+    }
+    for (const auto& w : workers) {
+      completed += w->stats.completed;
+      rejected += w->stats.rejected;
+      errors += w->stats.errors;
+      cache_hits += w->stats.cache_hits;
+      per_tenant[w->tenant] += w->stats.completed;
+      lat.insert(lat.end(), w->stats.latencies_ms.begin(),
+                 w->stats.latencies_ms.end());
+    }
+    std::sort(lat.begin(), lat.end());
+    const double p50 = quantile_ms(lat, 0.50);
+    const double p99 = quantile_ms(lat, 0.99);
+    const double p999 = quantile_ms(lat, 0.999);
+    const double qps = static_cast<double>(completed) / duration_s;
+    uint64_t server_hits = last_sched.serving_valid
+                               ? last_sched.result_cache.hits
+                               : cache_hits;
+
+    double weight_sum = 0;
+    for (const auto& t : tenants) weight_sum += t.weight;
+    double max_fair_dev = 0;
+    for (const auto& [name, n] : per_tenant) {
+      double share = completed ? static_cast<double>(n) /
+                                     static_cast<double>(completed)
+                               : 0;
+      double expect = weight_of[name] / weight_sum;
+      max_fair_dev = std::max(max_fair_dev, std::fabs(share - expect));
+    }
+
+    if (json) {
+      std::printf("{\"duration_s\": %.3f, \"qps\": %.2f, \"completed\": %llu, "
+                  "\"rejected\": %llu, \"errors\": %llu, "
+                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f, "
+                  "\"client_cache_hits\": %llu, \"server_cache_hits\": %llu, "
+                  "\"max_fair_share_deviation\": %.4f, \"tenants\": {",
+                  duration_s, qps,
+                  static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(rejected),
+                  static_cast<unsigned long long>(errors), p50, p99, p999,
+                  static_cast<unsigned long long>(cache_hits),
+                  static_cast<unsigned long long>(server_hits), max_fair_dev);
+      bool first = true;
+      for (const auto& [name, n] : per_tenant) {
+        std::printf("%s\"%s\": {\"completed\": %llu, \"share\": %.4f, "
+                    "\"weight\": %g}",
+                    first ? "" : ", ", name.c_str(),
+                    static_cast<unsigned long long>(n),
+                    completed ? static_cast<double>(n) /
+                                    static_cast<double>(completed)
+                              : 0.0,
+                    weight_of[name]);
+        first = false;
+      }
+      std::printf("}}\n");
+    } else if (!quiet) {
+      std::printf("adv_load: %.1fs closed loop, %d clients\n", duration_s,
+                  client_idx);
+      std::printf("  completed %llu (%.1f qps)  rejected %llu  errors %llu\n",
+                  static_cast<unsigned long long>(completed), qps,
+                  static_cast<unsigned long long>(rejected),
+                  static_cast<unsigned long long>(errors));
+      std::printf("  latency p50/p99/p999: %.1f/%.1f/%.1f ms\n", p50, p99,
+                  p999);
+      std::printf("  cache hits: %llu client-observed, %llu server-reported\n",
+                  static_cast<unsigned long long>(cache_hits),
+                  static_cast<unsigned long long>(server_hits));
+      for (const auto& [name, n] : per_tenant) {
+        std::printf("  tenant %-12s completed %llu (%.0f%%, weight %g)\n",
+                    name.c_str(), static_cast<unsigned long long>(n),
+                    completed ? 100.0 * static_cast<double>(n) /
+                                    static_cast<double>(completed)
+                              : 0.0,
+                    weight_of[name]);
+      }
+      if (last_sched.serving_valid) {
+        std::printf("server serving tail:\n%s", last_sched.pretty().c_str());
+      }
+    }
+
+    int rc = 0;
+    if (flags.count("check-fairness") > 0) {
+      double tol = std::stod(flags["check-fairness"]);
+      if (max_fair_dev > tol) {
+        std::fprintf(stderr,
+                     "FAIL fairness: max share deviation %.3f > tol %.3f\n",
+                     max_fair_dev, tol);
+        rc = 1;
+      }
+    }
+    if (flags.count("check-cache-hits") > 0) {
+      uint64_t need = std::stoull(flags["check-cache-hits"]);
+      if (server_hits < need) {
+        std::fprintf(stderr, "FAIL cache: %llu server hits < required %llu\n",
+                     static_cast<unsigned long long>(server_hits),
+                     static_cast<unsigned long long>(need));
+        rc = 1;
+      }
+    }
+    return rc;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "adv_load: %s\n", e.what());
+    return 1;
+  }
+}
