@@ -23,6 +23,7 @@
 #include "common/tempdir.h"
 #include "dataset/ipars.h"
 #include "dataset/titan.h"
+#include "dataset/titan_st.h"
 #include "storm/cluster.h"
 #include "storm/net.h"
 
@@ -292,6 +293,99 @@ void run_zonemap_pruning(const dataset::GeneratedIpars& gen,
                      human_bytes(last.total_bytes_read()),
                      human_bytes(last.total_bytes_skipped()),
                      std::to_string(last.total_afcs_pruned()),
+                     identical ? "yes" : "no"});
+    }
+  }
+  table.print();
+}
+
+// ---------------------------------------------------------------------------
+// Titan-style spatio-temporal chunk grid (docs/LAYOUTS.md): TIME/LAT/LON
+// are implicit structure-loop dimensions, so a selective spatio-temporal
+// query prunes whole chunks at plan time, and the zone-map sidecar prunes
+// further on the autocorrelated sensors (bytes_skipped > 0 is the
+// acceptance check).  Both record families — interleaved rows and the
+// column-major array layout — run the same queries.
+
+void run_titan_st(bench::JsonRecords& json) {
+  std::printf("\n=== titan spatio-temporal grid (BENCH_micro.json) ===\n");
+  dataset::TitanStConfig cfg;
+  cfg.nodes = 2;
+  cfg.lat_chunks = 4;
+  cfg.lon_chunks = 8;
+  cfg.timesteps = 24;
+  cfg.cells_per_chunk = 256;
+
+  struct TitanQuery {
+    const char* label;
+    const char* sql;
+    bool zonemap;
+  };
+  const TitanQuery queries[] = {
+      {"titanst-fullscan", "SELECT * FROM TitanST", false},
+      {"titanst-st-pruned",
+       "SELECT * FROM TitanST WHERE TIME BETWEEN 5 AND 8 AND LAT <= 3 "
+       "AND LON >= 6",
+       false},
+      {"titanst-zonemap",
+       "SELECT * FROM TitanST WHERE TIME >= 12 AND S1 >= 0.9", true},
+  };
+
+  bench::ResultTable table({"query", "layout", "wall (s)", "rows", "MB/s",
+                            "bytes read", "bytes skipped", "identical"});
+  for (bool colmajor : {false, true}) {
+    cfg.colmajor = colmajor;
+    TempDir tmp(colmajor ? "bench-titanst-cm" : "bench-titanst-rm");
+    auto gen = dataset::generate_titan_st(cfg, tmp.str());
+    const char* layout = colmajor ? "colmajor" : "rowmajor";
+
+    for (const TitanQuery& tq : queries) {
+      VirtualTable::Options opt;
+      opt.cluster.threads_per_node = bench_threads();
+      opt.plan_cache_capacity = 0;
+      if (tq.zonemap) {
+        opt.zonemap_dir = tmp.str() + "/.zm";
+        opt.build_zonemap = true;
+      }
+      VirtualTable vt = VirtualTable::open(gen.descriptor_text,
+                                           gen.dataset_name, gen.root, opt);
+      vt.query_detailed(tq.sql);  // warmup
+      double wall = 1e300;
+      storm::QueryResult last;
+      for (int i = 0; i < bench::repeats(); ++i) {
+        Stopwatch sw;
+        storm::QueryResult r = vt.query_detailed(tq.sql);
+        double t = sw.elapsed_seconds();
+        if (t < wall) wall = t;
+        last = std::move(r);
+      }
+      // The layout families must agree with the brute-force oracle.
+      expr::BoundQuery q = vt.plan().bind(tq.sql);
+      bool identical =
+          last.merged().same_rows(dataset::titan_st_oracle(cfg, q));
+
+      double mb_per_sec =
+          static_cast<double>(last.total_bytes_read()) / wall / 1e6;
+      json.add()
+          .field("query", tq.sql)
+          .field("config", std::string(tq.label) + "-" + layout)
+          .field("threads_per_node", static_cast<uint64_t>(bench_threads()))
+          .field("layout", layout)
+          .field("zonemap", tq.zonemap)
+          .field("rows", last.total_rows())
+          .field("bytes_read", last.total_bytes_read())
+          .field("bytes_skipped", last.total_bytes_skipped())
+          .field("afcs_pruned", last.total_afcs_pruned())
+          .field("rows_pruned", last.total_rows_pruned())
+          .field("wall_seconds", wall)
+          .field("rows_per_sec", static_cast<double>(last.total_rows()) / wall)
+          .field("mb_per_sec", mb_per_sec)
+          .field("identical_to_baseline", identical);
+      table.add_row({tq.label, layout, bench::secs(wall),
+                     std::to_string(last.total_rows()),
+                     format("%.1f", mb_per_sec),
+                     human_bytes(last.total_bytes_read()),
+                     human_bytes(last.total_bytes_skipped()),
                      identical ? "yes" : "no"});
     }
   }
@@ -690,6 +784,7 @@ int main(int argc, char** argv) {
   bench::JsonRecords json;
   run_scan_throughput(gen, json);
   run_zonemap_pruning(gen, zm_dir, json);
+  run_titan_st(json);
   run_plan_cache(gen, zm_dir, json);
   run_agg_pushdown(gen, json);
   run_served_qps(gen, json);

@@ -14,6 +14,9 @@
 #     on quiet dedicated hardware), or
 #   * identical_to_baseline is false anywhere in the fresh run (a
 #     correctness bug, not a perf one), or
+#   * the selective spatio-temporal Titan query (titanst-st-pruned)
+#     reports bytes_skipped == 0 on any layout family — implicit-
+#     dimension chunk pruning regressed (docs/LAYOUTS.md), or
 #   * a fresh par-X config is slower than its seq-X twin by more than
 #     BENCH_PAIR_TOLERANCE (default 10%) on the same query — parallel
 #     extraction losing to sequential is a pipeline regression even when
@@ -107,6 +110,16 @@ for query, configs in by_query.items():
             failures.append(
                 f"({query!r}, {config!r}): rows_per_sec {rps:.0f} < "
                 f"sequential twin {seq:.0f} (-{pair_tol:.0%} tolerance)")
+
+# Spatio-temporal pruning gate: the selective Titan-grid query must skip
+# bytes at plan time on every layout family — bytes_skipped == 0 means
+# implicit-dimension chunk pruning regressed (docs/LAYOUTS.md).
+for r in fresh:
+    if str(r.get("config", "")).startswith("titanst-st-pruned") and \
+            not r.get("bytes_skipped", 0):
+        failures.append(
+            f"{key(r)}: bytes_skipped is 0 on the selective "
+            "spatio-temporal query (chunk pruning regressed)")
 
 pair_note = (f"{pairs} par/seq pairs, pair tolerance {pair_tol:.0%}"
              if multi_cpu else "par/seq pairing skipped (single-CPU host)")

@@ -20,14 +20,19 @@
 #      sensitive test binaries — parallel pipeline, scheduler, serving
 #      layer, networked server, and the dq differential/fault harness —
 #      run with halt_on_error so any data race fails the script
-#   5. bench_check.sh — scan/pruning/plan-cache/served-query/serving-cache
+#   5. Address+UndefinedBehaviorSanitizer build (cmake --preset asan) of
+#      the whole tree, running the fast test tier (ctest --preset
+#      fast-asan) so every layout family / extraction / join path is
+#      checked for heap errors and UB on each verify
+#   6. bench_check.sh — scan/pruning/plan-cache/served-query/serving-cache
 #      throughput vs the committed BENCH_micro.json (a BENCH_CHECK_TOLERANCE
 #      rows_per_sec or queries_per_sec regression, or any
 #      identical_to_baseline=false, fails; skips cleanly when no baseline
 #      is committed)
 #
 # Set VERIFY_SKIP_TSAN=1 to skip step 4 (e.g. on hosts without tsan);
-# VERIFY_SKIP_BENCH=1 skips the perf gate.
+# VERIFY_SKIP_ASAN=1 skips step 5; VERIFY_SKIP_BENCH=1 skips the perf
+# gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -120,6 +125,16 @@ if [[ "${VERIFY_SKIP_TSAN:-0}" != "1" ]]; then
   # coordinator gather threads, and real tsan-built adv_node processes.
   ADV_NODE_BIN=./build-tsan/tools/adv_node TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/dist_chaos_test
+fi
+
+if [[ "${VERIFY_SKIP_ASAN:-0}" != "1" ]]; then
+  # Heap errors and UB (overflow, misaligned loads, bad shifts) across the
+  # whole fast tier: layout families, the three kernel tiers, metadata
+  # parsing, and the cross-dataset join path.  -fno-sanitize-recover=all
+  # in the preset turns any UBSan diagnostic into a test failure.
+  cmake --preset asan >/dev/null
+  cmake --build build-asan -j"$JOBS"
+  ctest --preset fast-asan -j"$JOBS"
 fi
 
 if [[ "${VERIFY_SKIP_BENCH:-0}" != "1" ]]; then

@@ -1,0 +1,64 @@
+#include "afc/implicit_domain.h"
+
+#include <algorithm>
+#include <set>
+
+namespace adv::afc {
+
+namespace {
+
+bool file_binds_attr(const ConcreteFile& f, int attr) {
+  for (const auto& [a, v] : f.implicit_points)
+    if (a == attr) return true;
+  for (const auto& sp : f.implicit_spans)
+    if (sp.attr == attr) return true;
+  return false;
+}
+
+// Adds every value of `range` to `out`; false once `cap` would be exceeded.
+bool add_range(const layout::EvalRange& range, std::size_t cap,
+               std::set<int64_t>& out) {
+  for (int64_t v = range.lo; v <= range.hi; v += range.step) {
+    out.insert(v);
+    if (out.size() > cap) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_implicit_attr(const DatasetModel& model, int attr) {
+  if (attr < 0 || static_cast<std::size_t>(attr) >= model.schema().size())
+    return false;
+  if (model.files().empty()) return false;
+  for (const auto& f : model.files())
+    if (!file_binds_attr(f, attr)) return false;
+  return true;
+}
+
+std::optional<std::vector<int64_t>> implicit_attr_domain(
+    const DatasetModel& model, int attr, std::size_t cap) {
+  if (!is_implicit_attr(model, attr)) return std::nullopt;
+  const std::string& name =
+      model.schema().at(static_cast<std::size_t>(attr)).name;
+  std::set<int64_t> values;
+  for (const auto& f : model.files()) {
+    // File-name bindings: one exact value per file.
+    if (f.env.has(name)) {
+      values.insert(f.env.get(name));
+      if (values.size() > cap) return std::nullopt;
+    }
+    // Loop bindings: enumerate the lo:hi:step lattice from the analyzed
+    // regions (implicit_spans keep only the hull; the regions keep steps).
+    for (const auto& r : f.regions) {
+      for (const auto& pl : r.path)
+        if (pl.ident == name && !add_range(pl.range, cap, values))
+          return std::nullopt;
+      if (r.record_ident == name && !add_range(r.record_range, cap, values))
+        return std::nullopt;
+    }
+  }
+  return std::vector<int64_t>(values.begin(), values.end());
+}
+
+}  // namespace adv::afc

@@ -1,0 +1,36 @@
+// Implicit-attribute value domains — the planner-level half of
+// cross-dataset joins (api/join_query.h).
+//
+// An attribute is *implicit* when every concrete file derives its value
+// from metadata alone: a file-name binding variable (implicit point) or a
+// structure/record loop whose ident names the attribute (implicit span).
+// For such attributes the exact set of values the whole dataset can
+// produce is enumerable without touching a single data byte — file
+// bindings contribute one value per file, loops contribute their
+// lo:hi:step lattice.  Two datasets joined on a shared implicit attribute
+// can therefore intersect their domains at plan time and push the
+// intersection into each side's scan as an interval / IN filter (mutual
+// pruning), before any extraction happens.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "afc/dataset_model.h"
+
+namespace adv::afc {
+
+// True when every concrete file of `model` binds schema attribute `attr`
+// implicitly (file-name binding or loop ident).  Stored-only attributes —
+// payload fields read from data bytes — return false.
+bool is_implicit_attr(const DatasetModel& model, int attr);
+
+// The exact, sorted, deduplicated set of values `attr` takes across the
+// dataset, or nullopt when the attribute is not implicit or the domain
+// exceeds `cap` values (callers then fall back to unpruned scans — the
+// join merge keeps answers correct either way).
+std::optional<std::vector<int64_t>> implicit_attr_domain(
+    const DatasetModel& model, int attr, std::size_t cap = 4096);
+
+}  // namespace adv::afc

@@ -196,8 +196,26 @@ class GroupBuilder {
 
  private:
   // Iterates the enumerated loops of `group_id`, pruning by query
-  // intervals, and emits AFCs.
+  // intervals, and emits AFCs.  Whatever interval clipping and IN-hole
+  // checks exclude never reaches emit(); the difference against the full
+  // enumeration is charged to rows_pruned/bytes_skipped so plan-time
+  // implicit-dimension pruning is visible even without a zone map.
   void enumerate_afcs(int group_id) {
+    const GroupPlan& gp = out_.groups[group_id];
+    uint64_t full_rows =
+        static_cast<uint64_t>(std::max<int64_t>(gp.row_range.count(), 0));
+    for (const EnumLoop& l : gp.loops)
+      full_rows *= static_cast<uint64_t>(std::max<int64_t>(l.range.count(), 0));
+    visited_rows_ = 0;
+    enumerate_clipped(group_id);
+    if (full_rows > visited_rows_) {
+      const uint64_t pruned = full_rows - visited_rows_;
+      out_.stats.rows_pruned += pruned;
+      out_.stats.bytes_skipped += pruned * gp.bytes_per_full_row();
+    }
+  }
+
+  void enumerate_clipped(int group_id) {
     const GroupPlan& gp = out_.groups[group_id];
     const expr::QueryIntervals& qi = q_.intervals();
 
@@ -287,6 +305,7 @@ class GroupBuilder {
     if (opts_.cancel) opts_.cancel->check();
     const GroupPlan& gp = out_.groups[group_id];
     out_.stats.afcs_considered++;
+    visited_rows_ += num_rows;
 
     Afc a;
     a.group = group_id;
@@ -325,6 +344,9 @@ class GroupBuilder {
   const PlannerOptions& opts_;
   const SourcePlan& sp_;
   PlanResult& out_;
+  // Rows reaching emit() for the group currently being enumerated
+  // (scheduled or index-filtered); the remainder was plan-pruned.
+  uint64_t visited_rows_ = 0;
 };
 
 }  // namespace

@@ -127,8 +127,12 @@ struct PlanStats {
   uint64_t afcs_considered = 0;
   uint64_t afcs_emitted = 0;
   uint64_t afcs_filtered_by_index = 0;
-  // Rows and extraction bytes the index-filtered AFCs would have cost —
-  // what chunk-level pruning (e.g. the zone-map sidecar) saved.
+  // Rows and extraction bytes pruning saved: AFCs dropped by the chunk
+  // index (zone-map sidecar) plus loop values the planner clipped via
+  // implicit-dimension intervals (docs/LAYOUTS.md §2) — everything the
+  // full enumeration of each formed group would have cost beyond what
+  // was scheduled.  File groups rejected before enumeration (e.g. an
+  // out-of-range file-name binding) are not charged here.
   uint64_t rows_pruned = 0;
   uint64_t bytes_skipped = 0;
 

@@ -1,0 +1,407 @@
+#include "api/join_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "afc/implicit_domain.h"
+#include "api/virtual_table.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace adv {
+
+namespace {
+
+// One resolved attribute reference: which side and which schema slot.
+struct AttrRef {
+  int side = 0;
+  int attr = 0;           // schema index on that side
+  std::string name;       // unqualified schema spelling
+};
+
+struct Analyzer {
+  const sql::SelectQuery& q;
+  const codegen::DataServicePlan* plans[2];  // FROM order
+  std::string aliases[2];
+
+  // Resolves `name` ("attr" or "alias.attr") to a side + schema slot.
+  AttrRef resolve(const std::string& name) const {
+    std::size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      std::string alias = name.substr(0, dot);
+      std::string attr = name.substr(dot + 1);
+      for (int s = 0; s < 2; ++s) {
+        if (!iequals(alias, aliases[s])) continue;
+        int idx = plans[s]->schema().find(attr);
+        if (idx < 0)
+          throw QueryError("dataset '" + q.tables[s].table +
+                           "' (alias " + aliases[s] +
+                           ") has no attribute '" + attr + "'");
+        return {s, idx, attr};
+      }
+      throw QueryError("unknown table alias '" + alias + "' in '" + name +
+                       "' — FROM binds " + aliases[0] + " and " + aliases[1]);
+    }
+    int found[2] = {plans[0]->schema().find(name),
+                    plans[1]->schema().find(name)};
+    if (found[0] >= 0 && found[1] >= 0)
+      throw QueryError("attribute '" + name +
+                       "' exists in both datasets; qualify it as " +
+                       aliases[0] + "." + name + " or " + aliases[1] + "." +
+                       name);
+    if (found[0] >= 0) return {0, found[0], name};
+    if (found[1] >= 0) return {1, found[1], name};
+    throw QueryError("unknown attribute '" + name + "' in join query");
+  }
+};
+
+void collect_scalar_attrs(const sql::ScalarPtr& s,
+                          std::vector<std::string>& out) {
+  if (!s) return;
+  switch (s->kind) {
+    case sql::Scalar::Kind::kAttr: out.push_back(s->name); break;
+    case sql::Scalar::Kind::kCall:
+      for (const auto& a : s->args) collect_scalar_attrs(a, out);
+      break;
+    case sql::Scalar::Kind::kArith:
+      collect_scalar_attrs(s->lhs, out);
+      collect_scalar_attrs(s->rhs, out);
+      break;
+    case sql::Scalar::Kind::kLiteral: break;
+  }
+}
+
+void collect_attrs(const sql::BoolExprPtr& e, std::vector<std::string>& out) {
+  if (!e) return;
+  switch (e->kind) {
+    case sql::BoolExpr::Kind::kCmp:
+      collect_scalar_attrs(e->lhs, out);
+      collect_scalar_attrs(e->rhs, out);
+      break;
+    case sql::BoolExpr::Kind::kIn: out.push_back(e->attr); break;
+    case sql::BoolExpr::Kind::kAnd:
+    case sql::BoolExpr::Kind::kOr:
+      collect_attrs(e->a, out);
+      collect_attrs(e->b, out);
+      break;
+    case sql::BoolExpr::Kind::kNot: collect_attrs(e->a, out); break;
+  }
+}
+
+// Rewrites every attribute reference to its unqualified schema spelling.
+sql::ScalarPtr strip_scalar(const sql::ScalarPtr& s, const Analyzer& az) {
+  if (!s) return s;
+  switch (s->kind) {
+    case sql::Scalar::Kind::kAttr:
+      return sql::Scalar::make_attr(az.resolve(s->name).name);
+    case sql::Scalar::Kind::kCall: {
+      std::vector<sql::ScalarPtr> args;
+      for (const auto& a : s->args) args.push_back(strip_scalar(a, az));
+      return sql::Scalar::make_call(s->name, std::move(args));
+    }
+    case sql::Scalar::Kind::kArith:
+      return sql::Scalar::make_arith(s->op, strip_scalar(s->lhs, az),
+                                     strip_scalar(s->rhs, az));
+    case sql::Scalar::Kind::kLiteral: return s;
+  }
+  return s;
+}
+
+sql::BoolExprPtr strip_qualifiers(const sql::BoolExprPtr& e,
+                                  const Analyzer& az) {
+  if (!e) return e;
+  switch (e->kind) {
+    case sql::BoolExpr::Kind::kCmp:
+      return sql::BoolExpr::make_cmp(e->cmp, strip_scalar(e->lhs, az),
+                                     strip_scalar(e->rhs, az));
+    case sql::BoolExpr::Kind::kIn:
+      return sql::BoolExpr::make_in(az.resolve(e->attr).name, e->in_values);
+    case sql::BoolExpr::Kind::kAnd:
+      return sql::BoolExpr::make_and(strip_qualifiers(e->a, az),
+                                     strip_qualifiers(e->b, az));
+    case sql::BoolExpr::Kind::kOr:
+      return sql::BoolExpr::make_or(strip_qualifiers(e->a, az),
+                                    strip_qualifiers(e->b, az));
+    case sql::BoolExpr::Kind::kNot:
+      return sql::BoolExpr::make_not(strip_qualifiers(e->a, az));
+  }
+  return e;
+}
+
+// Flattens top-level AND into conjuncts (the split boundary: everything
+// under an OR/NOT stays one conjunct).
+void flatten_and(const sql::BoolExprPtr& e,
+                 std::vector<sql::BoolExprPtr>& out) {
+  if (!e) return;
+  if (e->kind == sql::BoolExpr::Kind::kAnd) {
+    flatten_and(e->a, out);
+    flatten_and(e->b, out);
+    return;
+  }
+  out.push_back(e);
+}
+
+sql::BoolExprPtr fold_and(const std::vector<sql::BoolExprPtr>& conjuncts) {
+  sql::BoolExprPtr e;
+  for (const auto& c : conjuncts)
+    e = e ? sql::BoolExpr::make_and(e, c) : c;
+  return e;
+}
+
+// The set of sides a conjunct touches (0, 1, or both).
+std::pair<bool, bool> sides_of(const sql::BoolExprPtr& e,
+                               const Analyzer& az) {
+  std::vector<std::string> attrs;
+  collect_attrs(e, attrs);
+  bool touches[2] = {false, false};
+  for (const auto& a : attrs) touches[az.resolve(a).side] = true;
+  return {touches[0], touches[1]};
+}
+
+int64_t key_int(double v) { return std::llround(v); }
+
+}  // namespace
+
+expr::Table execute_join(const sql::SelectQuery& q,
+                         const codegen::DataServicePlan& a,
+                         const codegen::DataServicePlan& b,
+                         const JoinSideExec& exec, JoinStats* stats) {
+  if (q.tables.size() != 2)
+    throw QueryError("execute_join requires exactly two datasets in FROM, "
+                     "got " + std::to_string(q.tables.size()));
+  if (q.has_aggregates() || !q.order_by.empty() || q.limit >= 0)
+    throw QueryError("aggregates, GROUP BY, ORDER BY, and LIMIT are not "
+                     "supported over joins (docs/LAYOUTS.md non-goals); "
+                     "join first, then aggregate client-side");
+  if (iequals(q.tables[0].alias, q.tables[1].alias))
+    throw QueryError("duplicate table alias '" + q.tables[0].alias +
+                     "' — the two FROM entries need distinct aliases");
+
+  // Match the FROM entries to the two plans by dataset (or schema) name.
+  auto matches = [](const std::string& t,
+                    const codegen::DataServicePlan& p) {
+    return iequals(t, p.model().dataset_name()) ||
+           iequals(t, p.schema().name);
+  };
+  Analyzer az{q, {nullptr, nullptr}, {q.tables[0].alias, q.tables[1].alias}};
+  if (matches(q.tables[0].table, a) && matches(q.tables[1].table, b)) {
+    az.plans[0] = &a;
+    az.plans[1] = &b;
+  } else if (matches(q.tables[0].table, b) && matches(q.tables[1].table, a)) {
+    az.plans[0] = &b;
+    az.plans[1] = &a;
+  } else {
+    throw QueryError("FROM names '" + q.tables[0].table + "' and '" +
+                     q.tables[1].table + "' but the supplied plans serve '" +
+                     a.model().dataset_name() + "' and '" +
+                     b.model().dataset_name() + "'");
+  }
+
+  // Split the WHERE: cross-side conjuncts must be key equality; everything
+  // else belongs to exactly one side.
+  std::vector<sql::BoolExprPtr> conjuncts;
+  flatten_and(q.where, conjuncts);
+  std::vector<std::pair<AttrRef, AttrRef>> keys;  // (side-0 ref, side-1 ref)
+  std::vector<sql::BoolExprPtr> side_preds[2];
+  for (const auto& c : conjuncts) {
+    auto [l, r] = sides_of(c, az);
+    if (l && r) {
+      const bool is_key_shape =
+          c->kind == sql::BoolExpr::Kind::kCmp &&
+          c->cmp == sql::CmpOp::kEq &&
+          c->lhs->kind == sql::Scalar::Kind::kAttr &&
+          c->rhs->kind == sql::Scalar::Kind::kAttr;
+      if (!is_key_shape)
+        throw QueryError("cross-dataset predicate '" + c->to_string() +
+                         "' is not supported: only equality of implicit "
+                         "attributes (alias.A = alias.B) can span datasets");
+      AttrRef x = az.resolve(c->lhs->name);
+      AttrRef y = az.resolve(c->rhs->name);
+      if (x.side == y.side)
+        throw QueryError("join condition '" + c->to_string() +
+                         "' compares two attributes of the same dataset");
+      if (x.side == 1) std::swap(x, y);
+      keys.emplace_back(x, y);
+    } else {
+      // Single-side (or attribute-free) conjunct: push into that side.
+      side_preds[r ? 1 : 0].push_back(strip_qualifiers(c, az));
+    }
+  }
+  if (keys.empty())
+    throw QueryError("two-dataset queries must join on at least one shared "
+                     "implicit attribute (e.g. " + az.aliases[0] + ".TIME = " +
+                     az.aliases[1] + ".TIME); cross products are not "
+                     "supported");
+  for (const auto& [x, y] : keys) {
+    for (int s = 0; s < 2; ++s) {
+      const AttrRef& ref = s == 0 ? x : y;
+      if (!afc::is_implicit_attr(az.plans[s]->model(), ref.attr))
+        throw QueryError("join key '" + ref.name + "' is not an implicit "
+                         "attribute of dataset '" + q.tables[s].table +
+                         "': join keys must be derivable from file names "
+                         "and loop bounds (afc/implicit_domain.h)");
+    }
+  }
+
+  // Resolve the projection before any scanning so shape errors surface
+  // even on empty results.  SELECT * = all side-0 columns then all side-1
+  // columns, each named alias.attr.
+  std::vector<AttrRef> proj;
+  std::vector<std::string> proj_names;
+  if (q.select_all()) {
+    for (int s = 0; s < 2; ++s) {
+      const meta::Schema& schema = az.plans[s]->schema();
+      for (std::size_t i = 0; i < schema.size(); ++i) {
+        proj.push_back({s, static_cast<int>(i), schema.at(i).name});
+        proj_names.push_back(az.aliases[s] + "." + schema.at(i).name);
+      }
+    }
+  } else {
+    for (const auto& item : q.items) {
+      proj.push_back(az.resolve(item.attr));
+      proj_names.push_back(item.attr);
+    }
+  }
+  std::vector<expr::Table::Column> out_cols;
+  for (std::size_t i = 0; i < proj.size(); ++i) {
+    const AttrRef& ref = proj[i];
+    out_cols.push_back(
+        {proj_names[i],
+         az.plans[ref.side]->schema()
+             .at(static_cast<std::size_t>(ref.attr))
+             .type});
+  }
+
+  if (stats) {
+    *stats = JoinStats{};
+    for (const auto& [x, y] : keys)
+      stats->key_attrs.push_back(x.name + "=" + y.name);
+  }
+
+  // Mutual pruning: intersect the two sides' implicit key domains and push
+  // the intersection into both side queries.  Bail out of pruning (not of
+  // the join) if either domain is too large to enumerate.
+  bool empty_intersection = false;
+  for (const auto& [x, y] : keys) {
+    auto dl = afc::implicit_attr_domain(az.plans[0]->model(), x.attr);
+    auto dr = afc::implicit_attr_domain(az.plans[1]->model(), y.attr);
+    if (!dl || !dr) continue;
+    std::vector<int64_t> both;
+    std::set_intersection(dl->begin(), dl->end(), dr->begin(), dr->end(),
+                          std::back_inserter(both));
+    if (stats) {
+      stats->pruned = true;
+      stats->keys_intersected += both.size();
+    }
+    if (both.empty()) {
+      empty_intersection = true;
+      break;
+    }
+    for (int s = 0; s < 2; ++s) {
+      const std::string& name = s == 0 ? x.name : y.name;
+      sql::BoolExprPtr push;
+      if (both.size() <= 256) {
+        std::vector<Value> vals;
+        for (int64_t v : both) vals.push_back(Value(v));
+        push = sql::BoolExpr::make_in(name, std::move(vals));
+      } else {
+        auto attr_s = sql::Scalar::make_attr(name);
+        push = sql::BoolExpr::make_and(
+            sql::BoolExpr::make_cmp(sql::CmpOp::kGe, attr_s,
+                                    sql::Scalar::make_literal(
+                                        Value(both.front()))),
+            sql::BoolExpr::make_cmp(sql::CmpOp::kLe, attr_s,
+                                    sql::Scalar::make_literal(
+                                        Value(both.back()))));
+      }
+      side_preds[s].push_back(std::move(push));
+    }
+  }
+  if (empty_intersection) return expr::Table(std::move(out_cols));
+
+  // Side queries: SELECT * + side predicates + pushdown.
+  expr::Table side_tables[2];
+  for (int s = 0; s < 2; ++s) {
+    sql::SelectQuery sq;
+    sq.table = az.plans[s]->model().dataset_name();
+    sq.tables.push_back({sq.table, sq.table});
+    sq.where = fold_and(side_preds[s]);
+    std::string sql = sq.to_string();
+    if (stats) (s == 0 ? stats->left_sql : stats->right_sql) = sql;
+    side_tables[s] = exec(s, sql);
+  }
+  if (stats) {
+    stats->left_rows = side_tables[0].num_rows();
+    stats->right_rows = side_tables[1].num_rows();
+  }
+
+  // SELECT * side results come back in schema order; map each projected
+  // and key attr to its column by name (robust to future reordering).
+  auto col_of = [&](int side, const std::string& name) {
+    const auto& cols = side_tables[side].columns();
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      if (cols[i].name == name) return i;
+    throw QueryError("side result for '" + q.tables[side].table +
+                     "' is missing column '" + name + "'");
+  };
+
+  // Hash-merge: bucket side-0 rows by key tuple, probe with side-1 rows,
+  // emit the per-key cross product.
+  std::vector<std::size_t> key_cols[2];
+  for (const auto& [x, y] : keys) {
+    key_cols[0].push_back(col_of(0, x.name));
+    key_cols[1].push_back(col_of(1, y.name));
+  }
+  std::map<std::vector<int64_t>, std::vector<std::size_t>> buckets;
+  std::vector<int64_t> key(keys.size());
+  for (std::size_t row = 0; row < side_tables[0].num_rows(); ++row) {
+    for (std::size_t k = 0; k < keys.size(); ++k)
+      key[k] = key_int(side_tables[0].at(row, key_cols[0][k]));
+    buckets[key].push_back(row);
+  }
+
+  std::vector<std::size_t> proj_col(proj.size());
+  for (std::size_t i = 0; i < proj.size(); ++i)
+    proj_col[i] = col_of(proj[i].side, proj[i].name);
+
+  expr::Table out(std::move(out_cols));
+  std::vector<double> row_vals(proj.size());
+  for (std::size_t rrow = 0; rrow < side_tables[1].num_rows(); ++rrow) {
+    for (std::size_t k = 0; k < keys.size(); ++k)
+      key[k] = key_int(side_tables[1].at(rrow, key_cols[1][k]));
+    auto it = buckets.find(key);
+    if (it == buckets.end()) continue;
+    for (std::size_t lrow : it->second) {
+      for (std::size_t i = 0; i < proj.size(); ++i)
+        row_vals[i] = proj[i].side == 0
+                          ? side_tables[0].at(lrow, proj_col[i])
+                          : side_tables[1].at(rrow, proj_col[i]);
+      out.append_row(row_vals.data());
+    }
+  }
+  if (stats) stats->joined_rows = out.num_rows();
+  return out;
+}
+
+expr::Table join_query(const VirtualTable& left, const VirtualTable& right,
+                       const std::string& sql, JoinStats* stats) {
+  sql::SelectQuery q = sql::parse_select(sql);
+  if (!q.is_join())
+    throw QueryError("join_query expects two datasets in FROM; got a "
+                     "single-table query — use VirtualTable::query");
+  // Sides follow FROM order; route each to the VirtualTable serving that
+  // dataset (execute_join validates the name match).
+  auto exec = [&](int side, const std::string& side_sql) {
+    const std::string& t = q.tables[static_cast<std::size_t>(side)].table;
+    const VirtualTable& vt =
+        iequals(t, left.plan().model().dataset_name()) ||
+                iequals(t, left.schema().name)
+            ? left
+            : right;
+    return vt.query(side_sql);
+  };
+  return execute_join(q, left.plan(), right.plan(), exec, stats);
+}
+
+}  // namespace adv

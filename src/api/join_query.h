@@ -1,0 +1,77 @@
+// Cross-dataset equi-joins on shared implicit attributes.
+//
+//   SELECT * FROM IparsData I, TitanST T
+//   WHERE I.TIME = T.TIME AND I.SOIL >= 0.9 AND T.LAT <= 3
+//
+// This is deliberately NOT a general join engine (docs/LAYOUTS.md lists
+// the non-goals).  The supported shape is: exactly two datasets, joined on
+// equality of attributes that are *implicit* on both sides — derivable
+// from file names and loop idents alone (afc/implicit_domain.h).  The
+// remaining conjuncts must each touch only one side and are pushed into
+// that side's scan unchanged.
+//
+// Execution is a planner-level pass plus a merge:
+//   1. Split the WHERE into join keys (cross-side equality) and per-side
+//      predicates; reject anything else with a typed QueryError.
+//   2. Mutual interval pruning: enumerate each side's implicit-key domain,
+//      intersect, and push the intersection into both side queries as an
+//      IN list (small sets) or a BETWEEN range (large sets).  An empty
+//      intersection returns an empty table without scanning anything.
+//   3. Run both side queries (SELECT * + side predicates + pushdown)
+//      through the caller-supplied executor — in-process, clustered, or
+//      distributed; results flow through the ordinary extraction paths.
+//   4. Hash-merge on the key tuple and emit the cross product per key,
+//      projected onto the original select list.
+//
+// The pruning is an optimization only: the merge re-checks key equality
+// row by row, so a side that could not enumerate its domain (cap
+// exceeded) still joins correctly, just without pushdown.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/plan.h"
+#include "expr/table.h"
+#include "sql/ast.h"
+
+namespace adv {
+
+class VirtualTable;
+
+struct JoinStats {
+  std::vector<std::string> key_attrs;  // unqualified shared key names
+  // Values in the pruned key intersection; meaningful when pruned is true.
+  std::size_t keys_intersected = 0;
+  bool pruned = false;  // pushdown filters were injected into both sides
+  std::string left_sql, right_sql;  // the side queries actually executed
+  uint64_t left_rows = 0, right_rows = 0;
+  uint64_t joined_rows = 0;
+};
+
+// Executes one side's SQL.  `side` is 0 for the first FROM entry, 1 for
+// the second; `sql` is a single-table SELECT against that side's dataset.
+using JoinSideExec =
+    std::function<expr::Table(int side, const std::string& sql)>;
+
+// Analyzes, prunes, executes, and merges a two-dataset query.  `a` and `b`
+// are the compiled plans for the two datasets named in q's FROM list (in
+// either order; matched by dataset name).  Throws QueryError on any
+// unsupported shape: not exactly two tables, duplicate aliases, aggregates
+// / GROUP BY / ORDER BY / LIMIT over a join, a cross-side predicate that
+// is not plain attribute equality, a join key that is not implicit on both
+// sides, or no join key at all.
+expr::Table execute_join(const sql::SelectQuery& q,
+                         const codegen::DataServicePlan& a,
+                         const codegen::DataServicePlan& b,
+                         const JoinSideExec& exec,
+                         JoinStats* stats = nullptr);
+
+// Convenience: parses `sql` and runs both sides through VirtualTable
+// queries (each side keeps its own zone map, plan cache, and cluster).
+expr::Table join_query(const VirtualTable& left, const VirtualTable& right,
+                       const std::string& sql, JoinStats* stats = nullptr);
+
+}  // namespace adv

@@ -172,6 +172,11 @@ DataServicePlan DataServicePlan::from_text(const std::string& descriptor_text,
 
 expr::BoundQuery DataServicePlan::bind(const std::string& sql) const {
   sql::SelectQuery q = sql::parse_select(sql);
+  if (q.is_join())
+    throw QueryError(
+        "FROM names " + std::to_string(q.tables.size()) +
+        " datasets; a single-dataset plan cannot execute joins — use "
+        "execute_join / join_query (api/join_query.h)");
   if (!iequals(q.table, model_->dataset_name()) &&
       !iequals(q.table, model_->schema().name))
     throw QueryError("query is against table '" + q.table +

@@ -37,6 +37,21 @@ struct Writer {
     int64_t lo = node.range.lo->eval(vars);
     int64_t hi = node.range.hi->eval(vars);
     int64_t step = node.range.step ? node.range.step->eval(vars) : 1;
+    if (node.colmajor) {
+      // Column-major record loop: one full pass over the span per field.
+      unsigned char buf[8];
+      for (const auto& item : node.body) {
+        for (const auto& name : item.fields) {
+          DataType t = type_of(name, schema, local_attrs);
+          for (int64_t v = lo; v <= hi; v += step) {
+            vars.set(node.loop_ident, v);
+            encode_double(t, fn(name, vars), buf);
+            out.write(buf, size_of(t));
+          }
+        }
+      }
+      return;
+    }
     for (int64_t v = lo; v <= hi; v += step) {
       vars.set(node.loop_ident, v);
       for (const auto& item : node.body) walk(item);

@@ -1,0 +1,144 @@
+#include "dataset/titan_st.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "afc/dataset_model.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dataset/layout_writer.h"
+
+namespace adv::dataset {
+
+meta::Schema titan_st_schema() {
+  meta::Schema s;
+  s.name = "TITANST";
+  for (const char* c : {"TIME", "LAT", "LON"})
+    s.attrs.push_back({c, DataType::kInt32});
+  for (const char* c : {"S1", "S2", "S3", "S4", "S5"})
+    s.attrs.push_back({c, DataType::kFloat32});
+  return s;
+}
+
+namespace {
+
+float unit_hash(const TitanStConfig& cfg, int attr, int time, int lat,
+                int lon, int cell) {
+  uint64_t h = mix64(cfg.seed ^ 0x5717a57ULL);
+  h = hash_combine(h, static_cast<uint64_t>(attr));
+  h = hash_combine(h, static_cast<uint64_t>(time));
+  h = hash_combine(h, static_cast<uint64_t>(lat));
+  h = hash_combine(h, static_cast<uint64_t>(lon));
+  h = hash_combine(h, static_cast<uint64_t>(cell));
+  uint32_t m = static_cast<uint32_t>(h >> 40);  // 24 bits
+  return static_cast<float>(m) * (1.0f / 16777216.0f);
+}
+
+}  // namespace
+
+double titan_st_value(const TitanStConfig& cfg, int attr, int time, int lat,
+                      int lon, int cell) {
+  if (attr == 0) return time;
+  if (attr == 1) return lat;
+  if (attr == 2) return lon;
+  // Sensor readings in [0,1), autocorrelated within a chunk: a per-chunk
+  // base level plus a small spread.  Chunk min/max spans ~kSpread, so a
+  // selective predicate like S1 >= 0.9 rules out most chunks entirely —
+  // exactly what the zone-map sidecar exploits.
+  float base = unit_hash(cfg, attr + 100, time, lat, lon, 0);
+  float u = unit_hash(cfg, attr, time, lat, lon, cell);
+  constexpr float kSpread = 0.125f;
+  return static_cast<double>(base * (1.0f - kSpread) + u * kSpread);
+}
+
+std::string titan_st_descriptor_text(const TitanStConfig& cfg) {
+  if (cfg.nodes < 1 || cfg.lat_chunks < 1 || cfg.lon_chunks < 1 ||
+      cfg.timesteps < 1 || cfg.cells_per_chunk < 1)
+    throw ValidationError("TitanStConfig: all dimensions must be positive");
+  std::ostringstream os;
+  os << "// Titan spatio-temporal chunk grid\n[TITANST]\n";
+  for (const auto& a : titan_st_schema().attrs)
+    os << a.name << " = " << to_string(a.type) << '\n';
+  os << "\n[TitanST]\nDatasetDescription = TITANST\n";
+  for (int n = 0; n < cfg.nodes; ++n)
+    os << "DIR[" << n << "] = node" << n << "/titanst\n";
+  os << "\nDATASET \"TitanST\" {\n"
+     << "  DATATYPE { TITANST HDR = long MARK = int }\n"
+     << "  DATAINDEX { TIME LAT LON }\n"
+     << "  DATASPACE {\n"
+     << "    HDR\n"
+     << "    LOOP TIME 1:" << cfg.timesteps << ":1 {\n"
+     << "      LOOP LAT ($DIRID*" << cfg.lat_chunks << "+1):(($DIRID+1)*"
+     << cfg.lat_chunks << "):1 {\n"
+     << "        LOOP LON 1:" << cfg.lon_chunks << ":1 {\n"
+     << "          MARK\n"
+     << "          LOOP CELL 1:" << cfg.cells_per_chunk << ":1"
+     << (cfg.colmajor ? " COLMAJOR" : "") << " { S1 S2 S3 S4 S5 }\n"
+     << "        }\n"
+     << "      }\n"
+     << "    }\n"
+     << "  }\n"
+     << "  DATA { \"DIR[$DIRID]/GRID\" DIRID = 0:" << cfg.nodes - 1
+     << ":1 }\n"
+     << "}\n";
+  return os.str();
+}
+
+GeneratedTitanSt generate_titan_st(const TitanStConfig& cfg,
+                                   const std::string& root_dir) {
+  GeneratedTitanSt out;
+  out.cfg = cfg;
+  out.root = root_dir;
+  out.dataset_name = "TitanST";
+  out.descriptor_text = titan_st_descriptor_text(cfg);
+
+  meta::Descriptor desc = meta::parse_descriptor(out.descriptor_text);
+  afc::DatasetModel model(desc, "TitanST", root_dir);
+  const meta::Schema& schema = model.schema();
+
+  ValueFn fn = [&cfg, &schema](const std::string& attr,
+                               const meta::VarEnv& vars) -> double {
+    if (attr == "HDR") return 0x7157;  // magic, never read back
+    if (attr == "MARK")
+      return vars.get("LAT") * 1000 + vars.get("LON");  // chunk tag
+    return titan_st_value(cfg, schema.find(attr),
+                          static_cast<int>(vars.get("TIME")),
+                          static_cast<int>(vars.get("LAT")),
+                          static_cast<int>(vars.get("LON")),
+                          static_cast<int>(vars.get("CELL")));
+  };
+
+  for (const auto& cf : model.files()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(cf.full_path).parent_path());
+    const auto& leaf = model.leaves()[static_cast<std::size_t>(cf.leaf)];
+    out.bytes_written +=
+        write_file_from_layout(*leaf.decl, schema, cf.env, cf.full_path, fn);
+    out.files_written++;
+  }
+  return out;
+}
+
+expr::Table titan_st_oracle(const TitanStConfig& cfg,
+                            const expr::BoundQuery& q) {
+  expr::Table out(q.result_columns());
+  const auto& needed = q.needed_attrs();
+  std::vector<double> buf(needed.size());
+  std::vector<double> sel(q.select_slots().size());
+  const int global_lat = cfg.nodes * cfg.lat_chunks;
+  for (int t = 1; t <= cfg.timesteps; ++t)
+    for (int lat = 1; lat <= global_lat; ++lat)
+      for (int lon = 1; lon <= cfg.lon_chunks; ++lon)
+        for (int cell = 1; cell <= cfg.cells_per_chunk; ++cell) {
+          for (std::size_t s = 0; s < needed.size(); ++s)
+            buf[s] = titan_st_value(cfg, needed[s], t, lat, lon, cell);
+          if (!q.matches(buf.data())) continue;
+          for (std::size_t i = 0; i < sel.size(); ++i)
+            sel[i] = buf[static_cast<std::size_t>(q.select_slots()[i])];
+          out.append_row(sel.data());
+        }
+  return out;
+}
+
+}  // namespace adv::dataset

@@ -1,0 +1,79 @@
+// Titan-style spatio-temporal chunked dataset generator (paper §2.2).
+//
+// Unlike dataset/titan.h — where X/Y/Z are stored float coordinates and
+// chunking is a property of the generator only — this family makes the
+// chunk grid *visible to the planner*: TIME, LAT and LON are implicit
+// attributes bound by structure loops, so a regular grid of chunks over
+// (TIME, LAT, LON) falls out of the descriptor itself.  Each chunk carries
+// a per-chunk header word (MARK) and the file opens with a header (HDR),
+// mirroring the self-describing chunked formats the paper targets.  The
+// record loop inside a chunk can be row-major (interleaved records) or
+// COLMAJOR (one contiguous array per sensor), exercising the column-major
+// array family end to end.
+//
+// Sensor values are spatio-temporally autocorrelated (a per-chunk base
+// level plus small within-chunk variation), so a zone-map sidecar can skip
+// whole chunks for selective sensor predicates — the bytes_skipped > 0
+// acceptance check in bench_micro rides on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "expr/predicate.h"
+#include "expr/table.h"
+#include "metadata/model.h"
+
+namespace adv::dataset {
+
+struct TitanStConfig {
+  int nodes = 1;
+  // Chunk grid: LAT slabs are the spatial partition across nodes (each node
+  // stores lat_chunks of the global nodes*lat_chunks LAT rows); LON and
+  // TIME are enumerated inside every file.
+  int lat_chunks = 4;  // per node
+  int lon_chunks = 8;
+  int timesteps = 16;
+  int cells_per_chunk = 256;
+  bool colmajor = false;  // per-sensor arrays inside each chunk
+  uint64_t seed = 17;
+
+  int num_sensors() const { return 5; }
+  int chunks_per_file() const { return timesteps * lat_chunks * lon_chunks; }
+  uint64_t total_rows() const {
+    return static_cast<uint64_t>(nodes) * chunks_per_file() * cells_per_chunk;
+  }
+  // Payload bytes only (headers/markers excluded).
+  uint64_t table_bytes() const {
+    return total_rows() * static_cast<uint64_t>(num_sensors()) * 4;
+  }
+};
+
+// Schema: TIME, LAT, LON (implicit int32 dimensions) + S1..S5 (float32).
+meta::Schema titan_st_schema();
+
+// Deterministic sensor value (attr in [3, 3+num_sensors)) for `cell` of the
+// (time, lat, lon) chunk; lat is global (node offset included).
+double titan_st_value(const TitanStConfig& cfg, int attr, int time, int lat,
+                      int lon, int cell);
+
+struct GeneratedTitanSt {
+  TitanStConfig cfg;
+  std::string root;
+  std::string dataset_name;  // "TitanST"
+  std::string descriptor_text;
+  uint64_t bytes_written = 0;
+  uint64_t files_written = 0;
+};
+
+// Writes one chunked file per node under `root_dir`.
+GeneratedTitanSt generate_titan_st(const TitanStConfig& cfg,
+                                   const std::string& root_dir);
+
+std::string titan_st_descriptor_text(const TitanStConfig& cfg);
+
+// Brute-force ground truth for a query bound against titan_st_schema().
+expr::Table titan_st_oracle(const TitanStConfig& cfg,
+                            const expr::BoundQuery& q);
+
+}  // namespace adv::dataset

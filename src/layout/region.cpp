@@ -55,7 +55,44 @@ struct Walker {
       if (item.kind == meta::LayoutNode::Kind::kFields) has_fields = true;
       else has_loops = true;
     }
-    if (has_loops) has_fields = false;
+    if (has_loops) {
+      if (node.colmajor)
+        throw ValidationError("COLMAJOR loop '" + node.loop_ident +
+                              "' contains nested loops");
+      has_fields = false;
+    }
+
+    if (has_fields && node.colmajor) {
+      // Column-major record loop: each field is stored as its own
+      // contiguous array over the record span.  Lower to one region per
+      // field — a single-field record of size_of(type) bytes whose base is
+      // offset past the preceding arrays — so the planner, zone map, and
+      // all kernel tiers see ordinary aligned chunks (that happen to share
+      // the record loop) and unread columns cost zero I/O.
+      uint64_t span = static_cast<uint64_t>(range.count());
+      uint64_t off = 0;
+      for (const auto& item : node.body) {
+        if (item.kind != meta::LayoutNode::Kind::kFields)
+          throw ValidationError("loop '" + node.loop_ident +
+                                "' mixes fields and loops");
+        for (const auto& name : item.fields) {
+          Region r;
+          r.path = path;
+          r.record_ident = node.loop_ident;
+          r.record_range = range;
+          r.base_offset = base + off;
+          Field f;
+          f.attr = name;
+          f.type = type_of(name, schema, local_attrs);
+          f.intra_offset = 0;
+          r.record_bytes = static_cast<uint32_t>(size_of(f.type));
+          off += span * size_of(f.type);
+          r.fields.push_back(std::move(f));
+          regions.push_back(std::move(r));
+        }
+      }
+      return off;
+    }
 
     if (has_fields) {
       // Record loop: body is field runs only.

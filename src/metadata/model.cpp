@@ -33,12 +33,13 @@ LayoutNode LayoutNode::make_fields(std::vector<std::string> names) {
 }
 
 LayoutNode LayoutNode::make_loop(std::string ident, LoopRange r,
-                                 std::vector<LayoutNode> body) {
+                                 std::vector<LayoutNode> body, bool colmajor) {
   LayoutNode n;
   n.kind = Kind::kLoop;
   n.loop_ident = std::move(ident);
   n.range = std::move(r);
   n.body = std::move(body);
+  n.colmajor = colmajor;
   return n;
 }
 

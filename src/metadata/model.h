@@ -75,10 +75,16 @@ struct LayoutNode {
   std::string loop_ident;
   LoopRange range;
   std::vector<LayoutNode> body;
+  // Column-major record loop (`LOOP E lo:hi:step COLMAJOR { ... }`): each
+  // field of the body is stored as its own contiguous array over the loop
+  // span (attribute-contiguous, ArrayBridge-style) instead of interleaved
+  // per record.  Valid only on record loops (body is fields exclusively).
+  bool colmajor = false;
 
   static LayoutNode make_fields(std::vector<std::string> names);
   static LayoutNode make_loop(std::string ident, LoopRange r,
-                              std::vector<LayoutNode> body);
+                              std::vector<LayoutNode> body,
+                              bool colmajor = false);
 };
 
 // A segment of a file-name pattern such as `DIR[$DIRID]/DATA$REL`.

@@ -360,10 +360,15 @@ class LayoutParser {
         cur_.next();
         const Token& ident = cur_.expect_any_ident("loop identifier");
         LoopRange r = parse_range(cur_);
+        bool colmajor = false;
+        if (cur_.peek().is_ident("COLMAJOR")) {
+          cur_.next();
+          colmajor = true;
+        }
         cur_.expect_punct("{");
         std::vector<LayoutNode> body = parse_layout_items();
-        items.push_back(
-            LayoutNode::make_loop(ident.text, std::move(r), std::move(body)));
+        items.push_back(LayoutNode::make_loop(ident.text, std::move(r),
+                                              std::move(body), colmajor));
       } else if (cur_.peek().kind == TokKind::kIdent) {
         run.push_back(cur_.next().text);
       } else {

@@ -22,7 +22,8 @@ void print_layout_items(std::ostringstream& os,
       os << '\n';
     } else {
       os << pad << "LOOP " << item.loop_ident << ' '
-         << item.range.to_string() << " {\n";
+         << item.range.to_string() << (item.colmajor ? " COLMAJOR" : "")
+         << " {\n";
       print_layout_items(os, item.body, indent + 1);
       os << pad << "}\n";
     }

@@ -275,6 +275,10 @@ class Validator {
       if (item.kind == LayoutNode::Kind::kFields) has_fields = true;
       else has_loops = true;
     }
+    if (loop.colmajor && has_loops)
+      fail("dataset '" + ds.name + "': COLMAJOR loop '" + loop.loop_ident +
+           "' contains nested loops; column-major storage applies only to "
+           "record loops (a body of fields exclusively)");
     if (has_fields && has_loops) {
       // Mixed body: allowed only when every field is a file-local
       // (non-schema) attribute — per-chunk headers/padding the extractor

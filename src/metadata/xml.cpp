@@ -303,9 +303,13 @@ LayoutNode layout_from_xml(const XmlNode& n) {
   if (n.name == "loop") {
     if (!n.has_attr("ident") || !n.has_attr("range"))
       throw ValidationError("XML <loop> needs ident and range attributes");
+    std::string order = n.attr("order", "rowmajor");
+    if (order != "rowmajor" && order != "colmajor")
+      throw ValidationError("XML <loop order=\"" + order +
+                            "\">: order must be rowmajor or colmajor");
     return LayoutNode::make_loop(n.attr("ident"),
                                  range_from_string(n.attr("range")),
-                                 layout_children(n));
+                                 layout_children(n), order == "colmajor");
   }
   if (n.name == "fields")
     return LayoutNode::make_fields(names_from_text(n.text));
@@ -425,6 +429,7 @@ XmlNode layout_to_xml(const LayoutNode& n) {
   }
   x.name = "loop";
   x.attributes = {{"ident", n.loop_ident}, {"range", n.range.to_string()}};
+  if (n.colmajor) x.attributes.push_back({"order", "colmajor"});
   for (const auto& b : n.body) x.children.push_back(layout_to_xml(b));
   return x;
 }

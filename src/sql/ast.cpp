@@ -173,7 +173,17 @@ std::string SelectQuery::to_string() const {
       os << select_attrs[i];
     }
   }
-  os << " FROM " << table;
+  os << " FROM ";
+  if (tables.empty()) {
+    os << table;
+  } else {
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      if (i) os << ", ";
+      os << tables[i].table;
+      if (!tables[i].alias.empty() && tables[i].alias != tables[i].table)
+        os << ' ' << tables[i].alias;
+    }
+  }
   if (where) os << " WHERE " << where->to_string();
   if (!group_by.empty()) {
     os << " GROUP BY ";

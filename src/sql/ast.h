@@ -9,7 +9,10 @@
 // BETWEEN, AND / OR / NOT.  Beyond the paper's subsetting-only surface
 // (§2.1), the select list also accepts aggregates (COUNT/SUM/MIN/MAX/AVG)
 // with GROUP BY, and ORDER BY ... LIMIT top-k — evaluated inside the
-// extraction workers (docs/AGGREGATION.md).  Joins remain unsupported.
+// extraction workers (docs/AGGREGATION.md).  FROM accepts up to two
+// datasets with optional aliases; attributes may be qualified as
+// `alias.attr`, and two-dataset queries are equi-joins on shared implicit
+// attributes (docs/LAYOUTS.md §joins, api/join_query.h).
 #pragma once
 
 #include <memory>
@@ -91,6 +94,13 @@ struct OrderItem {
   bool desc = false;
 };
 
+// One FROM-list entry.  `alias` defaults to the dataset name when the query
+// does not spell one.
+struct TableRef {
+  std::string table;
+  std::string alias;
+};
+
 // A parsed SELECT statement.
 struct SelectQuery {
   std::vector<std::string> select_attrs;  // empty means SELECT *
@@ -98,13 +108,18 @@ struct SelectQuery {
   // select_attrs for plain lists; select_attrs stays empty when any item
   // is an aggregate).
   std::vector<SelectItem> items;
-  std::string table;
+  std::string table;             // tables[0].table, kept for existing callers
+  std::vector<TableRef> tables;  // the full FROM list (size 1 or 2)
   BoolExprPtr where;  // null when there is no WHERE clause
   std::vector<std::string> group_by;  // empty when there is no GROUP BY
   std::vector<OrderItem> order_by;    // empty when there is no ORDER BY
   int64_t limit = -1;                 // -1 when there is no LIMIT
 
   bool select_all() const { return select_attrs.empty() && items.empty(); }
+
+  // True when FROM names more than one dataset (an implicit-attribute
+  // equi-join; executed by api/join_query, not by the single-table binder).
+  bool is_join() const { return tables.size() > 1; }
 
   // True when the query aggregates: any aggregate select item or a GROUP BY
   // clause (GROUP BY over plain attributes is distinct-style grouping).

@@ -1,13 +1,16 @@
 // Recursive-descent parser for the SQL subset.
 //
 // Grammar (keywords case-insensitive):
-//   select    := SELECT select_list FROM IDENT [WHERE or_expr]
-//                [GROUP BY IDENT (',' IDENT)*]
+//   select    := SELECT select_list FROM table_ref (',' table_ref)*
+//                [WHERE or_expr]
+//                [GROUP BY attr (',' attr)*]
 //                [ORDER BY order_item (',' order_item)*]
 //                [LIMIT INT] [';']
+//   table_ref := IDENT [IDENT]                      (dataset [alias])
 //   select_list := '*' | select_item (',' select_item)*
-//   select_item := AGG '(' '*' ')' | AGG '(' scalar ')' | IDENT
+//   select_item := AGG '(' '*' ')' | AGG '(' scalar ')' | attr
 //   order_item := select_item [ASC | DESC]
+//   attr      := IDENT ['.' IDENT]                  (optional table alias)
 //   AGG       := COUNT | SUM | MIN | MAX | AVG   ('*' only under COUNT)
 //   or_expr   := and_expr (OR and_expr)*
 //   and_expr  := not_expr (AND not_expr)*
@@ -66,7 +69,9 @@ class Parser {
         for (const auto& it : q.items) q.select_attrs.push_back(it.attr);
     }
     cur_.expect_ident("FROM");
-    q.table = cur_.expect_any_ident("dataset name after FROM").text;
+    q.tables.push_back(parse_table_ref());
+    while (cur_.accept_punct(",")) q.tables.push_back(parse_table_ref());
+    q.table = q.tables[0].table;
     if (cur_.accept_ident("WHERE")) q.where = parse_or();
     if (cur_.accept_ident("GROUP")) {
       cur_.expect_ident("BY");
@@ -128,12 +133,35 @@ class Parser {
     return o;
   }
 
+  TableRef parse_table_ref() {
+    TableRef ref;
+    ref.table = cur_.expect_any_ident("dataset name after FROM").text;
+    const Token& t = cur_.peek();
+    if (t.kind == TokKind::kIdent && !is_keyword(t)) {
+      ref.alias = t.text;
+      cur_.next();
+    } else {
+      ref.alias = ref.table;
+    }
+    return ref;
+  }
+
+  // IDENT or IDENT '.' IDENT (qualified by a table alias).
   std::string parse_attr_name() {
     const Token& t = cur_.peek();
     if (t.kind != TokKind::kIdent || is_keyword(t))
       cur_.fail("expected attribute name, found '" + t.text + "'");
     cur_.next();
-    return t.text;
+    std::string name = t.text;
+    if (cur_.accept_punct(".")) {
+      const Token& f = cur_.peek();
+      if (f.kind != TokKind::kIdent || is_keyword(f))
+        cur_.fail("expected attribute name after '" + name + ".', found '" +
+                  f.text + "'");
+      cur_.next();
+      name += "." + f.text;
+    }
+    return name;
   }
 
   BoolExprPtr parse_or() {
@@ -296,7 +324,16 @@ class Parser {
         }
         return Scalar::make_call(t.text, std::move(args));
       }
-      return Scalar::make_attr(t.text);
+      std::string name = t.text;
+      if (cur_.accept_punct(".")) {
+        const Token& f = cur_.peek();
+        if (f.kind != TokKind::kIdent || is_keyword(f))
+          cur_.fail("expected attribute name after '" + name +
+                    ".', found '" + f.text + "'");
+        cur_.next();
+        name += "." + f.text;
+      }
+      return Scalar::make_attr(name);
     }
     cur_.fail("expected scalar expression, found '" + t.text + "'");
   }

@@ -9,6 +9,7 @@
 #include "dataset/ipars.h"
 #include "dataset/layout_writer.h"
 #include "dataset/titan.h"
+#include "dataset/titan_st.h"
 
 namespace adv::dataset {
 namespace {
@@ -133,6 +134,80 @@ TEST(TitanConfigTest, NodeDivisibilityEnforced) {
   cfg.nodes = 3;
   cfg.cells_x = 8;  // not divisible by 3
   EXPECT_THROW(titan_descriptor_text(cfg), ValidationError);
+}
+
+TEST(TitanStValueTest, DimensionsAndSensorSpread) {
+  TitanStConfig cfg;
+  EXPECT_EQ(titan_st_value(cfg, 0, 7, 3, 5, 2), 7.0);  // TIME
+  EXPECT_EQ(titan_st_value(cfg, 1, 7, 3, 5, 2), 3.0);  // LAT
+  EXPECT_EQ(titan_st_value(cfg, 2, 7, 3, 5, 2), 5.0);  // LON
+  // Sensor values are deterministic, float32-exact, and autocorrelated
+  // within a chunk (spread bounded by the design's kSpread).
+  double lo = 1e9, hi = -1e9;
+  for (int cell = 1; cell <= 64; ++cell) {
+    double v = titan_st_value(cfg, 3, 2, 1, 4, cell);
+    EXPECT_EQ(v, titan_st_value(cfg, 3, 2, 1, 4, cell));
+    EXPECT_EQ(static_cast<double>(static_cast<float>(v)), v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LT(hi, 1.0);
+  EXPECT_LE(hi - lo, 0.125 + 1e-9);
+}
+
+TEST(TitanStGeneratorTest, BytesMatchLayoutPredictionBothFamilies) {
+  TitanStConfig cfg;
+  cfg.nodes = 2;
+  cfg.lat_chunks = 2;
+  cfg.lon_chunks = 3;
+  cfg.timesteps = 4;
+  cfg.cells_per_chunk = 8;
+  for (bool colmajor : {false, true}) {
+    cfg.colmajor = colmajor;
+    TempDir tmp("tst");
+    auto gen = generate_titan_st(cfg, tmp.str());
+    EXPECT_EQ(gen.files_written, 2u);
+    EXPECT_EQ(directory_bytes(tmp.path()), gen.bytes_written);
+    afc::DatasetModel model(meta::parse_descriptor(gen.descriptor_text),
+                            "TitanST", tmp.str());
+    uint64_t predicted = 0;
+    for (const auto& f : model.files())
+      predicted += model.expected_file_bytes(f);
+    EXPECT_EQ(predicted, gen.bytes_written) << "colmajor=" << colmajor;
+    // 8-byte HDR + per-chunk 4-byte MARK + payload cells.
+    uint64_t per_file = 8 +
+                        static_cast<uint64_t>(cfg.chunks_per_file()) *
+                            (4 + static_cast<uint64_t>(cfg.cells_per_chunk) *
+                                     cfg.num_sensors() * 4);
+    EXPECT_EQ(gen.bytes_written, 2 * per_file);
+  }
+}
+
+TEST(TitanStGeneratorTest, ColmajorStoresAttributeContiguous) {
+  // In the COLMAJOR family each chunk holds the full S1 array, then S2, ...
+  // — byte-compare one chunk against the oracle in that order.
+  TitanStConfig cfg;
+  cfg.nodes = 1;
+  cfg.lat_chunks = 1;
+  cfg.lon_chunks = 1;
+  cfg.timesteps = 1;
+  cfg.cells_per_chunk = 4;
+  cfg.colmajor = true;
+  TempDir tmp("tstcm");
+  auto gen = generate_titan_st(cfg, tmp.str());
+  std::string bytes = read_text_file(tmp.str() + "/node0/titanst/GRID");
+  ASSERT_EQ(bytes.size(), 8u + 4u + 4u * 5u * 4u);
+  std::size_t off = 12;  // HDR + MARK
+  for (int attr = 3; attr < 8; ++attr)
+    for (int cell = 1; cell <= 4; ++cell) {
+      float expect =
+          static_cast<float>(titan_st_value(cfg, attr, 1, 1, 1, cell));
+      float got;
+      std::memcpy(&got, bytes.data() + off, 4);
+      EXPECT_EQ(got, expect) << "attr " << attr << " cell " << cell;
+      off += 4;
+    }
 }
 
 TEST(LayoutWriterTest, UnknownAttributeThrows) {

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/error.h"
 #include "common/string_util.h"
 #include "dataset/layout_writer.h"
 
@@ -34,6 +35,20 @@ DqDataset make_dataset(uint64_t seed) {
   d.headers = rng.next_below(3) == 0;
   d.num_leaves =
       1 + static_cast<int>(rng.next_below(static_cast<uint64_t>(d.payloads)));
+  // Titan-style spatio-temporal chunking: the record loop is always CELL
+  // inside a LAT x LON chunk grid, so transposed does not apply.
+  d.st_grid = rng.next_below(4) == 0;
+  if (d.st_grid) {
+    d.transposed = false;
+    d.lat_chunks = 1 + static_cast<int>(rng.next_below(3));
+    d.lon_chunks = 1 + static_cast<int>(rng.next_below(3));
+    d.cells_per_chunk = 2 + static_cast<int>(rng.next_below(5));
+    d.grid_per_node = d.lat_chunks * d.lon_chunks * d.cells_per_chunk;
+  }
+  // Column-major record loops subsume per-variable arrays (one contiguous
+  // array per attribute either way); generate them as distinct shapes.
+  d.colmajor = rng.next_below(4) == 0;
+  if (d.colmajor) d.arrays = false;
   return d;
 }
 
@@ -41,6 +56,10 @@ double DqDataset::value(const std::string& attr, int rel, int time,
                         int gid) const {
   if (attr == "REL") return rel;
   if (attr == "TIME") return time;
+  if (st_grid && attr == "LAT")
+    return (gid - 1) / (lon_chunks * cells_per_chunk) + 1;
+  if (st_grid && attr == "LON")
+    return (gid - 1) / cells_per_chunk % lon_chunks + 1;
   uint64_t h = mix64(seed ^ 0xdadafeedULL);
   h = hash_combine(h, std::hash<std::string>{}(attr));
   h = hash_combine(h, static_cast<uint64_t>(rel));
@@ -54,13 +73,15 @@ double DqDataset::value(const std::string& attr, int rel, int time,
 
 std::string DqDataset::descriptor() const {
   std::ostringstream os;
-  os << "[DQT]\nREL = short int\nTIME = int\n";
+  const std::string ty = name + "T";
+  os << "[" << ty << "]\nREL = short int\nTIME = int\n";
+  if (st_grid) os << "LAT = int\nLON = int\n";
   for (int p = 1; p <= payloads; ++p) os << "P" << p << " = float\n";
-  os << "\n[DqData]\nDatasetDescription = DQT\n";
+  os << "\n[" << name << "]\nDatasetDescription = " << ty << "\n";
   for (int n = 0; n < nodes; ++n)
     os << "DIR[" << n << "] = node" << n << "/dq\n";
-  os << "\nDATASET \"DqData\" {\n  DATATYPE { DQT }\n"
-     << "  DATAINDEX { REL TIME }\n";
+  os << "\nDATASET \"" << name << "\" {\n  DATATYPE { " << ty << " }\n"
+     << "  DATAINDEX { REL TIME" << (st_grid ? " LAT LON" : "") << " }\n";
 
   // Vertical partition: contiguous round-robin of payloads over leaves.
   std::vector<std::vector<std::string>> leaf_attrs(
@@ -82,7 +103,8 @@ std::string DqDataset::descriptor() const {
       fields.insert(fields.begin(), "REL");
     }
     os << "  DATASET \"leaf" << l << "\" {\n";
-    if (headers) os << "    DATATYPE { DQT HDR = long MARK = int }\n";
+    if (headers)
+      os << "    DATATYPE { " << ty << " HDR = long MARK = int }\n";
     os << "    DATASPACE {\n";
     if (headers) os << "      HDR\n";
 
@@ -105,7 +127,16 @@ std::string DqDataset::descriptor() const {
 
     std::string record_ident = "GRID";
     std::string record_range = grid_range;
-    if (transposed) {
+    if (st_grid) {
+      // Spatio-temporal chunk grid: LAT spans the nodes (spatial
+      // partitioning via $DIRID), LON and the CELL record loop are
+      // per-chunk.
+      outer.push_back({"LAT", format("($DIRID*%d+1):(($DIRID+1)*%d):1",
+                                     lat_chunks, lat_chunks)});
+      outer.push_back({"LON", format("1:%d:1", lon_chunks)});
+      record_ident = "CELL";
+      record_range = format("1:%d:1", cells_per_chunk);
+    } else if (transposed) {
       record_ident = "TIME";
       record_range = time_range;
       for (auto& [ident, range] : outer)
@@ -126,8 +157,9 @@ std::string DqDataset::descriptor() const {
         os << pad << "LOOP " << record_ident << " " << record_range << " { "
            << f << " }\n";
     } else {
-      os << pad << "LOOP " << record_ident << " " << record_range << " { "
-         << join(fields, " ") << " }\n";
+      os << pad << "LOOP " << record_ident << " " << record_range
+         << (colmajor ? " COLMAJOR" : "") << " { " << join(fields, " ")
+         << " }\n";
     }
     for (std::size_t k = 0; k < outer.size(); ++k) {
       pad.resize(pad.size() - 2);
@@ -151,6 +183,14 @@ void write_files(const DqDataset& d, const afc::DatasetModel& model) {
     int rel = vars.has("REL") ? static_cast<int>(vars.get("REL")) : 0;
     int time = vars.has("TIME") ? static_cast<int>(vars.get("TIME")) : 0;
     int gid = vars.has("GRID") ? static_cast<int>(vars.get("GRID")) : 0;
+    if (d.st_grid && vars.has("CELL")) {
+      // Cell id from the (LAT, LON, CELL) chunk coordinates; LAT already
+      // carries the node offset via $DIRID.
+      int lat = static_cast<int>(vars.get("LAT"));
+      int lon = static_cast<int>(vars.get("LON"));
+      int cell = static_cast<int>(vars.get("CELL"));
+      gid = ((lat - 1) * d.lon_chunks + (lon - 1)) * d.cells_per_chunk + cell;
+    }
     return d.value(attr, rel, time, gid);
   };
   for (const auto& cf : model.files()) {
@@ -341,17 +381,36 @@ expr::Table oracle_rows(const DqDataset& d, const expr::BoundQuery& q) {
 
 namespace {
 
-// One atomic condition over the dimensions or payloads.
-std::string random_cond(const DqDataset& d, SplitMix64& rng) {
-  switch (rng.next_below(6)) {
+// One atomic condition over the dimensions or payloads.  `pfx` is prepended
+// to every attribute reference ("" for single-table queries, "A." / "B."
+// for the alias-qualified side conjuncts of a join) — same draws, same
+// condition, different spelling.
+std::string random_cond(const DqDataset& d, SplitMix64& rng,
+                        const std::string& pfx = "") {
+  const char* x = pfx.c_str();
+  switch (rng.next_below(d.st_grid ? 8 : 6)) {
+    case 6: {  // LAT range (prunes whole spatial chunk rows)
+      int nlat = d.nodes * d.lat_chunks;
+      int lo = 1 + static_cast<int>(rng.next_below(
+                       static_cast<uint64_t>(nlat)));
+      int hi = lo + static_cast<int>(
+                        rng.next_below(static_cast<uint64_t>(nlat - lo + 1)));
+      return format("%sLAT BETWEEN %d AND %d", x, lo, hi);
+    }
+    case 7: {  // LON equality or range
+      int lon = 1 + static_cast<int>(rng.next_below(
+                        static_cast<uint64_t>(d.lon_chunks)));
+      if (rng.next_below(2) == 0) return format("%sLON = %d", x, lon);
+      return format("%sLON >= %d", x, lon);
+    }
     case 0: {  // TIME range
       int lo = 1 + static_cast<int>(
                        rng.next_below(static_cast<uint64_t>(d.timesteps)));
       int hi = lo + static_cast<int>(rng.next_below(
                         static_cast<uint64_t>(d.timesteps - lo + 1)));
       return rng.next_below(2) == 0
-                 ? format("TIME >= %d AND TIME <= %d", lo, hi)
-                 : format("TIME BETWEEN %d AND %d", lo, hi);
+                 ? format("%sTIME >= %d AND %sTIME <= %d", x, lo, x, hi)
+                 : format("%sTIME BETWEEN %d AND %d", x, lo, hi);
     }
     case 1: {  // TIME IN list
       int k = 1 + static_cast<int>(rng.next_below(4));
@@ -360,21 +419,21 @@ std::string random_cond(const DqDataset& d, SplitMix64& rng) {
         vals.push_back(std::to_string(
             1 + static_cast<int>(
                     rng.next_below(static_cast<uint64_t>(d.timesteps)))));
-      return "TIME IN (" + join(vals, ", ") + ")";
+      return pfx + "TIME IN (" + join(vals, ", ") + ")";
     }
     case 2: {  // REL equality or IN
       int r = static_cast<int>(rng.next_below(static_cast<uint64_t>(d.rels)));
       if (d.rels > 1 && rng.next_below(2) == 0) {
         int r2 =
             static_cast<int>(rng.next_below(static_cast<uint64_t>(d.rels)));
-        return format("REL IN (%d, %d)", r, r2);
+        return format("%sREL IN (%d, %d)", x, r, r2);
       }
-      return format("REL = %d", r);
+      return format("%sREL = %d", x, r);
     }
     case 3: {  // payload comparison
       int p = 1 + static_cast<int>(
                       rng.next_below(static_cast<uint64_t>(d.payloads)));
-      return format("P%d %s 0.%d", p, rng.next_below(2) == 0 ? "<" : ">=",
+      return format("%sP%d %s 0.%d", x, p, rng.next_below(2) == 0 ? "<" : ">=",
                     1 + static_cast<int>(rng.next_below(8)));
     }
     case 4: {  // filter function over payloads
@@ -384,14 +443,14 @@ std::string random_cond(const DqDataset& d, SplitMix64& rng) {
                       rng.next_below(static_cast<uint64_t>(d.payloads)));
       switch (rng.next_below(3)) {
         case 0:
-          return format("ABSV(P%d - 0.5) < 0.%d", p,
+          return format("ABSV(%sP%d - 0.5) < 0.%d", x, p,
                         1 + static_cast<int>(rng.next_below(5)));
         case 1:
-          return format("MAG2(P%d, P%d) %s 0.%d", p, q,
+          return format("MAG2(%sP%d, %sP%d) %s 0.%d", x, p, x, q,
                         rng.next_below(2) == 0 ? "<" : ">=",
                         2 + static_cast<int>(rng.next_below(7)));
         default:
-          return format("SPEED(P%d, P%d, P%d) < 1.%d", p, q,
+          return format("SPEED(%sP%d, %sP%d, %sP%d) < 1.%d", x, p, x, q, x,
                         1 + static_cast<int>(rng.next_below(
                                 static_cast<uint64_t>(d.payloads))),
                         static_cast<int>(rng.next_below(10)));
@@ -400,7 +459,7 @@ std::string random_cond(const DqDataset& d, SplitMix64& rng) {
     default: {  // negated payload comparison
       int p = 1 + static_cast<int>(
                       rng.next_below(static_cast<uint64_t>(d.payloads)));
-      return format("NOT P%d < 0.%d", p,
+      return format("NOT %sP%d < 0.%d", x, p,
                     1 + static_cast<int>(rng.next_below(8)));
     }
   }
@@ -430,10 +489,11 @@ std::string random_query(const DqDataset& d, SplitMix64& rng) {
     // outputs (keys, COUNT, MIN, MAX) — SUM/AVG compare only within float
     // tolerance, so ordering by them could cut a LIMIT at different rows.
     std::vector<std::string> keys;
-    switch (rng.next_below(4)) {
+    switch (rng.next_below(d.st_grid ? 5 : 4)) {
       case 0: break;  // global aggregate
       case 1: keys = {"REL"}; break;
       case 2: keys = {"TIME"}; break;
+      case 4: keys = {"LAT", "LON"}; break;
       default: keys = {"REL", "TIME"}; break;
     }
     std::vector<std::string> items;
@@ -466,7 +526,7 @@ std::string random_query(const DqDataset& d, SplitMix64& rng) {
     }
     std::vector<std::string> select = keys;
     select.insert(select.end(), items.begin(), items.end());
-    std::string sql = "SELECT " + join(select, ", ") + " FROM DqData" + where;
+    std::string sql = "SELECT " + join(select, ", ") + " FROM " + d.name + where;
     if (!keys.empty()) sql += " GROUP BY " + join(keys, ", ");
     if (!orderable.empty() && rng.next_below(2) == 0) {
       sql += " ORDER BY " +
@@ -492,11 +552,82 @@ std::string random_query(const DqDataset& d, SplitMix64& rng) {
                                      static_cast<uint64_t>(d.payloads))));
         break;
     }
-    return "SELECT * FROM DqData" + where + " ORDER BY " + attr +
+    return "SELECT * FROM " + d.name + where + " ORDER BY " + attr +
            (rng.next_below(2) == 0 ? " DESC" : "") +
            format(" LIMIT %d", 1 + static_cast<int>(rng.next_below(12)));
   }
-  return "SELECT * FROM DqData" + where;
+  return "SELECT * FROM " + d.name + where;
+}
+
+DqJoinCase random_join_query(const DqDataset& a, const DqDataset& b,
+                             SplitMix64& rng) {
+  DqJoinCase jc;
+  // REL and TIME are implicit in every generated shape (file-name binding,
+  // structure loop, or record loop), so any subset joins.
+  switch (rng.next_below(3)) {
+    case 0: jc.keys = {"TIME"}; break;
+    case 1: jc.keys = {"REL"}; break;
+    default: jc.keys = {"REL", "TIME"}; break;
+  }
+  std::vector<std::string> conj;
+  for (const std::string& k : jc.keys)
+    conj.push_back("A." + k + " = B." + k);
+  std::vector<std::string> side_conds[2];
+  for (int side = 0; side < 2; ++side) {
+    const DqDataset& d = side == 0 ? a : b;
+    const std::string pfx = side == 0 ? "A." : "B.";
+    const std::size_t n = rng.next_below(3);  // 0..2 conjuncts per side
+    for (std::size_t i = 0; i < n; ++i) {
+      // Fork the stream so the qualified (join) and unqualified (side
+      // query) spellings come from identical draws.
+      SplitMix64 fork = rng;
+      conj.push_back(random_cond(d, fork, pfx));
+      side_conds[side].push_back(random_cond(d, rng));
+    }
+  }
+  jc.sql = "SELECT * FROM " + a.name + " A, " + b.name + " B WHERE " +
+           join(conj, " AND ");
+  jc.left_sql = "SELECT * FROM " + a.name;
+  if (!side_conds[0].empty())
+    jc.left_sql += " WHERE " + join(side_conds[0], " AND ");
+  jc.right_sql = "SELECT * FROM " + b.name;
+  if (!side_conds[1].empty())
+    jc.right_sql += " WHERE " + join(side_conds[1], " AND ");
+  return jc;
+}
+
+expr::Table oracle_join(const expr::Table& left, const expr::Table& right,
+                        const std::vector<std::string>& keys) {
+  auto col_of = [](const expr::Table& t, const std::string& name) {
+    for (std::size_t i = 0; i < t.columns().size(); ++i)
+      if (t.columns()[i].name == name) return i;
+    throw ValidationError("oracle_join: side table lacks key column " + name);
+  };
+  std::vector<std::size_t> lk, rk;
+  for (const std::string& k : keys) {
+    lk.push_back(col_of(left, k));
+    rk.push_back(col_of(right, k));
+  }
+  std::vector<expr::Table::Column> cols = left.columns();
+  cols.insert(cols.end(), right.columns().begin(), right.columns().end());
+  expr::Table out(std::move(cols));
+  std::vector<double> row(left.columns().size() + right.columns().size());
+  for (std::size_t i = 0; i < left.num_rows(); ++i) {
+    for (std::size_t j = 0; j < right.num_rows(); ++j) {
+      bool match = true;
+      // Keys are small exact integers in doubles; plain equality is exact.
+      for (std::size_t k = 0; k < lk.size() && match; ++k)
+        match = left.at(i, lk[k]) == right.at(j, rk[k]);
+      if (!match) continue;
+      std::size_t c = 0;
+      for (std::size_t x = 0; x < left.columns().size(); ++x)
+        row[c++] = left.at(i, x);
+      for (std::size_t x = 0; x < right.columns().size(); ++x)
+        row[c++] = right.at(j, x);
+      out.append_row(row.data());
+    }
+  }
+  return out;
 }
 
 }  // namespace adv::dq

@@ -35,13 +35,27 @@ struct DqDataset {
   bool time_outer = true;
   bool transposed = false;  // TIME is the record loop, GRID enumerated
   bool arrays = false;      // per-variable arrays vs records
+  bool colmajor = false;    // COLMAJOR record loop (attribute-contiguous)
   bool store_dims = false;  // REL/TIME also stored in the records
   bool headers = false;     // file header + per-chunk markers
   int num_leaves = 1;       // vertical partition of the payloads
 
+  // Titan-style spatio-temporal chunking: the per-node grid becomes a
+  // regular LAT x LON grid of chunks of cells_per_chunk records each, with
+  // LAT/LON implicit structure-loop attributes in the schema (so queries
+  // can prune whole spatial chunks).  grid_per_node is then
+  // lat_chunks * lon_chunks * cells_per_chunk.
+  bool st_grid = false;
+  int lat_chunks = 1;  // per node; global LAT spans nodes * lat_chunks
+  int lon_chunks = 1;
+  int cells_per_chunk = 1;
+
+  // Dataset name in descriptor and SQL (two datasets join by alias).
+  std::string name = "DqData";
+
   uint64_t seed = 0;
 
-  // The descriptor text for this shape (dataset name "DqData").
+  // The descriptor text for this shape.
   std::string descriptor() const;
   // Ground-truth cell value, recomputable without touching any file.
   double value(const std::string& attr, int rel, int time, int gid) const;
@@ -64,6 +78,31 @@ void write_files(const DqDataset& d, const afc::DatasetModel& model);
 // long-double SUM/AVG accumulation (compare those columns with tolerance;
 // keys, COUNT, MIN/MAX, and the LIMIT cut are exact).
 expr::Table oracle_rows(const DqDataset& d, const expr::BoundQuery& q);
+
+// A generated cross-dataset join case (api/join_query.h): the two-table
+// join SQL plus the two single-table side queries whose oracle rows a
+// nested-loop reference joins on `keys`.  The side queries carry exactly
+// the single-side conjuncts of the join WHERE (unqualified), so
+// oracle_join(oracle_rows(left), oracle_rows(right)) is the ground truth
+// for the full join.
+struct DqJoinCase {
+  std::string sql;
+  std::string left_sql, right_sql;  // FROM-order side queries
+  std::vector<std::string> keys;    // shared implicit key attrs
+};
+
+// One random equi-join between `a` (alias A) and `b` (alias B) on their
+// shared implicit dimensions (REL and/or TIME), with 0..2 alias-qualified
+// single-side conjuncts per side drawn from the same condition grammar as
+// single-table queries.
+DqJoinCase random_join_query(const DqDataset& a, const DqDataset& b,
+                             SplitMix64& rng);
+
+// Brute-force nested-loop equi-join of two oracle side tables on the named
+// key columns, emitting left columns then right columns per match — the
+// layout- and engine-independent reference for DqJoinCase.
+expr::Table oracle_join(const expr::Table& left, const expr::Table& right,
+                        const std::vector<std::string>& keys);
 
 // One random query.  Row-shaped queries are always SELECT * (row
 // multiplicity over projected-away dimensions is layout-defined, so only

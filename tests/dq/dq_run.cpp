@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "afc/reference.h"
+#include "api/join_query.h"
 #include "api/virtual_table.h"
 #include "codegen/plan.h"
 #include "common/cancel.h"
+#include "common/env.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/tempdir.h"
@@ -213,7 +215,25 @@ std::string replay_command(uint64_t seed, const DqOptions& opts) {
   return os.str();
 }
 
+std::vector<std::string> seed_queries(const DqDataset& d, int n) {
+  // The corpus is fixed by the seed alone — the same queries run under
+  // every campaign, so "correct rows or clean error" is judged against the
+  // exact corpus the fault-free run validated.
+  SplitMix64 qrng(mix64(d.seed ^ 0x5eed5));
+  std::vector<std::string> queries;
+  for (int i = 0; i < n; ++i) queries.push_back(random_query(d, qrng));
+  return queries;
+}
+
 DqReport run_seed(uint64_t seed, const DqOptions& opts) {
+  DqDataset d = make_dataset(seed);
+  return run_case(d, seed_queries(d, opts.queries_per_seed), opts);
+}
+
+DqReport run_case(const DqDataset& d,
+                  const std::vector<std::string>& queries,
+                  const DqOptions& opts) {
+  const uint64_t seed = d.seed;
   DqReport rep;
   const std::string replay = replay_command(seed, opts);
   auto fail = [&](const std::string& query, const std::string& what) {
@@ -222,13 +242,15 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
                            " query \"" + query + "\": " + what +
                            "  [replay: " + replay + "]");
   };
+  // Injected-mismatch test hook (see dq_run.h): corrupt the fast-path
+  // rows of any query containing this substring.
+  const std::string inject = env_str("ADV_DQ_INJECT_MISMATCH", "");
 
   // ---- Phase 1: generate (never under faults). --------------------------
-  DqDataset d = make_dataset(seed);
   std::string text = d.descriptor();
   TempDir tmp("dq");
   meta::Descriptor desc = meta::parse_descriptor(text);
-  codegen::DataServicePlan refplan(desc, "DqData", tmp.str());
+  codegen::DataServicePlan refplan(desc, d.name, tmp.str());
   write_files(d, refplan.model());
   {
     auto problems = refplan.verify_files();
@@ -246,15 +268,7 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
   vopts.partial_results = opts.partial_results;
   vopts.cluster.io_mode = opts.io_mode;
   vopts.cluster.kernel_mode = opts.kernel_mode;
-  VirtualTable vt = VirtualTable::open(text, "DqData", tmp.str(), vopts);
-
-  // The corpus is fixed by the seed alone — the same queries run under
-  // every campaign, so "correct rows or clean error" is judged against the
-  // exact corpus the fault-free run validated.
-  SplitMix64 qrng(mix64(seed ^ 0x5eed5));
-  std::vector<std::string> queries;
-  for (int i = 0; i < opts.queries_per_seed; ++i)
-    queries.push_back(random_query(d, qrng));
+  VirtualTable vt = VirtualTable::open(text, d.name, tmp.str(), vopts);
 
   // ---- Phase 2: reference answers (never under faults). -----------------
   // Per-query comparison mode: SUM/AVG columns of aggregate queries carry
@@ -296,7 +310,7 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
   std::unique_ptr<storm::QueryClient> client;
   if (opts.with_server) {
     auto splan =
-        std::make_shared<codegen::DataServicePlan>(desc, "DqData", tmp.str());
+        std::make_shared<codegen::DataServicePlan>(desc, d.name, tmp.str());
     storm::ClusterOptions copts;
     copts.io_mode = opts.io_mode;
     copts.kernel_mode = opts.kernel_mode;
@@ -320,7 +334,7 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
   std::unique_ptr<storm::DistCoordinator> dist;
   if (opts.with_dist) {
     auto dplan =
-        std::make_shared<codegen::DataServicePlan>(desc, "DqData", tmp.str());
+        std::make_shared<codegen::DataServicePlan>(desc, d.name, tmp.str());
     std::vector<storm::ShardConfig> shards;
     for (int n = 0; n < dplan->model().num_nodes(); ++n) {
       storm::NodeDaemonOptions nopts;
@@ -360,6 +374,16 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
           rep.io_retries += r.total_io_retries();
           rep.afcs_pruned += r.total_afcs_pruned();
           expr::Table got = r.merged();
+          if (!inject.empty() && sql.find(inject) != std::string::npos) {
+            // Injected-mismatch hook: forge one extra row (a duplicate of
+            // row 0, or zeros on an empty result) so the comparison below
+            // deterministically fails for this query.
+            std::vector<double> forged(got.num_cols(), 0.0);
+            for (std::size_t c = 0; got.num_rows() && c < got.num_cols();
+                 ++c)
+              forged[c] = got.at(0, c);
+            got.append_row(forged.data());
+          }
           if (matches_ref(got, i)) {
             ++rep.passed;
             if (opts.fault_spec.empty() && !have_engine) {
@@ -473,6 +497,69 @@ DqReport run_seed(uint64_t seed, const DqOptions& opts) {
     }
     if (!opts.fault_spec.empty())
       rep.fault_fires = faultz::FaultPlan::instance().total_fires();
+  }
+
+  // ---- Phase 4: cross-dataset joins (clean path, always disarmed). ------
+  // A second generated dataset joins the first on their shared implicit
+  // dimensions (api/join_query.h); the reference is a nested-loop join of
+  // the two sides' cell oracles, so the planner-level key pruning and the
+  // hash merge are both under differential test.  Runs after the campaign
+  // scope: generation may never happen under faults, and the join contract
+  // is exact rows regardless of which campaign phase 3 ran.
+  if (opts.with_joins) {
+    DqDataset db = make_dataset(mix64(seed ^ 0xb0b0ULL));
+    db.name = "DqB";
+    TempDir tmpb("dqb");
+    meta::Descriptor bdesc = meta::parse_descriptor(db.descriptor());
+    codegen::DataServicePlan brefplan(bdesc, "DqB", tmpb.str());
+    write_files(db, brefplan.model());
+    VirtualTable::Options bvopts;
+    bvopts.cluster.io_mode = opts.io_mode;
+    bvopts.cluster.kernel_mode = opts.kernel_mode;
+    VirtualTable vtb = VirtualTable::open(db.descriptor(), "DqB", tmpb.str(),
+                                          bvopts);
+    SplitMix64 jrng(mix64(seed ^ 0x10abcafeULL));
+    for (int j = 0; j < 2; ++j) {
+      DqJoinCase jc = random_join_query(d, db, jrng);
+      ++rep.cases;
+      try {
+        expr::Table want_j =
+            oracle_join(oracle_rows(d, refplan.bind(jc.left_sql)),
+                        oracle_rows(db, brefplan.bind(jc.right_sql)),
+                        jc.keys);
+        JoinStats jst;
+        expr::Table got = join_query(vt, vtb, jc.sql, &jst);
+        if (!rows_equal_exact(got, want_j)) {
+          fail(jc.sql, format("join returned %zu rows, oracle %zu",
+                              got.num_rows(), want_j.num_rows()));
+          continue;
+        }
+        ++rep.passed;
+        // The dist round re-runs the same join with the A-side scan routed
+        // through the coordinator (JoinSideExec is the seam) and must stay
+        // bit-identical.
+        if (dist) {
+          ++rep.cases;
+          sql::SelectQuery jq = sql::parse_select(jc.sql);
+          auto exec = [&](int side, const std::string& side_sql) {
+            return iequals(jq.tables[static_cast<std::size_t>(side)].table,
+                           d.name)
+                       ? dist->run(side_sql).merged()
+                       : vtb.query(side_sql);
+          };
+          expr::Table dgot =
+              execute_join(jq, vt.plan(), vtb.plan(), exec, nullptr);
+          if (rows_equal_exact(dgot, want_j))
+            ++rep.passed;
+          else
+            fail(jc.sql, format("dist-routed join returned %zu rows, "
+                                "oracle %zu",
+                                dgot.num_rows(), want_j.num_rows()));
+        }
+      } catch (const std::exception& e) {
+        fail(jc.sql, std::string("join phase error: ") + e.what());
+      }
+    }
   }
 
   // Teardown (server shutdown, VT destruction) runs disarmed.

@@ -15,6 +15,11 @@
 // campaign the contract weakens to: correct rows, or a clean typed
 // adv::Error, within the deadline.  Never wrong rows, never a hang.
 //
+// A final clean phase generates a second dataset ("DqB") and runs random
+// cross-dataset implicit-attribute joins (api/join_query.h) against a
+// nested-loop join of the two sides' cell oracles — with the A-side scan
+// routed through the DistCoordinator when --dist is on.
+//
 // Shared by tests/dq/dq_diff_test.cpp, tests/dq/dq_fault_test.cpp, and
 // tools/adv_fuzz.cpp (the replay CLI) so a CI failure reproduces exactly.
 #pragma once
@@ -25,6 +30,7 @@
 
 #include "common/io.h"
 #include "common/kernel_mode.h"
+#include "dq/dq_gen.h"
 #include "expr/table.h"
 
 namespace adv::dq {
@@ -60,6 +66,9 @@ struct DqOptions {
   // executor is pinned to the interpreter regardless, so vector and jit
   // runs are genuine cross-tier differentials.
   KernelMode kernel_mode = KernelMode::kAuto;
+  // Run the phase-4 cross-dataset join round (the shrinker turns this off
+  // when the failure reproduces without it).
+  bool with_joins = true;
 };
 
 struct DqReport {
@@ -82,8 +91,23 @@ struct DqReport {
 // "sched", "jit".  Throws ValidationError for an unknown name.
 std::string campaign_spec(const std::string& name);
 
+// The query corpus run_seed derives for dataset `d` (n = queries_per_seed).
+std::vector<std::string> seed_queries(const DqDataset& d, int n);
+
 // Runs the corpus for one seed.  Deterministic given {seed, opts}.
 DqReport run_seed(uint64_t seed, const DqOptions& opts);
+
+// Runs an explicit case: a dataset shape plus a fixed query list.
+// run_seed derives both from the seed and delegates here; the shrinker
+// (dq_shrink.h) mutates them directly.
+//
+// Test hook: when the ADV_DQ_INJECT_MISMATCH env var is a non-empty
+// string S, the fast-path result of every query whose SQL contains S is
+// corrupted (one duplicated/forged row) before comparison — a guaranteed,
+// deterministic mismatch for exercising the failure and shrink paths.
+DqReport run_case(const DqDataset& d,
+                  const std::vector<std::string>& queries,
+                  const DqOptions& opts);
 
 // The one-line replay command for a {seed, opts} combination.
 std::string replay_command(uint64_t seed, const DqOptions& opts);

@@ -1,0 +1,253 @@
+#include "dq/dq_shrink.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/ast.h"
+
+namespace adv::dq {
+
+namespace {
+
+struct Shrinker {
+  DqShrinkResult r;
+  const std::function<void(const std::string&)>& log;
+
+  void note(const std::string& line) {
+    if (log) log(line);
+  }
+
+  // Runs a candidate; accepts it (and installs it as the new minimum)
+  // only when the harness still records a failure.
+  bool try_case(const DqDataset& d, const std::vector<std::string>& qs,
+                const std::string& what) {
+    ++r.attempts;
+    DqReport rep;
+    try {
+      rep = run_case(d, qs, r.opts);
+    } catch (const std::exception&) {
+      return false;  // different failure mode; reject
+    }
+    if (rep.ok()) return false;
+    r.dataset = d;
+    r.queries = qs;
+    r.report = std::move(rep);
+    ++r.accepted;
+    note("kept: " + what);
+    return true;
+  }
+
+  // Drop whole queries, last first (later queries depend on nothing).
+  bool shrink_queries() {
+    bool changed = false;
+    for (std::size_t i = r.queries.size(); i-- > 0;) {
+      if (r.queries.size() == 1) break;
+      std::vector<std::string> qs = r.queries;
+      qs.erase(qs.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_case(r.dataset, qs, format("dropped query %zu", i)))
+        changed = true;
+    }
+    return changed;
+  }
+
+  // AST-level simplification of each surviving query: drop top-level
+  // WHERE conjuncts, then ORDER BY, then LIMIT.
+  bool shrink_query_asts() {
+    bool changed = false;
+    for (std::size_t i = 0; i < r.queries.size(); ++i) {
+      sql::SelectQuery q;
+      try {
+        q = sql::parse_select(r.queries[i]);
+      } catch (const std::exception&) {
+        continue;
+      }
+      std::vector<sql::BoolExprPtr> conj;
+      std::function<void(const sql::BoolExprPtr&)> flatten =
+          [&](const sql::BoolExprPtr& e) {
+            if (!e) return;
+            if (e->kind == sql::BoolExpr::Kind::kAnd) {
+              flatten(e->a);
+              flatten(e->b);
+              return;
+            }
+            conj.push_back(e);
+          };
+      flatten(q.where);
+      auto with = [&](const sql::SelectQuery& cand) {
+        std::vector<std::string> qs = r.queries;
+        qs[i] = cand.to_string();
+        return try_case(r.dataset, qs,
+                        format("query %zu -> %s", i, qs[i].c_str()));
+      };
+      for (std::size_t c = conj.size(); c-- > 0;) {
+        sql::SelectQuery cand = q;
+        cand.where = nullptr;
+        for (std::size_t k = 0; k < conj.size(); ++k) {
+          if (k == c) continue;
+          cand.where = cand.where
+                           ? sql::BoolExpr::make_and(cand.where, conj[k])
+                           : conj[k];
+        }
+        if (with(cand)) {
+          q = cand;
+          conj.erase(conj.begin() + static_cast<std::ptrdiff_t>(c));
+          changed = true;
+        }
+      }
+      if (!q.order_by.empty()) {
+        sql::SelectQuery cand = q;
+        cand.order_by.clear();
+        if (with(cand)) {
+          q = cand;
+          changed = true;
+        }
+      }
+      if (q.limit >= 0) {
+        sql::SelectQuery cand = q;
+        cand.limit = -1;
+        if (with(cand)) changed = true;
+      }
+    }
+    return changed;
+  }
+
+  // Walk one integer knob down: halve toward `lo`, then decrement.
+  bool shrink_int(int DqDataset::*field, int lo, const char* name) {
+    bool changed = false;
+    for (;;) {
+      const int cur = r.dataset.*field;
+      if (cur <= lo) return changed;
+      DqDataset d = r.dataset;
+      d.*field = std::max(lo, cur / 2);
+      fixup(d);
+      if (!try_case(d, r.queries, format("%s %d -> %d", name, cur,
+                                         d.*field))) {
+        d = r.dataset;
+        d.*field = cur - 1;
+        fixup(d);
+        if (!try_case(d, r.queries,
+                      format("%s %d -> %d", name, cur, d.*field)))
+          return changed;
+      }
+      changed = true;
+    }
+  }
+
+  bool clear_flag(bool DqDataset::*field, const char* name) {
+    if (!(r.dataset.*field)) return false;
+    DqDataset d = r.dataset;
+    d.*field = false;
+    fixup(d);
+    return try_case(d, r.queries, std::string("cleared ") + name);
+  }
+
+  // Keeps dependent knobs consistent after a mutation (the same
+  // invariants make_dataset establishes).
+  static void fixup(DqDataset& d) {
+    if (d.st_grid) {
+      d.transposed = false;
+      d.grid_per_node = d.lat_chunks * d.lon_chunks * d.cells_per_chunk;
+    } else {
+      d.lat_chunks = d.lon_chunks = d.cells_per_chunk = 1;
+    }
+    if (d.colmajor) d.arrays = false;
+    if (d.num_leaves > d.payloads) d.num_leaves = d.payloads;
+  }
+
+  bool shrink_dataset() {
+    bool changed = false;
+    for (auto [f, name] :
+         std::initializer_list<std::pair<int DqDataset::*, const char*>>{
+             {&DqDataset::nodes, "nodes"},
+             {&DqDataset::rels, "rels"},
+             {&DqDataset::timesteps, "timesteps"},
+             {&DqDataset::payloads, "payloads"},
+             {&DqDataset::num_leaves, "num_leaves"},
+             {&DqDataset::lat_chunks, "lat_chunks"},
+             {&DqDataset::lon_chunks, "lon_chunks"},
+             {&DqDataset::cells_per_chunk, "cells_per_chunk"}}) {
+      if (shrink_int(f, 1, name)) changed = true;
+    }
+    if (!r.dataset.st_grid &&
+        shrink_int(&DqDataset::grid_per_node, 1, "grid_per_node"))
+      changed = true;
+    for (auto [f, name] :
+         std::initializer_list<std::pair<bool DqDataset::*, const char*>>{
+             {&DqDataset::st_grid, "st_grid"},
+             {&DqDataset::headers, "headers"},
+             {&DqDataset::store_dims, "store_dims"},
+             {&DqDataset::colmajor, "colmajor"},
+             {&DqDataset::arrays, "arrays"},
+             {&DqDataset::transposed, "transposed"},
+             {&DqDataset::time_in_filename, "time_in_filename"},
+             {&DqDataset::rel_in_filename, "rel_in_filename"}}) {
+      if (clear_flag(f, name)) changed = true;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::string shape_string(const DqDataset& d) {
+  std::ostringstream os;
+  os << "nodes=" << d.nodes << " rels=" << d.rels << " timesteps="
+     << d.timesteps << " grid=" << d.grid_per_node << " payloads="
+     << d.payloads << " leaves=" << d.num_leaves;
+  if (d.st_grid)
+    os << " st_grid(" << d.lat_chunks << "x" << d.lon_chunks << "x"
+       << d.cells_per_chunk << ")";
+  for (auto [on, name] :
+       std::initializer_list<std::pair<bool, const char*>>{
+           {d.rel_in_filename, "rel_in_filename"},
+           {d.time_in_filename, "time_in_filename"},
+           {d.transposed, "transposed"},
+           {d.arrays, "arrays"},
+           {d.colmajor, "colmajor"},
+           {d.store_dims, "store_dims"},
+           {d.headers, "headers"}})
+    if (on) os << " " << name;
+  return os.str();
+}
+
+DqShrinkResult shrink_seed(
+    uint64_t seed, const DqOptions& opts,
+    const std::function<void(const std::string&)>& log) {
+  Shrinker s{DqShrinkResult{}, log};
+  s.r.opts = opts;
+  s.r.dataset = make_dataset(seed);
+  s.r.queries = seed_queries(s.r.dataset, opts.queries_per_seed);
+
+  ++s.r.attempts;
+  s.r.report = run_case(s.r.dataset, s.r.queries, s.r.opts);
+  s.r.failed_initially = !s.r.report.ok();
+  if (!s.r.failed_initially) return s.r;
+
+  // Drop the join round first when the failure survives without it —
+  // every later candidate then runs the smaller harness.
+  if (s.r.opts.with_joins) {
+    DqOptions without = s.r.opts;
+    without.with_joins = false;
+    DqOptions keep = s.r.opts;
+    s.r.opts = without;
+    if (s.try_case(s.r.dataset, s.r.queries, "disabled join round"))
+      s.note("join round not needed");
+    else
+      s.r.opts = keep;
+  }
+
+  // Greedy fixed point over all shrink passes (bounded: every accepted
+  // step strictly shrinks something, so this terminates quickly).
+  for (bool changed = true; changed;) {
+    changed = false;
+    if (s.shrink_queries()) changed = true;
+    if (s.shrink_query_asts()) changed = true;
+    if (s.shrink_dataset()) changed = true;
+  }
+  return s.r;
+}
+
+}  // namespace adv::dq

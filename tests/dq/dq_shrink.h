@@ -1,0 +1,54 @@
+// Greedy failure minimizer for the differential query-fuzz harness.
+//
+// A failing seed reproduces with `adv_fuzz --seed N`, but the generated
+// case can be large: several queries, a multi-node dataset, half a dozen
+// layout flags.  `adv_fuzz --shrink N` drives shrink_seed(), which
+// repeatedly re-runs the case through run_case() while greedily removing
+// anything the failure does not need:
+//
+//   1. the cross-dataset join round (DqOptions::with_joins), if the
+//      failure reproduces without it;
+//   2. whole queries, until only the failing ones remain;
+//   3. query structure, at the AST level: top-level WHERE conjuncts,
+//      ORDER BY, and LIMIT are dropped one at a time and the query
+//      re-serialized (never edited textually);
+//   4. dataset shape: integer dimensions walk down (halve, then
+//      decrement) and layout flags reset toward the plainest layout.
+//
+// A candidate is accepted only when run_case still *records* a failure —
+// a candidate that throws (e.g. a query referencing a dimension the
+// shrunken dataset no longer has) is rejected, keeping the minimized case
+// anchored to the original kind of failure.  Everything re-runs the real
+// harness, so the result is guaranteed to still fail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dq/dq_run.h"
+
+namespace adv::dq {
+
+struct DqShrinkResult {
+  DqDataset dataset;                 // minimized shape
+  std::vector<std::string> queries;  // minimized corpus
+  DqOptions opts;                    // possibly reduced (joins off)
+  DqReport report;                   // run_case report of the minimum
+  bool failed_initially = false;     // seed reproduced before shrinking
+  int attempts = 0;                  // candidate runs tried
+  int accepted = 0;                  // candidates that kept the failure
+};
+
+// Minimizes the failing case for `seed`.  `log`, when set, receives one
+// line per accepted shrink step.  Deterministic given {seed, opts} and
+// the ADV_DQ_INJECT_MISMATCH hook state (dq_run.h).
+DqShrinkResult shrink_seed(
+    uint64_t seed, const DqOptions& opts,
+    const std::function<void(const std::string&)>& log = {});
+
+// One-line rendering of the shape knobs ("nodes=2 rels=1 ... colmajor").
+std::string shape_string(const DqDataset& d);
+
+}  // namespace adv::dq

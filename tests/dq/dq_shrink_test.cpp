@@ -1,0 +1,83 @@
+// Tests for the greedy failure minimizer (dq_shrink.h), driven by the
+// ADV_DQ_INJECT_MISMATCH hook: with a guaranteed mismatch injected into
+// the fast path, the shrinker must (a) reproduce the failure and (b)
+// strictly minimize the case — one query, no WHERE clause, every dataset
+// dimension walked down to 1, every layout flag cleared.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "dq/dq_shrink.h"
+
+namespace adv::dq {
+namespace {
+
+// RAII env guard so a failing assertion cannot leak the hook into other
+// tests in this binary.
+class InjectGuard {
+ public:
+  explicit InjectGuard(const char* needle) {
+    ::setenv("ADV_DQ_INJECT_MISMATCH", needle, 1);
+  }
+  ~InjectGuard() { ::unsetenv("ADV_DQ_INJECT_MISMATCH"); }
+};
+
+TEST(DqShrinkTest, InjectedMismatchReproducesAndMinimizes) {
+  InjectGuard inject("SELECT");  // every query's fast path is corrupted
+  DqOptions opts;
+  opts.queries_per_seed = 3;
+  const DqDataset original = make_dataset(2);
+  DqShrinkResult res = shrink_seed(2, opts);
+
+  ASSERT_TRUE(res.failed_initially);
+  EXPECT_FALSE(res.report.ok());  // the minimized case still fails
+  EXPECT_GT(res.accepted, 0);
+  EXPECT_GE(res.attempts, res.accepted);
+
+  // Corpus minimized to a single query with no residual structure the
+  // failure does not need.
+  ASSERT_EQ(res.queries.size(), 1u);
+  EXPECT_EQ(res.queries[0].find(" WHERE "), std::string::npos)
+      << res.queries[0];
+
+  // Every dimension is at (or below) the original, and the universal
+  // mismatch means they all reach the floor.
+  EXPECT_EQ(res.dataset.nodes, 1);
+  EXPECT_EQ(res.dataset.rels, 1);
+  EXPECT_EQ(res.dataset.timesteps, 1);
+  EXPECT_EQ(res.dataset.payloads, 1);
+  EXPECT_EQ(res.dataset.num_leaves, 1);
+  EXPECT_LE(res.dataset.grid_per_node, original.grid_per_node);
+  EXPECT_FALSE(res.dataset.st_grid);
+  EXPECT_FALSE(res.dataset.headers);
+  EXPECT_FALSE(res.dataset.colmajor);
+  EXPECT_FALSE(res.dataset.arrays);
+  // The failure reproduces without the cross-dataset join round.
+  EXPECT_FALSE(res.opts.with_joins);
+}
+
+TEST(DqShrinkTest, InjectTargetsOnlyMatchingQueries) {
+  // A needle that matches nothing leaves the corpus passing: the hook is
+  // a substring filter, not a blanket switch.
+  InjectGuard inject("NO_SUCH_SUBSTRING_IN_ANY_QUERY");
+  DqOptions opts;
+  opts.queries_per_seed = 2;
+  DqShrinkResult res = shrink_seed(4, opts);
+  EXPECT_FALSE(res.failed_initially);
+  EXPECT_TRUE(res.report.ok());
+  EXPECT_EQ(res.accepted, 0);
+}
+
+TEST(DqShrinkTest, CleanSeedHasNothingToShrink) {
+  DqOptions opts;
+  opts.queries_per_seed = 2;
+  DqShrinkResult res = shrink_seed(6, opts);
+  EXPECT_FALSE(res.failed_initially);
+  EXPECT_TRUE(res.report.ok());
+  // Untouched: the result is exactly the seed's own case.
+  EXPECT_EQ(res.queries.size(), 2u);
+  EXPECT_EQ(shape_string(res.dataset), shape_string(make_dataset(6)));
+}
+
+}  // namespace
+}  // namespace adv::dq

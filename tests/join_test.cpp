@@ -1,0 +1,293 @@
+// End-to-end tests for cross-dataset implicit-attribute joins
+// (api/join_query.h): IparsData x TitanST against a brute-force
+// nested-loop reference, pushdown pruning stats, the empty-intersection
+// short circuit, and every typed rejection the analyzer documents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/join_query.h"
+#include "advirt.h"
+#include "common/tempdir.h"
+#include "dataset/ipars.h"
+#include "dataset/titan_st.h"
+
+namespace adv {
+namespace {
+
+// Brute-force reference: nested-loop equi-join of two tables on one key
+// column per side, emitting left columns then right columns.
+expr::Table nested_loop_join(const expr::Table& l, std::size_t lk,
+                             const expr::Table& r, std::size_t rk) {
+  std::vector<expr::Table::Column> cols = l.columns();
+  cols.insert(cols.end(), r.columns().begin(), r.columns().end());
+  expr::Table out(cols);
+  std::vector<double> row(cols.size());
+  for (std::size_t i = 0; i < l.num_rows(); ++i) {
+    for (std::size_t j = 0; j < r.num_rows(); ++j) {
+      if (std::llround(l.at(i, lk)) != std::llround(r.at(j, rk))) continue;
+      std::size_t c = 0;
+      for (std::size_t x = 0; x < l.columns().size(); ++x)
+        row[c++] = l.at(i, x);
+      for (std::size_t x = 0; x < r.columns().size(); ++x)
+        row[c++] = r.at(j, x);
+      out.append_row(row.data());
+    }
+  }
+  return out;
+}
+
+std::size_t col_named(const expr::Table& t, const std::string& name) {
+  for (std::size_t i = 0; i < t.columns().size(); ++i)
+    if (t.columns()[i].name == name) return i;
+  ADD_FAILURE() << "no column " << name;
+  return 0;
+}
+
+// Shared fixture: a small IPARS dataset (TIME implicit via per-timestep
+// file names, layout III) and a Titan-ST grid (TIME implicit via the
+// structure loop) with overlapping TIME ranges 1..12 and 1..8.
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    icfg_.nodes = 2;
+    icfg_.rels = 2;
+    icfg_.timesteps = 12;
+    icfg_.grid_per_node = 8;
+    icfg_.pad_vars = 0;
+    igen_ = dataset::generate_ipars(icfg_, dataset::IparsLayout::kIII,
+                                    tmp_.str());
+    tcfg_.nodes = 1;
+    tcfg_.lat_chunks = 2;
+    tcfg_.lon_chunks = 2;
+    tcfg_.timesteps = 8;
+    tcfg_.cells_per_chunk = 16;
+    tgen_ = dataset::generate_titan_st(tcfg_, tmp_.str());
+    ipars_ = std::make_unique<VirtualTable>(VirtualTable::open(
+        igen_.descriptor_text, "IparsData", igen_.root));
+    titan_ = std::make_unique<VirtualTable>(VirtualTable::open(
+        tgen_.descriptor_text, "TitanST", tgen_.root));
+  }
+
+  // Oracle table for one side query (brute force, engine-independent).
+  expr::Table ipars_side(const std::string& sql) {
+    return dataset::ipars_oracle(icfg_, ipars_->plan().bind(sql));
+  }
+  expr::Table titan_side(const std::string& sql) {
+    return dataset::titan_st_oracle(tcfg_, titan_->plan().bind(sql));
+  }
+
+  TempDir tmp_{"join"};
+  dataset::IparsConfig icfg_;
+  dataset::TitanStConfig tcfg_;
+  dataset::GeneratedIpars igen_;
+  dataset::GeneratedTitanSt tgen_;
+  std::unique_ptr<VirtualTable> ipars_, titan_;
+};
+
+TEST_F(JoinTest, MatchesBruteForceAndPrunes) {
+  JoinStats st;
+  expr::Table got = join_query(
+      *ipars_, *titan_,
+      "SELECT * FROM IparsData I, TitanST T "
+      "WHERE I.TIME = T.TIME AND I.SOIL >= 0.85 AND T.S1 >= 0.5 "
+      "AND T.LAT <= 2",
+      &st);
+
+  // SELECT * = side-0 schema then side-1 schema, alias-qualified.
+  ASSERT_EQ(got.columns().size(), 10u + 8u);
+  EXPECT_EQ(got.columns()[0].name, "I.REL");
+  EXPECT_EQ(got.columns()[10].name, "T.TIME");
+
+  expr::Table l =
+      ipars_side("SELECT * FROM IparsData WHERE SOIL >= 0.85");
+  expr::Table r = titan_side(
+      "SELECT * FROM TitanST WHERE S1 >= 0.5 AND LAT <= 2");
+  expr::Table want = nested_loop_join(l, col_named(l, "TIME"), r,
+                                      col_named(r, "TIME"));
+  EXPECT_TRUE(got.same_rows(want));
+  EXPECT_GT(got.num_rows(), 0u);
+
+  // Mutual pruning pushed TIME IN (1..8) into both side scans: the IPARS
+  // side never reads timesteps 9..12 even though its own WHERE allows them.
+  ASSERT_EQ(st.key_attrs.size(), 1u);
+  EXPECT_EQ(st.key_attrs[0], "TIME=TIME");
+  EXPECT_TRUE(st.pruned);
+  EXPECT_EQ(st.keys_intersected, 8u);
+  EXPECT_NE(st.left_sql.find("TIME IN (1, 2, 3, 4, 5, 6, 7, 8)"),
+            std::string::npos);
+  EXPECT_NE(st.right_sql.find("TIME IN (1, 2, 3, 4, 5, 6, 7, 8)"),
+            std::string::npos);
+  EXPECT_EQ(st.left_rows, l.num_rows());
+  EXPECT_EQ(st.right_rows, r.num_rows());
+  EXPECT_EQ(st.joined_rows, got.num_rows());
+}
+
+TEST_F(JoinTest, ProjectionAndReversedFromOrder) {
+  const char* sql =
+      "SELECT T.S1, I.SOIL, I.TIME FROM TitanST T, IparsData I "
+      "WHERE T.TIME = I.TIME AND I.REL = 0 AND T.LON >= 2";
+  // FROM order is reversed relative to the (left, right) arguments.
+  expr::Table got = join_query(*ipars_, *titan_, sql);
+  ASSERT_EQ(got.columns().size(), 3u);
+  EXPECT_EQ(got.columns()[0].name, "T.S1");
+  EXPECT_EQ(got.columns()[2].name, "I.TIME");
+
+  expr::Table l = titan_side("SELECT * FROM TitanST WHERE LON >= 2");
+  expr::Table r = ipars_side("SELECT * FROM IparsData WHERE REL = 0");
+  expr::Table full = nested_loop_join(l, col_named(l, "TIME"), r,
+                                      col_named(r, "TIME"));
+  // Project the reference onto (S1, SOIL, TIME) column-by-column.
+  std::size_t s1 = col_named(l, "S1");
+  std::size_t soil = l.columns().size() + col_named(r, "SOIL");
+  std::size_t time = l.columns().size() + col_named(r, "TIME");
+  expr::Table want(got.columns());
+  for (std::size_t i = 0; i < full.num_rows(); ++i) {
+    double row[3] = {full.at(i, s1), full.at(i, soil), full.at(i, time)};
+    want.append_row(row);
+  }
+  EXPECT_TRUE(got.same_rows(want));
+  EXPECT_GT(got.num_rows(), 0u);
+}
+
+TEST_F(JoinTest, ColmajorSideJoinsIdentically) {
+  // The same Titan-ST data in the column-major family joins bit-identically
+  // (the layout changes I/O shape, not values).
+  dataset::TitanStConfig ccfg = tcfg_;
+  ccfg.colmajor = true;
+  TempDir ctmp("joincm");
+  auto cgen = dataset::generate_titan_st(ccfg, ctmp.str());
+  VirtualTable cvt =
+      VirtualTable::open(cgen.descriptor_text, "TitanST", cgen.root);
+  const char* sql =
+      "SELECT I.TIME, T.S2 FROM IparsData I, TitanST T "
+      "WHERE I.TIME = T.TIME AND T.S2 < 0.3 AND I.SGAS >= 0.5";
+  expr::Table row_major = join_query(*ipars_, *titan_, sql);
+  expr::Table col_major = join_query(*ipars_, cvt, sql);
+  EXPECT_TRUE(row_major.same_rows(col_major, 0.0));
+  EXPECT_GT(row_major.num_rows(), 0u);
+}
+
+TEST_F(JoinTest, EmptyKeyIntersectionSkipsAllScanning) {
+  // REL is implicit on the IPARS side with domain {0, 1}; TIME on the
+  // Titan side is {1..8}... with rels=1 the domains are disjoint, so the
+  // join must return an empty (but correctly shaped) table without
+  // executing either side.
+  dataset::IparsConfig cfg1 = icfg_;
+  cfg1.rels = 1;
+  cfg1.nodes = 1;
+  cfg1.timesteps = 2;
+  TempDir etmp("joinempty");
+  auto egen = dataset::generate_ipars(cfg1, dataset::IparsLayout::kIII,
+                                      etmp.str());
+  codegen::DataServicePlan eplan = codegen::DataServicePlan::from_text(
+      egen.descriptor_text, "IparsData", egen.root);
+  // REL = 0 only; Titan TIME starts at 1 → empty intersection.
+  sql::SelectQuery q = sql::parse_select(
+      "SELECT * FROM IparsData I, TitanST T WHERE I.REL = T.TIME");
+  bool executed = false;
+  JoinStats st;
+  expr::Table got = execute_join(
+      q, eplan, titan_->plan(),
+      [&](int, const std::string&) -> expr::Table {
+        executed = true;
+        return expr::Table(std::vector<expr::Table::Column>{});
+      },
+      &st);
+  EXPECT_FALSE(executed);
+  EXPECT_EQ(got.num_rows(), 0u);
+  ASSERT_EQ(got.columns().size(), 10u + 8u);
+  EXPECT_TRUE(st.pruned);
+  EXPECT_EQ(st.keys_intersected, 0u);
+  EXPECT_EQ(st.joined_rows, 0u);
+}
+
+TEST_F(JoinTest, LargeIntersectionFallsBackToRangePush) {
+  // > 256 shared key values: the pushdown switches from an IN list to a
+  // min/max range on both sides.
+  dataset::IparsConfig cfg1;
+  cfg1.nodes = 1;
+  cfg1.rels = 1;
+  cfg1.timesteps = 300;
+  cfg1.grid_per_node = 2;
+  cfg1.pad_vars = 0;
+  dataset::TitanStConfig cfg2;
+  cfg2.nodes = 1;
+  cfg2.lat_chunks = 1;
+  cfg2.lon_chunks = 1;
+  cfg2.timesteps = 300;
+  cfg2.cells_per_chunk = 2;
+  TempDir ltmp("joinrange");
+  auto g1 = dataset::generate_ipars(cfg1, dataset::IparsLayout::kIII,
+                                    ltmp.str());
+  auto g2 = dataset::generate_titan_st(cfg2, ltmp.str());
+  VirtualTable v1 = VirtualTable::open(g1.descriptor_text, "IparsData",
+                                       g1.root);
+  VirtualTable v2 = VirtualTable::open(g2.descriptor_text, "TitanST",
+                                       g2.root);
+  JoinStats st;
+  expr::Table got = join_query(
+      v1, v2,
+      "SELECT I.TIME, T.S1 FROM IparsData I, TitanST T "
+      "WHERE I.TIME = T.TIME AND I.SOIL >= 2.0",
+      &st);
+  EXPECT_TRUE(st.pruned);
+  EXPECT_EQ(st.keys_intersected, 300u);
+  EXPECT_EQ(st.left_sql.find("IN ("), std::string::npos);
+  EXPECT_NE(st.left_sql.find(">= 1"), std::string::npos);
+  EXPECT_NE(st.left_sql.find("<= 300"), std::string::npos);
+  // SOIL >= 2.0 is unsatisfiable (values are fractions), so the join is
+  // empty even though every key matched.
+  EXPECT_EQ(got.num_rows(), 0u);
+  EXPECT_EQ(st.right_rows, cfg2.total_rows());
+}
+
+TEST_F(JoinTest, RejectsEveryUnsupportedShape) {
+  auto bad = [&](const std::string& sql) {
+    EXPECT_THROW(join_query(*ipars_, *titan_, sql), QueryError) << sql;
+  };
+  // Aggregation / ordering over a join.
+  bad("SELECT COUNT(*) FROM IparsData I, TitanST T WHERE I.TIME = T.TIME");
+  bad("SELECT * FROM IparsData I, TitanST T WHERE I.TIME = T.TIME "
+      "ORDER BY I.TIME");
+  bad("SELECT * FROM IparsData I, TitanST T WHERE I.TIME = T.TIME LIMIT 5");
+  // Duplicate alias.
+  bad("SELECT * FROM IparsData X, TitanST X WHERE X.TIME = X.TIME");
+  // Cross-side predicate that is not plain attribute equality.
+  bad("SELECT * FROM IparsData I, TitanST T WHERE I.TIME > T.TIME");
+  bad("SELECT * FROM IparsData I, TitanST T "
+      "WHERE I.TIME = T.TIME AND I.SOIL + T.S1 > 1");
+  // Join key not implicit on both sides (SOIL/S1 are stored floats).
+  bad("SELECT * FROM IparsData I, TitanST T WHERE I.SOIL = T.S1");
+  // No join key at all.
+  bad("SELECT * FROM IparsData I, TitanST T "
+      "WHERE I.SOIL >= 0.9 AND T.S1 >= 0.9");
+  // Unknown alias / unknown attribute / ambiguous unqualified attribute.
+  bad("SELECT * FROM IparsData I, TitanST T WHERE Z.TIME = T.TIME");
+  bad("SELECT * FROM IparsData I, TitanST T WHERE I.NOPE = T.TIME");
+  bad("SELECT * FROM IparsData I, TitanST T "
+      "WHERE I.TIME = T.TIME AND TIME = 1");
+  // FROM names that don't match the supplied tables.
+  bad("SELECT * FROM Nope N, TitanST T WHERE N.TIME = T.TIME");
+  // Single-table SQL through the join entry point.
+  EXPECT_THROW(join_query(*ipars_, *titan_, "SELECT * FROM IparsData"),
+               QueryError);
+}
+
+TEST_F(JoinTest, SingleDatasetPathsRejectJoinSql) {
+  const char* sql =
+      "SELECT * FROM IparsData I, TitanST T WHERE I.TIME = T.TIME";
+  EXPECT_THROW(ipars_->plan().bind(sql), QueryError);
+  EXPECT_THROW(ipars_->query(sql), QueryError);
+  try {
+    ipars_->plan().bind(sql);
+    FAIL() << "bind accepted a join";
+  } catch (const QueryError& e) {
+    EXPECT_NE(std::string(e.what()).find("join"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace adv

@@ -130,6 +130,44 @@ TEST(RegionTest, ThreeLevelNest) {
   EXPECT_EQ(regions[0].path[1].stride, 40u);
 }
 
+TEST(RegionTest, ColmajorLowersToOneRegionPerField) {
+  // COLMAJOR record loop: X array then Y array, each its own region over
+  // the shared record loop, single-field records.
+  auto space = parse_space("LOOP GRID 1:100:1 COLMAJOR { TIME X Y }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  auto regions = analyze_regions(space, s, {}, env);
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0].fields[0].attr, "TIME");
+  EXPECT_EQ(regions[0].base_offset, 0u);
+  EXPECT_EQ(regions[0].record_bytes, 4u);
+  EXPECT_EQ(regions[1].fields[0].attr, "X");
+  EXPECT_EQ(regions[1].base_offset, 400u);
+  EXPECT_EQ(regions[2].fields[0].attr, "Y");
+  EXPECT_EQ(regions[2].base_offset, 800u);
+  for (const auto& r : regions) {
+    EXPECT_EQ(r.record_ident, "GRID");
+    EXPECT_EQ(r.record_range.count(), 100);
+    ASSERT_EQ(r.fields.size(), 1u);
+    EXPECT_EQ(r.fields[0].intra_offset, 0u);
+  }
+  EXPECT_EQ(dataspace_bytes(space, s, {}, env), 100u * 12u);
+}
+
+TEST(RegionTest, ColmajorInsideStructureLoopStride) {
+  // The enclosing TIME stride covers the whole column-major chunk.
+  auto space = parse_space(
+      "LOOP TIME 1:10:1 { LOOP GRID 1:50:1 COLMAJOR { SOIL SGAS } }");
+  meta::Schema s = schema3();
+  meta::VarEnv env;
+  auto regions = analyze_regions(space, s, {}, env);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].base_offset, 0u);
+  EXPECT_EQ(regions[1].base_offset, 200u);
+  EXPECT_EQ(regions[0].path[0].stride, 400u);
+  EXPECT_EQ(regions[1].path[0].stride, 400u);
+}
+
 TEST(RegionTest, EvalRangeContains) {
   EvalRange r{1, 10, 3};  // 1,4,7,10
   EXPECT_TRUE(r.contains(1));

@@ -347,6 +347,71 @@ TEST(ValidateTest, LeafNeedsDataspaceAndFiles) {
                ValidationError);
 }
 
+// Table-driven corner cases for the layout families: each row is a layout
+// body plus a substring the ValidationError message must carry, so a
+// regressed check fails with the offending descriptor in the test output.
+TEST(ValidateTest, LayoutErrorTable) {
+  struct Case {
+    const char* name;
+    const char* layout;
+    const char* expect;  // substring of the ValidationError message
+  };
+  const Case kCases[] = {
+      {"colmajor-structure-loop",
+       "DATASET \"DS\" { DATASPACE { LOOP T 1:2:1 COLMAJOR { LOOP I 1:2:1 "
+       "{ A B } } } DATA { f } }",
+       "contains nested loops"},
+      {"colmajor-mixed-body",
+       "DATASET \"DS\" { DATATYPE { S HDR = int } DATASPACE { LOOP I 1:2:1 "
+       "COLMAJOR { HDR LOOP J 1:2:1 { A } } } DATA { f } }",
+       "contains nested loops"},
+      {"schema-attr-beside-loop",
+       "DATASET \"DS\" { DATASPACE { LOOP T 1:2:1 { A LOOP I 1:2:1 { B } } "
+       "} DATA { f } }",
+       "mixes schema attribute 'A' with nested loops"},
+      {"empty-loop-body",
+       "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { } } DATA { f } }",
+       "has an empty body"},
+      {"triangular-bound",
+       "DATASET \"DS\" { DATASPACE { LOOP I 1:4:1 { LOOP J 1:$I:1 { A } } } "
+       "DATA { f } }",
+       "triangular loop nests are not supported"},
+      {"unbound-bound-variable",
+       "DATASET \"DS\" { DATASPACE { LOOP I 1:$N:1 { A } } DATA { f } }",
+       "not bound by every file pattern"},
+      {"unknown-field-in-record-loop",
+       "DATASET \"DS\" { DATASPACE { LOOP I 1:2:1 { A NOPE } } DATA { f } }",
+       "unknown attribute 'NOPE'"},
+      {"unknown-field-in-header-run",
+       "DATASET \"DS\" { DATASPACE { LOOP T 1:2:1 { NOPE LOOP I 1:2:1 { A } "
+       "} } DATA { f } }",
+       "unknown attribute 'NOPE'"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    try {
+      parse_descriptor(with_layout(c.layout));
+      ADD_FAILURE() << "expected ValidationError containing \"" << c.expect
+                    << "\"";
+    } catch (const ValidationError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << "message: " << e.what();
+    }
+  }
+}
+
+// COLMAJOR on a record loop is the legal form, and it survives a
+// pretty-print round trip.
+TEST(ValidateTest, ColmajorRecordLoopRoundTrips) {
+  Descriptor d = parse_descriptor(with_layout(
+      "DATASET \"DS\" { DATASPACE { LOOP T 1:2:1 { LOOP I 1:4:1 COLMAJOR { "
+      "A B } } } DATA { f } }"));
+  const std::string printed = to_text(d);
+  EXPECT_NE(printed.find("COLMAJOR"), std::string::npos) << printed;
+  Descriptor again = parse_descriptor(printed);
+  EXPECT_EQ(to_text(again), printed);
+}
+
 TEST(ValidateTest, ChildOrderMustMatchNestedBlocks) {
   EXPECT_THROW(parse_descriptor(with_layout(
                    "DATASET \"DS\" { DATA { DATASET ghost } DATASET real { "

@@ -113,13 +113,61 @@ TEST(SqlParserTest, RoundTripToString) {
   EXPECT_EQ(q1.to_string(), q2.to_string());
 }
 
+TEST(SqlParserTest, MultiTableFromWithAliases) {
+  SelectQuery q = parse_select(
+      "SELECT I.TIME, SOIL, T.S1 FROM IparsData I, TitanST T "
+      "WHERE I.TIME = T.TIME AND I.SOIL >= 0.9 AND T.LAT <= 2");
+  EXPECT_TRUE(q.is_join());
+  ASSERT_EQ(q.tables.size(), 2u);
+  EXPECT_EQ(q.tables[0].table, "IparsData");
+  EXPECT_EQ(q.tables[0].alias, "I");
+  EXPECT_EQ(q.tables[1].table, "TitanST");
+  EXPECT_EQ(q.tables[1].alias, "T");
+  EXPECT_EQ(q.table, "IparsData");  // legacy field tracks the first entry
+  ASSERT_EQ(q.select_attrs.size(), 3u);
+  EXPECT_EQ(q.select_attrs[0], "I.TIME");
+  EXPECT_EQ(q.select_attrs[1], "SOIL");
+  EXPECT_EQ(q.select_attrs[2], "T.S1");
+  std::string s = q.where->to_string();
+  EXPECT_NE(s.find("I.TIME = T.TIME"), std::string::npos);
+  // Round-trip: aliases and qualified names survive to_string -> parse.
+  SelectQuery r = parse_select(q.to_string());
+  EXPECT_EQ(r.to_string(), q.to_string());
+  ASSERT_EQ(r.tables.size(), 2u);
+  EXPECT_EQ(r.tables[1].alias, "T");
+}
+
+TEST(SqlParserTest, AliasDefaultsToTableName) {
+  SelectQuery q = parse_select("SELECT * FROM A, B WHERE A.K = B.K");
+  ASSERT_EQ(q.tables.size(), 2u);
+  EXPECT_EQ(q.tables[0].alias, "A");
+  EXPECT_EQ(q.tables[1].alias, "B");
+  // Single table stays a non-join with the alias recorded.
+  SelectQuery s = parse_select("SELECT * FROM IparsData I WHERE I.TIME = 3");
+  EXPECT_FALSE(s.is_join());
+  EXPECT_EQ(s.tables[0].alias, "I");
+}
+
+TEST(SqlParserTest, QualifiedAttrsInScalarsAndIn) {
+  SelectQuery q = parse_select(
+      "SELECT * FROM A x, B y WHERE x.K = y.K AND x.P + 1 < 2 "
+      "AND y.REL IN (0, 2)");
+  std::string s = q.where->to_string();
+  EXPECT_NE(s.find("(x.P + 1) < 2"), std::string::npos);
+  EXPECT_NE(s.find("y.REL IN (0, 2)"), std::string::npos);
+}
+
 TEST(SqlParserTest, Errors) {
   EXPECT_THROW(parse_select("FROM T"), ParseError);
   EXPECT_THROW(parse_select("SELECT * FROM"), ParseError);
   EXPECT_THROW(parse_select("SELECT * FROM T WHERE"), ParseError);
   EXPECT_THROW(parse_select("SELECT * FROM T WHERE A >"), ParseError);
   EXPECT_THROW(parse_select("SELECT * FROM T WHERE A ! 3"), ParseError);
-  EXPECT_THROW(parse_select("SELECT * FROM T extra"), ParseError);
+  // `FROM T extra` is an alias now; a second trailing ident is still junk.
+  EXPECT_THROW(parse_select("SELECT * FROM T alias extra"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T1, "), ParseError);
+  EXPECT_THROW(parse_select("SELECT A. FROM T"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM T WHERE I.WHERE = 1"), ParseError);
   EXPECT_THROW(parse_select("SELECT * FROM T WHERE 3 IN (1,2)"), ParseError);
   EXPECT_THROW(parse_select("SELECT * FROM T WHERE A IN ()"), ParseError);
   EXPECT_THROW(parse_select("SELECT FROM T"), ParseError);

@@ -6,6 +6,7 @@
 #include "codegen/plan.h"
 #include "common/tempdir.h"
 #include "dataset/ipars.h"
+#include "dataset/titan_st.h"
 #include "metadata/xml.h"
 
 namespace adv::meta {
@@ -181,6 +182,85 @@ TEST(XmlDescriptorTest, XmlDescriptorServesQueries) {
       "SELECT * FROM IparsData WHERE TIME <= 3 AND SOIL > 0.5");
   expr::Table got = plan.execute(q);
   EXPECT_TRUE(got.same_rows(dataset::ipars_oracle(cfg, q)));
+}
+
+TEST(XmlDescriptorTest, ColmajorLoopOrderAttribute) {
+  // order="colmajor" survives XML -> Descriptor -> XML, and maps onto the
+  // text form's COLMAJOR keyword.
+  const char* xml = R"(<descriptor>
+    <schema name="S"><attribute name="A" type="int"/>
+      <attribute name="B" type="float"/></schema>
+    <storage dataset="DS" schema="S"><dir index="0" path="n/d"/></storage>
+    <dataset name="DS">
+      <dataspace>
+        <loop ident="T" range="1:2:1">
+          <loop ident="I" range="1:4:1" order="colmajor">
+            <fields>A B</fields>
+          </loop>
+        </loop>
+      </dataspace>
+      <data><file pattern="f"/></data>
+    </dataset>
+  </descriptor>)";
+  Descriptor d = parse_descriptor_xml(xml);
+  ASSERT_EQ(d.datasets.size(), 1u);
+  const LayoutNode& rec = d.datasets[0].dataspace[0].body[0];
+  EXPECT_TRUE(rec.colmajor);
+  EXPECT_NE(to_text(d).find("COLMAJOR"), std::string::npos);
+  EXPECT_NE(to_xml(d).find("order=\"colmajor\""), std::string::npos);
+  Descriptor again = parse_descriptor_xml(to_xml(d));
+  EXPECT_EQ(to_text(again), to_text(d));
+}
+
+TEST(XmlDescriptorTest, BadLoopOrderRejected) {
+  // Any order other than rowmajor/colmajor is a typed error, and a
+  // colmajor structure loop is rejected by the same validation as the
+  // text form (table-driven alongside ValidateTest.LayoutErrorTable).
+  struct Case {
+    const char* name;
+    const char* xml;
+  };
+  const Case kCases[] = {
+      {"unknown-order",
+       R"(<descriptor>
+         <schema name="S"><attribute name="A" type="int"/></schema>
+         <storage dataset="DS" schema="S"><dir index="0" path="n/d"/></storage>
+         <dataset name="DS">
+           <dataspace><loop ident="I" range="1:2:1" order="diagonal">
+             <fields>A</fields></loop></dataspace>
+           <data><file pattern="f"/></data>
+         </dataset>
+       </descriptor>)"},
+      {"colmajor-structure-loop",
+       R"(<descriptor>
+         <schema name="S"><attribute name="A" type="int"/></schema>
+         <storage dataset="DS" schema="S"><dir index="0" path="n/d"/></storage>
+         <dataset name="DS">
+           <dataspace><loop ident="T" range="1:2:1" order="colmajor">
+             <loop ident="I" range="1:2:1"><fields>A</fields></loop>
+           </loop></dataspace>
+           <data><file pattern="f"/></data>
+         </dataset>
+       </descriptor>)"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    EXPECT_THROW(parse_descriptor_xml(c.xml), ValidationError);
+  }
+}
+
+TEST(XmlDescriptorTest, RoundTripsTheSpatioTemporalGrid) {
+  // The Titan-style chunked (TIME, LAT, LON) descriptor — per-chunk
+  // headers and all — survives the XML interchange form.
+  dataset::TitanStConfig cfg;
+  cfg.nodes = 2;
+  cfg.lat_chunks = 2;
+  cfg.lon_chunks = 2;
+  cfg.timesteps = 4;
+  cfg.cells_per_chunk = 8;
+  Descriptor d1 = parse_descriptor(dataset::titan_st_descriptor_text(cfg));
+  Descriptor d2 = parse_descriptor_xml(to_xml(d1));
+  EXPECT_EQ(to_text(d2), to_text(d1));
 }
 
 TEST(XmlDescriptorTest, ValidationStillApplies) {

@@ -10,6 +10,7 @@
 #include "common/tempdir.h"
 #include "common/thread_pool.h"
 #include "dataset/ipars.h"
+#include "dataset/titan_st.h"
 
 namespace adv {
 namespace {
@@ -130,6 +131,58 @@ TEST(ZoneMapTest, PruningMatchesOracleAndReducesBytes) {
   storm::QueryResult full = indexed.query_detailed(all);
   EXPECT_EQ(full.total_afcs_pruned(), 0u);
   EXPECT_EQ(full.merged().num_rows(), cfg.total_rows());
+}
+
+TEST(ZoneMapTest, BuildsOverTitanStAndColmajorLayouts) {
+  // The zone map must build over the spatio-temporal chunk grid and the
+  // column-major array family, prune on the autocorrelated sensors, and
+  // stay exact — for both record families.
+  dataset::TitanStConfig cfg;
+  cfg.nodes = 2;
+  cfg.lat_chunks = 2;
+  cfg.lon_chunks = 4;
+  cfg.timesteps = 6;
+  cfg.cells_per_chunk = 32;
+  const char* selective = "SELECT * FROM TitanST WHERE S1 >= 0.9";
+  for (bool colmajor : {false, true}) {
+    cfg.colmajor = colmajor;
+    TempDir tmp("zmt");
+    auto gen = dataset::generate_titan_st(cfg, tmp.str());
+
+    VirtualTable::Options plain;
+    VirtualTable unindexed =
+        VirtualTable::open(gen.descriptor_text, "TitanST", gen.root, plain);
+    VirtualTable::Options zopt;
+    zopt.build_zonemap = true;
+    zopt.zonemap_dir = tmp.str() + "/.zm";
+    VirtualTable indexed =
+        VirtualTable::open(gen.descriptor_text, "TitanST", gen.root, zopt);
+    ASSERT_TRUE(indexed.has_zonemap());
+
+    storm::QueryResult cold = unindexed.query_detailed(selective);
+    storm::QueryResult pruned = indexed.query_detailed(selective);
+    expr::BoundQuery q = indexed.plan().bind(selective);
+    expr::Table expect = dataset::titan_st_oracle(cfg, q);
+    ASSERT_GT(expect.num_rows(), 0u) << "colmajor=" << colmajor;
+    EXPECT_TRUE(cold.merged().same_rows(expect)) << "colmajor=" << colmajor;
+    EXPECT_TRUE(pruned.merged().same_rows(expect)) << "colmajor=" << colmajor;
+    EXPECT_GT(pruned.total_afcs_pruned(), 0u) << "colmajor=" << colmajor;
+    EXPECT_GT(pruned.total_bytes_skipped(), 0u) << "colmajor=" << colmajor;
+    EXPECT_LT(pruned.total_bytes_read(), cold.total_bytes_read());
+
+    // Spatio-temporal pruning needs no sidecar: the implicit TIME/LAT/LON
+    // dimensions resolve to chunk intervals at plan time.
+    const char* spatial =
+        "SELECT * FROM TitanST WHERE TIME = 2 AND LAT <= 2 AND LON IN (1, 3)";
+    expr::BoundQuery sq = unindexed.plan().bind(spatial);
+    storm::QueryResult sr = unindexed.query_detailed(spatial);
+    expr::Table sexpect = dataset::titan_st_oracle(cfg, sq);
+    EXPECT_EQ(sexpect.num_rows(),
+              static_cast<uint64_t>(2 * 2 * cfg.cells_per_chunk));
+    EXPECT_TRUE(sr.merged().same_rows(sexpect)) << "colmajor=" << colmajor;
+    EXPECT_LT(sr.total_bytes_read(), cold.total_bytes_read() / 4)
+        << "colmajor=" << colmajor;
+  }
 }
 
 TEST(ZoneMapTest, StaleFileFallsBackToFullScan) {

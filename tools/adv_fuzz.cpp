@@ -17,6 +17,7 @@
 
 #include "common/error.h"
 #include "dq/dq_run.h"
+#include "dq/dq_shrink.h"
 #include "faultz/faultz.h"
 
 namespace {
@@ -27,6 +28,9 @@ int usage(const char* argv0) {
       "usage: %s --seed N [options]\n"
       "  --seed N          corpus seed (dataset layout + queries)\n"
       "  --seeds K         run K consecutive seeds starting at N (default 1)\n"
+      "  --shrink N        greedily minimize the failing case for seed N\n"
+      "                    (queries, WHERE conjuncts, dataset shape) and\n"
+      "                    print the minimized descriptor + corpus\n"
       "  --queries M       queries per seed (default 5)\n"
       "  --campaign NAME   named fault campaign: io, net, node, agg, zm,\n"
       "                    sched, jit\n"
@@ -49,6 +53,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   uint64_t seed = 0;
   bool have_seed = false;
+  bool shrink = false;
   int nseeds = 1;
   bool have_fault_seed = false;
   adv::dq::DqOptions opts;
@@ -66,6 +71,10 @@ int main(int argc, char** argv) {
     if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
       have_seed = true;
+    } else if (arg == "--shrink") {
+      seed = std::strtoull(next(), nullptr, 10);
+      have_seed = true;
+      shrink = true;
     } else if (arg == "--seeds") {
       nseeds = std::atoi(next());
     } else if (arg == "--queries") {
@@ -103,6 +112,37 @@ int main(int argc, char** argv) {
   }
   if (!have_seed || nseeds < 1 || opts.queries_per_seed < 1)
     return usage(argv[0]);
+
+  if (shrink) {
+    if (!have_fault_seed) opts.fault_seed = seed;
+    try {
+      adv::dq::DqShrinkResult res = adv::dq::shrink_seed(
+          seed, opts, [](const std::string& line) {
+            std::fprintf(stderr, "shrink: %s\n", line.c_str());
+          });
+      if (!res.failed_initially) {
+        std::printf("seed %llu passes; nothing to shrink\n",
+                    static_cast<unsigned long long>(seed));
+        return 0;
+      }
+      std::printf("minimized seed %llu after %d candidates (%d kept):\n"
+                  "  shape: %s%s\n",
+                  static_cast<unsigned long long>(seed), res.attempts,
+                  res.accepted, adv::dq::shape_string(res.dataset).c_str(),
+                  res.opts.with_joins ? "" : "  (join round not needed)");
+      for (const std::string& q : res.queries)
+        std::printf("  query: %s\n", q.c_str());
+      std::printf("  failure: %s\n",
+                  res.report.failures.empty() ? "(none?)"
+                                              : res.report.failures[0].c_str());
+      std::printf("-- minimized descriptor --\n%s",
+                  res.dataset.descriptor().c_str());
+      return 1;  // the minimized case still fails, by construction
+    } catch (const adv::Error& e) {
+      std::fprintf(stderr, "adv_fuzz: %s\n", e.what());
+      return 1;
+    }
+  }
 
   adv::dq::DqReport total;
   try {
